@@ -1,0 +1,7 @@
+"""Benchmark A11 — regenerates the elastic provisioning comparison."""
+
+from repro.experiments import ablation_autoscaling
+
+
+def test_ablation_autoscaling(experiment):
+    experiment(ablation_autoscaling)

@@ -1,0 +1,7 @@
+"""Benchmark A3 — regenerates the download-locality cache ablation."""
+
+from repro.experiments import ablation_cache
+
+
+def test_ablation_cache(experiment):
+    experiment(ablation_cache)

@@ -1,0 +1,7 @@
+"""Benchmark A10 — regenerates the metadata/data decoupling analysis."""
+
+from repro.experiments import ablation_decoupling
+
+
+def test_ablation_decoupling(experiment):
+    experiment(ablation_decoupling)

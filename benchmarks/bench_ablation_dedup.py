@@ -1,0 +1,7 @@
+"""Benchmark A4 — regenerates the delta/chunk-dedup design implication."""
+
+from repro.experiments import ablation_dedup
+
+
+def test_ablation_dedup(experiment):
+    experiment(ablation_dedup)

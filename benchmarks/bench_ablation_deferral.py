@@ -1,0 +1,7 @@
+"""Benchmark A2 — regenerates the paper's upload deferral ablation."""
+
+from repro.experiments import ablation_deferral
+
+
+def test_ablation_deferral(experiment):
+    experiment(ablation_deferral)

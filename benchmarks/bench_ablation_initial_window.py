@@ -1,0 +1,7 @@
+"""Benchmark A8 — regenerates the initial-window restart-penalty sweep."""
+
+from repro.experiments import ablation_initial_window
+
+
+def test_ablation_initial_window(experiment):
+    experiment(ablation_initial_window)

@@ -1,0 +1,7 @@
+"""Benchmark A1 — regenerates the paper's Section 4.3 mitigation ablation."""
+
+from repro.experiments import ablation_mitigations
+
+
+def test_ablation_mitigations(experiment):
+    experiment(ablation_mitigations)

@@ -1,0 +1,7 @@
+"""Benchmark A5 — regenerates the pacing-after-idle ablation."""
+
+from repro.experiments import ablation_pacing
+
+
+def test_ablation_pacing(experiment):
+    experiment(ablation_pacing)

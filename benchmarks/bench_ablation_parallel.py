@@ -1,0 +1,7 @@
+"""Benchmark A6 — regenerates the parallel-connection sweep."""
+
+from repro.experiments import ablation_parallel
+
+
+def test_ablation_parallel(experiment):
+    experiment(ablation_parallel)

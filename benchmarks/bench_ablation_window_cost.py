@@ -1,0 +1,7 @@
+"""Benchmark A7 — regenerates the window-scaling cost sweep."""
+
+from repro.experiments import ablation_window_cost
+
+
+def test_ablation_window_cost(experiment):
+    experiment(ablation_window_cost)

@@ -1,0 +1,7 @@
+"""Benchmark A9 — regenerates the observation-window sensitivity sweep."""
+
+from repro.experiments import ablation_window_length
+
+
+def test_ablation_window_length(experiment):
+    experiment(ablation_window_length)

@@ -1,0 +1,7 @@
+"""Benchmark D1 — regenerates the Section 2.2 dataset overview."""
+
+from repro.experiments import d1_dataset
+
+
+def test_d1_dataset(experiment):
+    experiment(d1_dataset)

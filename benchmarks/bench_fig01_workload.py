@@ -1,0 +1,7 @@
+"""Benchmark F1 — regenerates the paper's Fig 1 (temporal workload variation)."""
+
+from repro.experiments import fig01_workload
+
+
+def test_fig01_workload(experiment):
+    experiment(fig01_workload)

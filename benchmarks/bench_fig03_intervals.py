@@ -1,0 +1,7 @@
+"""Benchmark F3 — regenerates the paper's Fig 3 (inter-operation interval mixture)."""
+
+from repro.experiments import fig03_intervals
+
+
+def test_fig03_intervals(experiment):
+    experiment(fig03_intervals)

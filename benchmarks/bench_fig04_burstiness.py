@@ -1,0 +1,7 @@
+"""Benchmark F4 — regenerates the paper's Fig 4 (within-session burstiness)."""
+
+from repro.experiments import fig04_burstiness
+
+
+def test_fig04_burstiness(experiment):
+    experiment(fig04_burstiness)

@@ -1,0 +1,7 @@
+"""Benchmark F5 — regenerates the paper's Fig 5 (session size vs op count)."""
+
+from repro.experiments import fig05_session_size
+
+
+def test_fig05_session_size(experiment):
+    experiment(fig05_session_size)

@@ -1,0 +1,7 @@
+"""Benchmark F6/T2 — regenerates the paper's Fig 6 + Table 2 (file size mixture models)."""
+
+from repro.experiments import fig06_filesize_model
+
+
+def test_fig06_filesize_model(experiment):
+    experiment(fig06_filesize_model)

@@ -1,0 +1,7 @@
+"""Benchmark F7 — regenerates the paper's Fig 7 (store/retrieve ratio CDFs)."""
+
+from repro.experiments import fig07_usage_ratio
+
+
+def test_fig07_usage_ratio(experiment):
+    experiment(fig07_usage_ratio)

@@ -1,0 +1,7 @@
+"""Benchmark F8 — regenerates the paper's Fig 8 (user engagement)."""
+
+from repro.experiments import fig08_engagement
+
+
+def test_fig08_engagement(experiment):
+    experiment(fig08_engagement)

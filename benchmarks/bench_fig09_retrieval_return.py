@@ -1,0 +1,7 @@
+"""Benchmark F9 — regenerates the paper's Fig 9 (retrieval after upload)."""
+
+from repro.experiments import fig09_retrieval_return
+
+
+def test_fig09_retrieval_return(experiment):
+    experiment(fig09_retrieval_return)

@@ -1,0 +1,7 @@
+"""Benchmark F10 — regenerates the paper's Fig 10 (stretched-exponential activity)."""
+
+from repro.experiments import fig10_activity_se
+
+
+def test_fig10_activity_se(experiment):
+    experiment(fig10_activity_se)

@@ -1,0 +1,7 @@
+"""Benchmark F12 — regenerates the paper's Fig 12 (chunk time by device)."""
+
+from repro.experiments import fig12_chunk_time
+
+
+def test_fig12_chunk_time(experiment):
+    experiment(fig12_chunk_time)

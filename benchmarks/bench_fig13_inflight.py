@@ -1,0 +1,7 @@
+"""Benchmark F13 — regenerates the paper's Fig 13 (sequence number / inflight traces)."""
+
+from repro.experiments import fig13_inflight
+
+
+def test_fig13_inflight(experiment):
+    experiment(fig13_inflight)

@@ -1,0 +1,7 @@
+"""Benchmark F14 — regenerates the paper's Fig 14 (RTT distribution)."""
+
+from repro.experiments import fig14_rtt
+
+
+def test_fig14_rtt(experiment):
+    experiment(fig14_rtt)

@@ -1,0 +1,7 @@
+"""Benchmark F15 — regenerates the paper's Fig 15 (estimated sending window)."""
+
+from repro.experiments import fig15_swnd
+
+
+def test_fig15_swnd(experiment):
+    experiment(fig15_swnd)

@@ -1,0 +1,7 @@
+"""Benchmark F16 — regenerates the paper's Fig 16 (idle time dissection)."""
+
+from repro.experiments import fig16_idle
+
+
+def test_fig16_idle(experiment):
+    experiment(fig16_idle)

@@ -1,0 +1,7 @@
+"""Benchmark V1 — regenerates the paper's end-to-end model recovery."""
+
+from repro.experiments import recovery
+
+
+def test_recovery(experiment):
+    experiment(recovery)

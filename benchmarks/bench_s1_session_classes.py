@@ -1,0 +1,7 @@
+"""Benchmark S1 — regenerates the paper's Section 3.1.1 session class shares."""
+
+from repro.experiments import s1_session_classes
+
+
+def test_s1_session_classes(experiment):
+    experiment(s1_session_classes)

@@ -1,0 +1,7 @@
+"""Benchmark T3 — regenerates the paper's Table 3 (user type taxonomy)."""
+
+from repro.experiments import table3_user_types
+
+
+def test_table3_user_types(experiment):
+    experiment(table3_user_types)

@@ -1,0 +1,33 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one of the paper's tables or figures: it times
+the experiment harness with pytest-benchmark, prints the reproduced
+rows/series next to the paper's reference values, and asserts the
+qualitative shape (who wins, by roughly what factor).
+
+The synthetic trace behind the behaviour experiments is memoized per
+process, so the first benchmark pays generation and the rest time only the
+analysis.
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, module):
+    """Benchmark an experiment module and enforce its paper checks."""
+    # Warm the memoized trace outside the timed region.
+    module.run()
+    result = benchmark.pedantic(module.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    failures = result.failures()
+    assert not failures, "\n" + "\n".join(c.render() for c in failures)
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def runner(module):
+        return run_experiment(benchmark, module)
+
+    return runner

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Storage-efficiency study: what is worth building for a mobile service?
+
+The paper closes with design guidance: skip delta encoding and chunk-level
+dedup for mobile backup traffic, but do exploit download locality with
+cache proxies.  This example runs both trade-offs end to end:
+
+1. redundancy elimination on contrasting upload streams (mobile photo
+   backup vs PC document sync);
+2. a front web-cache proxy against Zipf-popular shared downloads, sweeping
+   the cache size.
+
+Run:  python examples/storage_efficiency_study.py
+"""
+
+from repro.service import LruCache, RedundancyEliminator, Strategy
+from repro.workload import (
+    PopularityModel,
+    corpus_bytes,
+    mobile_backup_stream,
+    pc_sync_stream,
+    request_stream,
+)
+
+GB = 1024.0**3
+
+
+def redundancy_study() -> None:
+    print("== Redundancy elimination: what does each strategy buy? ==")
+    for name, (stream, lineages) in (
+        ("mobile photo backup", mobile_backup_stream(seed=2)),
+        ("PC document sync   ", pc_sync_stream(seed=2)),
+    ):
+        eliminator = RedundancyEliminator()
+        eliminator.upload_all(stream, lineages)
+        logical = eliminator.accounting[Strategy.NONE].logical_bytes
+        print(f"  {name} ({len(stream)} uploads, {logical / GB:.2f} GB logical)")
+        for strategy in Strategy:
+            acct = eliminator.accounting[strategy]
+            print(
+                f"    {strategy.value:<12s} transfers {acct.transferred_bytes / GB:6.2f} GB "
+                f"(saves {acct.savings:6.1%})"
+            )
+    print(
+        "  -> chunk dedup and delta encoding only pay off on the editing-"
+        "heavy PC stream,\n     exactly the paper's 'can be reasonably "
+        "omitted in mobile scenarios'."
+    )
+
+
+def cache_study() -> None:
+    print()
+    print("== Front cache proxy for shared downloads ==")
+    model = PopularityModel(n_objects=400, zipf_s=0.9)
+    catalog, requests = request_stream(model, 30_000, seed=3)
+    total = corpus_bytes(catalog)
+    print(
+        f"  catalog: {len(catalog)} shared objects, {total / GB:.1f} GB; "
+        f"{len(requests):,} download requests"
+    )
+    for fraction in (0.02, 0.05, 0.10, 0.20, 0.40):
+        cache = LruCache(max(1, int(total * fraction)))
+        for obj in requests:
+            cache.request(obj.key, obj.size)
+        stats = cache.stats()
+        bar = "#" * int(stats.byte_hit_ratio * 40)
+        print(
+            f"  cache {fraction:4.0%} of corpus: byte-hit "
+            f"{stats.byte_hit_ratio:6.1%} {bar}"
+        )
+    print(
+        "  -> a cache a fifth the size of the corpus already absorbs "
+        "about half the download bytes."
+    )
+
+
+def main() -> None:
+    redundancy_study()
+    cache_study()
+
+
+if __name__ == "__main__":
+    main()

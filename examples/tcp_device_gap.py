@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Why is the Android app slower?  A packet-level investigation.
+
+Reproduces the paper's Section 4 diagnosis with the packet-level TCP
+simulator: two identical devices upload the same file over the same
+network path; the only difference is the client processing time between
+chunks.  The Android-profile client idles past its RTO on most gaps, TCP
+restarts slow start, and throughput collapses — then the Section 4.3
+mitigations are applied one by one.
+
+Run:  python examples/tcp_device_gap.py
+"""
+
+import numpy as np
+
+from repro.logs import CHUNK_SIZE, DeviceType, Direction
+from repro.tcpsim import (
+    ANDROID,
+    IOS,
+    MITIGATIONS,
+    NetworkPath,
+    run_mitigation_sweep,
+    simulate_flow,
+)
+
+KB = 1024.0
+
+
+def controlled_comparison() -> None:
+    print("== Controlled upload: same path, different device (Fig 13) ==")
+    for device in (IOS, ANDROID):
+        path = NetworkPath(bandwidth=2_000_000.0, one_way_delay=0.05)
+        flow = simulate_flow(
+            direction=Direction.STORE,
+            device=device,
+            file_size=16 * CHUNK_SIZE,
+            path=path,
+            seed=11,
+        )
+        gaps = max(1, len(flow.chunk_results) - 1)
+        print(
+            f"  {device.device_type.value:<8s}"
+            f" goodput={flow.throughput / KB:7.1f} KB/s"
+            f"  chunk median={np.median(flow.chunk_times):5.2f} s"
+            f"  restarts={flow.slow_start_restarts}/{gaps} gaps"
+            f"  max inflight={flow.trace.max_inflight() / KB:5.1f} KB"
+        )
+    print(
+        "  -> the in-flight cap at ~64 KB is the server's unscaled receive"
+        " window;\n     the Android flow repeatedly re-enters slow start"
+        " after idle gaps."
+    )
+
+
+def idle_dissection() -> None:
+    print()
+    print("== Where does the idle time come from? (Fig 16) ==")
+    for device in (IOS, ANDROID):
+        flow = simulate_flow(
+            direction=Direction.STORE,
+            device=device,
+            file_size=12 * CHUNK_SIZE,
+            path=NetworkPath(bandwidth=2_000_000.0, one_way_delay=0.05),
+            seed=13,
+        )
+        tclt = np.array([c.tclt for c in flow.chunk_results])
+        tsrv = np.array([c.tsrv for c in flow.chunk_results])
+        ratios = flow.processing_idle_ratios
+        print(
+            f"  {device.device_type.value:<8s}"
+            f" Tclt median={np.median(tclt) * 1000:6.0f} ms"
+            f"  Tsrv median={np.median(tsrv) * 1000:5.0f} ms"
+            f"  P(idle > RTO)={np.mean(ratios > 1):5.1%}"
+        )
+    print(
+        "  -> server time is device-independent; the client processing"
+        " time is the gap."
+    )
+
+
+def mitigation_sweep() -> None:
+    print()
+    print("== Section 4.3 mitigations (Android uploads) ==")
+    outcomes = run_mitigation_sweep(
+        device=DeviceType.ANDROID,
+        direction=Direction.STORE,
+        n_flows=12,
+        file_size=8 * CHUNK_SIZE,
+        seed=3,
+    )
+    base = outcomes["baseline"]
+    for name in MITIGATIONS:
+        outcome = outcomes[name]
+        print(
+            f"  {name:<22s} goodput={outcome.mean_flow_throughput / KB:7.1f}"
+            f" KB/s  speedup={outcome.speedup_over(base):4.2f}x"
+            f"  restarts/gap={outcome.restart_fraction:4.2f}"
+        )
+
+
+def main() -> None:
+    controlled_comparison()
+    idle_dissection()
+    mitigation_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — a reproduction of "An Empirical Analysis of a Large-scale Mobile
+Cloud Storage Service" (Li et al., IMC 2016).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's analysis pipeline: sessionization, behaviour models,
+    usage/engagement taxonomies and chunk-level performance diagnostics.
+``repro.logs``
+    The Table 1 log-record schema and streaming log tooling.
+``repro.stats``
+    From-scratch statistics: EM mixture fitters, stretched-exponential
+    models, goodness-of-fit and bootstrap.
+``repro.workload``
+    Paper-calibrated synthetic trace generation (the stand-in for the
+    proprietary 350 M-request dataset).
+``repro.service``
+    A cloud-storage service simulator (metadata dedup, chunked front-ends,
+    protocol clients).
+``repro.tcpsim``
+    A packet-level TCP simulator reproducing the Section 4 transfer
+    mechanics (slow-start-after-idle, receive-window caps).
+``repro.experiments``
+    One module per paper figure/table, regenerating its rows and series.
+"""
+
+from . import core, logs, service, stats, tcpsim, workload
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "logs", "service", "stats", "tcpsim", "workload", "__version__"]

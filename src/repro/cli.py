@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+``generate``
+    Synthesize a week-long trace to a TSV/JSONL file.
+``analyze``
+    Run the Section 3 behaviour pipeline over a trace file and print the
+    findings report.
+``experiments``
+    Run the paper-reproduction battery (all of it, or selected ids).
+``simulate-flow``
+    Run one packet-level chunk flow and print per-chunk measurements.
+
+All subcommands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .logs.anonymize import Anonymizer
+    from .logs.io import write_jsonl, write_tsv
+    from .workload.generator import GeneratorOptions, TraceGenerator
+
+    generator = TraceGenerator(
+        args.users,
+        n_pc_only_users=args.pc_users,
+        options=GeneratorOptions(max_chunks_per_file=args.max_chunks),
+        seed=args.seed,
+    )
+    records = generator.generate()
+    if args.anonymize:
+        records = Anonymizer().anonymize_stream(records)
+    writer = write_jsonl if args.output.endswith((".jsonl", ".jsonl.gz")) else write_tsv
+    count = writer(records, args.output)
+    print(f"wrote {count:,} records to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .core.report import analyze_trace
+    from .logs.io import open_reader
+    from .logs.summary import summarize
+
+    records = list(open_reader(args.trace))
+    if not records:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    print(summarize(records).render())
+    report = analyze_trace(records, fit_size_model=not args.fast)
+    model = report.interval_model
+    print(f"sessions recovered  : {report.session_shares.n_sessions:,}")
+    print(
+        f"interval model      : within={model.within_session_mean_seconds:.1f}s "
+        f"between={model.between_session_mean_seconds / 3600:.1f}h "
+        f"tau={model.tau:.0f}s"
+    )
+    for finding in report.rows():
+        print(f"[{finding.topic}] {finding.statement}")
+        print(f"    -> {finding.implication}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import json
+
+    from . import experiments
+
+    selected = []
+    for module in experiments.ALL_EXPERIMENTS:
+        name = module.__name__.rsplit(".", 1)[-1]
+        if not args.only or any(token in name for token in args.only):
+            selected.append(module)
+    if not selected:
+        print("no experiments match", file=sys.stderr)
+        return 1
+    failures = 0
+    results = []
+    for module in selected:
+        result = module.run()
+        results.append(result)
+        if not args.json:
+            print(result.render())
+            print()
+        failures += not result.qualitative_ok()
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        print(f"{len(selected) - failures}/{len(selected)} experiments pass")
+    return 1 if failures else 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from . import experiments
+    from .experiments.validation import pass_rate_summary, validate
+
+    selected = [
+        module
+        for module in experiments.ALL_EXPERIMENTS
+        if not args.only
+        or any(token in module.__name__ for token in args.only)
+    ]
+    if not selected:
+        print("no experiments match", file=sys.stderr)
+        return 1
+    seeds = list(range(args.base_seed, args.base_seed + args.seeds))
+    outcomes = validate(selected, seeds, verbose=True)
+    robust, total, rate = pass_rate_summary(outcomes)
+    print(
+        f"{robust}/{total} experiments robust over {len(seeds) + 1} runs; "
+        f"mean check pass rate {rate:.1%}"
+    )
+    return 0 if robust == total else 1
+
+
+def _cmd_simulate_flow(args: argparse.Namespace) -> int:
+    from .logs.schema import CHUNK_SIZE, Direction, DeviceType
+    from .tcpsim.flow import simulate_flow
+    from .tcpsim.path import NetworkPath
+
+    flow = simulate_flow(
+        direction=Direction(args.direction),
+        device=DeviceType(args.device),
+        file_size=args.chunks * CHUNK_SIZE,
+        path=NetworkPath(
+            bandwidth=args.bandwidth,
+            one_way_delay=args.rtt / 2.0,
+        ),
+        seed=args.seed,
+    )
+    print(
+        f"{args.direction} of {args.chunks} chunks on {args.device}: "
+        f"{flow.duration:.2f}s, goodput {flow.throughput / 1024:.1f} KB/s, "
+        f"{flow.slow_start_restarts} slow-start restarts"
+    )
+    for chunk in flow.chunk_results:
+        print(
+            f"  chunk {chunk.index}: ttran={chunk.ttran:6.3f}s "
+            f"tsrv={chunk.tsrv:5.3f}s idle/rto="
+            f"{chunk.idle_rto_ratio:5.2f} restarted={chunk.restarted}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'An Empirical Analysis of a "
+            "Large-scale Mobile Cloud Storage Service' (IMC 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a request trace")
+    gen.add_argument("output", help="output path (.tsv/.jsonl, optionally .gz)")
+    gen.add_argument("--users", type=int, default=1000)
+    gen.add_argument("--pc-users", type=int, default=0)
+    gen.add_argument("--max-chunks", type=int, default=8,
+                     help="chunk records per file cap")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--anonymize", action="store_true",
+                     help="pseudonymize user/device ids")
+    gen.set_defaults(func=_cmd_generate)
+
+    ana = sub.add_parser("analyze", help="analyze a trace file")
+    ana.add_argument("trace", help="trace path written by 'generate'")
+    ana.add_argument("--fast", action="store_true",
+                     help="skip the mixture-model fit")
+    ana.set_defaults(func=_cmd_analyze)
+
+    exp = sub.add_parser("experiments", help="run the reproduction battery")
+    exp.add_argument("only", nargs="*",
+                     help="substring filters on experiment names")
+    exp.add_argument("--json", action="store_true",
+                     help="emit machine-readable results")
+    exp.set_defaults(func=_cmd_experiments)
+
+    val = sub.add_parser(
+        "validate", help="rerun experiments across seeds (robustness)"
+    )
+    val.add_argument("only", nargs="*",
+                     help="substring filters on experiment names")
+    val.add_argument("--seeds", type=int, default=3,
+                     help="number of extra seeds beyond the default run")
+    val.add_argument("--base-seed", type=int, default=100)
+    val.set_defaults(func=_cmd_validate)
+
+    sim = sub.add_parser("simulate-flow", help="run one packet-level flow")
+    sim.add_argument("--direction", choices=("store", "retrieve"),
+                     default="store")
+    sim.add_argument("--device", choices=("android", "ios"), default="android")
+    sim.add_argument("--chunks", type=int, default=8)
+    sim.add_argument("--bandwidth", type=float, default=2_000_000.0,
+                     help="bottleneck bytes/second")
+    sim.add_argument("--rtt", type=float, default=0.1, help="base RTT seconds")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(func=_cmd_simulate_flow)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

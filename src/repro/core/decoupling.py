@@ -1,0 +1,121 @@
+"""Metadata/data decoupling analysis (the Section 3.1.2 implication).
+
+The paper argues that because users issue every file operation at the
+start of a session and then transfer data for its remainder, "it is very
+important to decouple the metadata management and the data storage
+management ... to alleviate the load on metadata servers".  This module
+quantifies exactly that asymmetry from a trace:
+
+* per session, the fraction of metadata requests (file operations) versus
+  transferred bytes that land in the session's first decile;
+* trace-wide, the peak-to-mean ratio of metadata operations versus chunk
+  volume at fine (minute) granularity — the provisioning consequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..logs.schema import LogRecord
+from .sessions import Session
+
+
+@dataclass(frozen=True)
+class FrontLoading:
+    """How front-loaded each request class is within sessions."""
+
+    ops_in_first_decile: float
+    bytes_in_first_decile: float
+    n_sessions: int
+
+    @property
+    def asymmetry(self) -> float:
+        """Ops front-loading over bytes front-loading (>1 = decouple)."""
+        if self.bytes_in_first_decile <= 0:
+            raise ValueError("no bytes observed in sessions")
+        return self.ops_in_first_decile / self.bytes_in_first_decile
+
+
+def session_front_loading(
+    sessions: Iterable[Session], decile: float = 0.1
+) -> FrontLoading:
+    """Measure metadata-vs-data front-loading across sessions.
+
+    Only sessions long enough to have a meaningful decile (length > 0 and
+    more than one operation) participate.
+    """
+    if not 0.0 < decile < 1.0:
+        raise ValueError("decile must be in (0, 1)")
+    ops_front = 0
+    ops_total = 0
+    bytes_front = 0
+    bytes_total = 0
+    n_sessions = 0
+    for session in sessions:
+        length = session.length
+        if length <= 0 or session.n_ops < 2:
+            continue
+        n_sessions += 1
+        cutoff = session.start + decile * length
+        for record in session.records:
+            if record.is_file_op:
+                ops_total += 1
+                if record.timestamp <= cutoff:
+                    ops_front += 1
+            else:
+                bytes_total += record.volume
+                if record.timestamp <= cutoff:
+                    bytes_front += record.volume
+    if not n_sessions or not ops_total or not bytes_total:
+        raise ValueError("no usable multi-op sessions with data")
+    return FrontLoading(
+        ops_in_first_decile=ops_front / ops_total,
+        bytes_in_first_decile=bytes_front / bytes_total,
+        n_sessions=n_sessions,
+    )
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Peak-to-mean of a request class at fine time granularity."""
+
+    label: str
+    peak_to_mean: float
+    active_bins: int
+
+
+def fine_grained_peak_to_mean(
+    records: Sequence[LogRecord],
+    *,
+    bin_seconds: float = 60.0,
+) -> tuple[LoadProfile, LoadProfile]:
+    """(metadata ops, chunk bytes) peak-to-mean at ``bin_seconds`` bins.
+
+    Means are taken over *active* bins (bins with any traffic), so the
+    comparison is about burst shape rather than overall emptiness.
+    """
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    ops: dict[int, float] = {}
+    volume: dict[int, float] = {}
+    for record in records:
+        index = int(record.timestamp // bin_seconds)
+        if record.is_file_op:
+            ops[index] = ops.get(index, 0.0) + 1.0
+        else:
+            volume[index] = volume.get(index, 0.0) + record.volume
+    if not ops or not volume:
+        raise ValueError("need both file operations and chunks")
+
+    def profile(label: str, bins: dict[int, float]) -> LoadProfile:
+        values = np.asarray(list(bins.values()))
+        return LoadProfile(
+            label=label,
+            peak_to_mean=float(values.max() / values.mean()),
+            active_bins=int(values.size),
+        )
+
+    return profile("metadata_ops", ops), profile("chunk_bytes", volume)

@@ -1,0 +1,162 @@
+"""User engagement analysis (Section 3.2.2: Figs 8 and 9).
+
+Two questions about the users active on the first observation day:
+
+* **Return behaviour (Fig 8)** — on which day (if any) does a user come
+  back?  The paper finds a bimodal pattern: most returning users come back
+  the very next day, and a large block never returns within the week; the
+  never-return share drops sharply with the number of devices in use.
+* **Retrieval after upload (Fig 9)** — among users who uploaded on day
+  one, what fraction has at least one retrieval session x days later?
+  (An upper bound on "downloads own uploads", since file identities are
+  not in the logs.)  Mobile-only users essentially never do; mobile & PC
+  users often sync the same day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..workload.config import DeviceGroup
+from ..workload.diurnal import SECONDS_PER_DAY
+from .sessions import Session, SessionType
+from .usage import UserProfile
+
+
+def _day_of(timestamp: float) -> int:
+    return int(timestamp // SECONDS_PER_DAY)
+
+
+@dataclass(frozen=True)
+class EngagementCurve:
+    """Fraction of day-one users whose first return lands on each day.
+
+    ``return_fractions[d]`` is the fraction returning first on day ``d``
+    (d >= 1); ``never_fraction`` is the mass beyond the observation window
+    (the paper's "> 6" bucket).
+    """
+
+    group: DeviceGroup | None
+    n_first_day_users: int
+    return_fractions: Mapping[int, float]
+    never_fraction: float
+
+
+def engagement_curves(
+    sessions: Sequence[Session],
+    profiles: Iterable[UserProfile],
+    *,
+    observation_days: int = 7,
+    groups: Sequence[DeviceGroup] = (
+        DeviceGroup.ONE_MOBILE,
+        DeviceGroup.MULTI_MOBILE,
+        DeviceGroup.MOBILE_AND_PC,
+    ),
+) -> list[EngagementCurve]:
+    """Per-device-group first-return-day distributions (Fig 8)."""
+    group_by_user = {p.user_id: p.group for p in profiles}
+    days_by_user: dict[int, set[int]] = {}
+    for session in sessions:
+        days_by_user.setdefault(session.user_id, set()).add(_day_of(session.start))
+
+    curves = []
+    for group in groups:
+        first_day_users = [
+            u
+            for u, days in days_by_user.items()
+            if 0 in days and group_by_user.get(u) is group
+        ]
+        if not first_day_users:
+            continue
+        counts = {d: 0 for d in range(1, observation_days)}
+        never = 0
+        for user in first_day_users:
+            later = sorted(d for d in days_by_user[user] if d > 0)
+            if later:
+                counts[later[0]] += 1
+            else:
+                never += 1
+        n = len(first_day_users)
+        curves.append(
+            EngagementCurve(
+                group=group,
+                n_first_day_users=n,
+                return_fractions={d: c / n for d, c in counts.items()},
+                never_fraction=never / n,
+            )
+        )
+    return curves
+
+
+@dataclass(frozen=True)
+class RetrievalReturnCurve:
+    """Fig 9: cumulative probability of retrieving x days after upload."""
+
+    group: DeviceGroup | None
+    n_uploaders: int
+    #: ``per_day[d]`` = fraction whose *first* retrieval after the day-one
+    #: upload happens on day d (day 0 = same day).
+    per_day: Mapping[int, float]
+    never_fraction: float
+
+    def cumulative(self, day: int) -> float:
+        """P(retrieved within ``day`` days of the upload)."""
+        return sum(f for d, f in self.per_day.items() if d <= day)
+
+
+def retrieval_return_curves(
+    sessions: Sequence[Session],
+    profiles: Iterable[UserProfile],
+    *,
+    observation_days: int = 7,
+    groups: Sequence[DeviceGroup] = (
+        DeviceGroup.ONE_MOBILE,
+        DeviceGroup.MULTI_MOBILE,
+        DeviceGroup.MOBILE_AND_PC,
+    ),
+) -> list[RetrievalReturnCurve]:
+    """Per-group upper bounds on retrieving day-one uploads (Fig 9).
+
+    Following the paper, any retrieval session at or after the user's first
+    day-one storage session counts as (potentially) retrieving the uploads.
+    """
+    group_by_user = {p.user_id: p.group for p in profiles}
+    first_upload: dict[int, float] = {}
+    retrievals: dict[int, list[float]] = {}
+    for session in sessions:
+        if session.session_type in (SessionType.STORE_ONLY, SessionType.MIXED):
+            if _day_of(session.start) == 0:
+                first_upload.setdefault(session.user_id, session.start)
+        if session.session_type in (SessionType.RETRIEVE_ONLY, SessionType.MIXED):
+            retrievals.setdefault(session.user_id, []).append(session.start)
+
+    curves = []
+    for group in groups:
+        uploaders = [
+            u for u in first_upload if group_by_user.get(u) is group
+        ]
+        if not uploaders:
+            continue
+        counts = {d: 0 for d in range(observation_days)}
+        never = 0
+        for user in uploaders:
+            upload_time = first_upload[user]
+            later = sorted(
+                t for t in retrievals.get(user, []) if t >= upload_time
+            )
+            if later:
+                day = _day_of(later[0]) - 0  # absolute day == relative day
+                counts[min(day, observation_days - 1)] += 1
+            else:
+                never += 1
+        n = len(uploaders)
+        curves.append(
+            RetrievalReturnCurve(
+                group=group,
+                n_uploaders=n,
+                per_day={d: c / n for d, c in counts.items()},
+                never_fraction=never / n,
+            )
+        )
+    return curves

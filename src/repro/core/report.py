@@ -1,0 +1,213 @@
+"""Findings summary: the paper's Table 4 as an executable report.
+
+Runs the full behaviour pipeline over a trace and produces one structured
+:class:`FindingsReport` whose fields correspond to the major findings the
+paper tabulates (sessions, burstiness, session size, file attributes, usage
+pattern, engagement, activity model), each paired with the design
+implication the paper draws from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logs.schema import Direction, LogRecord
+from ..workload.config import DeviceGroup
+from .activity import ActivityFit, fit_activity_model
+from .burstiness import normalized_operating_times
+from .engagement import retrieval_return_curves
+from .sessions import (
+    IntervalModel,
+    SessionClassShares,
+    classify_sessions,
+    file_operation_intervals,
+    fit_interval_model,
+    sessionize,
+)
+from .session_size import (
+    FileSizeModelFit,
+    fit_file_size_model,
+    ops_per_session,
+    storage_slope_mb,
+    volume_by_ops,
+)
+from .sessions import SessionType
+from .usage import UserProfile, profile_users
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One row of the findings table."""
+
+    topic: str
+    statement: str
+    implication: str
+    value: float
+
+
+@dataclass
+class FindingsReport:
+    """Structured output of the end-to-end behaviour analysis."""
+
+    interval_model: IntervalModel
+    session_shares: SessionClassShares
+    burstiness_fraction: float
+    storage_slope_mb: float
+    store_size_model: FileSizeModelFit | None
+    upload_only_share: float
+    never_retrieve_fraction: float
+    store_activity: ActivityFit
+    findings: list[Finding] = field(default_factory=list)
+
+    def rows(self) -> list[Finding]:
+        return list(self.findings)
+
+
+def analyze_trace(
+    records: list[LogRecord], *, fit_size_model: bool = True
+) -> FindingsReport:
+    """Run the full Section 3 pipeline over a trace.
+
+    Raises ValueError when the trace is too small for some fit; callers
+    running on tiny traces can disable the expensive size-model fit.
+    """
+    if not records:
+        raise ValueError("empty trace")
+    mobile = [r for r in records if r.is_mobile]
+    intervals = file_operation_intervals(mobile)
+    interval_model = fit_interval_model(intervals)
+    sessions = sessionize(mobile, tau=interval_model.tau)
+    shares = classify_sessions(sessions)
+
+    bursty = normalized_operating_times(sessions, min_ops=1)
+    burstiness_fraction = (
+        float((bursty < 0.1).mean()) if bursty.size else 0.0
+    )
+
+    store_bins = volume_by_ops(sessions, SessionType.STORE_ONLY, max_files=100)
+    slope = storage_slope_mb(store_bins) if len(store_bins) >= 2 else float("nan")
+
+    size_model = None
+    if fit_size_model:
+        try:
+            size_model = fit_file_size_model(sessions, SessionType.STORE_ONLY)
+        except ValueError:
+            size_model = None
+
+    profiles = profile_users(records)
+    mobile_profiles = [
+        p
+        for p in profiles
+        if p.group in (DeviceGroup.ONE_MOBILE, DeviceGroup.MULTI_MOBILE)
+    ]
+    upload_only_share = (
+        sum(1 for p in mobile_profiles if p.user_type.value == "upload_only")
+        / len(mobile_profiles)
+        if mobile_profiles
+        else 0.0
+    )
+
+    # Engagement counts sessions on every client platform: mobile&PC
+    # users sync their uploads mostly from the PC side.
+    all_sessions = sessionize(records, tau=interval_model.tau)
+    return_curves = retrieval_return_curves(all_sessions, profiles)
+    mobile_curves = [
+        c
+        for c in return_curves
+        if c.group in (DeviceGroup.ONE_MOBILE, DeviceGroup.MULTI_MOBILE)
+    ]
+    if mobile_curves:
+        total = sum(c.n_uploaders for c in mobile_curves)
+        never = sum(c.never_fraction * c.n_uploaders for c in mobile_curves)
+        never_fraction = never / total
+    else:
+        never_fraction = 0.0
+
+    store_activity = fit_activity_model(mobile, Direction.STORE)
+
+    report = FindingsReport(
+        interval_model=interval_model,
+        session_shares=shares,
+        burstiness_fraction=burstiness_fraction,
+        storage_slope_mb=slope,
+        store_size_model=size_model,
+        upload_only_share=upload_only_share,
+        never_retrieve_fraction=never_fraction,
+        store_activity=store_activity,
+    )
+    report.findings = _build_rows(report)
+    return report
+
+
+def _build_rows(report: FindingsReport) -> list[Finding]:
+    rows = [
+        Finding(
+            topic="Sessions",
+            statement=(
+                "A two-component Gaussian mixture captures intra- and "
+                f"inter-session intervals; {report.session_shares.store_only:.0%} "
+                "of sessions only store files."
+            ),
+            implication="Sessions are write-dominated.",
+            value=report.session_shares.store_only,
+        ),
+        Finding(
+            topic="Activity burstiness",
+            statement=(
+                f"{report.burstiness_fraction:.0%} of multi-op sessions issue "
+                "all file operations in the first tenth of the session."
+            ),
+            implication=(
+                "Decouple metadata management from data storage management."
+            ),
+            value=report.burstiness_fraction,
+        ),
+        Finding(
+            topic="File attribute",
+            statement=(
+                "Store-only session volume grows linearly at "
+                f"~{report.storage_slope_mb:.1f} MB per file (photo-sized)."
+            ),
+            implication=(
+                "Data compression and delta encoding are unnecessary for "
+                "mobile cloud storage."
+            ),
+            value=report.storage_slope_mb,
+        ),
+        Finding(
+            topic="Usage pattern",
+            statement=(
+                f"{report.upload_only_share:.0%} of mobile-only users are "
+                "upload-only."
+            ),
+            implication="Mobile users treat the service as backup.",
+            value=report.upload_only_share,
+        ),
+        Finding(
+            topic="User engagement",
+            statement=(
+                f"{report.never_retrieve_fraction:.0%} of mobile uploaders "
+                "never retrieve their uploads within the week."
+            ),
+            implication=(
+                "Uploads can be deferred off-peak; cold storage cuts cost."
+            ),
+            value=report.never_retrieve_fraction,
+        ),
+        Finding(
+            topic="User activity model",
+            statement=(
+                "Per-user activity follows a stretched exponential "
+                f"(c={report.store_activity.fit.c:.2f}, "
+                f"R^2={report.store_activity.fit.r_squared:.3f}), not a "
+                "power law."
+            ),
+            implication=(
+                "Optimizations targeting 'core' users must cover more users "
+                "than a power law predicts."
+            ),
+            value=report.store_activity.fit.c,
+        ),
+    ]
+    return rows

@@ -1,0 +1,168 @@
+"""Usage-pattern analysis (Section 3.2.1: Fig 7 and Table 3).
+
+Classifies users by their stored-to-retrieved volume ratio into the four
+types of the paper — occasional (< 1 MB total), upload-only (ratio above
+1e5), download-only (ratio below 1e-5) and mixed — stratified by device
+group (mobile only, mobile & PC, PC only), and reports both the user
+shares and the volume shares each group contributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..logs.schema import LogRecord
+from ..logs.stream import UserDevices, VolumeTally, devices_by_user, tally_by_user
+from ..workload.config import DeviceGroup, UserType
+
+MB = 1024 * 1024
+
+#: Paper thresholds: ratio above 1e5 = upload-only, below 1e-5 = download-only.
+RATIO_THRESHOLD = 1e5
+OCCASIONAL_VOLUME = MB
+
+
+def classify_user(tally: VolumeTally, *,
+                  ratio_threshold: float = RATIO_THRESHOLD,
+                  occasional_volume: int = OCCASIONAL_VOLUME) -> UserType:
+    """Classify one user from their volume tally (Section 3.2.1 rules).
+
+    The ratio of a user with zero traffic on one side is infinite (or
+    zero), not epsilon-regularized: a user who stored 80 KB and retrieved
+    nothing is upload-only, however small the volume.
+    """
+    if tally.total_bytes < occasional_volume:
+        return UserType.OCCASIONAL
+    if tally.retrieved_bytes == 0:
+        return UserType.UPLOAD_ONLY
+    if tally.stored_bytes == 0:
+        return UserType.DOWNLOAD_ONLY
+    ratio = tally.stored_bytes / tally.retrieved_bytes
+    if ratio > ratio_threshold:
+        return UserType.UPLOAD_ONLY
+    if ratio < 1.0 / ratio_threshold:
+        return UserType.DOWNLOAD_ONLY
+    return UserType.MIXED
+
+
+def device_group_of(devices: UserDevices) -> DeviceGroup:
+    """Map a user's device inventory to the paper's grouping."""
+    if devices.uses_mobile and devices.uses_pc:
+        return DeviceGroup.MOBILE_AND_PC
+    if devices.uses_mobile:
+        return (
+            DeviceGroup.ONE_MOBILE
+            if devices.mobile_device_count == 1
+            else DeviceGroup.MULTI_MOBILE
+        )
+    return DeviceGroup.PC_ONLY
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One user's classification inputs and outcome."""
+
+    user_id: int
+    user_type: UserType
+    group: DeviceGroup
+    stored_bytes: int
+    retrieved_bytes: int
+
+    @property
+    def log10_ratio(self) -> float:
+        """log10 of the store/retrieve ratio (the Fig 7 x-axis)."""
+        return float(
+            np.log10((self.stored_bytes + 1.0) / (self.retrieved_bytes + 1.0))
+        )
+
+
+def profile_users(records: Iterable[LogRecord]) -> list[UserProfile]:
+    """Classify every user in a trace (one streaming pass + join)."""
+    records = list(records)
+    tallies = tally_by_user(records)
+    devices = devices_by_user(records)
+    profiles = []
+    for user_id, tally in tallies.items():
+        profiles.append(
+            UserProfile(
+                user_id=user_id,
+                user_type=classify_user(tally),
+                group=device_group_of(devices[user_id]),
+                stored_bytes=tally.stored_bytes,
+                retrieved_bytes=tally.retrieved_bytes,
+            )
+        )
+    return profiles
+
+
+def ratio_samples(
+    profiles: Iterable[UserProfile],
+    groups: tuple[DeviceGroup, ...] | None = None,
+) -> np.ndarray:
+    """Store/retrieve ratios (log10) for the users of given groups (Fig 7)."""
+    selected = [
+        p.log10_ratio
+        for p in profiles
+        if groups is None or p.group in groups
+    ]
+    return np.asarray(selected, dtype=float)
+
+
+@dataclass(frozen=True)
+class UsageBreakdown:
+    """One Table 3 column block: user shares and volume shares by type."""
+
+    column: str
+    n_users: int
+    user_share: Mapping[UserType, float]
+    store_volume_share: Mapping[UserType, float]
+    retrieve_volume_share: Mapping[UserType, float]
+
+
+def _breakdown(column: str, profiles: list[UserProfile]) -> UsageBreakdown:
+    n = len(profiles)
+    if not n:
+        raise ValueError(f"no users in column {column}")
+    total_store = sum(p.stored_bytes for p in profiles) or 1
+    total_retrieve = sum(p.retrieved_bytes for p in profiles) or 1
+    user_share = {}
+    store_share = {}
+    retrieve_share = {}
+    for user_type in UserType:
+        members = [p for p in profiles if p.user_type is user_type]
+        user_share[user_type] = len(members) / n
+        store_share[user_type] = sum(p.stored_bytes for p in members) / total_store
+        retrieve_share[user_type] = (
+            sum(p.retrieved_bytes for p in members) / total_retrieve
+        )
+    return UsageBreakdown(
+        column=column,
+        n_users=n,
+        user_share=user_share,
+        store_volume_share=store_share,
+        retrieve_volume_share=retrieve_share,
+    )
+
+
+def table3(profiles: list[UserProfile]) -> dict[str, UsageBreakdown]:
+    """The full Table 3: columns for mobile-only, mobile & PC, PC-only."""
+    mobile_only = [
+        p
+        for p in profiles
+        if p.group in (DeviceGroup.ONE_MOBILE, DeviceGroup.MULTI_MOBILE)
+    ]
+    mobile_pc = [p for p in profiles if p.group is DeviceGroup.MOBILE_AND_PC]
+    pc_only = [p for p in profiles if p.group is DeviceGroup.PC_ONLY]
+    out: dict[str, UsageBreakdown] = {}
+    if mobile_only:
+        out["mobile_only"] = _breakdown("mobile_only", mobile_only)
+    if mobile_pc:
+        out["mobile_and_pc"] = _breakdown("mobile_and_pc", mobile_pc)
+    if pc_only:
+        out["pc_only"] = _breakdown("pc_only", pc_only)
+    if not out:
+        raise ValueError("no users to break down")
+    return out

@@ -1,0 +1,103 @@
+"""A minimal discrete-event simulation core.
+
+Both the cloud-storage service simulator (:mod:`repro.service`) and the
+packet-level TCP simulator (:mod:`repro.tcpsim`) are discrete-event systems;
+this module provides the shared event loop: a time-ordered queue of callbacks
+with deterministic FIFO tie-breaking, cancellation, and a monotonic clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled event; keep it to allow cancellation."""
+
+    __slots__ = ("callback", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable[[], Any]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (safe to call more than once)."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A deterministic discrete-event loop.
+
+    Events scheduled for the same instant fire in scheduling order, which
+    keeps simulations reproducible regardless of dict/hash ordering.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[_QueueEntry] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` to run at absolute ``time``."""
+        if math.isnan(time):
+            raise ValueError("cannot schedule at NaN")
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._counter), handle))
+        return handle
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], Any]
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def run(self, until: float = math.inf, max_events: int = 50_000_000) -> int:
+        """Run events in time order.
+
+        Stops when the queue drains, when the next event is later than
+        ``until``, or after ``max_events`` (a runaway guard).  Returns the
+        number of events executed.
+        """
+        executed = 0
+        while self._queue and executed < max_events:
+            entry = self._queue[0]
+            if entry.time > until:
+                break
+            heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            entry.handle.callback()
+            executed += 1
+        if executed >= max_events:
+            raise RuntimeError(f"event budget exhausted ({max_events} events)")
+        if not self._queue and until is not math.inf and until > self._now:
+            self._now = until
+        return executed
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.handle.cancelled)

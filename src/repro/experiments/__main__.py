@@ -1,0 +1,19 @@
+"""CLI entry: ``python -m repro.experiments`` runs the full battery."""
+
+import sys
+
+from . import run_all
+
+
+def main() -> int:
+    results = run_all(verbose=True)
+    failed = [r for r in results if not r.qualitative_ok()]
+    passed = len(results) - len(failed)
+    print(f"{passed}/{len(results)} experiments reproduce the paper's shape")
+    if failed:
+        print("failing:", ", ".join(r.experiment for r in failed))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

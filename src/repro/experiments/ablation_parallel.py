@@ -1,0 +1,70 @@
+"""Experiment A6 — parallel connection acceleration and its limits.
+
+Section 3.1.3 notes the service stripes large transfers over multiple TCP
+connections but warns about mobile resource costs.  This experiment
+measures the striping sweep on a path whose bandwidth-delay product
+exceeds one 64 KB window: the first few connections multiply throughput
+(each brings its own window), then the bottleneck saturates and extra
+connections add cost without benefit — the quantitative form of the
+paper's caution.
+"""
+
+from __future__ import annotations
+
+from ..logs.schema import CHUNK_SIZE
+from ..tcpsim.parallel import connection_sweep
+from .base import ExperimentResult
+
+
+def run(file_size: int = 16 * CHUNK_SIZE) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="A6",
+        title="Parallel connection striping sweep (uploads)",
+    )
+    # BDP = 4 MB/s * 0.1 s = 400 KB >> one 64 KB window: single-connection
+    # uploads are window-limited, striping helps until ~6 connections.
+    results = connection_sweep(
+        file_size,
+        connection_counts=(1, 2, 4, 8, 12),
+        bandwidth=4_000_000.0,
+        one_way_delay=0.05,
+    )
+    single = results[1]
+    speedups = {}
+    for k, outcome in results.items():
+        speedups[k] = outcome.speedup_over(single)
+        result.add_row(
+            f"  k={k:>2d}: completion={outcome.completion_time:6.2f}s "
+            f"aggregate={outcome.aggregate_throughput / 1024:7.1f} KB/s "
+            f"speedup={speedups[k]:5.2f}x"
+        )
+
+    result.add_check(
+        "two connections nearly double throughput",
+        paper=1.6,
+        measured=speedups[2],
+        kind="greater",
+    )
+    result.add_check(
+        "four connections keep scaling",
+        paper=speedups[2],
+        measured=speedups[4],
+        kind="greater",
+    )
+    result.add_check(
+        "diminishing returns: 12 connections add <25% over 8",
+        paper=1.25,
+        measured=speedups[12] / speedups[8],
+        kind="less",
+    )
+    result.add_check(
+        "saturation bounded by the path (speedup < BDP/window + 1)",
+        paper=4_000_000.0 * 0.1 / 65_535 + 1.0,
+        measured=speedups[12],
+        kind="less",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,86 @@
+"""Experiment A7 — the cost side of enabling server window scaling.
+
+Section 4.3: raising the servers' advertised receive window lifts the
+64 KB upload cap, but "the large receive window size will lead to
+increased memory requirements and a possible waste of resources in the
+case that throughput is limited by network or client side factors".  This
+experiment sweeps the advertised window on a fixed path: goodput saturates
+at the bandwidth-delay product while the fleet's buffer memory keeps
+growing linearly, so the efficient operating point is the BDP, not the
+biggest window the protocol allows.
+"""
+
+from __future__ import annotations
+
+from ..tcpsim.connection import MAX_UNSCALED_RWND
+from ..tcpsim.provisioning import saturation_window, window_sweep
+from .base import ExperimentResult
+
+GB = 1024.0**3
+KB = 1024.0
+
+BANDWIDTH = 2_000_000.0
+RTT = 0.1
+
+
+def run(seed: int = 2) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="A7",
+        title="Window-scaling cost ablation (goodput vs buffer memory)",
+    )
+    points = window_sweep(
+        bandwidth=BANDWIDTH, rtt=RTT, seed=seed
+    )
+    by_rwnd = {p.rwnd_bytes: p for p in points}
+    for point in points:
+        result.add_row(
+            f"  rwnd={point.rwnd_bytes / KB:7.0f} KB: "
+            f"goodput={point.goodput / KB:7.1f} KB/s, "
+            f"fleet buffers={point.memory_per_server_bytes / GB:6.1f} GB/server"
+        )
+    bdp = BANDWIDTH * RTT
+    efficient = saturation_window(points)
+    result.add_row(
+        f"  path BDP={bdp / KB:.0f} KB -> efficient window="
+        f"{efficient / KB:.0f} KB"
+    )
+
+    unscaled = by_rwnd[MAX_UNSCALED_RWND]
+    biggest = max(points, key=lambda p: p.rwnd_bytes)
+    result.add_check(
+        "scaling beyond 64 KB lifts upload goodput (>1.3x)",
+        paper=1.3,
+        measured=by_rwnd[512 * 1024].goodput / unscaled.goodput,
+        kind="greater",
+    )
+    result.add_check(
+        "goodput saturates near the BDP (1 MB adds <10% over 512 KB)",
+        paper=1.10,
+        measured=biggest.goodput / by_rwnd[512 * 1024].goodput,
+        kind="less",
+    )
+    result.add_check(
+        "memory grows linearly while goodput saturates "
+        "(1 MB window: 16x memory of 64 KB)",
+        paper=16.0,
+        measured=biggest.memory_per_server_bytes
+        / unscaled.memory_per_server_bytes,
+        tolerance=0.5,
+    )
+    result.add_check(
+        "efficient window is near the BDP, far below the maximum",
+        paper=float(biggest.rwnd_bytes),
+        measured=float(efficient),
+        kind="less",
+    )
+    result.add_check(
+        "goodput-per-buffer-byte collapses at huge windows",
+        paper=unscaled.goodput_per_memory(),
+        measured=biggest.goodput_per_memory(),
+        kind="less",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,85 @@
+"""Experiment A9 — observation-window sensitivity (the Section 5 caveat).
+
+The paper flags its one-week window as a threat to validity: "we cannot
+distinguish between lack of downloads and infrequent downloads".  The
+synthetic substrate can do what the authors could not — extend the window.
+This experiment regenerates the trace at 7, 14 and 28 observation days and
+tracks the Fig 9 never-retrieve upper bound: it declines slightly as rare
+late retrievals land inside the window, but stays dominated by users who
+simply never come back, so the backup-service conclusion is not an
+artifact of the one-week horizon (under the planted engagement model —
+which is the strongest statement a reproduction can make).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.engagement import retrieval_return_curves
+from ..core.sessions import sessionize
+from ..core.usage import profile_users
+from ..workload.config import DeviceGroup, WorkloadConfig
+from ..workload.generator import GeneratorOptions, TraceGenerator
+from .base import ExperimentResult
+
+
+def _never_fraction(days: int, n_users: int, seed: int) -> float:
+    config = replace(WorkloadConfig(), observation_days=days)
+    generator = TraceGenerator(
+        n_users,
+        config=config,
+        options=GeneratorOptions(max_chunks_per_file=4),
+        seed=seed,
+    )
+    records = list(generator.generate())
+    sessions = sessionize(records)
+    profiles = profile_users(records)
+    curves = retrieval_return_curves(
+        sessions, profiles, observation_days=days
+    )
+    mobile = [
+        c
+        for c in curves
+        if c.group in (DeviceGroup.ONE_MOBILE, DeviceGroup.MULTI_MOBILE)
+    ]
+    total = sum(c.n_uploaders for c in mobile)
+    never = sum(c.never_fraction * c.n_uploaders for c in mobile)
+    return never / total
+
+
+def run(n_users: int = 1200, seed: int = 6) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="A9",
+        title="Observation-window sensitivity of the never-retrieve bound",
+    )
+    fractions = {}
+    for days in (7, 14, 28):
+        fractions[days] = _never_fraction(days, n_users, seed)
+        result.add_row(
+            f"  {days:>2d}-day window: {fractions[days]:5.1%} of mobile "
+            "uploaders never retrieve"
+        )
+
+    result.add_check(
+        "longer windows only lower the bound (14d <= 7d)",
+        paper=fractions[7] + 0.02,
+        measured=fractions[14],
+        kind="less",
+    )
+    result.add_check(
+        "the bound is stable: 28d within 15 points of 7d",
+        paper=fractions[7],
+        measured=fractions[28],
+        tolerance=0.15,
+    )
+    result.add_check(
+        "backup conclusion survives a month-long window (>60% never)",
+        paper=0.60,
+        measured=fractions[28],
+        kind="greater",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

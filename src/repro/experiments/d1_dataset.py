@@ -1,0 +1,104 @@
+"""Experiment D1 — Section 2.2: dataset descriptive statistics.
+
+Validates that the synthetic trace reproduces the dataset-level facts the
+paper reports before any analysis: the Android/iOS access split (78.4%
+Android), the devices-per-user ratio (1.396 M devices / 1.149 M users ~
+1.22), the share of mobile users who also use a PC client (14.3%), and the
+structural property that chunk requests dominate the log (the 349 M
+records are mostly chunk transfers).
+"""
+
+from __future__ import annotations
+
+from ..logs.schema import DeviceType
+from ..logs.stream import devices_by_user
+from .base import ExperimentResult
+from .common import DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, seed=seed)
+    records = list(trace.records)
+    mobile = trace.mobile_records
+
+    result = ExperimentResult(
+        experiment="D1",
+        title="Section 2.2: dataset overview",
+    )
+
+    android_accesses = sum(
+        1 for r in mobile if r.device_type is DeviceType.ANDROID
+    )
+    access_share = android_accesses / len(mobile)
+    observed_devices = {
+        (r.device_id, r.device_type) for r in mobile
+    }
+    device_share = sum(
+        1 for _, t in observed_devices if t is DeviceType.ANDROID
+    ) / len(observed_devices)
+
+    devices = devices_by_user(records)
+    mobile_users = {u for u, d in devices.items() if d.uses_mobile}
+    pc_co_users = {
+        u for u in mobile_users if devices[u].uses_pc
+    }
+    mobile_device_count = sum(
+        devices[u].mobile_device_count for u in mobile_users
+    )
+    chunk_share = sum(1 for r in mobile if r.is_chunk) / len(mobile)
+
+    result.add_row(f"  mobile records          : {len(mobile):,}")
+    result.add_row(f"  mobile users observed   : {len(mobile_users):,}")
+    result.add_row(f"  android access share    : {access_share:.1%}")
+    result.add_row(f"  android device share    : {device_share:.1%}")
+    result.add_row(
+        f"  mobile devices per user : "
+        f"{mobile_device_count / len(mobile_users):.2f}"
+    )
+    result.add_row(
+        f"  mobile users also on PC : {len(pc_co_users) / len(mobile_users):.1%}"
+    )
+    result.add_row(f"  chunk-request share     : {chunk_share:.1%}")
+
+    # Per-access share is heavy-user weighted and thus high-variance at
+    # thousands of users; the stable quantity is the device-population
+    # share, with the access share reported informationally.
+    result.add_check(
+        "Android share of observed devices (~78.4%)",
+        paper=0.784,
+        measured=device_share,
+        tolerance=0.05,
+    )
+    result.add_check(
+        "Android share of accesses (paper: 78.4%; heavy-user weighted)",
+        paper=0.784,
+        measured=access_share,
+        kind="info",
+    )
+    # Observed devices undercount owned ones (lightly-active users never
+    # touch their second device within the week), hence the wide band.
+    result.add_check(
+        "mobile devices per user (~1.22)",
+        paper=1.22,
+        measured=mobile_device_count / len(mobile_users),
+        tolerance=0.12,
+    )
+    result.add_check(
+        "mobile users also using PC (14.3%)",
+        paper=0.143,
+        measured=len(pc_co_users) / len(mobile_users),
+        tolerance=0.04,
+    )
+    result.add_check(
+        "chunk requests dominate the log",
+        paper=0.5,
+        measured=chunk_share,
+        kind="greater",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,83 @@
+"""Experiment F1 — Fig 1: temporal variation of the workload.
+
+Reproduces both panels: hourly data volume (storage-server load) and hourly
+stored/retrieved file counts (metadata-server load), and checks the paper's
+three qualitative reads: a diurnal cycle peaking late in the evening,
+retrievals contributing more *volume* than storage, and stored *files*
+outnumbering retrieved files by roughly two to one.
+"""
+
+from __future__ import annotations
+
+from ..core.workload import WorkloadSeries, workload_series
+from .base import ExperimentResult
+from .common import DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+GB = 1024.0**3
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, seed=seed)
+    series: WorkloadSeries = workload_series(trace.mobile_records)
+
+    result = ExperimentResult(
+        experiment="F1",
+        title="Fig 1: temporal variation of workload (hourly bins)",
+    )
+    result.add_row(
+        "  hour | store GB | retrieve GB | store files | retrieve files"
+    )
+    step = max(1, series.n_hours // 28)
+    for i in range(0, series.n_hours, step):
+        result.add_row(
+            f"  {int(series.hours[i]):>4d} | {series.store_volume[i] / GB:8.3f} |"
+            f" {series.retrieve_volume[i] / GB:11.3f} |"
+            f" {int(series.store_files[i]):11d} |"
+            f" {int(series.retrieve_files[i]):14d}"
+        )
+
+    result.add_check(
+        "retrieve volume exceeds store volume (ratio > 1)",
+        paper=1.0,
+        measured=series.retrieve_to_store_volume_ratio,
+        kind="greater",
+    )
+    result.add_check(
+        "stored files per retrieved file (~2x)",
+        paper=2.0,
+        measured=series.store_to_retrieve_file_ratio,
+        tolerance=1.0,
+    )
+    # The evening surge peaks around 23:00 in the paper; transfers started
+    # late in the surge spill past midnight, so compare on the clock
+    # circle.  The enforced check uses file-operation counts (metadata
+    # load), which one whale transfer cannot dominate; the volume peak is
+    # reported informationally.
+    ops_distance = min(
+        (series.peak_ops_hour - 22) % 24, (22 - series.peak_ops_hour) % 24
+    )
+    result.add_check(
+        "ops peak hour within 3h of the ~23:00 surge (circular)",
+        paper=0.0,
+        measured=float(ops_distance),
+        tolerance=3.0,
+    )
+    result.add_check(
+        "volume peak hour (paper ~23:00; whale-sensitive)",
+        paper=22.0,
+        measured=float(series.peak_hour),
+        kind="info",
+    )
+    result.add_check(
+        "peak-to-mean hourly volume (over-provisioning)",
+        paper=1.0,
+        measured=series.peak_to_mean,
+        kind="greater",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

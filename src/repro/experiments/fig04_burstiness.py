@@ -1,0 +1,69 @@
+"""Experiment F4 — Fig 4: burstiness of operations within sessions.
+
+Reproduces the CDF family of normalized user operating time for sessions
+with more than 1, 10 and 20 file operations, and checks the paper's two
+reads: the bulk of multi-op sessions issue every operation within the
+first tenth of the session, and the concentration *tightens* as the
+operation count grows (batch backup).
+"""
+
+from __future__ import annotations
+
+from ..core.burstiness import burstiness_curves
+from .base import ExperimentResult
+from .common import DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, seed=seed)
+    curves = burstiness_curves(list(trace.sessions), thresholds=(1, 10, 20))
+
+    result = ExperimentResult(
+        experiment="F4",
+        title="Fig 4: CDF of normalized user operating time",
+    )
+    fractions = {}
+    for curve in curves:
+        frac01 = curve.fraction_below(0.1) if curve.n_sessions else float("nan")
+        fractions[curve.min_ops] = frac01
+        result.add_row(
+            f"  sessions with >{curve.min_ops:>2d} ops: n={curve.n_sessions:>6d}"
+            f"  P(op-time < 0.1 of session) = {frac01:.2f}"
+        )
+
+    result.add_check(
+        "multi-op sessions with ops in first 10% (paper >0.8)",
+        paper=0.8,
+        measured=fractions[1],
+        tolerance=0.15,
+    )
+    result.add_check(
+        "sessions >20 ops even burstier than >1 ops",
+        paper=fractions[1],
+        measured=fractions[20],
+        kind="greater",
+    )
+    # Paper: >20-op sessions issue everything within ~3% of the session;
+    # our transfer substrate is somewhat faster than their 2015 paths, so
+    # the enforced bound is the first decile with a high bar.
+    big = next(c for c in curves if c.min_ops == 20)
+    if big.n_sessions:
+        result.add_check(
+            ">20-op sessions with ops within 10% of session",
+            paper=0.70,
+            measured=big.fraction_below(0.1),
+            kind="greater",
+        )
+        result.add_check(
+            ">20-op sessions within 5% (paper: ~3%)",
+            paper=0.8,
+            measured=big.fraction_below(0.05),
+            kind="info",
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

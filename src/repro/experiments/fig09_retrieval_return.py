@@ -1,0 +1,75 @@
+"""Experiment F9 — Fig 9: retrieving one's uploads.
+
+Among users who uploaded on the first day, what fraction has a retrieval
+session x days later?  The paper's striking result: roughly 80% of
+mobile-only users never retrieve anything in the following week —
+independent of how many mobile devices they use — while users who also run
+a PC client sync far more, mostly the same day.  This is the observation
+behind the deferred-upload and cold-storage design implications.
+"""
+
+from __future__ import annotations
+
+from ..core.engagement import retrieval_return_curves
+from ..workload.config import DeviceGroup
+from .base import ExperimentResult
+from .common import DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, seed=seed)
+    curves = retrieval_return_curves(list(trace.all_sessions), trace.profiles)
+    by_group = {c.group: c for c in curves}
+
+    result = ExperimentResult(
+        experiment="F9",
+        title="Fig 9: probability of retrieval x days after day-1 upload",
+    )
+    for curve in curves:
+        days = " ".join(
+            f"d{d}={f:.2f}" for d, f in sorted(curve.per_day.items()) if f > 0
+        )
+        result.add_row(
+            f"  {curve.group.value:<14s} n={curve.n_uploaders:>5d} "
+            f"{days} never={curve.never_fraction:.2f}"
+        )
+
+    one = by_group.get(DeviceGroup.ONE_MOBILE)
+    multi = by_group.get(DeviceGroup.MULTI_MOBILE)
+    both = by_group.get(DeviceGroup.MOBILE_AND_PC)
+    if one is not None:
+        result.add_check(
+            "one-device mobile uploaders never retrieving (~80%)",
+            paper=0.80,
+            measured=one.never_fraction,
+            tolerance=0.12,
+        )
+    if multi is not None:
+        result.add_check(
+            "multi-device mobile uploaders never retrieving (~80%)",
+            paper=0.80,
+            measured=multi.never_fraction,
+            tolerance=0.18,
+        )
+    if both is not None and one is not None:
+        result.add_check(
+            "mobile&PC users retrieve more than mobile-only",
+            paper=one.never_fraction,
+            measured=both.never_fraction,
+            kind="less",
+        )
+        result.add_check(
+            "mobile&PC same-day sync is their modal retrieval day",
+            paper=max(
+                (f for d, f in both.per_day.items() if d >= 1), default=0.0
+            ),
+            measured=both.per_day.get(0, 0.0),
+            kind="greater",
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

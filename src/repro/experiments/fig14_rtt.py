@@ -1,0 +1,51 @@
+"""Experiment F14 — Fig 14: the RTT distribution of chunk transfers.
+
+Reproduces the CDF of the average per-connection RTT recorded in the
+access logs.  Paper anchors: a heavy-tailed distribution on a log axis
+with a median around 100 ms, spanning from ~10 ms (nearby WiFi) out past
+one second (congested cellular paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.performance import rtt_samples
+from .base import ExperimentResult
+from .common import DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, seed=seed)
+    samples = rtt_samples(trace.mobile_records)
+
+    result = ExperimentResult(
+        experiment="F14",
+        title="Fig 14: CDF of average RTT (chunk requests)",
+    )
+    quantiles = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+    values = np.quantile(samples, quantiles)
+    for q, v in zip(quantiles, values):
+        result.add_row(f"  p{int(q * 100):>2d}: {v * 1000:8.1f} ms")
+
+    median_ms = float(np.median(samples)) * 1000.0
+    result.add_check(
+        "median RTT (~100 ms)",
+        paper=100.0,
+        measured=median_ms,
+        tolerance=0.5,
+        kind="ratio",
+    )
+    result.add_check(
+        "RTT spans more than one order of magnitude (p99/p10)",
+        paper=10.0,
+        measured=float(values[-1] / values[0]),
+        kind="greater",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

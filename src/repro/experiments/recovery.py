@@ -1,0 +1,101 @@
+"""Experiment V1 — end-to-end model recovery.
+
+The integrity check behind the whole reproduction: the generator plants the
+paper's published models (interval GMM, Table 2 size mixtures, SE activity
+ranks, Table 3 type shares), and the analysis pipeline — which never sees
+the planted parameters — must recover them from raw log records.  Where a
+recovered parameter drifts, the drift itself is informative (it bounds how
+well the paper's own fits could have captured their data).
+"""
+
+from __future__ import annotations
+
+from ..core.report import analyze_trace
+from .base import ExperimentResult
+from .common import DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, seed=seed)
+    report = analyze_trace(list(trace.records))
+
+    result = ExperimentResult(
+        experiment="V1",
+        title="End-to-end model recovery (plant -> generate -> re-fit)",
+    )
+    for finding in report.rows():
+        result.add_row(f"  [{finding.topic}] {finding.statement}")
+        result.add_row(f"      => {finding.implication}")
+
+    result.add_check(
+        "recovered tau (s)",
+        paper=3600.0,
+        measured=report.interval_model.tau,
+        tolerance=0.0,
+    )
+    result.add_check(
+        "recovered within-session mean (s)",
+        paper=10.0,
+        measured=report.interval_model.within_session_mean_seconds,
+        tolerance=1.0,
+        kind="ratio",
+    )
+    result.add_check(
+        "recovered store-only share",
+        paper=0.682,
+        measured=report.session_shares.store_only,
+        tolerance=0.08,
+    )
+    result.add_check(
+        "recovered storage slope (MB/file)",
+        paper=1.5,
+        measured=report.storage_slope_mb,
+        tolerance=0.6,
+        kind="ratio",
+    )
+    if report.store_size_model is not None:
+        alpha1, mu1 = report.store_size_model.table_rows()[0]
+        result.add_check(
+            "recovered Table 2 alpha_1 (store)",
+            paper=0.91,
+            measured=alpha1,
+            tolerance=0.07,
+        )
+        result.add_check(
+            "recovered Table 2 mu_1 (store, MB)",
+            paper=1.5,
+            measured=mu1,
+            tolerance=0.4,
+            kind="ratio",
+        )
+    result.add_check(
+        "recovered upload-only share (mobile)",
+        paper=0.515,
+        measured=report.upload_only_share,
+        tolerance=0.10,
+    )
+    result.add_check(
+        "recovered never-retrieve fraction",
+        paper=0.80,
+        measured=report.never_retrieve_fraction,
+        tolerance=0.12,
+    )
+    result.add_check(
+        "recovered SE stretch factor (store)",
+        paper=0.20,
+        measured=report.store_activity.fit.c,
+        tolerance=0.08,
+    )
+    result.add_check(
+        "SE fit quality R^2",
+        paper=0.99,
+        measured=report.store_activity.fit.r_squared,
+        kind="greater",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,59 @@
+"""Experiment S1 — Section 3.1.1: session class shares.
+
+The paper's headline session statistic: more than 68% of sessions only
+store files, ~30% only retrieve, and a mere 2% do both — users perform a
+single kind of task per session, and the service is write-dominated at the
+session level (the opposite of PC-era cloud storage studies).
+"""
+
+from __future__ import annotations
+
+from ..core.sessions import classify_sessions
+from .base import ExperimentResult
+from .common import DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, seed=seed)
+    shares = classify_sessions(trace.sessions)
+
+    result = ExperimentResult(
+        experiment="S1",
+        title="Section 3.1.1: session class shares",
+    )
+    result.add_row(f"  sessions analyzed: {shares.n_sessions}")
+    result.add_row(f"  store-only   : {shares.store_only:6.1%}")
+    result.add_row(f"  retrieve-only: {shares.retrieve_only:6.1%}")
+    result.add_row(f"  mixed        : {shares.mixed:6.1%}")
+
+    result.add_check(
+        "store-only share (>68%)",
+        paper=0.682,
+        measured=shares.store_only,
+        tolerance=0.08,
+    )
+    result.add_check(
+        "retrieve-only share (~30%)",
+        paper=0.299,
+        measured=shares.retrieve_only,
+        tolerance=0.08,
+    )
+    result.add_check(
+        "mixed share (~2%)",
+        paper=0.02,
+        measured=shares.mixed,
+        tolerance=0.03,
+    )
+    result.add_check(
+        "write-dominated (store-only is the dominant class)",
+        paper=1.0,
+        measured=1.0 if shares.dominant().value == "store_only" else 0.0,
+        tolerance=0.0,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

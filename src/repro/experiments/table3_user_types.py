@@ -1,0 +1,105 @@
+"""Experiment T3 — Table 3: the four user types and their volume shares.
+
+Reproduces the full table: for each device column (mobile only, mobile &
+PC, PC only), the share of upload-only / download-only / occasional /
+mixed users and the stored/retrieved volume each type contributes.  The
+headline checks: over half of mobile users are upload-only and they
+generate >80% of the stored volume, while PC users spread far more evenly
+across the four types.
+"""
+
+from __future__ import annotations
+
+from ..core.usage import table3
+from ..workload.config import UserType
+from .base import ExperimentResult
+from .common import DEFAULT_PC_USERS, DEFAULT_SEED, DEFAULT_USERS, prepared_trace
+
+PAPER_USER_SHARES = {
+    "mobile_only": {
+        UserType.UPLOAD_ONLY: 0.515,
+        UserType.DOWNLOAD_ONLY: 0.173,
+        UserType.OCCASIONAL: 0.239,
+        UserType.MIXED: 0.072,
+    },
+    "mobile_and_pc": {
+        UserType.UPLOAD_ONLY: 0.537,
+        UserType.DOWNLOAD_ONLY: 0.151,
+        UserType.OCCASIONAL: 0.132,
+        UserType.MIXED: 0.180,
+    },
+    "pc_only": {
+        UserType.UPLOAD_ONLY: 0.316,
+        UserType.DOWNLOAD_ONLY: 0.172,
+        UserType.OCCASIONAL: 0.341,
+        UserType.MIXED: 0.191,
+    },
+}
+
+
+def run(
+    n_users: int = DEFAULT_USERS,
+    n_pc_users: int = DEFAULT_PC_USERS,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    trace = prepared_trace(n_users=n_users, n_pc_users=n_pc_users, seed=seed)
+    breakdowns = table3(list(trace.profiles))
+
+    result = ExperimentResult(
+        experiment="T3",
+        title="Table 3: user types x device columns",
+    )
+    for column, breakdown in breakdowns.items():
+        result.add_row(f"  [{column}] n={breakdown.n_users}")
+        for user_type in UserType:
+            result.add_row(
+                f"    {user_type.value:<14s} users={breakdown.user_share[user_type]:6.1%} "
+                f"storeV={breakdown.store_volume_share[user_type]:6.1%} "
+                f"retrV={breakdown.retrieve_volume_share[user_type]:6.1%}"
+            )
+
+    for column, paper_shares in PAPER_USER_SHARES.items():
+        breakdown = breakdowns.get(column)
+        if breakdown is None:
+            continue
+        for user_type, paper_share in paper_shares.items():
+            result.add_check(
+                f"{column}: {user_type.value} user share",
+                paper=paper_share,
+                measured=breakdown.user_share[user_type],
+                tolerance=0.10,
+            )
+
+    mobile = breakdowns.get("mobile_only")
+    if mobile is not None:
+        result.add_check(
+            "mobile upload-only users store >80% of volume",
+            paper=0.866,
+            measured=mobile.store_volume_share[UserType.UPLOAD_ONLY],
+            tolerance=0.12,
+        )
+        result.add_check(
+            "mobile download-only users retrieve most volume",
+            paper=0.845,
+            measured=mobile.retrieve_volume_share[UserType.DOWNLOAD_ONLY],
+            tolerance=0.20,
+        )
+    pc = breakdowns.get("pc_only")
+    if pc is not None and mobile is not None:
+        result.add_check(
+            "PC users less upload-only than mobile users",
+            paper=mobile.user_share[UserType.UPLOAD_ONLY],
+            measured=pc.user_share[UserType.UPLOAD_ONLY],
+            kind="less",
+        )
+        result.add_check(
+            "PC users more mixed than mobile users",
+            paper=mobile.user_share[UserType.MIXED],
+            measured=pc.user_share[UserType.MIXED],
+            kind="greater",
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,131 @@
+"""Multi-seed validation of the reproduction battery.
+
+A single-seed pass can be lucky.  :func:`validate` reruns experiments
+across several seeds and aggregates per-check pass rates plus the spread
+of each measured value, so a reader can tell which reproductions are
+structural and which sit near a tolerance edge.
+
+Only experiments whose ``run`` accepts a ``seed`` argument participate —
+which is all of them.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Sequence
+
+import numpy as np
+
+from .base import ExperimentResult
+
+
+@dataclass
+class CheckRobustness:
+    """Aggregated outcome of one check across seeds."""
+
+    name: str
+    kind: str
+    paper: float
+    measured: list[float] = field(default_factory=list)
+    passes: int = 0
+    runs: int = 0
+
+    @property
+    def pass_rate(self) -> float:
+        return self.passes / self.runs if self.runs else 0.0
+
+    @property
+    def spread(self) -> tuple[float, float]:
+        """(min, max) of the measured values."""
+        return (float(min(self.measured)), float(max(self.measured)))
+
+    def render(self) -> str:
+        lo, hi = self.spread
+        return (
+            f"    {self.name:<52s} pass {self.passes}/{self.runs} "
+            f"measured in [{lo:.4g}, {hi:.4g}] (paper {self.paper:.4g})"
+        )
+
+
+@dataclass
+class ExperimentRobustness:
+    """All checks of one experiment across seeds."""
+
+    experiment: str
+    checks: dict[str, CheckRobustness] = field(default_factory=dict)
+    runs: int = 0
+
+    def fold(self, result: ExperimentResult) -> None:
+        self.runs += 1
+        for check in result.checks:
+            if check.kind == "info":
+                continue
+            entry = self.checks.get(check.name)
+            if entry is None:
+                entry = CheckRobustness(
+                    name=check.name, kind=check.kind, paper=check.paper
+                )
+                self.checks[entry.name] = entry
+            entry.measured.append(check.measured)
+            entry.runs += 1
+            entry.passes += check.ok()
+
+    @property
+    def fragile_checks(self) -> list[CheckRobustness]:
+        """Checks that failed on at least one seed."""
+        return [c for c in self.checks.values() if c.passes < c.runs]
+
+    @property
+    def robust(self) -> bool:
+        return not self.fragile_checks
+
+    def render(self) -> str:
+        status = "ROBUST" if self.robust else "FRAGILE"
+        lines = [f"  {self.experiment}: {status} over {self.runs} seeds"]
+        lines.extend(c.render() for c in self.fragile_checks)
+        return "\n".join(lines)
+
+
+def _accepts_seed(module: ModuleType) -> bool:
+    signature = inspect.signature(module.run)
+    return "seed" in signature.parameters
+
+
+def validate(
+    modules: Sequence[ModuleType],
+    seeds: Sequence[int],
+    *,
+    verbose: bool = False,
+) -> list[ExperimentRobustness]:
+    """Run each experiment at every seed and aggregate check outcomes."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    outcomes = []
+    for module in modules:
+        if not _accepts_seed(module):
+            continue
+        result0 = module.run()
+        robustness = ExperimentRobustness(experiment=result0.experiment)
+        robustness.fold(result0)
+        for seed in seeds:
+            robustness.fold(module.run(seed=int(seed)))
+        outcomes.append(robustness)
+        if verbose:
+            print(robustness.render())
+    return outcomes
+
+
+def pass_rate_summary(
+    outcomes: Sequence[ExperimentRobustness],
+) -> tuple[int, int, float]:
+    """(robust experiments, total, overall check pass rate)."""
+    if not outcomes:
+        raise ValueError("no outcomes to summarize")
+    robust = sum(o.robust for o in outcomes)
+    all_checks = [c for o in outcomes for c in o.checks.values()]
+    rate = float(
+        np.mean([c.pass_rate for c in all_checks]) if all_checks else 0.0
+    )
+    return robust, len(outcomes), rate

@@ -1,0 +1,70 @@
+"""Anonymization of identifiers, mirroring the paper's released dataset.
+
+The paper anonymizes both device IDs and user IDs before analysis.  We do the
+same for any trace that leaves the simulator: a keyed, deterministic mapping
+that preserves join structure (the same raw ID always maps to the same
+pseudonym) while being non-invertible without the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable, Iterator
+
+from .schema import LogRecord
+
+
+def _digest(key: bytes, value: str) -> str:
+    """Keyed 13-hex-char pseudonym, the shape of the paper's device IDs."""
+    return hmac.new(key, value.encode("utf-8"), hashlib.sha256).hexdigest()[:13]
+
+
+class Anonymizer:
+    """Deterministic keyed pseudonymizer for user and device identifiers.
+
+    Parameters
+    ----------
+    key:
+        Secret key.  Two anonymizers with the same key produce identical
+        pseudonyms, so traces anonymized in separate passes still join.
+    """
+
+    def __init__(self, key: bytes = b"repro-default-key") -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = key
+        self._user_cache: dict[int, int] = {}
+        self._device_cache: dict[str, str] = {}
+
+    def user_pseudonym(self, user_id: int) -> int:
+        """Stable integer pseudonym for a user ID."""
+        cached = self._user_cache.get(user_id)
+        if cached is None:
+            cached = int(_digest(self._key, f"user:{user_id}"), 16)
+            self._user_cache[user_id] = cached
+        return cached
+
+    def device_pseudonym(self, device_id: str) -> str:
+        """Stable hex pseudonym for a device ID."""
+        cached = self._device_cache.get(device_id)
+        if cached is None:
+            cached = _digest(self._key, f"device:{device_id}")
+            self._device_cache[device_id] = cached
+        return cached
+
+    def anonymize(self, record: LogRecord) -> LogRecord:
+        """Return a copy of ``record`` with pseudonymous identifiers."""
+        from dataclasses import replace
+
+        return replace(
+            record,
+            user_id=self.user_pseudonym(record.user_id),
+            device_id=self.device_pseudonym(record.device_id),
+        )
+
+    def anonymize_stream(
+        self, records: Iterable[LogRecord]
+    ) -> Iterator[LogRecord]:
+        """Anonymize a whole record stream lazily."""
+        return (self.anonymize(r) for r in records)

@@ -1,0 +1,67 @@
+"""Composable record filters.
+
+The paper repeatedly restricts the trace before an analysis: mobile devices
+only, unproxied requests only (Section 4), chunk requests only, one specific
+day, etc.  These helpers keep those restrictions explicit and streaming.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .schema import Direction, DeviceType, LogRecord, RequestKind
+
+Predicate = Callable[[LogRecord], bool]
+
+
+def mobile_only(records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+    """Keep only records from mobile (Android/iOS) devices."""
+    return (r for r in records if r.is_mobile)
+
+
+def pc_only(records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+    """Keep only records from PC clients."""
+    return (r for r in records if r.device_type is DeviceType.PC)
+
+
+def unproxied(records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+    """Drop proxied requests, as Section 4 does before TCP analysis."""
+    return (r for r in records if not r.proxied)
+
+
+def of_kind(records: Iterable[LogRecord], kind: RequestKind) -> Iterator[LogRecord]:
+    """Keep only records of the given request kind."""
+    return (r for r in records if r.kind is kind)
+
+
+def of_direction(
+    records: Iterable[LogRecord], direction: Direction
+) -> Iterator[LogRecord]:
+    """Keep only store or only retrieve records."""
+    return (r for r in records if r.direction is direction)
+
+
+def of_device(
+    records: Iterable[LogRecord], device_type: DeviceType
+) -> Iterator[LogRecord]:
+    """Keep only records from one device type."""
+    return (r for r in records if r.device_type is device_type)
+
+
+def in_window(
+    records: Iterable[LogRecord], start: float, end: float
+) -> Iterator[LogRecord]:
+    """Keep records with ``start <= timestamp < end``."""
+    if end < start:
+        raise ValueError(f"empty window: start={start}, end={end}")
+    return (r for r in records if start <= r.timestamp < end)
+
+
+def of_users(records: Iterable[LogRecord], user_ids: set[int]) -> Iterator[LogRecord]:
+    """Keep records whose user is in ``user_ids``."""
+    return (r for r in records if r.user_id in user_ids)
+
+
+def matching(records: Iterable[LogRecord], *predicates: Predicate) -> Iterator[LogRecord]:
+    """Keep records satisfying every predicate (AND composition)."""
+    return (r for r in records if all(p(r) for p in predicates))

@@ -1,0 +1,189 @@
+"""Reading and writing log files.
+
+Two interchangeable on-disk formats are supported:
+
+* **TSV** — one record per line, tab separated, with a ``#``-prefixed header.
+  Compact and greppable; the format we recommend for large synthetic traces.
+* **JSONL** — one JSON object per line.  Self-describing and friendlier to
+  ad-hoc tooling.
+
+Both writers stream: they never hold more than one record in memory, so a
+multi-gigabyte trace can be produced or consumed on a laptop.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from pathlib import Path
+from typing import IO, Callable, Iterable, Iterator
+
+from .schema import Direction, DeviceType, LogRecord, RequestKind
+
+TSV_COLUMNS = (
+    "timestamp",
+    "device_type",
+    "device_id",
+    "user_id",
+    "kind",
+    "direction",
+    "volume",
+    "processing_time",
+    "server_time",
+    "rtt",
+    "proxied",
+    "session_id",
+)
+
+_HEADER = "#" + "\t".join(TSV_COLUMNS)
+
+
+def _open(path: str | Path, mode: str) -> IO[str]:
+    """Open ``path`` as text, transparently handling ``.gz`` suffixes."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode + "t", encoding="utf-8")
+
+
+def record_to_tsv(record: LogRecord) -> str:
+    """Serialize one record as a TSV line (no trailing newline)."""
+    return "\t".join(
+        (
+            f"{record.timestamp:.6f}",
+            record.device_type.value,
+            record.device_id,
+            str(record.user_id),
+            record.kind.value,
+            record.direction.value,
+            str(record.volume),
+            f"{record.processing_time:.6f}",
+            f"{record.server_time:.6f}",
+            f"{record.rtt:.6f}",
+            "1" if record.proxied else "0",
+            str(record.session_id),
+        )
+    )
+
+
+def record_from_tsv(line: str) -> LogRecord:
+    """Parse one TSV line into a :class:`LogRecord`.
+
+    Raises
+    ------
+    ValueError
+        If the line does not have exactly the expected number of columns or
+        a field fails to parse.
+    """
+    parts = line.rstrip("\n").split("\t")
+    if len(parts) != len(TSV_COLUMNS):
+        raise ValueError(
+            f"expected {len(TSV_COLUMNS)} columns, got {len(parts)}: {line!r}"
+        )
+    return LogRecord(
+        timestamp=float(parts[0]),
+        device_type=DeviceType(parts[1]),
+        device_id=parts[2],
+        user_id=int(parts[3]),
+        kind=RequestKind(parts[4]),
+        direction=Direction(parts[5]),
+        volume=int(parts[6]),
+        processing_time=float(parts[7]),
+        server_time=float(parts[8]),
+        rtt=float(parts[9]),
+        proxied=parts[10] == "1",
+        session_id=int(parts[11]),
+    )
+
+
+def record_to_dict(record: LogRecord) -> dict:
+    """Serialize one record as a plain dict (for JSONL)."""
+    return {
+        "timestamp": record.timestamp,
+        "device_type": record.device_type.value,
+        "device_id": record.device_id,
+        "user_id": record.user_id,
+        "kind": record.kind.value,
+        "direction": record.direction.value,
+        "volume": record.volume,
+        "processing_time": record.processing_time,
+        "server_time": record.server_time,
+        "rtt": record.rtt,
+        "proxied": record.proxied,
+        "session_id": record.session_id,
+    }
+
+
+def record_from_dict(data: dict) -> LogRecord:
+    """Build a record from a dict produced by :func:`record_to_dict`."""
+    return LogRecord(
+        timestamp=float(data["timestamp"]),
+        device_type=DeviceType(data["device_type"]),
+        device_id=str(data["device_id"]),
+        user_id=int(data["user_id"]),
+        kind=RequestKind(data["kind"]),
+        direction=Direction(data["direction"]),
+        volume=int(data.get("volume", 0)),
+        processing_time=float(data.get("processing_time", 0.0)),
+        server_time=float(data.get("server_time", 0.0)),
+        rtt=float(data.get("rtt", 0.0)),
+        proxied=bool(data.get("proxied", False)),
+        session_id=int(data.get("session_id", -1)),
+    )
+
+
+def write_tsv(records: Iterable[LogRecord], path: str | Path) -> int:
+    """Stream ``records`` to ``path`` in TSV format.  Returns record count."""
+    count = 0
+    with _open(path, "w") as fh:
+        fh.write(_HEADER + "\n")
+        for record in records:
+            fh.write(record_to_tsv(record) + "\n")
+            count += 1
+    return count
+
+
+def read_tsv(path: str | Path) -> Iterator[LogRecord]:
+    """Stream records from a TSV file written by :func:`write_tsv`."""
+    with _open(path, "r") as fh:
+        for line in fh:
+            if not line.strip() or line.startswith("#"):
+                continue
+            yield record_from_tsv(line)
+
+
+def write_jsonl(records: Iterable[LogRecord], path: str | Path) -> int:
+    """Stream ``records`` to ``path`` in JSONL format.  Returns record count."""
+    count = 0
+    with _open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[LogRecord]:
+    """Stream records from a JSONL file written by :func:`write_jsonl`."""
+    with _open(path, "r") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            yield record_from_dict(json.loads(line))
+
+
+def open_reader(path: str | Path) -> Iterator[LogRecord]:
+    """Pick the reader by file extension (``.tsv``/``.jsonl``, plus ``.gz``)."""
+    suffixes = Path(path).suffixes
+    stem_suffix = suffixes[-2] if suffixes and suffixes[-1] == ".gz" else (
+        suffixes[-1] if suffixes else ""
+    )
+    readers: dict[str, Callable[[str | Path], Iterator[LogRecord]]] = {
+        ".tsv": read_tsv,
+        ".jsonl": read_jsonl,
+    }
+    try:
+        reader = readers[stem_suffix]
+    except KeyError:
+        raise ValueError(f"unsupported log format: {path}") from None
+    return reader(path)

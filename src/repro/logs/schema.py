@@ -1,0 +1,154 @@
+"""HTTP request log schema.
+
+The paper's Table 1 lists the fields of one HTTP request log entry collected
+at the storage front-end servers: timestamp, device type, device ID, user ID,
+request type, data volume, request processing time, average RTT, and whether
+the request went through an HTTP proxy.
+
+This module defines :class:`LogRecord` — the single record type every other
+subsystem consumes or produces — together with the enums for device type,
+client platform and request type.  The paper distinguishes *file operation
+requests* (which carry file metadata and mark the beginning of a file
+store/retrieve) from *chunk requests* (which carry up to 512 KB of data).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+#: Fixed chunk size used by the examined service (bytes).  Files larger than
+#: this are split into 512 KB chunks; only the final chunk may be smaller.
+CHUNK_SIZE = 512 * 1024
+
+
+class DeviceType(enum.Enum):
+    """Operating system of the client device."""
+
+    ANDROID = "android"
+    IOS = "ios"
+    PC = "pc"
+
+    @property
+    def is_mobile(self) -> bool:
+        """Whether this device type is a mobile platform."""
+        return self is not DeviceType.PC
+
+
+class RequestKind(enum.Enum):
+    """The two request granularities visible at the front-end servers.
+
+    A *file operation* announces an upcoming file store or retrieve and
+    carries only metadata; *chunk* requests move the actual data.
+    """
+
+    FILE_OP = "file_op"
+    CHUNK = "chunk"
+
+
+class Direction(enum.Enum):
+    """Whether a request stores (uploads) or retrieves (downloads) data."""
+
+    STORE = "store"
+    RETRIEVE = "retrieve"
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """One HTTP request log entry (paper Table 1).
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since the start of the observation window (float, so
+        sub-second inter-arrivals survive a round trip through files).
+    device_type:
+        Android, iOS or PC.
+    device_id:
+        Anonymized device identifier, unique per physical device.
+    user_id:
+        Anonymized account identifier; one user may use several devices.
+    kind:
+        File operation or chunk request.
+    direction:
+        Store or retrieve.
+    volume:
+        Bytes uploaded (store) or downloaded (retrieve) by this request.
+        File operations carry no payload and have ``volume == 0``.
+    processing_time:
+        ``Tchunk`` — seconds between the first byte received by the
+        front-end server and the last byte sent to the client.
+    server_time:
+        ``Tsrv`` — seconds spent by upstream storage servers storing or
+        preparing the content for this request.
+    rtt:
+        Average RTT (seconds) of the TCP connection carrying the request.
+    proxied:
+        True when the request passed through an HTTP proxy
+        (``X-FORWARDED-FOR`` present).
+    session_id:
+        Ground-truth session tag assigned by the workload generator, or
+        ``-1`` when unknown (as in real traces).  The analysis pipeline never
+        reads this field; it exists so tests can score recovered
+        sessionizations against the truth.
+    """
+
+    timestamp: float
+    device_type: DeviceType
+    device_id: str
+    user_id: int
+    kind: RequestKind
+    direction: Direction
+    volume: int = 0
+    processing_time: float = 0.0
+    server_time: float = 0.0
+    rtt: float = 0.0
+    proxied: bool = False
+    session_id: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.volume < 0:
+            raise ValueError(f"volume must be >= 0, got {self.volume}")
+        if self.processing_time < 0:
+            raise ValueError("processing_time must be >= 0")
+        if self.rtt < 0:
+            raise ValueError("rtt must be >= 0")
+        if self.kind is RequestKind.FILE_OP and self.volume:
+            raise ValueError("file operations carry no payload")
+
+    @property
+    def is_file_op(self) -> bool:
+        return self.kind is RequestKind.FILE_OP
+
+    @property
+    def is_chunk(self) -> bool:
+        return self.kind is RequestKind.CHUNK
+
+    @property
+    def is_mobile(self) -> bool:
+        return self.device_type.is_mobile
+
+    @property
+    def transfer_time(self) -> float:
+        """``ttran = Tchunk - Tsrv``: the user-perceived transfer time."""
+        return max(0.0, self.processing_time - self.server_time)
+
+    def with_timestamp(self, timestamp: float) -> "LogRecord":
+        """Return a copy shifted to ``timestamp`` (used by deferral policies)."""
+        return replace(self, timestamp=timestamp)
+
+
+def sort_by_time(records: Iterable[LogRecord]) -> list[LogRecord]:
+    """Return records sorted by (timestamp, user, device) for stable replay."""
+    return sorted(records, key=lambda r: (r.timestamp, r.user_id, r.device_id))
+
+
+def iter_file_ops(records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+    """Yield only file-operation records, preserving order."""
+    return (r for r in records if r.is_file_op)
+
+
+def iter_chunks(records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+    """Yield only chunk records, preserving order."""
+    return (r for r in records if r.is_chunk)

@@ -1,0 +1,196 @@
+"""Streaming aggregation over log records.
+
+Analyses over a 350M-record trace cannot materialize per-record state.  The
+helpers here do single-pass, bounded-memory aggregation keyed by user, device
+or time bin, and are shared by the analysis modules in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Iterator, TypeVar
+
+from .schema import Direction, LogRecord
+
+K = TypeVar("K", bound=Hashable)
+
+
+@dataclass
+class VolumeTally:
+    """Running store/retrieve byte and request counters."""
+
+    stored_bytes: int = 0
+    retrieved_bytes: int = 0
+    store_file_ops: int = 0
+    retrieve_file_ops: int = 0
+    store_chunks: int = 0
+    retrieve_chunks: int = 0
+
+    def add(self, record: LogRecord) -> None:
+        """Fold one record into the tally."""
+        if record.direction is Direction.STORE:
+            if record.is_file_op:
+                self.store_file_ops += 1
+            else:
+                self.store_chunks += 1
+                self.stored_bytes += record.volume
+        else:
+            if record.is_file_op:
+                self.retrieve_file_ops += 1
+            else:
+                self.retrieve_chunks += 1
+                self.retrieved_bytes += record.volume
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stored_bytes + self.retrieved_bytes
+
+    @property
+    def total_file_ops(self) -> int:
+        return self.store_file_ops + self.retrieve_file_ops
+
+    def merge(self, other: "VolumeTally") -> None:
+        """Fold another tally into this one."""
+        self.stored_bytes += other.stored_bytes
+        self.retrieved_bytes += other.retrieved_bytes
+        self.store_file_ops += other.store_file_ops
+        self.retrieve_file_ops += other.retrieve_file_ops
+        self.store_chunks += other.store_chunks
+        self.retrieve_chunks += other.retrieve_chunks
+
+    def store_retrieve_ratio(self, epsilon: float = 1.0) -> float:
+        """Ratio of stored to retrieved volume, as used for Fig 7.
+
+        ``epsilon`` (bytes) keeps the ratio finite when one side is zero;
+        with the paper's classification thresholds of 1e±5 the exact value
+        of epsilon is immaterial for users with any meaningful volume.
+        """
+        return (self.stored_bytes + epsilon) / (self.retrieved_bytes + epsilon)
+
+
+def tally_by(
+    records: Iterable[LogRecord], key: Callable[[LogRecord], K]
+) -> dict[K, VolumeTally]:
+    """Single-pass volume tally grouped by an arbitrary key function."""
+    tallies: dict[K, VolumeTally] = defaultdict(VolumeTally)
+    for record in records:
+        tallies[key(record)].add(record)
+    return dict(tallies)
+
+
+def tally_by_user(records: Iterable[LogRecord]) -> dict[int, VolumeTally]:
+    """Per-user volume tallies (basis of the Fig 7 / Table 3 analyses)."""
+    return tally_by(records, lambda r: r.user_id)
+
+
+def tally_by_hour(
+    records: Iterable[LogRecord], bin_seconds: float = 3600.0
+) -> dict[int, VolumeTally]:
+    """Per-time-bin tallies (basis of the Fig 1 workload analysis)."""
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    return tally_by(records, lambda r: int(r.timestamp // bin_seconds))
+
+
+@dataclass
+class UserDevices:
+    """Which devices (and platforms) a user was seen on."""
+
+    mobile_devices: set[str] = field(default_factory=set)
+    pc_devices: set[str] = field(default_factory=set)
+
+    @property
+    def uses_pc(self) -> bool:
+        return bool(self.pc_devices)
+
+    @property
+    def uses_mobile(self) -> bool:
+        return bool(self.mobile_devices)
+
+    @property
+    def mobile_device_count(self) -> int:
+        return len(self.mobile_devices)
+
+
+def devices_by_user(records: Iterable[LogRecord]) -> dict[int, UserDevices]:
+    """Single-pass inventory of the devices each user employed."""
+    users: dict[int, UserDevices] = defaultdict(UserDevices)
+    for record in records:
+        entry = users[record.user_id]
+        if record.is_mobile:
+            entry.mobile_devices.add(record.device_id)
+        else:
+            entry.pc_devices.add(record.device_id)
+    return dict(users)
+
+
+def group_by_user(
+    records: Iterable[LogRecord],
+) -> dict[int, list[LogRecord]]:
+    """Group records by user, each group sorted by timestamp.
+
+    This *does* materialize the trace; use it only on traces that fit in
+    memory (tests, examples) or after filtering.  The streaming analyses in
+    :mod:`repro.core` avoid it where possible.
+    """
+    groups: dict[int, list[LogRecord]] = defaultdict(list)
+    for record in records:
+        groups[record.user_id].append(record)
+    for group in groups.values():
+        group.sort(key=lambda r: r.timestamp)
+    return dict(groups)
+
+
+class RunningStats:
+    """Welford single-pass mean/variance with min/max tracking."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            raise ValueError("no values added")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+def iter_sorted_runs(
+    records: Iterable[LogRecord],
+) -> Iterator[list[LogRecord]]:
+    """Yield maximal runs of records that share a user, assuming the input
+    is already grouped by user (e.g. the output of a generator that emits
+    one user at a time).  Each run preserves input order.
+    """
+    run: list[LogRecord] = []
+    for record in records:
+        if run and record.user_id != run[-1].user_id:
+            yield run
+            run = []
+        run.append(record)
+    if run:
+        yield run

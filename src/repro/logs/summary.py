@@ -1,0 +1,133 @@
+"""One-pass descriptive summary of a trace.
+
+The numbers the paper's Section 2.2 reports about its dataset — record,
+user and device counts, platform split, direction volumes, time span —
+computed in a single streaming pass.  Used by the CLI and by the D1
+experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .schema import DeviceType, Direction, LogRecord
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics of one log stream."""
+
+    n_records: int = 0
+    n_file_ops: int = 0
+    n_chunks: int = 0
+    n_proxied: int = 0
+    stored_bytes: int = 0
+    retrieved_bytes: int = 0
+    first_timestamp: float = math.inf
+    last_timestamp: float = -math.inf
+    users: set[int] = field(default_factory=set)
+    devices: set[str] = field(default_factory=set)
+    records_by_platform: dict[DeviceType, int] = field(default_factory=dict)
+    _mobile_users: set[int] = field(default_factory=set)
+    _pc_users: set[int] = field(default_factory=set)
+
+    def add(self, record: LogRecord) -> None:
+        """Fold one record into the summary."""
+        self.n_records += 1
+        if record.is_file_op:
+            self.n_file_ops += 1
+        else:
+            self.n_chunks += 1
+            if record.direction is Direction.STORE:
+                self.stored_bytes += record.volume
+            else:
+                self.retrieved_bytes += record.volume
+        if record.proxied:
+            self.n_proxied += 1
+        self.first_timestamp = min(self.first_timestamp, record.timestamp)
+        self.last_timestamp = max(self.last_timestamp, record.timestamp)
+        self.users.add(record.user_id)
+        self.devices.add(record.device_id)
+        self.records_by_platform[record.device_type] = (
+            self.records_by_platform.get(record.device_type, 0) + 1
+        )
+        if record.is_mobile:
+            self._mobile_users.add(record.user_id)
+        else:
+            self._pc_users.add(record.user_id)
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def span_seconds(self) -> float:
+        if self.n_records == 0:
+            return 0.0
+        return self.last_timestamp - self.first_timestamp
+
+    @property
+    def span_days(self) -> float:
+        return self.span_seconds / 86_400.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stored_bytes + self.retrieved_bytes
+
+    @property
+    def android_record_share(self) -> float:
+        """Android share of *mobile* records (the paper's 78.4%)."""
+        android = self.records_by_platform.get(DeviceType.ANDROID, 0)
+        ios = self.records_by_platform.get(DeviceType.IOS, 0)
+        if android + ios == 0:
+            return 0.0
+        return android / (android + ios)
+
+    @property
+    def pc_co_use_share(self) -> float:
+        """Share of mobile users also seen on a PC client (paper: 14.3%)."""
+        if not self._mobile_users:
+            return 0.0
+        both = self._mobile_users & self._pc_users
+        return len(both) / len(self._mobile_users)
+
+    @property
+    def devices_per_user(self) -> float:
+        if not self.users:
+            return 0.0
+        return self.n_devices / self.n_users
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        gb = 1024.0**3
+        lines = [
+            f"records          : {self.n_records:,} "
+            f"({self.n_file_ops:,} file ops, {self.n_chunks:,} chunks)",
+            f"users / devices  : {self.n_users:,} / {self.n_devices:,} "
+            f"({self.devices_per_user:.2f} devices/user)",
+            f"observation span : {self.span_days:.1f} days",
+            f"stored           : {self.stored_bytes / gb:.2f} GB",
+            f"retrieved        : {self.retrieved_bytes / gb:.2f} GB",
+            f"android share    : {self.android_record_share:.1%} of mobile records",
+            f"PC co-use        : {self.pc_co_use_share:.1%} of mobile users",
+            f"proxied requests : {self.n_proxied / max(1, self.n_records):.1%}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(records: Iterable[LogRecord]) -> TraceSummary:
+    """Build a :class:`TraceSummary` in one streaming pass."""
+    summary = TraceSummary()
+    for record in records:
+        summary.add(record)
+    return summary

@@ -1,0 +1,50 @@
+"""Cloud storage service simulator substrate.
+
+Models the examined service end to end: MD5-based chunking and manifests,
+a metadata server with content deduplication, storage front-end servers
+that emit Table 1 access logs, and client state machines speaking the
+store/retrieve protocol of the paper's Section 2.1."""
+
+from .autoscaler import (
+    AutoscalerPolicy,
+    ProvisioningOutcome,
+    compare_strategies,
+    oracle_provisioning,
+    reactive_provisioning,
+    static_provisioning,
+)
+from .cache import CacheStats, LfuCache, LruCache
+from .chunks import FileManifest, build_manifest, chunk_sizes, content_md5
+from .client import ClientNetwork, StorageClient, TransferReport
+from .cluster import ServiceCluster
+from .dedup import RedundancyEliminator, Strategy, UploadAccounting
+from .frontend import FrontendServer, TransferModel
+from .metadata import DedupDecision, MetadataServer, StoredFile
+
+__all__ = [
+    "AutoscalerPolicy",
+    "CacheStats",
+    "ClientNetwork",
+    "DedupDecision",
+    "FileManifest",
+    "FrontendServer",
+    "LfuCache",
+    "LruCache",
+    "MetadataServer",
+    "ProvisioningOutcome",
+    "RedundancyEliminator",
+    "ServiceCluster",
+    "StorageClient",
+    "Strategy",
+    "StoredFile",
+    "TransferModel",
+    "TransferReport",
+    "UploadAccounting",
+    "build_manifest",
+    "chunk_sizes",
+    "compare_strategies",
+    "content_md5",
+    "oracle_provisioning",
+    "reactive_provisioning",
+    "static_provisioning",
+]

@@ -1,0 +1,171 @@
+"""Elastic front-end scaling against the diurnal workload.
+
+Section 2.4's implication: "both storage servers and metadata servers
+would be highly over-provisioned for most of the time, since the server
+capacity is often designed to bear the peak load.  Elastic scale-in and
+scale-out of the service as such are needed."  This module simulates that
+trade-off over an hourly load profile:
+
+* **static** provisioning for the observed peak;
+* a **reactive** autoscaler that follows the previous hour's load with a
+  headroom factor and scale-down cooldown (the realistic option — it lags
+  surges);
+* the **oracle** lower bound that knows each hour's load in advance.
+
+Outcomes are server-hours (cost) and under-provisioned hours (SLO risk).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Reactive scaling policy.
+
+    Attributes
+    ----------
+    capacity_per_server:
+        Load units one server absorbs per hour (same unit as the profile,
+        e.g. bytes).
+    headroom:
+        Provision for ``headroom`` times the last observed hourly load —
+        the buffer that absorbs hour-over-hour growth.
+    scale_down_cooldown:
+        Hours the target must stay below the current fleet before
+        shrinking (guards against thrashing on noisy profiles).
+    min_servers:
+        Floor on the fleet size.
+    """
+
+    capacity_per_server: float
+    headroom: float = 1.3
+    scale_down_cooldown: int = 2
+    min_servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_per_server <= 0:
+            raise ValueError("capacity_per_server must be positive")
+        if self.headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        if self.scale_down_cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if self.min_servers < 1:
+            raise ValueError("min_servers must be >= 1")
+
+
+@dataclass(frozen=True)
+class ProvisioningOutcome:
+    """Cost and risk of one provisioning strategy over a profile."""
+
+    strategy: str
+    server_hours: int
+    underprovisioned_hours: int
+    n_hours: int
+
+    @property
+    def violation_rate(self) -> float:
+        return self.underprovisioned_hours / self.n_hours
+
+    def savings_over(self, other: "ProvisioningOutcome") -> float:
+        """Fractional server-hour savings relative to ``other``."""
+        if other.server_hours <= 0:
+            raise ValueError("reference strategy has no cost")
+        return 1.0 - self.server_hours / other.server_hours
+
+
+def _servers_for(load: float, capacity: float, floor: int) -> int:
+    return max(floor, int(math.ceil(load / capacity)))
+
+
+def static_provisioning(
+    profile: np.ndarray, policy: AutoscalerPolicy
+) -> ProvisioningOutcome:
+    """Provision the peak hour permanently."""
+    loads = np.asarray(profile, dtype=float)
+    if loads.size == 0:
+        raise ValueError("empty profile")
+    fleet = _servers_for(
+        float(loads.max()), policy.capacity_per_server, policy.min_servers
+    )
+    return ProvisioningOutcome(
+        strategy="static",
+        server_hours=fleet * loads.size,
+        underprovisioned_hours=0,
+        n_hours=int(loads.size),
+    )
+
+
+def oracle_provisioning(
+    profile: np.ndarray, policy: AutoscalerPolicy
+) -> ProvisioningOutcome:
+    """Perfect-forecast scaling: exactly enough servers every hour."""
+    loads = np.asarray(profile, dtype=float)
+    if loads.size == 0:
+        raise ValueError("empty profile")
+    hours = [
+        _servers_for(load, policy.capacity_per_server, policy.min_servers)
+        for load in loads
+    ]
+    return ProvisioningOutcome(
+        strategy="oracle",
+        server_hours=int(sum(hours)),
+        underprovisioned_hours=0,
+        n_hours=int(loads.size),
+    )
+
+
+def reactive_provisioning(
+    profile: np.ndarray, policy: AutoscalerPolicy
+) -> ProvisioningOutcome:
+    """Follow last hour's load with headroom and a scale-down cooldown."""
+    loads = np.asarray(profile, dtype=float)
+    if loads.size == 0:
+        raise ValueError("empty profile")
+    fleet = _servers_for(
+        float(loads[0]), policy.capacity_per_server, policy.min_servers
+    )
+    server_hours = 0
+    violations = 0
+    below_streak = 0
+    for hour, load in enumerate(loads):
+        if hour > 0:
+            target = _servers_for(
+                float(loads[hour - 1]) * policy.headroom,
+                policy.capacity_per_server,
+                policy.min_servers,
+            )
+            if target > fleet:
+                fleet = target
+                below_streak = 0
+            elif target < fleet:
+                below_streak += 1
+                if below_streak > policy.scale_down_cooldown:
+                    fleet = target
+                    below_streak = 0
+            else:
+                below_streak = 0
+        server_hours += fleet
+        if load > fleet * policy.capacity_per_server:
+            violations += 1
+    return ProvisioningOutcome(
+        strategy="reactive",
+        server_hours=server_hours,
+        underprovisioned_hours=violations,
+        n_hours=int(loads.size),
+    )
+
+
+def compare_strategies(
+    profile: np.ndarray, policy: AutoscalerPolicy
+) -> dict[str, ProvisioningOutcome]:
+    """All three strategies over one profile."""
+    return {
+        "static": static_provisioning(profile, policy),
+        "reactive": reactive_provisioning(profile, policy),
+        "oracle": oracle_provisioning(profile, policy),
+    }

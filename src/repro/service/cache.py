@@ -1,0 +1,157 @@
+"""Web cache proxies for download traffic.
+
+Section 3.1.4 of the paper: "it would be necessary to monitor the
+popularity of downloads to verify whether there exist a locality of user
+interests ... If so, web cache proxies can reduce server workload and
+improve user perceived performance."  This module provides the cache
+proxies to run that experiment: byte-capacity LRU and LFU caches with
+request- and byte-level hit accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit statistics of a cache run."""
+
+    requests: int
+    hits: int
+    bytes_requested: int
+    bytes_hit: int
+    evictions: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        if not self.bytes_requested:
+            return 0.0
+        return self.bytes_hit / self.bytes_requested
+
+
+class LruCache:
+    """A byte-capacity LRU object cache.
+
+    Objects larger than the capacity are never admitted (they would evict
+    everything for a single use).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_bytes
+        self._entries: OrderedDict[str, int] = OrderedDict()
+        self._used = 0
+        self._requests = 0
+        self._hits = 0
+        self._bytes_requested = 0
+        self._bytes_hit = 0
+        self._evictions = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def request(self, key: str, size: int) -> bool:
+        """One download request; returns True on a cache hit."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self._requests += 1
+        self._bytes_requested += size
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            self._bytes_hit += size
+            return True
+        self._admit(key, size)
+        return False
+
+    def _admit(self, key: str, size: int) -> None:
+        if size > self.capacity:
+            return
+        while self._used + size > self.capacity:
+            _, evicted_size = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self._evictions += 1
+        self._entries[key] = size
+        self._used += size
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            requests=self._requests,
+            hits=self._hits,
+            bytes_requested=self._bytes_requested,
+            bytes_hit=self._bytes_hit,
+            evictions=self._evictions,
+        )
+
+
+class LfuCache:
+    """A byte-capacity LFU object cache (frequency with LRU tie-break)."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_bytes
+        self._sizes: dict[str, int] = {}
+        self._counts: dict[str, int] = {}
+        self._order: OrderedDict[str, None] = OrderedDict()
+        self._used = 0
+        self._requests = 0
+        self._hits = 0
+        self._bytes_requested = 0
+        self._bytes_hit = 0
+        self._evictions = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def request(self, key: str, size: int) -> bool:
+        """One download request; returns True on a cache hit."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self._requests += 1
+        self._bytes_requested += size
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if key in self._sizes:
+            self._hits += 1
+            self._bytes_hit += size
+            self._order.move_to_end(key)
+            return True
+        self._admit(key, size)
+        return False
+
+    def _victim(self) -> str:
+        lowest = min(self._counts[k] for k in self._sizes)
+        for key in self._order:  # oldest first among ties
+            if self._counts[key] == lowest:
+                return key
+        raise RuntimeError("cache invariant violated")  # pragma: no cover
+
+    def _admit(self, key: str, size: int) -> None:
+        if size > self.capacity:
+            return
+        while self._used + size > self.capacity:
+            victim = self._victim()
+            self._used -= self._sizes.pop(victim)
+            del self._order[victim]
+            self._evictions += 1
+        self._sizes[key] = size
+        self._order[key] = None
+        self._used += size
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            requests=self._requests,
+            hits=self._hits,
+            bytes_requested=self._bytes_requested,
+            bytes_hit=self._bytes_hit,
+            evictions=self._evictions,
+        )

@@ -1,0 +1,92 @@
+"""File chunking and content identification.
+
+The examined service splits every file into fixed 512 KB chunks (only the
+last chunk may be smaller) and identifies both files and chunks by the MD5
+hash of their content.  Files are immutable: any edit changes the MD5 and
+therefore uploads as a brand-new file (the service supports no delta
+updates).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..logs.schema import CHUNK_SIZE
+
+
+def chunk_sizes(file_size: int, chunk_size: int = CHUNK_SIZE) -> list[int]:
+    """Sizes of the chunks a file of ``file_size`` bytes splits into."""
+    if file_size <= 0:
+        raise ValueError("file_size must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    full, tail = divmod(file_size, chunk_size)
+    sizes = [chunk_size] * full
+    if tail:
+        sizes.append(tail)
+    return sizes
+
+
+def content_md5(seed: bytes) -> str:
+    """MD5 hex digest standing in for real content hashes.
+
+    The simulator never materializes chunk payloads; a file's content is
+    represented by a seed (e.g. ``b"user42/photo-0013"``) and the "content"
+    hashes are derived from it, preserving the only property the service
+    relies on: identical content yields identical hashes.
+    """
+    return hashlib.md5(seed).hexdigest()
+
+
+@dataclass(frozen=True)
+class FileManifest:
+    """Metadata the client sends in a file storage operation request.
+
+    Mirrors Section 2.1: the file name, size and MD5, plus the number of
+    chunks and each chunk's MD5.
+    """
+
+    name: str
+    size: int
+    file_md5: str
+    chunk_md5s: tuple[str, ...]
+    chunk_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.chunk_md5s) != len(self.chunk_sizes):
+            raise ValueError("chunk hash/size lists must align")
+        if sum(self.chunk_sizes) != self.size:
+            raise ValueError("chunk sizes must sum to the file size")
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_md5s)
+
+
+def build_manifest(
+    name: str, content_seed: bytes, file_size: int, chunk_size: int = CHUNK_SIZE
+) -> FileManifest:
+    """Construct the manifest for a (synthetic) file.
+
+    A synthetic file's content is the pair (seed, size): the file hash
+    covers both, so same-seed files of different lengths are different
+    content (truncating a file changes its MD5).  Chunk hashes cover the
+    seed, the chunk index and the chunk's length, so two files sharing a
+    seed and size share every chunk hash (full-content duplicates) while
+    distinct seeds collide on nothing.
+    """
+    sizes = chunk_sizes(file_size, chunk_size)
+    chunk_md5s = tuple(
+        content_md5(
+            content_seed + f"/chunk/{i}/{size}".encode()
+        )
+        for i, size in enumerate(sizes)
+    )
+    return FileManifest(
+        name=name,
+        size=file_size,
+        file_md5=content_md5(content_seed + f"/len/{file_size}".encode()),
+        chunk_md5s=chunk_md5s,
+        chunk_sizes=tuple(sizes),
+    )

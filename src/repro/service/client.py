@@ -1,0 +1,201 @@
+"""Client model: the mobile app / PC client driving the service protocol.
+
+A :class:`StorageClient` executes the Section 2.1 protocol against a
+:class:`~repro.service.metadata.MetadataServer` and the front-end fleet:
+
+* **store**: send the manifest to the metadata server; if the content is
+  new, issue a file storage operation request to the assigned front-end
+  followed by one chunk storage request per chunk.
+* **retrieve**: resolve a URL at the metadata server, issue a file
+  retrieval operation request, then one chunk retrieval request per chunk.
+
+Each request advances the client's local clock by the time the front-end
+charged, so a session's requests carry realistic timestamps and the idle
+gaps between chunks include the client's own processing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..logs.schema import DeviceType, Direction
+from ..tcpsim.devices import DeviceProfile, profile_for
+from ..tcpsim.rto import paper_rto_estimate
+from .chunks import FileManifest, build_manifest
+from .frontend import FrontendServer
+from .metadata import MetadataServer
+
+
+@dataclass
+class ClientNetwork:
+    """The client's current network conditions."""
+
+    rtt: float = 0.1
+    bandwidth: float = 2_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0 or self.bandwidth <= 0:
+            raise ValueError("rtt and bandwidth must be positive")
+
+
+@dataclass
+class TransferReport:
+    """Summary of one file transfer performed by a client."""
+
+    direction: Direction
+    url: str
+    size: int
+    n_chunks: int
+    deduplicated: bool
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class StorageClient:
+    """One device (mobile or PC) bound to a user account.
+
+    Parameters
+    ----------
+    user_id, device_id:
+        Identity; several clients may share a ``user_id``.
+    device_type:
+        Determines the processing-time profile (Android clients pay the
+        longer inter-chunk ``Tclt`` the paper measured).
+    network:
+        Current RTT/bandwidth; mutable so tests can move a client between
+        WiFi and cellular conditions.
+    proxied:
+        Whether this client's requests traverse an HTTP proxy.
+    """
+
+    user_id: int
+    device_id: str
+    device_type: DeviceType
+    metadata: MetadataServer
+    frontends: list[FrontendServer]
+    network: ClientNetwork = field(default_factory=ClientNetwork)
+    proxied: bool = False
+    seed: int = 0
+    clock: float = 0.0
+    session_id: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.frontends:
+            raise ValueError("need at least one front-end")
+        self._rng = np.random.default_rng(
+            (hash((self.user_id, self.device_id)) ^ self.seed) & 0x7FFFFFFF
+        )
+        self._profile: DeviceProfile = profile_for(self.device_type)
+
+    # ------------------------------------------------------------------
+    # Protocol operations
+    # ------------------------------------------------------------------
+
+    def store_file(
+        self, name: str, content_seed: bytes, size: int
+    ) -> TransferReport:
+        """Upload one file, emitting front-end log records as a side effect."""
+        started = self.clock
+        manifest = build_manifest(name, content_seed, size)
+        decision = self.metadata.request_store(self.user_id, manifest)
+        # Metadata exchange costs one round trip.
+        self.clock += self.network.rtt
+        if decision.duplicate:
+            return TransferReport(
+                direction=Direction.STORE,
+                url=decision.url,
+                size=size,
+                n_chunks=manifest.n_chunks,
+                deduplicated=True,
+                started_at=started,
+                finished_at=self.clock,
+            )
+        frontend = self.frontends[decision.frontend_id]
+        self._file_op(frontend, Direction.STORE)
+        self._transfer_chunks(frontend, manifest, Direction.STORE)
+        url = self.metadata.commit_store(
+            self.user_id, manifest, decision.frontend_id
+        )
+        return TransferReport(
+            direction=Direction.STORE,
+            url=url,
+            size=size,
+            n_chunks=manifest.n_chunks,
+            deduplicated=False,
+            started_at=started,
+            finished_at=self.clock,
+        )
+
+    def retrieve_url(self, url: str) -> TransferReport:
+        """Download the file behind ``url`` (own file or shared link)."""
+        started = self.clock
+        record, frontend_id = self.metadata.resolve_url(url)
+        self.clock += self.network.rtt
+        frontend = self.frontends[frontend_id]
+        manifest = build_manifest(record.name, record.file_md5.encode(), record.size)
+        self._file_op(frontend, Direction.RETRIEVE)
+        self._transfer_chunks(frontend, manifest, Direction.RETRIEVE)
+        return TransferReport(
+            direction=Direction.RETRIEVE,
+            url=url,
+            size=record.size,
+            n_chunks=manifest.n_chunks,
+            deduplicated=False,
+            started_at=started,
+            finished_at=self.clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _file_op(self, frontend: FrontendServer, direction: Direction) -> None:
+        elapsed = frontend.handle_file_op(
+            timestamp=self.clock,
+            user_id=self.user_id,
+            device_id=self.device_id,
+            device_type=self.device_type,
+            direction=direction,
+            rtt=self.network.rtt,
+            proxied=self.proxied,
+            session_id=self.session_id,
+            rng=self._rng,
+        )
+        self.clock += elapsed + self.network.rtt
+
+    def _transfer_chunks(
+        self, frontend: FrontendServer, manifest: FileManifest, direction: Direction
+    ) -> None:
+        rto = paper_rto_estimate(self.network.rtt)
+        tclt_dist = self._profile.tclt(direction is Direction.STORE)
+        idle = 0.0
+        for i, size in enumerate(manifest.chunk_sizes):
+            restarted = i > 0 and idle > rto
+            tchunk, tsrv = frontend.handle_chunk(
+                timestamp=self.clock,
+                user_id=self.user_id,
+                device_id=self.device_id,
+                device_type=self.device_type,
+                direction=direction,
+                size=size,
+                rtt=self.network.rtt,
+                bandwidth=self.network.bandwidth,
+                restarted=restarted,
+                proxied=self.proxied,
+                session_id=self.session_id,
+                rng=self._rng,
+            )
+            tclt = float(tclt_dist.sample(self._rng))
+            # The next chunk request goes out after the transfer completes
+            # and the client prepared the next chunk.
+            self.clock += tchunk + tclt
+            # Idle time between chunk transmissions per the paper's Fig 11:
+            # server processing plus client processing.
+            idle = tsrv + tclt

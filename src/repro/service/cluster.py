@@ -1,0 +1,90 @@
+"""A complete service deployment: metadata server + front-end fleet.
+
+:class:`ServiceCluster` wires the pieces together and exposes the two
+operations users perform (store, retrieve), a combined access log in
+timestamp order, and the aggregate load statistics used for capacity
+studies (the Fig 1 workload view from the serving side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logs.schema import DeviceType, LogRecord, sort_by_time
+from ..tcpsim.devices import DEFAULT_SERVER, ServerProfile
+from .client import ClientNetwork, StorageClient
+from .frontend import FrontendServer, TransferModel
+from .metadata import MetadataServer
+
+
+@dataclass
+class ServiceCluster:
+    """One deployment of the mobile cloud storage service.
+
+    Parameters
+    ----------
+    n_frontends:
+        Number of storage front-end servers.
+    server_profile:
+        Processing-time profile shared by the front-ends.
+    transfer_model:
+        Chunk transfer-time model (window caps, restart penalty).
+    """
+
+    n_frontends: int = 4
+    server_profile: ServerProfile = DEFAULT_SERVER
+    transfer_model: TransferModel = field(default_factory=TransferModel)
+    metadata: MetadataServer = field(init=False)
+    frontends: list[FrontendServer] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.metadata = MetadataServer(n_frontends=self.n_frontends)
+        self.frontends = [
+            FrontendServer(
+                server_id=i,
+                profile=self.server_profile,
+                transfer_model=self.transfer_model,
+            )
+            for i in range(self.n_frontends)
+        ]
+
+    def new_client(
+        self,
+        user_id: int,
+        device_id: str,
+        device_type: DeviceType,
+        *,
+        network: ClientNetwork | None = None,
+        proxied: bool = False,
+        seed: int = 0,
+    ) -> StorageClient:
+        """Create a client bound to this deployment."""
+        return StorageClient(
+            user_id=user_id,
+            device_id=device_id,
+            device_type=device_type,
+            metadata=self.metadata,
+            frontends=self.frontends,
+            network=network or ClientNetwork(),
+            proxied=proxied,
+            seed=seed,
+        )
+
+    def access_log(self) -> list[LogRecord]:
+        """All front-end log records merged in timestamp order."""
+        merged: list[LogRecord] = []
+        for frontend in self.frontends:
+            merged.extend(frontend.access_log)
+        return sort_by_time(merged)
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(f.bytes_stored for f in self.frontends)
+
+    @property
+    def bytes_served(self) -> int:
+        return sum(f.bytes_served for f in self.frontends)
+
+    @property
+    def dedup_ratio(self) -> float:
+        return self.metadata.dedup_ratio

@@ -1,0 +1,183 @@
+"""Storage front-end servers: request handling and access logging.
+
+The front-end servers are where the paper's dataset was collected: every
+file operation and chunk request that reaches a front-end produces one log
+entry with the Table 1 fields.  This module models a front-end as a request
+handler that charges processing time (``Tsrv`` from the server profile plus
+transfer time from a latency model) and appends :class:`LogRecord` entries
+to its access log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..logs.schema import DeviceType, Direction, LogRecord, RequestKind
+from ..tcpsim.devices import ServerProfile, DEFAULT_SERVER
+
+
+@dataclass
+class TransferModel:
+    """Closed-form chunk transfer-time model used by the service simulator.
+
+    The packet-level simulator (:mod:`repro.tcpsim`) is exact but too slow
+    for traces with millions of chunks, so the service simulator prices a
+    chunk transfer with the TCP throughput approximation the paper itself
+    uses in Section 4.1: ``throughput = swnd / RTT``, where the effective
+    window is capped by the 64 KB server receive window for uploads, plus a
+    slow-start climb penalty when the preceding idle gap restarted the
+    window.
+
+    Parameters
+    ----------
+    server_rwnd:
+        Upload window cap (bytes).
+    client_rwnd:
+        Download window cap (bytes).
+    restart_penalty_rtts:
+        Extra round trips charged when a transfer begins with a restarted
+        congestion window.
+    """
+
+    server_rwnd: int = 64 * 1024
+    client_rwnd: int = 2 * 1024 * 1024
+    restart_penalty_rtts: float = 4.0
+
+    def transfer_time(
+        self,
+        size: int,
+        rtt: float,
+        bandwidth: float,
+        direction: Direction,
+        restarted: bool = False,
+    ) -> float:
+        """Estimated seconds to move ``size`` bytes."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if rtt <= 0 or bandwidth <= 0:
+            raise ValueError("rtt and bandwidth must be positive")
+        window = (
+            self.server_rwnd if direction is Direction.STORE else self.client_rwnd
+        )
+        window_rate = window / rtt
+        rate = min(window_rate, bandwidth)
+        time = size / rate
+        if restarted:
+            time += self.restart_penalty_rtts * rtt
+        return time
+
+
+@dataclass
+class FrontendServer:
+    """One storage front-end server with an append-only access log.
+
+    Parameters
+    ----------
+    server_id:
+        Stable identifier (used by the metadata server's assignment).
+    profile:
+        Server processing-time profile (``Tsrv`` distribution).
+    transfer_model:
+        Chunk transfer-time estimator.
+    log_sink:
+        Optional callable receiving each record as it is produced; when
+        None, records accumulate in :attr:`access_log`.
+    """
+
+    server_id: int
+    profile: ServerProfile = DEFAULT_SERVER
+    transfer_model: TransferModel = field(default_factory=TransferModel)
+    log_sink: Callable[[LogRecord], None] | None = None
+    access_log: list[LogRecord] = field(default_factory=list)
+    bytes_stored: int = 0
+    bytes_served: int = 0
+
+    def _emit(self, record: LogRecord) -> None:
+        if self.log_sink is not None:
+            self.log_sink(record)
+        else:
+            self.access_log.append(record)
+
+    def handle_file_op(
+        self,
+        *,
+        timestamp: float,
+        user_id: int,
+        device_id: str,
+        device_type: DeviceType,
+        direction: Direction,
+        rtt: float,
+        proxied: bool = False,
+        session_id: int = -1,
+        rng: np.random.Generator,
+    ) -> float:
+        """Process a file operation request; returns its processing time."""
+        tsrv = float(self.profile.tsrv.sample(rng)) * 0.2  # metadata only
+        self._emit(
+            LogRecord(
+                timestamp=timestamp,
+                device_type=device_type,
+                device_id=device_id,
+                user_id=user_id,
+                kind=RequestKind.FILE_OP,
+                direction=direction,
+                volume=0,
+                processing_time=tsrv,
+                server_time=tsrv,
+                rtt=rtt,
+                proxied=proxied,
+                session_id=session_id,
+            )
+        )
+        return tsrv
+
+    def handle_chunk(
+        self,
+        *,
+        timestamp: float,
+        user_id: int,
+        device_id: str,
+        device_type: DeviceType,
+        direction: Direction,
+        size: int,
+        rtt: float,
+        bandwidth: float,
+        restarted: bool = False,
+        proxied: bool = False,
+        session_id: int = -1,
+        rng: np.random.Generator,
+    ) -> tuple[float, float]:
+        """Process one chunk request; returns ``(Tchunk, Tsrv)``.
+
+        ``Tchunk`` is the transfer time plus the upstream storage time, the
+        same decomposition the paper's logs carry.
+        """
+        tsrv = float(self.profile.tsrv.sample(rng))
+        ttran = self.transfer_model.transfer_time(
+            size, rtt, bandwidth, direction, restarted
+        )
+        tchunk = ttran + tsrv
+        if direction is Direction.STORE:
+            self.bytes_stored += size
+        else:
+            self.bytes_served += size
+        self._emit(
+            LogRecord(
+                timestamp=timestamp,
+                device_type=device_type,
+                device_id=device_id,
+                user_id=user_id,
+                kind=RequestKind.CHUNK,
+                direction=direction,
+                volume=size,
+                processing_time=tchunk,
+                server_time=tsrv,
+                rtt=rtt,
+                proxied=proxied,
+                session_id=session_id,
+            )
+        )
+        return tchunk, tsrv

@@ -1,0 +1,147 @@
+"""The metadata server: user namespaces and content deduplication.
+
+Per Section 2.1 of the paper, a storage operation first goes to a metadata
+server, which checks whether the file's MD5 is already present on some
+storage server.  If it is, the file is added to the user's space without any
+upload (content deduplication); otherwise the client is directed to the
+closest front-end server.  Retrieval resolves a URL to the file MD5 and a
+front-end server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .chunks import FileManifest
+
+
+@dataclass(frozen=True)
+class StoredFile:
+    """A file registered in a user's namespace."""
+
+    owner: int
+    name: str
+    file_md5: str
+    size: int
+    url: str
+
+
+@dataclass
+class DedupDecision:
+    """Outcome of a storage operation request at the metadata server."""
+
+    duplicate: bool
+    frontend_id: int | None
+    url: str
+
+
+class MetadataServer:
+    """Tracks user namespaces, content presence and front-end assignment.
+
+    Parameters
+    ----------
+    n_frontends:
+        Number of storage front-end servers to spread users across.  The
+        "closest" front-end is modeled as a stable hash of the user ID.
+    """
+
+    def __init__(self, n_frontends: int = 4) -> None:
+        if n_frontends < 1:
+            raise ValueError("need at least one front-end server")
+        self.n_frontends = n_frontends
+        self._content: dict[str, int] = {}  # file_md5 -> hosting frontend
+        self._by_url: dict[str, StoredFile] = {}
+        self._spaces: dict[int, dict[str, StoredFile]] = {}
+        self._url_counter = 0
+        self.dedup_hits = 0
+        self.store_requests = 0
+
+    def _frontend_for(self, user_id: int) -> int:
+        return user_id % self.n_frontends
+
+    def _new_url(self, file_md5: str) -> str:
+        self._url_counter += 1
+        return f"https://cloud.example/s/{self._url_counter:x}-{file_md5[:8]}"
+
+    # ------------------------------------------------------------------
+    # Storage path
+    # ------------------------------------------------------------------
+
+    def request_store(self, user_id: int, manifest: FileManifest) -> DedupDecision:
+        """Handle a file storage operation request.
+
+        Returns the dedup decision; on a duplicate the file is registered
+        in the user's space immediately and no upload happens.
+        """
+        self.store_requests += 1
+        hosting = self._content.get(manifest.file_md5)
+        if hosting is not None:
+            self.dedup_hits += 1
+            url = self._register(user_id, manifest)
+            return DedupDecision(duplicate=True, frontend_id=None, url=url)
+        return DedupDecision(
+            duplicate=False,
+            frontend_id=self._frontend_for(user_id),
+            url="",
+        )
+
+    def commit_store(self, user_id: int, manifest: FileManifest, frontend_id: int) -> str:
+        """Record a completed upload; returns the file's URL."""
+        if not 0 <= frontend_id < self.n_frontends:
+            raise ValueError(f"unknown front-end {frontend_id}")
+        self._content[manifest.file_md5] = frontend_id
+        return self._register(user_id, manifest)
+
+    def _register(self, user_id: int, manifest: FileManifest) -> str:
+        space = self._spaces.setdefault(user_id, {})
+        existing = space.get(manifest.file_md5)
+        if existing is not None:
+            return existing.url
+        url = self._new_url(manifest.file_md5)
+        record = StoredFile(
+            owner=user_id,
+            name=manifest.name,
+            file_md5=manifest.file_md5,
+            size=manifest.size,
+            url=url,
+        )
+        space[manifest.file_md5] = record
+        self._by_url[url] = record
+        return url
+
+    # ------------------------------------------------------------------
+    # Retrieval path
+    # ------------------------------------------------------------------
+
+    def resolve_url(self, url: str) -> tuple[StoredFile, int]:
+        """Resolve a share/retrieval URL to the file and its front-end.
+
+        Raises KeyError for unknown URLs.  Any user may resolve any URL —
+        URL-based sharing is exactly how the paper's download-only users
+        fetch popular content.
+        """
+        record = self._by_url[url]
+        frontend = self._content.get(record.file_md5)
+        if frontend is None:
+            raise KeyError(f"content for {url} is not hosted anywhere")
+        return record, frontend
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def user_files(self, user_id: int) -> list[StoredFile]:
+        """All files in a user's space (insertion order)."""
+        return list(self._spaces.get(user_id, {}).values())
+
+    @property
+    def unique_contents(self) -> int:
+        """Number of distinct file contents hosted."""
+        return len(self._content)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of storage operation requests answered by dedup."""
+        if not self.store_requests:
+            return 0.0
+        return self.dedup_hits / self.store_requests

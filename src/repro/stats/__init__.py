@@ -1,0 +1,56 @@
+"""Statistics substrate: from-scratch EM fitters (Gaussian and exponential
+mixtures), stretched-exponential rank models, empirical distributions,
+chi-square goodness-of-fit and bootstrap intervals."""
+
+from .bootstrap import BootstrapInterval, bootstrap_ci
+from .distributions import (
+    Ecdf,
+    Histogram,
+    ccdf_points,
+    ecdf,
+    fraction_below,
+    histogram,
+    log_bins,
+    quantiles,
+)
+from .expmix import ExponentialMixture, fit_exponential_mixture, select_order
+from .gmm import GaussianComponent, GaussianMixture, fit_gmm
+from .ks import KsResult, kolmogorov_sf, ks_one_sample, ks_two_sample
+from .goodness import ChiSquareResult, chi2_sf, chi_square_gof, regularized_gamma_p
+from .stretched_exp import (
+    StretchedExponentialFit,
+    fit_stretched_exponential,
+    fit_weibull_mle,
+    power_law_r_squared,
+)
+
+__all__ = [
+    "BootstrapInterval",
+    "ChiSquareResult",
+    "Ecdf",
+    "ExponentialMixture",
+    "GaussianComponent",
+    "GaussianMixture",
+    "KsResult",
+    "Histogram",
+    "StretchedExponentialFit",
+    "bootstrap_ci",
+    "ccdf_points",
+    "chi2_sf",
+    "chi_square_gof",
+    "ecdf",
+    "fit_exponential_mixture",
+    "fit_gmm",
+    "fit_stretched_exponential",
+    "fit_weibull_mle",
+    "fraction_below",
+    "histogram",
+    "kolmogorov_sf",
+    "ks_one_sample",
+    "ks_two_sample",
+    "log_bins",
+    "power_law_r_squared",
+    "quantiles",
+    "regularized_gamma_p",
+    "select_order",
+]

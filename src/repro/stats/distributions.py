@@ -1,0 +1,148 @@
+"""Empirical distribution utilities: ECDF/CCDF, quantiles and histograms.
+
+Every figure in the paper is either a CDF, a CCDF on log axes, or a
+histogram over logarithmically scaled values; these helpers are the common
+currency between the analysis modules and the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF: sorted support points and cumulative probabilities.
+
+    ``values[i]`` has ``probs[i]`` = P(X <= values[i]).
+    """
+
+    values: np.ndarray
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.probs):
+            raise ValueError("values and probs must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def evaluate(self, x: float | np.ndarray) -> np.ndarray:
+        """P(X <= x) by step interpolation."""
+        idx = np.searchsorted(self.values, np.asarray(x, dtype=float), side="right")
+        probs = np.concatenate(([0.0], self.probs))
+        return probs[idx]
+
+    def quantile(self, q: float | np.ndarray) -> np.ndarray:
+        """Inverse CDF (lowest value v with P(X <= v) >= q)."""
+        q_arr = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise ValueError("quantiles must be in [0, 1]")
+        idx = np.searchsorted(self.probs, q_arr, side="left")
+        idx = np.clip(idx, 0, len(self.values) - 1)
+        return self.values[idx]
+
+    @property
+    def median(self) -> float:
+        return float(self.quantile(0.5)[0])
+
+
+def ecdf(samples: Iterable[float]) -> Ecdf:
+    """Build the empirical CDF of ``samples``."""
+    data = np.sort(np.asarray(list(samples), dtype=float))
+    if data.size == 0:
+        raise ValueError("cannot build an ECDF from zero samples")
+    probs = np.arange(1, data.size + 1, dtype=float) / data.size
+    return Ecdf(values=data, probs=probs)
+
+
+def ccdf_points(samples: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """(x, P(X >= x)) points for a CCDF plot, one point per sample.
+
+    Uses P(X >= x) (not strict >) to match the paper's stretched-exponential
+    convention P(X >= x_i) = i/N for rank-ordered data.
+    """
+    data = np.sort(np.asarray(list(samples), dtype=float))
+    if data.size == 0:
+        raise ValueError("cannot build a CCDF from zero samples")
+    # For sorted ascending data, P(X >= data[k]) = (n - k) / n.
+    n = data.size
+    probs = (n - np.arange(n, dtype=float)) / n
+    return data, probs
+
+
+def log_bins(
+    low: float, high: float, bins_per_decade: int = 10
+) -> np.ndarray:
+    """Logarithmically spaced bin edges covering [low, high]."""
+    if low <= 0 or high <= low:
+        raise ValueError("need 0 < low < high for log bins")
+    n_decades = np.log10(high / low)
+    n_edges = max(2, int(np.ceil(n_decades * bins_per_decade)) + 1)
+    return np.logspace(np.log10(low), np.log10(high), n_edges)
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Histogram as bin edges plus per-bin counts and densities."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def centers(self) -> np.ndarray:
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    @property
+    def log_centers(self) -> np.ndarray:
+        """Geometric bin centers, appropriate for log-spaced edges."""
+        return np.sqrt(self.edges[:-1] * self.edges[1:])
+
+    @property
+    def densities(self) -> np.ndarray:
+        """Counts normalized to integrate to one over bin widths."""
+        total = self.counts.sum()
+        widths = np.diff(self.edges)
+        if total == 0:
+            return np.zeros_like(widths)
+        return self.counts / (total * widths)
+
+    @property
+    def fractions(self) -> np.ndarray:
+        """Per-bin fraction of all samples."""
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=float)
+        return self.counts / total
+
+
+def histogram(samples: Iterable[float], edges: Sequence[float]) -> Histogram:
+    """Count samples into the given bin edges (values outside are dropped)."""
+    edges_arr = np.asarray(edges, dtype=float)
+    if edges_arr.ndim != 1 or edges_arr.size < 2:
+        raise ValueError("edges must be a 1-D array of at least two values")
+    if np.any(np.diff(edges_arr) <= 0):
+        raise ValueError("edges must be strictly increasing")
+    counts, _ = np.histogram(np.asarray(list(samples), dtype=float), bins=edges_arr)
+    return Histogram(edges=edges_arr, counts=counts)
+
+
+def quantiles(
+    samples: Iterable[float], qs: Sequence[float] = (0.25, 0.5, 0.75)
+) -> np.ndarray:
+    """Convenience wrapper: the requested empirical quantiles of samples."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot take quantiles of zero samples")
+    return np.quantile(data, np.asarray(qs, dtype=float))
+
+
+def fraction_below(samples: Iterable[float], threshold: float) -> float:
+    """Fraction of samples strictly below ``threshold``."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot compute a fraction of zero samples")
+    return float(np.mean(data < threshold))

@@ -1,0 +1,276 @@
+"""Mixture-of-exponentials models fit by expectation-maximization.
+
+Section 3.1.4 of the paper models the average file size of each session with
+a mixture of exponential densities
+
+    f(x) = sum_i alpha_i (1 / mu_i) exp(-x / mu_i)
+
+where each mu_i reads as a "typical file size" and alpha_i as the fraction of
+sessions around that size.  The paper selects the component count n
+iteratively: increase n until an added component's weight drops below 0.001
+(their fit lands on n = 3 for both session types, Table 2).
+
+This module implements the EM fit, the automatic order selection, CCDF
+evaluation and sampling — all from scratch on numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExponentialMixture:
+    """A fitted mixture of exponentials, components sorted by ascending mean.
+
+    Attributes
+    ----------
+    weights:
+        Component weights alpha_i, summing to one.
+    means:
+        Component means mu_i (same unit as the fitted data).
+    log_likelihood:
+        Total log-likelihood at convergence.
+    n_iterations, converged:
+        EM diagnostics.
+    """
+
+    weights: tuple[float, ...]
+    means: tuple[float, ...]
+    log_likelihood: float
+    n_iterations: int
+    converged: bool
+
+    @property
+    def n_components(self) -> int:
+        return len(self.weights)
+
+    def pdf(self, x: float | np.ndarray) -> np.ndarray:
+        """Mixture density at ``x`` (zero for negative x)."""
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        out = np.zeros_like(x_arr)
+        pos = x_arr >= 0
+        for alpha, mu in zip(self.weights, self.means):
+            out[pos] += alpha / mu * np.exp(-x_arr[pos] / mu)
+        return out
+
+    def ccdf(self, x: float | np.ndarray) -> np.ndarray:
+        """P(X >= x), the curve plotted in the paper's Fig 6."""
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        out = np.zeros_like(x_arr)
+        for alpha, mu in zip(self.weights, self.means):
+            out += alpha * np.exp(-np.clip(x_arr, 0.0, None) / mu)
+        return out
+
+    @property
+    def mean(self) -> float:
+        """Overall mixture mean."""
+        return float(sum(a * m for a, m in zip(self.weights, self.means)))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` samples from the mixture."""
+        choices = rng.choice(self.n_components, size=n, p=np.asarray(self.weights))
+        out = np.empty(n)
+        for i, mu in enumerate(self.means):
+            mask = choices == i
+            out[mask] = rng.exponential(mu, size=int(mask.sum()))
+        return out
+
+    def component_table(self) -> list[tuple[float, float]]:
+        """(alpha_i, mu_i) rows in ascending-mean order, as in Table 2."""
+        return list(zip(self.weights, self.means))
+
+
+def fit_exponential_mixture(
+    samples: np.ndarray,
+    n_components: int,
+    *,
+    max_iterations: int = 2000,
+    tol: float = 1e-10,
+    seed: int = 0,
+    init: str = "quantile",
+) -> ExponentialMixture:
+    """Fit an ``n_components`` exponential mixture to positive samples by EM.
+
+    ``init="quantile"`` spreads the component means over evenly spaced data
+    quantiles so that widely separated scales (1 MB photos vs 150 MB
+    videos) each attract a component; ``init="random"`` draws the quantile
+    positions at random, giving multi-restart schemes genuinely diverse
+    starting points.
+    """
+    data = np.asarray(samples, dtype=float).ravel()
+    if data.size < n_components:
+        raise ValueError(f"need at least {n_components} samples, got {data.size}")
+    if np.any(data <= 0) or not np.all(np.isfinite(data)):
+        raise ValueError("exponential mixture requires strictly positive data")
+    if n_components < 1:
+        raise ValueError("n_components must be >= 1")
+
+    rng = np.random.default_rng(seed)
+    if init == "quantile":
+        qs = (np.arange(n_components) + 0.5) / n_components
+    elif init == "random":
+        qs = np.sort(rng.uniform(0.02, 0.998, size=n_components))
+    elif init == "tail":
+        # Seed components geometrically toward the upper tail, so a rare
+        # heavy component (e.g. 2% of sessions around 77 MB) gets its own
+        # starting mean instead of being absorbed by the bulk.
+        qs = 1.0 - np.logspace(
+            np.log10(0.5), np.log10(0.003), n_components
+        )
+    else:
+        raise ValueError(f"unknown init {init!r}")
+    means = np.quantile(data, qs).astype(float)
+    means = np.maximum.accumulate(np.clip(means, data.min() * 0.5, None))
+    # Break exact ties.
+    means *= 1.0 + 1e-6 * rng.standard_normal(n_components)
+    means = np.clip(means, 1e-12, None)
+    weights = np.full(n_components, 1.0 / n_components)
+
+    prev_ll = -math.inf
+    ll = prev_ll
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        log_parts = (
+            np.log(weights)[None, :]
+            - np.log(means)[None, :]
+            - data[:, None] / means[None, :]
+        )
+        row_max = log_parts.max(axis=1)
+        log_norm = row_max + np.log(
+            np.sum(np.exp(log_parts - row_max[:, None]), axis=1)
+        )
+        ll = float(np.mean(log_norm))
+        resp = np.exp(log_parts - log_norm[:, None])
+
+        resp_sums = np.clip(resp.sum(axis=0), 1e-12, None)
+        weights = resp_sums / data.size
+        means = (resp * data[:, None]).sum(axis=0) / resp_sums
+        means = np.clip(means, 1e-12, None)
+
+        if ll - prev_ll < tol and iteration > 1:
+            converged = True
+            break
+        prev_ll = ll
+
+    order = np.argsort(means)
+    return ExponentialMixture(
+        weights=tuple(float(w) for w in weights[order]),
+        means=tuple(float(m) for m in means[order]),
+        log_likelihood=ll * data.size,
+        n_iterations=iteration,
+        converged=converged,
+    )
+
+
+def _best_of_restarts(
+    data: np.ndarray, n: int, seed: int, restarts: int
+) -> ExponentialMixture:
+    """Best-likelihood fit over several EM initializations.
+
+    EM on exponential mixtures has local optima (e.g. splitting the
+    dominant component instead of separating a rare tail); a handful of
+    jittered restarts reliably finds the global structure.
+    """
+    best: ExponentialMixture | None = None
+    inits = ["quantile", "tail"] + ["random"] * max(0, restarts - 2)
+    for restart, init in enumerate(inits):
+        fit = fit_exponential_mixture(
+            data, n, seed=seed + 7919 * restart, init=init
+        )
+        if best is None or fit.log_likelihood > best.log_likelihood:
+            best = fit
+    assert best is not None
+    return best
+
+
+def select_order(
+    samples: np.ndarray,
+    *,
+    max_components: int = 6,
+    weight_floor: float = 1e-3,
+    mean_separation: float = 2.0,
+    seed: int = 0,
+) -> ExponentialMixture:
+    """Pick the mixture order following the paper's procedure.
+
+    Fit mixtures of increasing order; stop as soon as a fit becomes
+    *degenerate* and return the last non-degenerate fit.  A fit is
+    degenerate when an extra component stopped mattering, which EM signals
+    in one of two ways: a component weight below ``weight_floor`` (the
+    paper's 0.001 criterion), or two components converging onto the same
+    scale (adjacent mean ratio below ``mean_separation``) — the same
+    redundancy expressed as a split rather than a vanishing weight.
+    """
+    best: ExponentialMixture | None = None
+    data = np.asarray(samples, dtype=float).ravel()
+    for n in range(1, max_components + 1):
+        fit = _best_of_restarts(data, n, seed, restarts=4)
+        degenerate = min(fit.weights) < weight_floor
+        if not degenerate and n > 1:
+            means = np.asarray(fit.means)
+            ratios = means[1:] / means[:-1]
+            degenerate = bool(np.any(ratios < mean_separation))
+        if degenerate:
+            break
+        best = fit
+    if best is None:
+        # Even the n=1 fit counted as degenerate, which cannot happen (its
+        # single weight is 1.0 and there are no mean ratios); defensive.
+        raise RuntimeError("order selection failed to produce a fit")
+    return best
+
+
+def bic(fit: ExponentialMixture, n_samples: int) -> float:
+    """Bayesian information criterion of a fitted mixture (lower = better)."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    n_params = 2 * fit.n_components - 1
+    return n_params * math.log(n_samples) - 2.0 * fit.log_likelihood
+
+
+def select_order_bic(
+    samples: np.ndarray,
+    *,
+    max_components: int = 6,
+    weight_floor: float = 1e-3,
+    mean_separation: float = 1.6,
+    bic_margin: float = 6.0,
+    seed: int = 0,
+) -> ExponentialMixture:
+    """Pick the mixture order by BIC (robust at moderate sample sizes).
+
+    The paper's vanishing-weight rule works at their 2.4M-session scale;
+    at thousands of sessions EM can keep carving spurious components out
+    of sampling noise, which a BIC penalty suppresses.  Degenerate fits —
+    a vanishing weight, or two components converging onto the same scale
+    (adjacent mean ratio below ``mean_separation``) — are never candidates
+    regardless of their BIC.
+
+    Among candidates whose BIC lies within ``bic_margin`` of the minimum
+    (the conventional "weak evidence" band), the richest model wins: a
+    rare, well-separated tail component whose evidence is merely *weak*
+    at a few thousand samples is still the structure the data carries.
+    """
+    data = np.asarray(samples, dtype=float).ravel()
+    candidates: list[tuple[float, ExponentialMixture]] = []
+    for n in range(1, max_components + 1):
+        fit = _best_of_restarts(data, n, seed, restarts=4)
+        if min(fit.weights) < weight_floor:
+            break
+        if n > 1:
+            means = np.asarray(fit.means)
+            if bool(np.any(means[1:] / means[:-1] < mean_separation)):
+                continue
+        candidates.append((bic(fit, data.size), fit))
+    if not candidates:
+        raise RuntimeError("BIC order selection failed to produce a fit")
+    best_bic = min(score for score, _ in candidates)
+    within = [
+        fit for score, fit in candidates if score <= best_bic + bic_margin
+    ]
+    return max(within, key=lambda fit: fit.n_components)

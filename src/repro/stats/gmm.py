@@ -1,0 +1,260 @@
+"""One-dimensional Gaussian mixture models fit by expectation-maximization.
+
+The paper models the logarithm of the inter-file-operation time of each user
+with a two-component Gaussian mixture: one component for within-session
+intervals (mean around 10 seconds) and one for between-session intervals
+(mean around one day).  The session threshold tau falls in the valley between
+the two components.
+
+This module implements the EM algorithm for 1-D GMMs from scratch (numpy
+only), plus the valley and equal-responsibility crossover computations used
+to derive tau.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+@dataclass(frozen=True)
+class GaussianComponent:
+    """One mixture component: weight, mean and standard deviation."""
+
+    weight: float
+    mean: float
+    std: float
+
+    def log_pdf(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise log density of this component (without the weight)."""
+        z = (x - self.mean) / self.std
+        return -0.5 * (z * z + _LOG_2PI) - math.log(self.std)
+
+
+@dataclass(frozen=True)
+class GaussianMixture:
+    """A fitted 1-D Gaussian mixture, components sorted by mean."""
+
+    components: tuple[GaussianComponent, ...]
+    log_likelihood: float
+    n_iterations: int
+    converged: bool
+
+    @property
+    def weights(self) -> np.ndarray:
+        return np.array([c.weight for c in self.components])
+
+    @property
+    def means(self) -> np.ndarray:
+        return np.array([c.mean for c in self.components])
+
+    @property
+    def stds(self) -> np.ndarray:
+        return np.array([c.std for c in self.components])
+
+    def pdf(self, x: float | np.ndarray) -> np.ndarray:
+        """Mixture density at ``x``."""
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        parts = [c.weight * np.exp(c.log_pdf(x_arr)) for c in self.components]
+        return np.sum(parts, axis=0)
+
+    def responsibilities(self, x: float | np.ndarray) -> np.ndarray:
+        """Posterior component probabilities, shape (len(x), k)."""
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        log_parts = np.stack(
+            [math.log(c.weight) + c.log_pdf(x_arr) for c in self.components],
+            axis=1,
+        )
+        log_norm = _logsumexp_rows(log_parts)
+        return np.exp(log_parts - log_norm[:, None])
+
+    def valley(self) -> float:
+        """Location of the mixture density minimum between the two extreme
+        component means.
+
+        For the paper's inter-operation-time model this is the natural
+        session cut point: intervals left of the valley are within-session,
+        intervals right of it are between sessions.
+        """
+        if len(self.components) < 2:
+            raise ValueError("valley needs at least two components")
+        low, high = self.means.min(), self.means.max()
+        grid = np.linspace(low, high, 4097)
+        dens = self.pdf(grid)
+        return float(grid[np.argmin(dens)])
+
+    def crossover(self) -> float:
+        """Point between the extreme means where the two outermost
+        components are equally responsible (posterior = 0.5 each).
+
+        The paper notes the 1-hour mark "is equally likely to be within the
+        two components"; this computes that point exactly.
+        """
+        if len(self.components) < 2:
+            raise ValueError("crossover needs at least two components")
+        lo_c = self.components[0]
+        hi_c = self.components[-1]
+        low, high = lo_c.mean, hi_c.mean
+
+        def diff(x: float) -> float:
+            xa = np.array([x])
+            return float(
+                math.log(lo_c.weight)
+                + lo_c.log_pdf(xa)[0]
+                - math.log(hi_c.weight)
+                - hi_c.log_pdf(xa)[0]
+            )
+
+        # diff is positive near the low mean and negative near the high mean;
+        # bisect for the root.
+        f_low = diff(low)
+        f_high = diff(high)
+        if f_low * f_high > 0:
+            # Degenerate overlap; fall back to the density valley.
+            return self.valley()
+        for _ in range(200):
+            mid = 0.5 * (low + high)
+            f_mid = diff(mid)
+            if f_low * f_mid <= 0:
+                high = mid
+            else:
+                low, f_low = mid, f_mid
+        return 0.5 * (low + high)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` samples from the mixture."""
+        choices = rng.choice(len(self.components), size=n, p=self.weights)
+        out = np.empty(n)
+        for i, c in enumerate(self.components):
+            mask = choices == i
+            out[mask] = rng.normal(c.mean, c.std, size=int(mask.sum()))
+        return out
+
+
+def _logsumexp_rows(log_parts: np.ndarray) -> np.ndarray:
+    """Row-wise log-sum-exp for an (n, k) matrix."""
+    row_max = np.max(log_parts, axis=1)
+    return row_max + np.log(np.sum(np.exp(log_parts - row_max[:, None]), axis=1))
+
+
+def _kmeans_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantile-seeded 1-D k-means to initialize EM."""
+    qs = (np.arange(k) + 0.5) / k
+    centers = np.quantile(data, qs)
+    for _ in range(25):
+        assign = np.argmin(np.abs(data[:, None] - centers[None, :]), axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = data[assign == j]
+            if members.size:
+                new_centers[j] = members.mean()
+        if np.allclose(new_centers, centers):
+            break
+        centers = new_centers
+    assign = np.argmin(np.abs(data[:, None] - centers[None, :]), axis=1)
+    weights = np.array([(assign == j).mean() for j in range(k)])
+    stds = np.array(
+        [
+            data[assign == j].std() if (assign == j).sum() > 1 else data.std() or 1.0
+            for j in range(k)
+        ]
+    )
+    spread = data.std() if data.std() > 0 else 1.0
+    weights = np.clip(weights, 1e-3, None)
+    weights /= weights.sum()
+    stds = np.clip(stds, 1e-3 * spread, None)
+    # Perturb ties so EM can separate identical seeds.
+    centers = centers + rng.normal(0.0, 1e-6 * spread, size=k)
+    return weights, centers, stds
+
+
+def fit_gmm(
+    samples: np.ndarray,
+    n_components: int = 2,
+    *,
+    max_iterations: int = 500,
+    tol: float = 1e-8,
+    min_std: float = 1e-6,
+    seed: int = 0,
+) -> GaussianMixture:
+    """Fit a 1-D Gaussian mixture to ``samples`` with EM.
+
+    Parameters
+    ----------
+    samples:
+        1-D data array.  For the paper's interval model, pass
+        ``log10(intervals)``.
+    n_components:
+        Number of mixture components (the paper uses 2).
+    max_iterations, tol:
+        EM stops when the mean log-likelihood improves by less than ``tol``
+        or after ``max_iterations``.
+    min_std:
+        Lower bound on component standard deviations, which prevents
+        components from collapsing onto single points.
+    seed:
+        Seed for the deterministic initialization jitter.
+
+    Returns
+    -------
+    GaussianMixture
+        Fitted mixture with components sorted by ascending mean.
+    """
+    data = np.asarray(samples, dtype=float).ravel()
+    if data.size < n_components:
+        raise ValueError(
+            f"need at least {n_components} samples, got {data.size}"
+        )
+    if not np.all(np.isfinite(data)):
+        raise ValueError("samples must be finite")
+    rng = np.random.default_rng(seed)
+    weights, means, stds = _kmeans_init(data, n_components, rng)
+
+    prev_ll = -math.inf
+    ll = prev_ll
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        # E-step: log responsibilities.
+        z = (data[:, None] - means[None, :]) / stds[None, :]
+        log_parts = (
+            np.log(weights)[None, :]
+            - np.log(stds)[None, :]
+            - 0.5 * (z * z + _LOG_2PI)
+        )
+        log_norm = _logsumexp_rows(log_parts)
+        ll = float(np.mean(log_norm))
+        resp = np.exp(log_parts - log_norm[:, None])
+
+        # M-step.
+        resp_sums = resp.sum(axis=0)
+        resp_sums = np.clip(resp_sums, 1e-12, None)
+        weights = resp_sums / data.size
+        means = (resp * data[:, None]).sum(axis=0) / resp_sums
+        var = (resp * (data[:, None] - means[None, :]) ** 2).sum(axis=0) / resp_sums
+        stds = np.sqrt(np.clip(var, min_std**2, None))
+
+        if ll - prev_ll < tol and iteration > 1:
+            converged = True
+            break
+        prev_ll = ll
+
+    order = np.argsort(means)
+    components = tuple(
+        GaussianComponent(
+            weight=float(weights[i]), mean=float(means[i]), std=float(stds[i])
+        )
+        for i in order
+    )
+    return GaussianMixture(
+        components=components,
+        log_likelihood=ll * data.size,
+        n_iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,90 @@
+"""Kolmogorov-Smirnov goodness-of-fit tests.
+
+A binning-free complement to the chi-square test used in Section 3.1.4:
+the KS statistic is the largest gap between the empirical CDF and a model
+CDF (one-sample) or between two empirical CDFs (two-sample), with the
+asymptotic Kolmogorov distribution supplying p-values.  Implemented from
+scratch (numpy only) like the rest of :mod:`repro.stats`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+def kolmogorov_sf(x: float, terms: int = 100) -> float:
+    """Survival function of the Kolmogorov distribution.
+
+    ``Q(x) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 x^2)``.
+    """
+    if x <= 0:
+        return 1.0
+    total = 0.0
+    for k in range(1, terms + 1):
+        term = (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * x * x)
+        total += term
+        if abs(term) < 1e-16:
+            break
+    return min(1.0, max(0.0, 2.0 * total))
+
+
+@dataclass(frozen=True)
+class KsResult:
+    """Outcome of a KS test."""
+
+    statistic: float
+    p_value: float
+    n_effective: float
+
+    def passes(self, significance: float = 0.05) -> bool:
+        """True when the model is *not* rejected at the given level."""
+        return self.p_value >= significance
+
+
+def ks_one_sample(
+    samples: np.ndarray, model_cdf: Callable[[np.ndarray], np.ndarray]
+) -> KsResult:
+    """One-sample KS test of ``samples`` against a continuous model CDF."""
+    data = np.sort(np.asarray(samples, dtype=float).ravel())
+    n = data.size
+    if n < 5:
+        raise ValueError("need at least 5 samples")
+    cdf = np.asarray(model_cdf(data), dtype=float)
+    if np.any(cdf < -1e-9) or np.any(cdf > 1.0 + 1e-9):
+        raise ValueError("model_cdf must return values in [0, 1]")
+    grid = np.arange(1, n + 1, dtype=float)
+    d_plus = np.max(grid / n - cdf)
+    d_minus = np.max(cdf - (grid - 1.0) / n)
+    statistic = float(max(d_plus, d_minus))
+    # Asymptotic p-value with the standard finite-n adjustment.
+    root_n = math.sqrt(n)
+    argument = (root_n + 0.12 + 0.11 / root_n) * statistic
+    return KsResult(
+        statistic=statistic,
+        p_value=kolmogorov_sf(argument),
+        n_effective=float(n),
+    )
+
+
+def ks_two_sample(a: np.ndarray, b: np.ndarray) -> KsResult:
+    """Two-sample KS test (are two samples from one distribution?)."""
+    x = np.sort(np.asarray(a, dtype=float).ravel())
+    y = np.sort(np.asarray(b, dtype=float).ravel())
+    if x.size < 5 or y.size < 5:
+        raise ValueError("need at least 5 samples on each side")
+    combined = np.concatenate([x, y])
+    cdf_x = np.searchsorted(x, combined, side="right") / x.size
+    cdf_y = np.searchsorted(y, combined, side="right") / y.size
+    statistic = float(np.max(np.abs(cdf_x - cdf_y)))
+    n_effective = x.size * y.size / (x.size + y.size)
+    root = math.sqrt(n_effective)
+    argument = (root + 0.12 + 0.11 / root) * statistic
+    return KsResult(
+        statistic=statistic,
+        p_value=kolmogorov_sf(argument),
+        n_effective=float(n_effective),
+    )

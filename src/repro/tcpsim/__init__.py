@@ -1,0 +1,88 @@
+"""Packet-level TCP simulator substrate.
+
+Simulates the chunked storage/retrieval flows of the examined service over a
+single TCP connection — slow start, congestion avoidance, RFC 6298 RTO,
+RFC 5681 slow-start-after-idle, receive-window clamping — with the paper's
+device profiles supplying client processing times, and captures packet-level
+traces equivalent to the paper's front-end tcpdump captures."""
+
+from .congestion import CongestionControl
+from .connection import (
+    ACK_SIZE,
+    MAX_UNSCALED_RWND,
+    MessageReceipt,
+    TcpTransfer,
+)
+from .devices import (
+    ANDROID,
+    DEFAULT_SERVER,
+    IOS,
+    PC,
+    DeviceProfile,
+    Lognormal,
+    ServerProfile,
+    profile_for,
+)
+from .flow import (
+    ChunkResult,
+    FlowResult,
+    TransferOptions,
+    sample_flow_population,
+    simulate_flow,
+)
+from .parallel import (
+    ParallelResult,
+    connection_sweep,
+    simulate_parallel_upload,
+)
+from .mitigations import (
+    BASELINE,
+    PACED_RESTART,
+    BATCHED_CHUNKS,
+    LARGER_CHUNKS,
+    MITIGATIONS,
+    NO_SSAI,
+    SCALED_SERVER_WINDOW,
+    MitigationOutcome,
+    run_mitigation_sweep,
+)
+from .path import NetworkPath
+from .rto import RtoEstimator, paper_rto_estimate
+from .trace import FlowTrace
+
+__all__ = [
+    "ACK_SIZE",
+    "ANDROID",
+    "BASELINE",
+    "BATCHED_CHUNKS",
+    "ChunkResult",
+    "CongestionControl",
+    "DEFAULT_SERVER",
+    "DeviceProfile",
+    "FlowResult",
+    "FlowTrace",
+    "IOS",
+    "LARGER_CHUNKS",
+    "Lognormal",
+    "MAX_UNSCALED_RWND",
+    "MITIGATIONS",
+    "MessageReceipt",
+    "MitigationOutcome",
+    "NO_SSAI",
+    "PACED_RESTART",
+    "ParallelResult",
+    "NetworkPath",
+    "PC",
+    "RtoEstimator",
+    "connection_sweep",
+    "SCALED_SERVER_WINDOW",
+    "ServerProfile",
+    "TcpTransfer",
+    "TransferOptions",
+    "paper_rto_estimate",
+    "profile_for",
+    "run_mitigation_sweep",
+    "sample_flow_population",
+    "simulate_parallel_upload",
+    "simulate_flow",
+]

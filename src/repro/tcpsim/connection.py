@@ -1,0 +1,375 @@
+"""Packet-level simulation of one TCP byte stream.
+
+:class:`TcpTransfer` models the data-carrying direction of a single TCP
+connection: MSS-sized segments clocked out under ``min(cwnd, rwnd)``,
+cumulative ACKs, RTT sampling into an RFC 6298 estimator, fast retransmit on
+three duplicate ACKs, RTO timeout recovery, and the RFC 5681
+slow-start-after-idle restart between application messages (chunks).
+
+The application layer above (:mod:`repro.tcpsim.flow`) strings chunk
+transfers together with server/client processing gaps, reproducing the
+timeline of the paper's Fig 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..events import EventHandle, EventLoop
+from .congestion import CongestionControl
+from .path import NetworkPath
+from .rto import RtoEstimator
+from .trace import FlowTrace
+
+ACK_SIZE = 40
+
+#: Maximum receive window without the TCP window-scaling option (RFC 7323).
+MAX_UNSCALED_RWND = 65_535
+
+
+@dataclass
+class _Segment:
+    start: int
+    end: int
+    send_time: float
+    retransmitted: bool = False
+
+
+@dataclass(frozen=True)
+class MessageReceipt:
+    """Delivery report for one application message (chunk).
+
+    Attributes
+    ----------
+    send_start:
+        When the sender began transmitting (after any idle restart check).
+    first_arrival:
+        When the first byte reached the receiver.
+    last_arrival:
+        When the last byte reached the receiver.
+    last_ack_time:
+        When the cumulative ACK covering the message returned to the sender.
+    idle_before:
+        Sender idle time preceding this message (0 for the first message).
+    restarted:
+        Whether the idle period triggered a slow-start restart.
+    rto_at_idle:
+        The sender's RTO when the idle period ended.
+    """
+
+    send_start: float
+    first_arrival: float
+    last_arrival: float
+    last_ack_time: float
+    idle_before: float
+    restarted: bool
+    rto_at_idle: float
+
+
+class TcpTransfer:
+    """Reliable unidirectional transfer of application messages over a path.
+
+    Parameters
+    ----------
+    loop:
+        Shared event loop.
+    path:
+        The network path; ``direction`` selects which side of it carries
+        the data ("up" = client to server).
+    peer_rwnd:
+        Receive window advertised by the peer, in bytes.  Without window
+        scaling this cannot exceed 65,535 (the server-side limitation the
+        paper identified); pass ``window_scaling=False`` to enforce that.
+    congestion / rto_estimator:
+        State machines; fresh defaults are created when omitted.
+    trace:
+        Optional :class:`FlowTrace` to record packet-level samples into.
+    pace_after_idle:
+        The Section 4.3 alternative to restarting slow start: keep the
+        congestion window after a long idle period but *pace* the first
+        window of packets at cwnd/SRTT instead of bursting them (per
+        Visweswaraiah & Heidemann, the paper's reference [28]).  Only
+        meaningful together with ``slow_start_after_idle=False`` on the
+        congestion controller.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        path: NetworkPath,
+        direction: str = "up",
+        *,
+        peer_rwnd: int = MAX_UNSCALED_RWND,
+        window_scaling: bool = True,
+        congestion: CongestionControl | None = None,
+        rto_estimator: RtoEstimator | None = None,
+        trace: FlowTrace | None = None,
+        header_bytes: int = 60,
+        pace_after_idle: bool = False,
+    ) -> None:
+        if direction not in ("up", "down"):
+            raise ValueError("direction must be 'up' or 'down'")
+        if peer_rwnd <= 0:
+            raise ValueError("peer_rwnd must be positive")
+        if not window_scaling and peer_rwnd > MAX_UNSCALED_RWND:
+            raise ValueError(
+                "an unscaled receive window cannot exceed 65535 bytes"
+            )
+        self.loop = loop
+        self.path = path
+        self.direction = direction
+        self.ack_direction = "down" if direction == "up" else "up"
+        self.peer_rwnd = peer_rwnd
+        self.cc = congestion or CongestionControl()
+        self.rto = rto_estimator or RtoEstimator()
+        self.trace = trace
+        self.header_bytes = header_bytes
+        self.pace_after_idle = pace_after_idle
+
+        # Pacing state: while next_seq < _pace_until, sends are spaced by
+        # _pace_interval instead of bursting into the queue.
+        self._pace_until = 0
+        self._pace_interval = 0.0
+        self._next_paced_send = 0.0
+        self.paced_windows = 0
+
+        # Sender state.
+        self._send_base = 0
+        self._next_seq = 0
+        self._message_end = 0
+        self._segments: dict[int, _Segment] = {}
+        self._dupacks = 0
+        self._timer: EventHandle | None = None
+        self._last_data_send: float | None = None
+        self._on_complete: Callable[[MessageReceipt], None] | None = None
+        self._receipt_partial: dict[str, float] = {}
+
+        # Receiver state.
+        self._expected_seq = 0
+        self._ooo: dict[int, int] = {}  # start -> end of buffered segments
+        self._first_arrival: float | None = None
+        self._last_arrival: float | None = None
+
+        # Statistics.
+        self.idle_intervals: list[float] = []
+        self.rto_at_idle: list[float] = []
+        self.restarts = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Unacknowledged bytes currently in the network."""
+        return self._next_seq - self._send_base
+
+    @property
+    def effective_window(self) -> int:
+        """min(cwnd, rwnd): the sender's current usable window."""
+        return min(self.cc.cwnd, self.peer_rwnd)
+
+    @property
+    def busy(self) -> bool:
+        """True while a message is still being delivered."""
+        return self._send_base < self._message_end
+
+    def connect(self, on_connected: Callable[[], None]) -> None:
+        """Model the three-way handshake: one RTT, seeding the RTO estimator."""
+        handshake_rtt = self.path.base_rtt
+        self.rto.observe(max(1e-6, handshake_rtt))
+
+        def finish() -> None:
+            on_connected()
+
+        self.loop.schedule_after(handshake_rtt, finish)
+
+    def send_message(
+        self, size: int, on_complete: Callable[[MessageReceipt], None]
+    ) -> None:
+        """Queue one application message (e.g. an HTTP request + chunk).
+
+        Only one message may be outstanding at a time — the examined
+        service requests chunks sequentially within a connection, waiting
+        for the application-level acknowledgment before the next chunk.
+        """
+        if self.busy:
+            raise RuntimeError("previous message still in flight")
+        if size <= 0:
+            raise ValueError("message size must be positive")
+        now = self.loop.now
+        idle = 0.0
+        restarted = False
+        rto_now = self.rto.rto
+        if self._last_data_send is not None:
+            idle = now - self._last_data_send
+            self.idle_intervals.append(idle)
+            self.rto_at_idle.append(rto_now)
+            restarted = self.cc.maybe_restart_after_idle(idle, rto_now)
+            if restarted:
+                self.restarts += 1
+            elif self.pace_after_idle and idle > rto_now:
+                # Keep the window, but clock the first window's worth of
+                # segments out at cwnd/SRTT rather than as one burst.
+                srtt = self.rto.srtt or self.path.base_rtt
+                window = max(self.cc.mss, self.effective_window)
+                self._pace_until = self._next_seq + min(size, window)
+                self._pace_interval = self.cc.mss * srtt / window
+                self._next_paced_send = now
+                self.paced_windows += 1
+        self._message_end = self._next_seq + size
+        self._on_complete = on_complete
+        self._receipt_partial = {
+            "send_start": now,
+            "idle_before": idle,
+            "restarted": float(restarted),
+            "rto_at_idle": rto_now,
+        }
+        self._first_arrival = None
+        self._last_arrival = None
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # Sender internals
+    # ------------------------------------------------------------------
+
+    def _try_send(self) -> None:
+        while (
+            self._next_seq < self._message_end
+            and self.inflight + self.cc.mss <= self.effective_window + self.cc.mss - 1
+            and self.inflight < self.effective_window
+        ):
+            if self._next_seq < self._pace_until:
+                now = self.loop.now
+                if now + 1e-12 < self._next_paced_send:
+                    self.loop.schedule_at(self._next_paced_send, self._try_send)
+                    return
+                self._next_paced_send = (
+                    max(now, self._next_paced_send) + self._pace_interval
+                )
+            start = self._next_seq
+            end = min(start + self.cc.mss, self._message_end)
+            self._send_segment(start, end, retransmit=False)
+            self._next_seq = end
+
+    def _send_segment(self, start: int, end: int, retransmit: bool) -> None:
+        now = self.loop.now
+        size = (end - start) + self.header_bytes
+        arrival, delivered = self.path.transmit(self.direction, now, size)
+        segment = self._segments.get(start)
+        if segment is None or segment.end != end:
+            segment = _Segment(start=start, end=end, send_time=now)
+            self._segments[start] = segment
+        segment.send_time = now
+        segment.retransmitted = segment.retransmitted or retransmit
+        self._last_data_send = now
+        if self.trace is not None:
+            self.trace.record_send(now, end, self.inflight_after(end))
+        if delivered:
+            self.loop.schedule_at(arrival, lambda s=start, e=end: self._on_data(s, e))
+        self._arm_timer()
+
+    def inflight_after(self, end_seq: int) -> int:
+        """Inflight size as it will be once ``end_seq`` is on the wire."""
+        return max(end_seq, self._next_seq) - self._send_base
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.loop.schedule_after(self.rto.rto, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        if not self.busy:
+            return
+        self.timeouts += 1
+        self.retransmissions += 1
+        self.cc.on_timeout(self.inflight)
+        self.rto.backoff()
+        # Go-back-N from the lowest unacknowledged byte.
+        start = self._send_base
+        end = min(start + self.cc.mss, self._message_end)
+        self._send_segment(start, end, retransmit=True)
+
+    def _on_ack(self, ack_seq: int) -> None:
+        if ack_seq > self._send_base:
+            newly_acked = ack_seq - self._send_base
+            # RTT sample from the newest segment this ACK covers, unless
+            # retransmitted (Karn's rule).
+            sample_segment = None
+            for start in list(self._segments):
+                segment = self._segments[start]
+                if segment.end <= ack_seq:
+                    if not segment.retransmitted and (
+                        sample_segment is None
+                        or segment.send_time > sample_segment.send_time
+                    ):
+                        sample_segment = segment
+                    del self._segments[start]
+            if sample_segment is not None:
+                rtt_sample = self.loop.now - sample_segment.send_time
+                if rtt_sample > 0:
+                    self.rto.observe(rtt_sample)
+                    if self.trace is not None:
+                        self.trace.record_rtt(self.loop.now, rtt_sample)
+            self._send_base = ack_seq
+            self._dupacks = 0
+            self.cc.on_ack(newly_acked)
+            if self.trace is not None:
+                self.trace.record_ack(self.loop.now, ack_seq, self.inflight)
+            if self._send_base >= self._message_end:
+                self._complete_message()
+            else:
+                self._arm_timer()
+                self._try_send()
+        elif self.busy:
+            self._dupacks += 1
+            if self._dupacks == 3:
+                self.retransmissions += 1
+                self.cc.on_fast_retransmit(self.inflight)
+                start = self._send_base
+                end = min(start + self.cc.mss, self._message_end)
+                self._send_segment(start, end, retransmit=True)
+
+    def _complete_message(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        callback = self._on_complete
+        self._on_complete = None
+        receipt = MessageReceipt(
+            send_start=self._receipt_partial["send_start"],
+            first_arrival=self._first_arrival or self.loop.now,
+            last_arrival=self._last_arrival or self.loop.now,
+            last_ack_time=self.loop.now,
+            idle_before=self._receipt_partial["idle_before"],
+            restarted=bool(self._receipt_partial["restarted"]),
+            rto_at_idle=self._receipt_partial["rto_at_idle"],
+        )
+        if callback is not None:
+            callback(receipt)
+
+    # ------------------------------------------------------------------
+    # Receiver internals
+    # ------------------------------------------------------------------
+
+    def _on_data(self, start: int, end: int) -> None:
+        now = self.loop.now
+        if self._first_arrival is None and start <= self._expected_seq:
+            self._first_arrival = now
+        if start <= self._expected_seq:
+            self._expected_seq = max(self._expected_seq, end)
+            # Drain any buffered out-of-order segments now contiguous.
+            while self._expected_seq in self._ooo:
+                self._expected_seq = self._ooo.pop(self._expected_seq)
+        elif start > self._expected_seq:
+            self._ooo[start] = max(self._ooo.get(start, 0), end)
+        if self._expected_seq >= self._message_end:
+            self._last_arrival = now
+        self._send_ack(self._expected_seq)
+
+    def _send_ack(self, ack_seq: int) -> None:
+        arrival, _ = self.path.transmit(self.ack_direction, self.loop.now, ACK_SIZE)
+        self.loop.schedule_at(arrival, lambda a=ack_seq: self._on_ack(a))

@@ -1,0 +1,409 @@
+"""Chunk-level storage and retrieval flows (the paper's Fig 11 timeline).
+
+A flow uploads or downloads a file as a sequence of fixed-size chunks over
+one TCP connection.  Chunks are strictly sequential at the HTTP level: the
+next chunk request is not issued until the previous chunk was acknowledged
+with an HTTP ``200 OK``.  Between chunks the TCP sender is idle for
+``Tsrv + Tclt`` (plus propagation), and when that idle time exceeds its RTO
+the congestion window collapses back to the restart window — the mechanism
+behind the Android/iOS performance gap of Section 4.
+
+`simulate_flow` runs one flow and returns per-chunk measurements in the same
+terms as the paper: ``Tchunk`` (front-end processing time), ``Tsrv``,
+``ttran = Tchunk - Tsrv``, idle intervals and their ratio to the RTO, plus
+the packet-level :class:`FlowTrace`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..events import EventLoop
+from ..logs.schema import CHUNK_SIZE, DeviceType, Direction
+from .congestion import CongestionControl
+from .connection import MAX_UNSCALED_RWND, MessageReceipt, TcpTransfer
+from .devices import DEFAULT_SERVER, DeviceProfile, ServerProfile, profile_for
+from .path import NetworkPath
+from .rto import RtoEstimator
+from .trace import FlowTrace
+
+REQUEST_SIZE = 300  # HTTP request header bytes
+RESPONSE_SIZE = 200  # HTTP 200 OK bytes
+
+
+@dataclass(frozen=True)
+class TransferOptions:
+    """Tunable transfer behaviour, including the Section 4.3 mitigations.
+
+    Attributes
+    ----------
+    chunk_size:
+        Bytes per chunk (service default 512 KB; the paper suggests
+        1.5-2 MB).
+    batch_size:
+        Chunks carried per HTTP request.  The deployed service uses 1
+        (strictly sequential chunks); values above 1 model the proposed
+        batched store/retrieve commands.
+    slow_start_after_idle:
+        Whether senders apply RFC 5681 idle restarts (mitigation: off).
+    pace_after_idle:
+        Pace the first window after a long idle instead of bursting it —
+        the safer companion to disabling slow-start-after-idle.
+    server_window_scaling:
+        Whether servers enable RFC 7323 window scaling.  Off (the measured
+        configuration) clamps upload windows at 64 KB.
+    server_rwnd:
+        Server receive window when scaling is enabled.
+    initial_window_segments:
+        Sender initial window in segments.
+    mss:
+        Segment payload size.
+    """
+
+    chunk_size: int = CHUNK_SIZE
+    batch_size: int = 1
+    slow_start_after_idle: bool = True
+    pace_after_idle: bool = False
+    server_window_scaling: bool = False
+    server_rwnd: int = MAX_UNSCALED_RWND
+    initial_window_segments: int = 3
+    mss: int = 1448
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if not self.server_window_scaling and self.server_rwnd > MAX_UNSCALED_RWND:
+            raise ValueError(
+                "server_rwnd above 64 KB requires server_window_scaling"
+            )
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Measurements for one chunk (or chunk batch) request."""
+
+    index: int
+    size: int
+    tchunk: float
+    tsrv: float
+    tclt: float
+    idle_before: float
+    rto_at_idle: float
+    restarted: bool
+
+    @property
+    def ttran(self) -> float:
+        """User-perceived transfer time, ``Tchunk - Tsrv``."""
+        return max(0.0, self.tchunk - self.tsrv)
+
+    @property
+    def idle_rto_ratio(self) -> float:
+        """Idle time over RTO; above 1.0 triggers a slow-start restart."""
+        if self.idle_before <= 0.0:
+            return 0.0
+        return self.idle_before / self.rto_at_idle
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one simulated storage or retrieval flow."""
+
+    direction: Direction
+    device_type: DeviceType
+    chunk_results: list[ChunkResult] = field(default_factory=list)
+    trace: FlowTrace = field(default_factory=FlowTrace)
+    duration: float = 0.0
+    total_bytes: int = 0
+    slow_start_restarts: int = 0
+    retransmissions: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Application goodput over the whole flow (bytes/second)."""
+        if self.duration <= 0:
+            raise ValueError("flow has no duration")
+        return self.total_bytes / self.duration
+
+    @property
+    def chunk_times(self) -> np.ndarray:
+        """Per-chunk ``ttran`` values (the Fig 12 samples)."""
+        return np.asarray([c.ttran for c in self.chunk_results])
+
+    @property
+    def idle_rto_ratios(self) -> np.ndarray:
+        """Per-gap actual TCP sender idle / RTO ratios.
+
+        The actual idle includes propagation and queue-drain transit in
+        addition to the processing times; this is what the simulator's
+        restart decision uses.
+        """
+        return np.asarray(
+            [c.idle_rto_ratio for c in self.chunk_results if c.idle_before > 0]
+        )
+
+    @property
+    def processing_idle_ratios(self) -> np.ndarray:
+        """Per-gap (Tsrv + Tclt) / RTO ratios — the paper's definition.
+
+        Section 4.2 defines the idle time between two chunks as the sum of
+        the server and client processing times (Fig 11), which is what the
+        paper's Fig 16c plots.  The gap before chunk ``i`` is attributed
+        the processing times that followed chunk ``i - 1``.
+        """
+        ratios = []
+        for prev, cur in zip(self.chunk_results, self.chunk_results[1:]):
+            ratios.append((prev.tsrv + prev.tclt) / cur.rto_at_idle)
+        return np.asarray(ratios)
+
+    def average_rtt(self) -> float:
+        return self.trace.average_rtt()
+
+
+def simulate_flow(
+    *,
+    direction: Direction,
+    device: DeviceProfile | DeviceType,
+    file_size: int,
+    path: NetworkPath | None = None,
+    server: ServerProfile = DEFAULT_SERVER,
+    options: TransferOptions = TransferOptions(),
+    seed: int = 0,
+) -> FlowResult:
+    """Simulate one chunked storage or retrieval flow end to end.
+
+    Parameters
+    ----------
+    direction:
+        ``Direction.STORE`` uploads (client is the TCP data sender and the
+        server's small receive window applies); ``Direction.RETRIEVE``
+        downloads (server sends, the client's large scaled window applies).
+    device:
+        Device profile (or type) supplying the ``Tclt`` distribution.
+    file_size:
+        Bytes to transfer; split into ``options.chunk_size`` chunks.
+    path:
+        Network path; defaults to a 2 MB/s, 100 ms RTT cellular-ish path.
+    seed:
+        Seeds the Tsrv/Tclt draws (and path loss/jitter uses the path's own
+        seed).
+
+    Returns
+    -------
+    FlowResult
+        Per-chunk measurements, packet trace and flow summary.
+    """
+    if isinstance(device, DeviceType):
+        device = profile_for(device)
+    if file_size <= 0:
+        raise ValueError("file_size must be positive")
+    if path is None:
+        path = NetworkPath(bandwidth=2_000_000.0, one_way_delay=0.05)
+
+    rng = np.random.default_rng(seed)
+    loop = EventLoop()
+    result = FlowResult(direction=direction, device_type=device.device_type)
+
+    is_store = direction is Direction.STORE
+    if is_store:
+        # Client uploads: server's receive window limits the sender.
+        data_direction = "up"
+        peer_rwnd = (
+            server.advertised_rwnd
+            if server.window_scaling
+            else min(server.advertised_rwnd, MAX_UNSCALED_RWND)
+        )
+        window_scaling = server.window_scaling
+    else:
+        data_direction = "down"
+        peer_rwnd = device.advertised_rwnd
+        window_scaling = device.window_scaling
+
+    if is_store and options.server_window_scaling:
+        peer_rwnd = options.server_rwnd
+        window_scaling = True
+
+    congestion = CongestionControl(
+        mss=options.mss,
+        initial_window_segments=options.initial_window_segments,
+        slow_start_after_idle=options.slow_start_after_idle,
+    )
+    transfer = TcpTransfer(
+        loop,
+        path,
+        data_direction,
+        peer_rwnd=peer_rwnd,
+        window_scaling=window_scaling,
+        congestion=congestion,
+        rto_estimator=RtoEstimator(),
+        trace=result.trace,
+        pace_after_idle=options.pace_after_idle,
+    )
+
+    # Build the batch schedule: each HTTP request carries batch_size chunks.
+    chunk_sizes: list[int] = []
+    remaining = file_size
+    while remaining > 0:
+        size = min(options.chunk_size, remaining)
+        chunk_sizes.append(size)
+        remaining -= size
+    batches: list[int] = []
+    for i in range(0, len(chunk_sizes), options.batch_size):
+        batches.append(sum(chunk_sizes[i : i + options.batch_size]))
+
+    tclt_dist = device.tclt(is_store)
+    state = {"batch": 0, "done": False, "last_finish": 0.0}
+
+    def start_batch() -> None:
+        index = state["batch"]
+        size = batches[index]
+        tsrv = float(server.tsrv.sample(rng))
+        if is_store:
+            _run_store_batch(index, size, tsrv)
+        else:
+            _run_retrieve_batch(index, size, tsrv)
+
+    def _finish_batch(index: int, size: int, tchunk: float, tsrv: float,
+                      tclt: float, receipt: MessageReceipt) -> None:
+        result.chunk_results.append(
+            ChunkResult(
+                index=index,
+                size=size,
+                tchunk=tchunk,
+                tsrv=tsrv,
+                tclt=tclt,
+                idle_before=receipt.idle_before,
+                rto_at_idle=receipt.rto_at_idle,
+                restarted=receipt.restarted,
+            )
+        )
+        state["batch"] += 1
+        if state["batch"] >= len(batches):
+            state["done"] = True
+            state["last_finish"] = loop.now
+        else:
+            loop.schedule_after(tclt if not is_store else 0.0, start_batch)
+
+    def _run_store_batch(index: int, size: int, tsrv: float) -> None:
+        # Upload: the request header and chunk payload flow together from
+        # the client; Tchunk starts when the first byte reaches the server.
+        def on_delivered(receipt: MessageReceipt) -> None:
+            # Server stores the data (Tsrv), then sends HTTP 200 OK.
+            ok_sent = receipt.last_arrival + tsrv
+            tchunk = ok_sent - receipt.first_arrival
+            ok_arrival = (
+                ok_sent
+                + path.one_way_delay
+                + path.serialization_delay(RESPONSE_SIZE, "down")
+            )
+            tclt = float(tclt_dist.sample(rng))
+
+            def on_ok() -> None:
+                # Client prepares the next chunk for Tclt, then the next
+                # send_message call observes idle = Tsrv + Tclt + transit.
+                _finish_batch(index, size, tchunk, tsrv, tclt, receipt)
+
+            loop.schedule_at(ok_arrival + tclt, on_ok)
+
+        transfer.send_message(REQUEST_SIZE + size, on_delivered)
+
+    def _run_retrieve_batch(index: int, size: int, tsrv: float) -> None:
+        # Download: the client's request crosses up (one-way delay), the
+        # server prepares content (Tsrv), then streams the chunk down.
+        request_arrival = (
+            loop.now
+            + path.one_way_delay
+            + path.serialization_delay(REQUEST_SIZE, "up")
+        )
+
+        def serve() -> None:
+            def on_delivered(receipt: MessageReceipt) -> None:
+                # Tchunk runs from the request's arrival at the front-end
+                # to the last byte sent to the client.
+                last_sent = receipt.last_arrival - path.one_way_delay
+                tchunk = last_sent - request_arrival
+                tclt = float(tclt_dist.sample(rng))
+
+                def request_next() -> None:
+                    _finish_batch(index, size, tchunk, tsrv, tclt, receipt)
+
+                # Client processes the chunk for Tclt before requesting
+                # more.  The delivery callback fires when the final ACK
+                # reaches the server, which can postdate client-side
+                # arrival + Tclt for small Tclt; never schedule backwards.
+                loop.schedule_at(
+                    max(loop.now, receipt.last_arrival + tclt), request_next
+                )
+
+            transfer.send_message(RESPONSE_SIZE + size, on_delivered)
+
+        loop.schedule_at(request_arrival + tsrv, serve)
+
+    transfer.connect(start_batch)
+    loop.run()
+    if not state["done"]:
+        raise RuntimeError("flow did not complete (event queue drained early)")
+
+    result.duration = state["last_finish"]
+    result.total_bytes = file_size
+    result.slow_start_restarts = transfer.cc.slow_start_restarts
+    result.retransmissions = transfer.retransmissions
+    return result
+
+
+def sample_flow_population(
+    *,
+    direction: Direction,
+    device: DeviceProfile | DeviceType,
+    n_flows: int,
+    file_size: int = 4 * CHUNK_SIZE,
+    options: TransferOptions = TransferOptions(),
+    rtt_median: float = 0.1,
+    rtt_sigma: float = 0.6,
+    bandwidth_median: float = 2_000_000.0,
+    bandwidth_sigma: float = 0.5,
+    downlink_factor: float = 3.0,
+    seed: int = 0,
+) -> list[FlowResult]:
+    """Simulate a population of flows over heterogeneous paths.
+
+    Per-flow RTT and uplink bandwidth are drawn lognormally, echoing the
+    heavy-tailed RTT distribution of the paper's Fig 14 (median ~100 ms);
+    the downlink is ``downlink_factor`` times the uplink, the usual cellular
+    asymmetry.
+    """
+    if n_flows < 1:
+        raise ValueError("n_flows must be >= 1")
+    if downlink_factor <= 0:
+        raise ValueError("downlink_factor must be positive")
+    rng = np.random.default_rng(seed)
+    results = []
+    for i in range(n_flows):
+        rtt = float(rng.lognormal(math.log(rtt_median), rtt_sigma))
+        bandwidth = float(
+            rng.lognormal(math.log(bandwidth_median), bandwidth_sigma)
+        )
+        bandwidth = max(50_000.0, bandwidth)
+        path = NetworkPath(
+            bandwidth=bandwidth,
+            down_bandwidth=bandwidth * downlink_factor,
+            one_way_delay=rtt / 2.0,
+            seed=seed * 100_003 + i,
+        )
+        results.append(
+            simulate_flow(
+                direction=direction,
+                device=device,
+                file_size=file_size,
+                path=path,
+                options=options,
+                seed=seed * 1_000_003 + i,
+            )
+        )
+    return results

@@ -1,0 +1,116 @@
+"""Section 4.3 mitigation presets and sweep helpers.
+
+The paper proposes four ways to blunt the idle-restart penalty and the
+64 KB server window cap: larger chunks, batched chunk requests, disabling
+slow-start-after-idle, and enabling server-side window scaling.  This module
+packages each as a :class:`TransferOptions` preset and provides a sweep
+harness that measures the per-chunk and per-flow effect of each mitigation,
+feeding the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+import numpy as np
+
+from ..logs.schema import CHUNK_SIZE, DeviceType, Direction
+from .flow import FlowResult, TransferOptions, sample_flow_population
+
+#: The deployed configuration the paper measured: 512 KB chunks, strictly
+#: sequential, idle restarts on, server window unscaled at 64 KB.
+BASELINE = TransferOptions()
+
+#: Raise the chunk size to 2 MB (the paper suggests 1.5-2 MB, matching the
+#: dominant file size), quartering the number of idle gaps per file.
+LARGER_CHUNKS = replace(BASELINE, chunk_size=2 * 1024 * 1024)
+
+#: Batch four 512 KB chunks per HTTP request (the batched store/retrieve
+#: commands of Drago et al. that the service does not yet support).
+BATCHED_CHUNKS = replace(BASELINE, batch_size=4)
+
+#: Disable RFC 5681 slow-start-after-idle on the sender.
+NO_SSAI = replace(BASELINE, slow_start_after_idle=False)
+
+#: Disable the restart but pace the first post-idle window at cwnd/SRTT —
+#: avoids both the restart penalty and the burst that makes plain no-SSAI
+#: lossy on shallow buffers (the paper's reference [28]).
+PACED_RESTART = replace(
+    BASELINE, slow_start_after_idle=False, pace_after_idle=True
+)
+
+#: Enable window scaling at the server with an 1 MB advertised window.
+SCALED_SERVER_WINDOW = replace(
+    BASELINE, server_window_scaling=True, server_rwnd=1024 * 1024
+)
+
+MITIGATIONS: Mapping[str, TransferOptions] = {
+    "baseline": BASELINE,
+    "larger_chunks": LARGER_CHUNKS,
+    "batched_chunks": BATCHED_CHUNKS,
+    "no_ssai": NO_SSAI,
+    "paced_restart": PACED_RESTART,
+    "scaled_server_window": SCALED_SERVER_WINDOW,
+}
+
+
+@dataclass(frozen=True)
+class MitigationOutcome:
+    """Aggregate effect of one mitigation over a flow population."""
+
+    name: str
+    median_chunk_time: float
+    mean_flow_throughput: float
+    restart_fraction: float
+    restarts_per_flow: float
+    n_flows: int
+
+    def speedup_over(self, baseline: "MitigationOutcome") -> float:
+        """Throughput ratio of this mitigation to the baseline."""
+        if baseline.mean_flow_throughput <= 0:
+            raise ValueError("baseline throughput must be positive")
+        return self.mean_flow_throughput / baseline.mean_flow_throughput
+
+
+def _summarize(name: str, flows: list[FlowResult]) -> MitigationOutcome:
+    chunk_times = np.concatenate([f.chunk_times for f in flows])
+    throughputs = np.asarray([f.throughput for f in flows])
+    gaps = sum(max(0, len(f.chunk_results) - 1) for f in flows)
+    restarts = sum(f.slow_start_restarts for f in flows)
+    return MitigationOutcome(
+        name=name,
+        median_chunk_time=float(np.median(chunk_times)),
+        mean_flow_throughput=float(np.mean(throughputs)),
+        restart_fraction=restarts / gaps if gaps else 0.0,
+        restarts_per_flow=restarts / len(flows),
+        n_flows=len(flows),
+    )
+
+
+def run_mitigation_sweep(
+    *,
+    device: DeviceType = DeviceType.ANDROID,
+    direction: Direction = Direction.STORE,
+    n_flows: int = 30,
+    file_size: int = 8 * CHUNK_SIZE,
+    seed: int = 0,
+    mitigations: Mapping[str, TransferOptions] = MITIGATIONS,
+) -> dict[str, MitigationOutcome]:
+    """Measure every mitigation against the same flow population.
+
+    Returns a name -> outcome mapping; ``outcomes[name].speedup_over(
+    outcomes['baseline'])`` gives the headline effect.
+    """
+    outcomes: dict[str, MitigationOutcome] = {}
+    for name, options in mitigations.items():
+        flows = sample_flow_population(
+            direction=direction,
+            device=device,
+            n_flows=n_flows,
+            file_size=file_size,
+            options=options,
+            seed=seed,
+        )
+        outcomes[name] = _summarize(name, flows)
+    return outcomes

@@ -1,0 +1,119 @@
+"""Parallel TCP connections for one transfer.
+
+Section 3.1.3: "due to the large file size, the cloud service uses
+multiple TCP connections to accelerate upload and download.  However,
+cares should be taken when using multiple TCP connections on mobile
+devices because of power, memory and CPU constraints."
+
+This module simulates a file striped across ``k`` concurrent connections
+that share one bottleneck path.  While every connection is limited by the
+64 KB server receive window, aggregate throughput scales with k; once the
+combined windows cover the bandwidth-delay product, extra connections stop
+helping — the diminishing-returns curve behind the paper's caution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events import EventLoop
+from .congestion import CongestionControl
+from .connection import MAX_UNSCALED_RWND, TcpTransfer
+from .path import NetworkPath
+from .rto import RtoEstimator
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Outcome of a striped transfer over ``n_connections``."""
+
+    n_connections: int
+    file_size: int
+    completion_time: float
+    per_connection_bytes: tuple[int, ...]
+
+    @property
+    def aggregate_throughput(self) -> float:
+        if self.completion_time <= 0:
+            raise ValueError("transfer had zero duration")
+        return self.file_size / self.completion_time
+
+    def speedup_over(self, single: "ParallelResult") -> float:
+        """Completion-time speedup relative to a single connection."""
+        return single.completion_time / self.completion_time
+
+
+def simulate_parallel_upload(
+    file_size: int,
+    n_connections: int,
+    *,
+    path: NetworkPath | None = None,
+    peer_rwnd: int = MAX_UNSCALED_RWND,
+    mss: int = 1448,
+    initial_window_segments: int = 3,
+) -> ParallelResult:
+    """Upload ``file_size`` bytes striped over ``n_connections``.
+
+    All connections share the same :class:`NetworkPath` (and therefore its
+    bottleneck serialization), each with its own congestion controller and
+    the same per-connection receive window — exactly how a client opens k
+    sockets to the same front-end.
+    """
+    if file_size <= 0:
+        raise ValueError("file_size must be positive")
+    if n_connections < 1:
+        raise ValueError("n_connections must be >= 1")
+    if path is None:
+        path = NetworkPath(bandwidth=2_000_000.0, one_way_delay=0.05)
+
+    loop = EventLoop()
+    base, remainder = divmod(file_size, n_connections)
+    stripe_sizes = [
+        base + (1 if i < remainder else 0) for i in range(n_connections)
+    ]
+    finish_times: list[float] = []
+
+    for stripe in stripe_sizes:
+        transfer = TcpTransfer(
+            loop,
+            path,
+            "up",
+            peer_rwnd=peer_rwnd,
+            window_scaling=peer_rwnd > MAX_UNSCALED_RWND,
+            congestion=CongestionControl(
+                mss=mss, initial_window_segments=initial_window_segments
+            ),
+            rto_estimator=RtoEstimator(),
+        )
+
+        def start(t=transfer, size=stripe):
+            t.send_message(
+                size, lambda receipt: finish_times.append(receipt.last_ack_time)
+            )
+
+        transfer.connect(start)
+
+    loop.run()
+    if len(finish_times) != n_connections:
+        raise RuntimeError("not every stripe completed")
+    return ParallelResult(
+        n_connections=n_connections,
+        file_size=file_size,
+        completion_time=max(finish_times),
+        per_connection_bytes=tuple(stripe_sizes),
+    )
+
+
+def connection_sweep(
+    file_size: int,
+    connection_counts: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    bandwidth: float = 2_000_000.0,
+    one_way_delay: float = 0.05,
+) -> dict[int, ParallelResult]:
+    """Run the striping sweep on identical fresh paths."""
+    results = {}
+    for k in connection_counts:
+        path = NetworkPath(bandwidth=bandwidth, one_way_delay=one_way_delay)
+        results[k] = simulate_parallel_upload(file_size, k, path=path)
+    return results

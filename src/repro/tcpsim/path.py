@@ -1,0 +1,122 @@
+"""Network path model for the TCP simulator.
+
+A :class:`NetworkPath` is a bidirectional point-to-point path with a
+bottleneck rate, a propagation delay, and an optional independent random
+loss process on data packets.  Serialization at the bottleneck is modeled
+explicitly (a packet cannot depart before the previous one finished), which
+is what shapes ACK clocking in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class NetworkPath:
+    """A symmetric network path between a client and a front-end server.
+
+    Parameters
+    ----------
+    bandwidth:
+        Bottleneck rate in bytes/second for the uplink (and for the
+        downlink unless ``down_bandwidth`` is given — cellular links are
+        typically asymmetric, with downlink several times faster).
+    down_bandwidth:
+        Optional downlink rate in bytes/second.
+    one_way_delay:
+        Propagation delay in seconds; the base RTT is twice this.
+    loss_rate:
+        Independent drop probability for *data* packets (ACKs are assumed
+        never lost; the 40-byte ACKs of a single flow rarely overflow
+        buffers, and lost cumulative ACKs are masked by later ones).
+    jitter:
+        Standard deviation of a truncated Gaussian perturbation added to
+        each packet's propagation delay, emulating cellular delay variation.
+    buffer_bytes:
+        Bottleneck queue capacity per direction; a packet arriving to a
+        full queue is tail-dropped.  ``None`` models an unbounded buffer.
+        Shallow buffers are what makes post-idle bursts lossy — the
+        Section 4.3 argument against simply disabling slow-start-after-
+        idle.
+    seed:
+        Seed for the loss/jitter process.
+    """
+
+    bandwidth: float = 2_000_000.0
+    down_bandwidth: float | None = None
+    one_way_delay: float = 0.05
+    loss_rate: float = 0.0
+    jitter: float = 0.0
+    buffer_bytes: float | None = None
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _free_at: dict[str, float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.down_bandwidth is not None and self.down_bandwidth <= 0:
+            raise ValueError("down_bandwidth must be positive")
+        if self.one_way_delay < 0:
+            raise ValueError("one_way_delay must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        if self.buffer_bytes is not None and self.buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive (or None)")
+        self._rng = np.random.default_rng(self.seed)
+        self._free_at = {"up": 0.0, "down": 0.0}
+
+    @property
+    def base_rtt(self) -> float:
+        """Round-trip propagation delay (no queueing)."""
+        return 2.0 * self.one_way_delay
+
+    def rate_for(self, direction: str) -> float:
+        """Bottleneck rate (bytes/s) for one direction."""
+        if direction == "down" and self.down_bandwidth is not None:
+            return self.down_bandwidth
+        return self.bandwidth
+
+    def serialization_delay(self, size: int, direction: str = "up") -> float:
+        """Time to clock ``size`` bytes onto the bottleneck link."""
+        return size / self.rate_for(direction)
+
+    def transmit(self, direction: str, now: float, size: int) -> tuple[float, bool]:
+        """Send one packet; return ``(arrival_time, delivered)``.
+
+        ``direction`` is ``"up"`` (client to server) or ``"down"``.  The
+        packet occupies the bottleneck for its serialization time starting
+        no earlier than the link is free, then propagates.  ``delivered``
+        is False when the loss process dropped the packet (it still consumed
+        bottleneck time — drops happen at the tail of the queue's egress in
+        this simplified model).
+        """
+        if direction not in self._free_at:
+            raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if self.buffer_bytes is not None:
+            backlog = max(0.0, self._free_at[direction] - now) * self.rate_for(
+                direction
+            )
+            if backlog + size > self.buffer_bytes:
+                # Tail drop: the packet never occupies the queue.
+                return now + self.one_way_delay, False
+        start = max(now, self._free_at[direction])
+        departure = start + self.serialization_delay(size, direction)
+        self._free_at[direction] = departure
+        delay = self.one_way_delay
+        if self.jitter > 0:
+            delay = max(0.0, delay + float(self._rng.normal(0.0, self.jitter)))
+        arrival = departure + delay
+        delivered = self.loss_rate == 0.0 or float(self._rng.uniform()) >= self.loss_rate
+        return arrival, delivered
+
+    def reset(self) -> None:
+        """Clear link occupancy (e.g. between independent flows)."""
+        self._free_at = {"up": 0.0, "down": 0.0}

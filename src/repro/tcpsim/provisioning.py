@@ -1,0 +1,113 @@
+"""Server-side cost of enabling window scaling (Section 4.3).
+
+The paper cautions that the "straightforward solution" of enabling window
+scaling at the servers is not free when serving millions of concurrent
+flows: per-socket receive buffers grow with the advertised window, and the
+extra window is wasted whenever the path — not the 64 KB cap — is the real
+bottleneck.  This module quantifies both sides: simulated upload goodput
+as a function of the server's advertised window, and the fleet-level
+memory footprint that window implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..logs.schema import CHUNK_SIZE, Direction
+from .connection import MAX_UNSCALED_RWND
+from .devices import DeviceProfile, IOS
+from .flow import TransferOptions, simulate_flow
+from .path import NetworkPath
+
+
+@dataclass(frozen=True)
+class WindowOperatingPoint:
+    """Measured outcome of one advertised-window setting."""
+
+    rwnd_bytes: int
+    goodput: float
+    #: Receive-buffer memory one front-end commits for its concurrent
+    #: flows at this advertised window (kernels preallocate toward the
+    #: advertised credit under load).
+    memory_per_server_bytes: float
+
+    def goodput_per_memory(self) -> float:
+        """Throughput bought per byte of buffer memory."""
+        if self.memory_per_server_bytes <= 0:
+            raise ValueError("memory must be positive")
+        return self.goodput / self.memory_per_server_bytes
+
+
+def window_sweep(
+    rwnd_values: tuple[int, ...] = (
+        MAX_UNSCALED_RWND,
+        128 * 1024,
+        256 * 1024,
+        512 * 1024,
+        1024 * 1024,
+    ),
+    *,
+    concurrent_flows_per_server: int = 50_000,
+    bandwidth: float = 2_000_000.0,
+    rtt: float = 0.1,
+    file_size: int = 8 * CHUNK_SIZE,
+    device: DeviceProfile = IOS,
+    n_flows: int = 4,
+    seed: int = 0,
+) -> list[WindowOperatingPoint]:
+    """Measure goodput and memory across advertised server windows.
+
+    The path's bandwidth-delay product determines where goodput saturates;
+    memory grows linearly with the window regardless — the asymmetry the
+    paper warns about.
+    """
+    if concurrent_flows_per_server < 1:
+        raise ValueError("need at least one concurrent flow")
+    points = []
+    for rwnd in rwnd_values:
+        goodputs = []
+        for i in range(n_flows):
+            path = NetworkPath(
+                bandwidth=bandwidth, one_way_delay=rtt / 2.0, seed=seed + i
+            )
+            options = TransferOptions(
+                server_window_scaling=rwnd > MAX_UNSCALED_RWND,
+                server_rwnd=rwnd,
+            )
+            flow = simulate_flow(
+                direction=Direction.STORE,
+                device=device,
+                file_size=file_size,
+                path=path,
+                options=options,
+                seed=seed + i,
+            )
+            goodputs.append(flow.throughput)
+        points.append(
+            WindowOperatingPoint(
+                rwnd_bytes=rwnd,
+                goodput=float(np.mean(goodputs)),
+                memory_per_server_bytes=float(rwnd)
+                * concurrent_flows_per_server,
+            )
+        )
+    return points
+
+
+def saturation_window(
+    points: list[WindowOperatingPoint], threshold: float = 0.05
+) -> int:
+    """Smallest advertised window within ``threshold`` of peak goodput.
+
+    This is the window a cost-aware operator would deploy: beyond it the
+    extra memory buys nothing (the path is the bottleneck).
+    """
+    if not points:
+        raise ValueError("no operating points")
+    peak = max(p.goodput for p in points)
+    for point in sorted(points, key=lambda p: p.rwnd_bytes):
+        if point.goodput >= (1.0 - threshold) * peak:
+            return point.rwnd_bytes
+    return max(p.rwnd_bytes for p in points)  # pragma: no cover

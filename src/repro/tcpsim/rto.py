@@ -1,0 +1,97 @@
+"""Retransmission-timeout estimation (RFC 6298).
+
+The slow-start-after-idle rule that drives the paper's Section 4 findings
+compares the sender's idle time against its current RTO.  This module
+implements the standard estimator
+
+    SRTT    <- (1 - 1/8) SRTT + (1/8) R
+    RTTVAR  <- (1 - 1/4) RTTVAR + (1/4) |SRTT - R|
+    RTO     <- SRTT + max(G, 4 RTTVAR)
+
+with the conventional 200 ms minimum granularity and 1 s floor disabled by
+default (Linux uses a 200 ms floor; the paper's approximation assumes the
+``max(200ms, 4 RTTVAR)`` form), plus the paper's closed-form approximation
+
+    RTO ~= RTT + max(200 ms, 2 RTT)
+
+used when only an average RTT is available (HTTP log analysis, Fig 16c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RtoEstimator:
+    """RFC 6298 RTO estimator with Linux-style 200 ms variance floor.
+
+    Parameters
+    ----------
+    initial_rto:
+        RTO before the first RTT measurement (RFC 6298 says 1 s).
+    min_granularity:
+        The ``G``/variance floor; Linux clamps ``4*RTTVAR`` at 200 ms.
+    min_rto, max_rto:
+        Hard clamps on the final value.
+    """
+
+    initial_rto: float = 1.0
+    min_granularity: float = 0.2
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+
+    def __post_init__(self) -> None:
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+
+    @property
+    def srtt(self) -> float | None:
+        """Smoothed RTT, or None before the first sample."""
+        return self._srtt
+
+    @property
+    def rttvar(self) -> float:
+        return self._rttvar
+
+    def observe(self, rtt_sample: float) -> None:
+        """Fold one RTT measurement into the estimator."""
+        if rtt_sample <= 0:
+            raise ValueError(f"RTT sample must be positive, got {rtt_sample}")
+        if self._srtt is None:
+            self._srtt = rtt_sample
+            self._rttvar = rtt_sample / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt_sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt_sample
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout."""
+        if self._srtt is None:
+            return self.initial_rto
+        rto = self._srtt + max(self.min_granularity, 4.0 * self._rttvar)
+        return min(self.max_rto, max(self.min_rto, rto))
+
+    def backoff(self) -> float:
+        """Double the timeout after a retransmission (Karn's algorithm).
+
+        Implemented by inflating RTTVAR so subsequent samples recover
+        smoothly; returns the new RTO.
+        """
+        if self._srtt is None:
+            self.initial_rto = min(self.max_rto, self.initial_rto * 2.0)
+            return self.initial_rto
+        self._rttvar = min(self.max_rto, self._rttvar * 2.0 + 1e-9)
+        return self.rto
+
+
+def paper_rto_estimate(avg_rtt: float) -> float:
+    """The paper's closed-form RTO approximation from an average RTT.
+
+    ``RTO ~= SRTT + max(200 ms, 4 RTTVAR)`` with ``SRTT ~= RTT`` and
+    ``RTTVAR ~= RTT / 2`` gives ``RTO ~= RTT + max(200 ms, 2 RTT)``.
+    """
+    if avg_rtt <= 0:
+        raise ValueError(f"avg_rtt must be positive, got {avg_rtt}")
+    return avg_rtt + max(0.2, 2.0 * avg_rtt)

@@ -1,0 +1,96 @@
+"""Packet-level flow traces.
+
+The paper's Fig 13 plots the sequence number and in-flight size of a storage
+flow over time, captured at the client side.  :class:`FlowTrace` records the
+equivalent samples from the simulator: one (time, seq, inflight) sample per
+data send, one (time, ack, inflight) sample per cumulative ACK, and the RTT
+samples the sender observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FlowTrace:
+    """Recorded packet-level samples of one TCP flow."""
+
+    send_times: list[float] = field(default_factory=list)
+    send_seqs: list[int] = field(default_factory=list)
+    send_inflight: list[int] = field(default_factory=list)
+    ack_times: list[float] = field(default_factory=list)
+    ack_seqs: list[int] = field(default_factory=list)
+    ack_inflight: list[int] = field(default_factory=list)
+    rtt_times: list[float] = field(default_factory=list)
+    rtt_samples: list[float] = field(default_factory=list)
+
+    def record_send(self, time: float, seq_end: int, inflight: int) -> None:
+        self.send_times.append(time)
+        self.send_seqs.append(seq_end)
+        self.send_inflight.append(inflight)
+
+    def record_ack(self, time: float, ack_seq: int, inflight: int) -> None:
+        self.ack_times.append(time)
+        self.ack_seqs.append(ack_seq)
+        self.ack_inflight.append(inflight)
+
+    def record_rtt(self, time: float, rtt: float) -> None:
+        self.rtt_times.append(time)
+        self.rtt_samples.append(rtt)
+
+    # ------------------------------------------------------------------
+    # Derived series
+    # ------------------------------------------------------------------
+
+    def sequence_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(time, highest sequence sent) — the Fig 13a curve."""
+        return (
+            np.asarray(self.send_times, dtype=float),
+            np.asarray(self.send_seqs, dtype=float),
+        )
+
+    def inflight_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(time, inflight bytes) sampled at every ACK — the Fig 13b curve.
+
+        The paper estimates the sending window from the gap between the
+        last sequence sent and the last cumulatively ACKed sequence on each
+        ACK arrival; this returns exactly that series.
+        """
+        return (
+            np.asarray(self.ack_times, dtype=float),
+            np.asarray(self.ack_inflight, dtype=float),
+        )
+
+    def average_rtt(self) -> float:
+        """Mean of the RTT samples, as logged in the HTTP access logs."""
+        if not self.rtt_samples:
+            raise ValueError("no RTT samples recorded")
+        return float(np.mean(self.rtt_samples))
+
+    def max_inflight(self) -> int:
+        """Largest observed in-flight size (bytes)."""
+        candidates = self.send_inflight + self.ack_inflight
+        if not candidates:
+            raise ValueError("empty trace")
+        return int(max(candidates))
+
+    def idle_gaps(self, threshold: float = 0.0) -> np.ndarray:
+        """Gaps between consecutive data sends exceeding ``threshold``."""
+        times = np.asarray(self.send_times, dtype=float)
+        if times.size < 2:
+            return np.empty(0)
+        gaps = np.diff(times)
+        return gaps[gaps > threshold]
+
+    def throughput(self) -> float:
+        """Delivered bytes per second over the trace's ACK span."""
+        if len(self.ack_times) < 2:
+            raise ValueError("need at least two ACK samples")
+        span = self.ack_times[-1] - self.ack_times[0]
+        if span <= 0:
+            raise ValueError("trace span is empty")
+        delivered = self.ack_seqs[-1] - self.ack_seqs[0]
+        return delivered / span

@@ -1,0 +1,299 @@
+"""Paper-calibrated generation parameters.
+
+Every constant here is traceable to a number the paper reports (section or
+figure cited inline).  The trace generator plants these models; the analysis
+pipeline must then recover them — the self-consistency loop that stands in
+for the proprietary trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+MB = 1024 * 1024
+
+
+class UserType(enum.Enum):
+    """The four usage types of Section 3.2.1 (Table 3)."""
+
+    UPLOAD_ONLY = "upload_only"
+    DOWNLOAD_ONLY = "download_only"
+    OCCASIONAL = "occasional"
+    MIXED = "mixed"
+
+
+class DeviceGroup(enum.Enum):
+    """User grouping by device usage (Figs 7b, 8, 9)."""
+
+    ONE_MOBILE = "one_mobile"
+    MULTI_MOBILE = "multi_mobile"
+    MOBILE_AND_PC = "mobile_and_pc"
+    PC_ONLY = "pc_only"
+
+
+@dataclass(frozen=True)
+class SessionIntervalModel:
+    """Two-component Gaussian mixture over log10(inter-op seconds) (Fig 3).
+
+    Component 1: within-session intervals, mean ~10 s.  Component 2:
+    between-session intervals, mean ~1 day.  The paper derives the session
+    threshold tau = 1 hour from the valley between them.
+    """
+
+    within_mean_log10: float = 1.05  # ~11 s
+    within_std_log10: float = 0.50
+    between_mean_log10: float = 4.94  # 86,400 s ~ 1 day
+    between_std_log10: float = 0.42
+    #: Spacing used when the app batch-issues file operations (the user
+    #: selected several files at once; Section 3.1.2: ">20 ops land within
+    #: 3% of the session").  Sub-second, below the Fig 3 support.
+    batch_mean_log10: float = -0.7  # ~0.2 s
+    batch_std_log10: float = 0.30
+    #: Sessions with more operations than this are always app-batched.
+    batch_threshold: int = 10
+    #: Probability that a small (2..batch_threshold ops) session was also
+    #: issued as a batch (multi-select) rather than one file at a time.
+    p_batch_small: float = 0.78
+
+
+@dataclass(frozen=True)
+class FileSizeModel:
+    """Three-component exponential mixtures for per-session average file
+    size in MB (Table 2)."""
+
+    store_weights: tuple[float, ...] = (0.91, 0.07, 0.02)
+    store_means_mb: tuple[float, ...] = (1.5, 13.1, 77.4)
+    retrieve_weights: tuple[float, ...] = (0.46, 0.26, 0.28)
+    retrieve_means_mb: tuple[float, ...] = (1.6, 29.8, 146.8)
+    #: Sessions drawing a non-photo (large) size component are capped at
+    #: this many operations: users upload videos one or two at a time and
+    #: fetch big shared files singly, which is what keeps the Fig 5b slope
+    #: at the *photo* size (~1.5 MB) even though the mixture mean is ~3.8 MB,
+    #: and what makes single-file retrieve sessions average ~70 MB (Fig 5c).
+    large_component_max_ops_store: int = 3
+    large_component_max_ops_retrieve: int = 2
+    #: PC clients sync mostly small files (Li et al. 2014, cited in
+    #: Section 3.1.3: "majority of files are very small (< 100 KB)").
+    pc_weights: tuple[float, ...] = (0.70, 0.25, 0.05)
+    pc_means_mb: tuple[float, ...] = (0.08, 1.0, 20.0)
+
+
+@dataclass(frozen=True)
+class SessionMixModel:
+    """Session class shares (Section 3.1.1) and ops-per-session shape
+    (Fig 5a: 40% of sessions have one op, ~10% exceed 20)."""
+
+    store_only: float = 0.682
+    retrieve_only: float = 0.299
+    mixed: float = 0.019
+    #: Generator-level knob; the *recovered* single-op share lands near the
+    #: paper's 40% once budget-exhausted and occasional sessions add their
+    #: forced single-op sessions on top.
+    single_op_fraction: float = 0.15
+    #: Geometric tail for 2..20 ops.
+    small_tail_mean: float = 4.0
+    #: Fraction of sessions above 20 ops, Pareto-tailed up to the cap.
+    large_fraction: float = 0.10
+    large_pareto_alpha: float = 1.3
+    max_ops: int = 200
+
+
+@dataclass(frozen=True)
+class UserMixModel:
+    """User-type shares per device group — the Table 3 plant.
+
+    These generator-level shares sit slightly off the paper's observed
+    Table 3 because classification is behavioural: an upload-only user
+    whose single photo draws small lands in the occasional bucket, and
+    single-session mobile&PC users are only ever observed on one platform.
+    The plants below are tuned so the *recovered* Table 3 matches the
+    paper (checked by experiment T3).
+    """
+
+    #: One-device mobile users; combined with ``multi_mobile`` (weighted by
+    #: the device-count mix) this lands the Table 3 mobile column.
+    mobile_only: dict[UserType, float] = field(
+        default_factory=lambda: {
+            UserType.UPLOAD_ONLY: 0.605,
+            UserType.DOWNLOAD_ONLY: 0.205,
+            UserType.OCCASIONAL: 0.140,
+            UserType.MIXED: 0.050,
+        }
+    )
+    #: Multi-device mobile users sync data between their own devices, so
+    #: far fewer are purely upload-only — the Fig 7b "significant
+    #: reduction in storage-dominating users when using multiple mobile
+    #: devices".  The shift leans on download-only rather than mixed so
+    #: the Fig 9 bound (~80% of uploaders never retrieve, independent of
+    #: device count) survives: download-only users are not uploaders.
+    multi_mobile: dict[UserType, float] = field(
+        default_factory=lambda: {
+            UserType.UPLOAD_ONLY: 0.425,
+            UserType.DOWNLOAD_ONLY: 0.325,
+            UserType.OCCASIONAL: 0.130,
+            UserType.MIXED: 0.120,
+        }
+    )
+    mobile_and_pc: dict[UserType, float] = field(
+        default_factory=lambda: {
+            UserType.UPLOAD_ONLY: 0.600,
+            UserType.DOWNLOAD_ONLY: 0.165,
+            UserType.OCCASIONAL: 0.115,
+            UserType.MIXED: 0.120,
+        }
+    )
+    pc_only: dict[UserType, float] = field(
+        default_factory=lambda: {
+            UserType.UPLOAD_ONLY: 0.420,
+            UserType.DOWNLOAD_ONLY: 0.185,
+            UserType.OCCASIONAL: 0.215,
+            UserType.MIXED: 0.180,
+        }
+    )
+
+    def shares(self, group: DeviceGroup) -> dict[UserType, float]:
+        if group is DeviceGroup.PC_ONLY:
+            return self.pc_only
+        if group is DeviceGroup.MOBILE_AND_PC:
+            return self.mobile_and_pc
+        if group is DeviceGroup.MULTI_MOBILE:
+            return self.multi_mobile
+        return self.mobile_only
+
+
+@dataclass(frozen=True)
+class ActivityModel:
+    """Stretched-exponential rank models for weekly per-user file counts
+    (Fig 10: store c=0.2, retrieve c=0.15).
+
+    The paper's intercepts (b) correspond to its ~10^6-user population; the
+    generator rescales b so that the least-active user lands at one file
+    regardless of the generated population size.
+    """
+
+    store_c: float = 0.20
+    store_a: float = 0.448
+    retrieve_c: float = 0.15
+    retrieve_a: float = 0.322
+    #: Lognormal jitter (sigma in natural log) around the rank curve.
+    jitter_sigma: float = 0.25
+
+
+@dataclass(frozen=True)
+class EngagementModel:
+    """Bimodal return behaviour (Fig 8) and retrieval-after-upload (Fig 9).
+
+    ``p_engaged`` is the probability a user returns at all during the week;
+    engaged users are then active on each later day with ``p_daily``.
+    Paper anchors: ~50% of one-device users never return; <20% of
+    multi-device users never return.
+    """
+
+    #: Tuned above the target never-return rates because users whose file
+    #: budget drains on day one cannot act on later active days.
+    p_engaged: dict[DeviceGroup, float] = field(
+        default_factory=lambda: {
+            DeviceGroup.ONE_MOBILE: 0.62,
+            DeviceGroup.MULTI_MOBILE: 0.80,
+            DeviceGroup.MOBILE_AND_PC: 0.92,
+            DeviceGroup.PC_ONLY: 0.80,
+        }
+    )
+    p_daily: float = 0.55
+    #: Probability that a mixed-type mobile&PC user syncs (retrieves) the
+    #: same day they upload — the Fig 9 day-0 spike.
+    p_same_day_sync_pc: float = 0.75
+    p_same_day_sync_mobile: float = 0.15
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Device population: 78.4% of accesses from Android (Section 2.2);
+    1.396 M devices across 1.149 M users (~1.22 devices/user); 14.3% of
+    mobile users also use a PC."""
+
+    android_share: float = 0.784
+    #: Owned mobile devices per user; the paper's 1.22 is *observed*
+    #: devices (those appearing in logs), and lightly-active users never
+    #: touch their second device, so ownership is planted a bit higher.
+    device_count_probs: tuple[float, ...] = (0.74, 0.19, 0.07)  # 1, 2, 3 devices
+    pc_co_use: float = 0.155
+
+
+@dataclass(frozen=True)
+class DiurnalModel:
+    """Hourly activity weights (Fig 1): a diurnal cycle with a sharp surge
+    around 11 PM when users reach home WiFi, and a 3-6 AM trough."""
+
+    hourly_weights: tuple[float, ...] = (
+        2.0,  # 00
+        1.2,  # 01
+        0.8,  # 02
+        0.5,  # 03
+        0.4,  # 04
+        0.5,  # 05
+        0.8,  # 06
+        1.2,  # 07
+        1.8,  # 08
+        2.2,  # 09
+        2.5,  # 10
+        2.6,  # 11
+        2.8,  # 12
+        2.6,  # 13
+        2.5,  # 14
+        2.6,  # 15
+        2.7,  # 16
+        2.8,  # 17
+        3.0,  # 18
+        3.3,  # 19
+        3.8,  # 20
+        4.6,  # 21
+        5.5,  # 22
+        4.5,  # 23
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.hourly_weights) != 24:
+            raise ValueError("need exactly 24 hourly weights")
+        if any(w <= 0 for w in self.hourly_weights):
+            raise ValueError("hourly weights must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-session network conditions: heavy-tailed RTT with ~100 ms median
+    (Fig 14) and a lognormal uplink bandwidth."""
+
+    rtt_median: float = 0.12
+    rtt_sigma: float = 0.72
+    #: Uplink bandwidth: 2015-era Chinese mobile uplinks (3G and home WiFi
+    #: over ADSL) cluster around a few hundred KB/s, leaving a sizable
+    #: share of uploads limited by the 64 KB server window instead of the
+    #: path (the Fig 15 concentration).
+    bandwidth_median: float = 250_000.0
+    bandwidth_sigma: float = 0.9
+    #: Downlink over uplink ratio (2015-era ADSL/3G asymmetry).
+    downlink_factor: float = 2.0
+    proxied_fraction: float = 0.06
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Everything the trace generator needs, bundled."""
+
+    intervals: SessionIntervalModel = field(default_factory=SessionIntervalModel)
+    file_sizes: FileSizeModel = field(default_factory=FileSizeModel)
+    session_mix: SessionMixModel = field(default_factory=SessionMixModel)
+    user_mix: UserMixModel = field(default_factory=UserMixModel)
+    activity: ActivityModel = field(default_factory=ActivityModel)
+    engagement: EngagementModel = field(default_factory=EngagementModel)
+    devices: DeviceModel = field(default_factory=DeviceModel)
+    diurnal: DiurnalModel = field(default_factory=DiurnalModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    observation_days: int = 7
+    #: Fraction of day-0 first-activity users, so engagement analyses have
+    #: a sizable first-day cohort.
+    first_day_cohort: float = 0.40
+
+PAPER_CONFIG = WorkloadConfig()

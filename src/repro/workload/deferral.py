@@ -1,0 +1,160 @@
+"""The "smart auto backup" upload-deferral policy (Section 3.2.2).
+
+The paper observes that about 80% of mobile users never retrieve their
+uploads within the week, so most uploads could be deferred off the evening
+peak into the early-morning trough, flattening the provisioning curve.
+This module implements that policy over a log stream and measures its
+effect: peak-hour load before/after and the peak-to-mean ratio the capacity
+planner would provision for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..logs.schema import Direction, LogRecord
+from .diurnal import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class DeferralPolicy:
+    """Defer store traffic out of peak hours into a low-load window.
+
+    Parameters
+    ----------
+    peak_hours:
+        Hours (0-23) whose store chunks are deferred (paper: the 9 PM to
+        11 PM surge).
+    target_hour:
+        Start of the early-morning upload window the deferred traffic is
+        replayed in.
+    window_hours:
+        Length of the replay window; deferred records are spread uniformly
+        across it.
+    defer_fraction:
+        Fraction of eligible store requests actually deferred (users must
+        opt in, and some need their uploads immediately).
+    """
+
+    peak_hours: tuple[int, ...] = (21, 22, 23)
+    target_hour: int = 3
+    window_hours: float = 5.0
+    defer_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not self.peak_hours:
+            raise ValueError("need at least one peak hour")
+        if any(not 0 <= h <= 23 for h in self.peak_hours):
+            raise ValueError("peak hours must be in [0, 23]")
+        if not 0 <= self.target_hour <= 23:
+            raise ValueError("target_hour must be in [0, 23]")
+        if self.window_hours <= 0:
+            raise ValueError("window_hours must be positive")
+        if not 0.0 <= self.defer_fraction <= 1.0:
+            raise ValueError("defer_fraction must be in [0, 1]")
+
+    def apply(
+        self, records: Iterable[LogRecord], seed: int = 0
+    ) -> Iterator[LogRecord]:
+        """Rewrite timestamps of deferred store requests.
+
+        Deferred requests move to the *next* morning window (the paper:
+        "uploads during peak workload periods could be deferred to the
+        following early mornings").  Retrievals and file operations are
+        never deferred — only the bulk chunk traffic.
+        """
+        rng = np.random.default_rng(seed)
+        peak = set(self.peak_hours)
+        for record in records:
+            hour = int((record.timestamp % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+            eligible = (
+                record.direction is Direction.STORE
+                and record.is_chunk
+                and hour in peak
+            )
+            if eligible and float(rng.uniform()) < self.defer_fraction:
+                day = int(record.timestamp // SECONDS_PER_DAY)
+                new_time = (
+                    (day + 1) * SECONDS_PER_DAY
+                    + self.target_hour * SECONDS_PER_HOUR
+                    + float(rng.uniform()) * self.window_hours * SECONDS_PER_HOUR
+                )
+                yield record.with_timestamp(new_time)
+            else:
+                yield record
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """Hourly volume profile of a (possibly deferred) trace."""
+
+    hourly_bytes: np.ndarray
+
+    @property
+    def peak(self) -> float:
+        return float(self.hourly_bytes.max())
+
+    @property
+    def mean(self) -> float:
+        return float(self.hourly_bytes.mean())
+
+    @property
+    def peak_to_mean(self) -> float:
+        """The over-provisioning factor capacity planning pays for."""
+        if self.mean == 0:
+            raise ValueError("empty load profile")
+        return self.peak / self.mean
+
+
+def folded_load(records: Iterable[LogRecord]) -> LoadSummary:
+    """Average transferred bytes per hour-of-day (the provisioning curve).
+
+    Capacity is planned against the recurring daily profile; folding onto
+    the 24-hour clock averages out one-off whale sessions that a recurring
+    deferral policy cannot (and should not) chase.
+    """
+    profile = np.zeros(24)
+    for record in records:
+        if record.is_chunk:
+            hour = int((record.timestamp % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+            profile[hour] += record.volume
+    if profile.sum() == 0:
+        raise ValueError("no chunk records in trace")
+    return LoadSummary(hourly_bytes=profile)
+
+
+def hourly_load(records: Iterable[LogRecord]) -> LoadSummary:
+    """Total transferred bytes per absolute hour of the observation window."""
+    volumes: dict[int, float] = {}
+    for record in records:
+        if record.is_chunk:
+            hour = int(record.timestamp // SECONDS_PER_HOUR)
+            volumes[hour] = volumes.get(hour, 0.0) + record.volume
+    if not volumes:
+        raise ValueError("no chunk records in trace")
+    n_hours = max(volumes) + 1
+    profile = np.zeros(n_hours)
+    for hour, volume in volumes.items():
+        profile[hour] = volume
+    return LoadSummary(hourly_bytes=profile)
+
+
+def evaluate_deferral(
+    records: list[LogRecord],
+    policy: DeferralPolicy,
+    seed: int = 0,
+    *,
+    folded: bool = True,
+) -> tuple[LoadSummary, LoadSummary]:
+    """(before, after) load summaries under a deferral policy.
+
+    ``folded=True`` (default) evaluates on the 24-hour provisioning curve;
+    ``folded=False`` uses raw absolute hours.
+    """
+    load = folded_load if folded else hourly_load
+    before = load(records)
+    after = load(policy.apply(records, seed=seed))
+    return before, after

@@ -1,0 +1,438 @@
+"""The synthetic trace generator.
+
+Executes a synthesized population (:mod:`repro.workload.population`) into a
+stream of Table 1 :class:`~repro.logs.schema.LogRecord` entries: for each
+user, sessions on their active days at diurnal start times; within each
+session, file operations bunched at the beginning (the paper's burstiness),
+followed by the chunk requests that move the data; chunk timing priced by
+the closed-form TCP transfer model with slow-start-restart penalties.
+
+The generator is streaming — it yields records user by user — and every
+record carries a ground-truth ``session_id`` that the analysis pipeline
+ignores but tests use to score the recovered sessionization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..logs.schema import CHUNK_SIZE, DeviceType, Direction, LogRecord, RequestKind
+from ..service.frontend import TransferModel
+from ..tcpsim.devices import DEFAULT_SERVER, ServerProfile, profile_for
+from ..tcpsim.rto import paper_rto_estimate
+from .config import UserType, WorkloadConfig
+from .diurnal import SECONDS_PER_DAY, DiurnalSampler
+from .population import UserSpec, build_population
+from .sessions import SessionClass, SessionPlan, SessionPlanner
+
+
+@dataclass(frozen=True)
+class GeneratorOptions:
+    """Knobs that trade fidelity for trace size.
+
+    Attributes
+    ----------
+    max_chunks_per_file:
+        Cap on chunk *records* per file.  Volumes are preserved exactly: a
+        capped file emits records whose volumes sum to the file size.  The
+        512 KB convention only matters for record counts, not for any
+        analysis in the paper, so benches use small caps to keep synthetic
+        traces tractable.
+    emit_chunks:
+        When False only file operations are emitted (enough for the
+        session/interval analyses), shrinking traces by another order of
+        magnitude.
+    """
+
+    max_chunks_per_file: int = 64
+    emit_chunks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_chunks_per_file < 1:
+            raise ValueError("max_chunks_per_file must be >= 1")
+
+
+class TraceGenerator:
+    """Generates one observation week of synthetic request logs.
+
+    Parameters
+    ----------
+    n_mobile_users:
+        Mobile user population size.
+    n_pc_only_users:
+        Additional PC-only users (for Table 3's third column).
+    config:
+        Calibration parameters; defaults to the paper values.
+    options:
+        Fidelity/size trade-offs.
+    seed:
+        Master seed; the trace is fully deterministic given it.
+    """
+
+    def __init__(
+        self,
+        n_mobile_users: int,
+        *,
+        n_pc_only_users: int = 0,
+        config: WorkloadConfig | None = None,
+        options: GeneratorOptions | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or WorkloadConfig()
+        self.options = options or GeneratorOptions()
+        self.seed = seed
+        self.population = build_population(
+            n_mobile_users,
+            n_pc_only_users=n_pc_only_users,
+            config=self.config,
+            seed=seed,
+        )
+        self._diurnal = DiurnalSampler(self.config.diurnal)
+        self._planner = SessionPlanner(self.config.session_mix, self.config.file_sizes)
+        self._transfer = TransferModel()
+        self._server: ServerProfile = DEFAULT_SERVER
+        self._session_counter = 0
+
+    # ------------------------------------------------------------------
+    # Record generation
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Iterator[LogRecord]:
+        """Yield the full trace, grouped by user, time-ordered per user."""
+        for user in self.population:
+            yield from self.generate_user(user)
+
+    def generate_user(self, user: UserSpec) -> Iterator[LogRecord]:
+        """Yield one user's records in timestamp order."""
+        rng = np.random.default_rng((self.seed << 20) ^ (user.user_id * 2_654_435_761))
+        records: list[LogRecord] = []
+        store_left = user.store_files
+        retrieve_left = user.retrieve_files
+
+        plans = self._plan_days(user, store_left, retrieve_left, rng)
+        used_platforms: set[bool] = set()  # True = PC
+        session_index = 0
+        for day, day_plans in plans:
+            # Days with several sessions start early enough that the chain
+            # stays within the day (a midnight spill would register as a
+            # spurious "return" in the engagement analyses), with gaps
+            # comfortably above the one-hour session threshold.
+            n_plans = len(day_plans)
+            gap_hi = min(4.5, max(2.0, 14.0 / max(1, n_plans - 1)))
+            base = self._diurnal.sample_timestamp(day, rng)
+            latest_start = (
+                (day + 1) * SECONDS_PER_DAY
+                - (n_plans - 1) * gap_hi * 3600.0
+                - 1800.0
+            )
+            base = max(day * SECONDS_PER_DAY, min(base, latest_start))
+            for plan in day_plans:
+                device = self._pick_device(
+                    user, plan, rng, session_index, used_platforms
+                )
+                used_platforms.add(device.device_type is DeviceType.PC)
+                session_index += 1
+                records.extend(
+                    self._emit_session(user, device.device_id, device.device_type,
+                                       plan, base, rng)
+                )
+                base += float(rng.uniform(0.5 * gap_hi, gap_hi)) * 3600.0
+        records.sort(key=lambda r: r.timestamp)
+        yield from records
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _plan_days(
+        self,
+        user: UserSpec,
+        store_left: int,
+        retrieve_left: int,
+        rng: np.random.Generator,
+    ) -> list[tuple[int, list[SessionPlan]]]:
+        """Distribute the user's weekly file budget over their active days.
+
+        At most a few sessions happen per day (keeping the inter-session
+        interval component near the paper's one-day scale); whatever store
+        budget survives to the last active day drains in one bulk
+        auto-backup session, so heavy users' stretched-exponential activity
+        counts are preserved.
+        """
+        day_plans: list[tuple[int, list[SessionPlan]]] = []
+        occasional = user.user_type is UserType.OCCASIONAL
+        size_cap = 450 * 1024 if occasional else None
+        pc_profile = not user.mobile_devices
+        days = list(user.active_days)
+        max_sessions_per_day = 3
+        for index, day in enumerate(days):
+            plans: list[SessionPlan] = []
+            last_day = index == len(days) - 1
+            remaining_days = len(days) - index
+            while (store_left > 0 or retrieve_left > 0) and (
+                len(plans) < max_sessions_per_day
+            ):
+                # Reserve at least one file per remaining active day, so an
+                # engaged user still has something to do when they return
+                # (otherwise every later visit would be invisible in logs).
+                reserve = min(remaining_days - 1, 2)
+                store_today = max(0, store_left - reserve)
+                retrieve_today = max(0, retrieve_left - reserve)
+                if store_today <= 0 and retrieve_today <= 0:
+                    if store_left > 0:
+                        store_today = 1
+                    else:
+                        retrieve_today = 1
+                plan = self._planner.plan_session(
+                    rng,
+                    store_budget=store_today,
+                    retrieve_budget=retrieve_today,
+                    pc_profile=pc_profile,
+                    max_avg_size_bytes=size_cap,
+                )
+                store_left -= len(plan.store_sizes)
+                retrieve_left -= len(plan.retrieve_sizes)
+                plans.append(plan)
+                if not last_day and float(rng.uniform()) < 0.9:
+                    break  # leave the rest for later days
+            if last_day and store_left > 0:
+                plans.append(
+                    self._planner.plan_session(
+                        rng,
+                        store_budget=store_left,
+                        retrieve_budget=0,
+                        pc_profile=pc_profile,
+                        max_avg_size_bytes=size_cap,
+                        bulk_store_ops=store_left,
+                    )
+                )
+                store_left = 0
+            if last_day and retrieve_left > 0:
+                plans.append(
+                    self._planner.plan_session(
+                        rng,
+                        store_budget=0,
+                        retrieve_budget=retrieve_left,
+                        pc_profile=pc_profile,
+                        max_avg_size_bytes=size_cap,
+                        bulk_retrieve_ops=retrieve_left,
+                    )
+                )
+                retrieve_left = 0
+            if user.same_day_sync and index == 0 and plans:
+                # Mixed users syncing uploads the same day: append a small
+                # retrieval session mirroring part of today's upload,
+                # consuming retrieve budget when available.
+                first_store = next(
+                    (p for p in plans if p.store_sizes), None
+                )
+                if first_store is not None:
+                    sizes = first_store.store_sizes[
+                        : max(1, len(first_store.store_sizes) // 2)
+                    ]
+                    retrieve_left = max(0, retrieve_left - len(sizes))
+                    plans.append(
+                        SessionPlan(
+                            session_class=SessionClass.RETRIEVE_ONLY,
+                            store_sizes=(),
+                            retrieve_sizes=sizes,
+                        )
+                    )
+            if plans:
+                day_plans.append((day, plans))
+        return day_plans
+
+    def _pick_device(
+        self,
+        user: UserSpec,
+        plan: SessionPlan,
+        rng: np.random.Generator,
+        session_index: int,
+        used_platforms: set[bool],
+    ):
+        """Choose the device performing a session.
+
+        Mobile&PC users retrieve preferentially from the PC (the paper:
+        "users are more likely to sync data uploaded by mobile devices
+        from PCs"), store preferentially from mobile, and touch the
+        platform they have not used yet on their second session (real
+        dual-platform users run the client on both machines).
+        """
+        mobile = user.mobile_devices
+        pcs = user.pc_devices
+        if not mobile:
+            return pcs[0]
+        if not pcs:
+            return mobile[int(rng.integers(0, len(mobile)))]
+        if session_index >= 1 and len(used_platforms) == 1:
+            # Visit the other platform so the user shows up as mobile&PC.
+            want_pc = not next(iter(used_platforms))
+            return pcs[0] if want_pc else mobile[0]
+        if plan.session_class is SessionClass.RETRIEVE_ONLY:
+            if float(rng.uniform()) < 0.6:
+                return pcs[0]
+        elif float(rng.uniform()) < 0.55:
+            return mobile[int(rng.integers(0, len(mobile)))]
+        return pcs[0] if float(rng.uniform()) < 0.6 else mobile[0]
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def _emit_session(
+        self,
+        user: UserSpec,
+        device_id: str,
+        device_type: DeviceType,
+        plan: SessionPlan,
+        start: float,
+        rng: np.random.Generator,
+    ) -> list[LogRecord]:
+        """Emit one session: bursty file operations, then chunk streams."""
+        self._session_counter += 1
+        session_id = self._session_counter
+        intervals = self.config.intervals
+        records: list[LogRecord] = []
+
+        ops: list[tuple[Direction, int]] = [
+            (Direction.STORE, size) for size in plan.store_sizes
+        ] + [(Direction.RETRIEVE, size) for size in plan.retrieve_sizes]
+
+        # Large sessions are always app-batched (multi-select backup);
+        # smaller multi-op sessions are batched with probability
+        # p_batch_small, else the user drives them one file at a time.
+        batch_mode = len(ops) > intervals.batch_threshold or (
+            len(ops) > 1 and float(rng.uniform()) < intervals.p_batch_small
+        )
+        mean_log10, std_log10 = (
+            (intervals.batch_mean_log10, intervals.batch_std_log10)
+            if batch_mode
+            else (intervals.within_mean_log10, intervals.within_std_log10)
+        )
+
+        op_time = start
+        op_times: list[tuple[float, Direction, int]] = []
+        for index, (direction, size) in enumerate(ops):
+            if index:
+                gap = 10.0 ** float(rng.normal(mean_log10, std_log10))
+                op_time += gap
+            op_times.append((op_time, direction, size))
+
+        rtt = user.rtt
+        tsrv_meta = float(self._server.tsrv.sample(rng)) * 0.2
+        for when, direction, _size in op_times:
+            records.append(
+                LogRecord(
+                    timestamp=when,
+                    device_type=device_type,
+                    device_id=device_id,
+                    user_id=user.user_id,
+                    kind=RequestKind.FILE_OP,
+                    direction=direction,
+                    volume=0,
+                    processing_time=tsrv_meta,
+                    server_time=tsrv_meta,
+                    rtt=rtt,
+                    proxied=user.proxied,
+                    session_id=session_id,
+                )
+            )
+
+        if self.options.emit_chunks and not user.dedup_only:
+            # Transfers share the device's link: each file's chunk stream
+            # starts once the previous file finished (the app's transfer
+            # queue), which is what stretches sessions far beyond the
+            # operating time and produces the Fig 4 burstiness.
+            transfer_clock = 0.0
+            for when, direction, size in op_times:
+                start = max(when + float(rng.uniform(0.05, 0.3)), transfer_clock)
+                chunk_records, transfer_clock = self._emit_chunks(
+                    user, device_id, device_type, direction, size,
+                    start, session_id, rng,
+                )
+                records.extend(chunk_records)
+        records.sort(key=lambda r: r.timestamp)
+        return records
+
+    def _emit_chunks(
+        self,
+        user: UserSpec,
+        device_id: str,
+        device_type: DeviceType,
+        direction: Direction,
+        file_size: int,
+        start: float,
+        session_id: int,
+        rng: np.random.Generator,
+    ) -> tuple[list[LogRecord], float]:
+        """Emit the chunk requests moving one file.
+
+        Returns the records plus the time the transfer finished, so the
+        caller can queue the next file behind it.
+        """
+        n_full = max(1, math.ceil(file_size / CHUNK_SIZE))
+        n_records = min(n_full, self.options.max_chunks_per_file)
+        # Volumes per emitted record, preserving the exact file size.
+        base_volume, remainder = divmod(file_size, n_records)
+        volumes = [base_volume + (1 if i < remainder else 0) for i in range(n_records)]
+
+        profile = profile_for(device_type)
+        is_store = direction is Direction.STORE
+        tclt_dist = profile.tclt(is_store)
+        rto = paper_rto_estimate(user.rtt)
+        bandwidth = user.bandwidth * (
+            1.0 if is_store else self.config.network.downlink_factor
+        )
+        records: list[LogRecord] = []
+        clock = start
+        idle = 0.0
+        for index, volume in enumerate(volumes):
+            restarted = index > 0 and idle > rto
+            tsrv = float(self._server.tsrv.sample(rng))
+            ttran = self._transfer.transfer_time(
+                volume, user.rtt, bandwidth, direction, restarted
+            )
+            tchunk = ttran + tsrv
+            records.append(
+                LogRecord(
+                    timestamp=clock,
+                    device_type=device_type,
+                    device_id=device_id,
+                    user_id=user.user_id,
+                    kind=RequestKind.CHUNK,
+                    direction=direction,
+                    volume=volume,
+                    processing_time=tchunk,
+                    server_time=tsrv,
+                    rtt=user.rtt,
+                    proxied=user.proxied,
+                    session_id=session_id,
+                )
+            )
+            tclt = float(tclt_dist.sample(rng))
+            clock += tchunk + tclt
+            idle = tsrv + tclt
+        return records, clock
+
+
+def generate_trace(
+    n_mobile_users: int,
+    *,
+    n_pc_only_users: int = 0,
+    config: WorkloadConfig | None = None,
+    options: GeneratorOptions | None = None,
+    seed: int = 0,
+) -> list[LogRecord]:
+    """Convenience wrapper: generate and materialize a full trace."""
+    generator = TraceGenerator(
+        n_mobile_users,
+        n_pc_only_users=n_pc_only_users,
+        config=config,
+        options=options,
+        seed=seed,
+    )
+    return list(generator.generate())

@@ -1,0 +1,92 @@
+"""Download popularity modeling.
+
+The paper observes that download-only users fetch widely shared content —
+videos and software packages distributed as URLs through social media —
+and proposes monitoring download popularity for locality of interest
+(Section 3.1.4).  This module models that shared-content request stream:
+a catalog of shared objects with Zipf-like popularity and retrieval-mixture
+sizes, plus the request sequence a cache proxy would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SharedObject:
+    """One shared object in the download catalog."""
+
+    key: str
+    size: int
+
+
+@dataclass(frozen=True)
+class PopularityModel:
+    """Catalog and request-process parameters.
+
+    ``zipf_s = 0`` degenerates to uniform popularity (the no-locality
+    null hypothesis the paper wants to test against).
+    """
+
+    n_objects: int = 500
+    zipf_s: float = 0.9
+    #: Shared content skews large (the paper's ~150 MB component); sizes
+    #: come from an exponential around this mean with a floor.
+    mean_size_mb: float = 60.0
+    min_size_mb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ValueError("n_objects must be >= 1")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if self.mean_size_mb <= 0 or self.min_size_mb <= 0:
+            raise ValueError("sizes must be positive")
+
+
+def build_catalog(
+    model: PopularityModel, rng: np.random.Generator
+) -> list[SharedObject]:
+    """The shared-object catalog, most popular first."""
+    sizes = np.maximum(
+        model.min_size_mb * MB,
+        rng.exponential(model.mean_size_mb * MB, model.n_objects),
+    ).astype(np.int64)
+    return [
+        SharedObject(key=f"obj-{i}", size=int(sizes[i]))
+        for i in range(model.n_objects)
+    ]
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalized Zipf rank weights ``1 / rank**s``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-s)
+    return weights / weights.sum()
+
+
+def request_stream(
+    model: PopularityModel,
+    n_requests: int,
+    seed: int = 0,
+) -> tuple[list[SharedObject], list[SharedObject]]:
+    """(catalog, requests): the sequence a front cache would see."""
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    rng = np.random.default_rng(seed)
+    catalog = build_catalog(model, rng)
+    weights = zipf_weights(model.n_objects, model.zipf_s)
+    choices = rng.choice(model.n_objects, size=n_requests, p=weights)
+    return catalog, [catalog[int(i)] for i in choices]
+
+
+def corpus_bytes(catalog: list[SharedObject]) -> int:
+    """Total unique bytes in the catalog."""
+    return sum(o.size for o in catalog)

@@ -1,0 +1,150 @@
+"""Upload-stream synthesis for the redundancy-elimination ablation.
+
+Two contrasting upload streams, matching the usage contrast the paper
+draws between mobile and PC clients:
+
+* **Mobile photo backup** — each upload is a freshly captured, immutable
+  photo or clip; the only redundancy is exact re-uploads: re-backups after
+  an app reinstall, and the occasional widely-shared viral file.  Content
+  never mutates (footnote 1 of the paper: any local change produces a new
+  file; delta updates are not supported).
+* **PC document sync** — users repeatedly save edited revisions of the
+  same working set; each revision rewrites a couple of chunks of a
+  multi-chunk document, leaving the rest byte-identical.
+
+Feeding both through :class:`repro.service.dedup.RedundancyEliminator`
+quantifies the paper's claim that chunk-level dedup and delta encoding,
+indispensable for the PC workload, buy almost nothing for mobile backup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..logs.schema import CHUNK_SIZE
+from ..service.chunks import FileManifest, build_manifest
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MobileBackupModel:
+    """Parameters of the mobile photo-backup stream.
+
+    Calibrated to the paper: ~1.5 MB mean photo size, a small re-backup
+    probability (device migration/reinstall) and a thin viral-share tail.
+    """
+
+    n_users: int = 40
+    photos_per_user: int = 30
+    photo_mean_mb: float = 1.5
+    rebackup_probability: float = 0.05
+    viral_files: int = 2
+    viral_uploaders: int = 10
+    viral_size_mb: float = 8.0
+
+
+@dataclass(frozen=True)
+class PcSyncModel:
+    """Parameters of the PC document-editing stream."""
+
+    n_users: int = 20
+    documents_per_user: int = 5
+    document_chunks: int = 8
+    revisions_per_document: int = 10
+    chunks_changed_per_revision: int = 2
+
+
+def _photo(user: int, index: int, size: int, generation: int = 0) -> FileManifest:
+    seed = f"mobile/u{user}/photo{index}/g{generation}".encode()
+    return build_manifest(f"IMG_{index:04d}.jpg", seed, size)
+
+
+def mobile_backup_stream(
+    model: MobileBackupModel = MobileBackupModel(), seed: int = 0
+) -> tuple[list[FileManifest], list[str]]:
+    """The mobile photo-backup upload stream, with per-upload lineages.
+
+    Every photo is its own lineage: there is never a prior revision for a
+    delta codec to diff against (photos are immutable).
+    """
+    rng = np.random.default_rng(seed)
+    entries: list[tuple[FileManifest, str]] = []
+    originals: list[tuple[FileManifest, str]] = []
+    for user in range(model.n_users):
+        for index in range(model.photos_per_user):
+            size = max(64 * 1024, int(rng.exponential(model.photo_mean_mb) * MB))
+            manifest = _photo(user, index, size)
+            lineage = f"mobile/u{user}/photo{index}"
+            entries.append((manifest, lineage))
+            originals.append((manifest, lineage))
+            # Occasional exact re-upload of an earlier photo (re-backup).
+            if originals and float(rng.uniform()) < model.rebackup_probability:
+                entries.append(originals[int(rng.integers(0, len(originals)))])
+    # Viral files: the same content uploaded by many users.
+    for v in range(model.viral_files):
+        viral = build_manifest(
+            f"viral-{v}.mp4",
+            f"viral/{v}".encode(),
+            int(model.viral_size_mb * MB),
+        )
+        for uploader in range(model.viral_uploaders):
+            entries.append((viral, f"viral/{v}/u{uploader}"))
+    # Shuffle to interleave users, as the front-end would see it.
+    order = rng.permutation(len(entries))
+    manifests = [entries[i][0] for i in order]
+    lineages = [entries[i][1] for i in order]
+    return manifests, lineages
+
+
+def pc_sync_stream(
+    model: PcSyncModel = PcSyncModel(), seed: int = 0
+) -> tuple[list[FileManifest], list[str]]:
+    """The PC document-sync upload stream, with per-upload lineages.
+
+    Each revision of a document changes ``chunks_changed_per_revision`` of
+    its chunks; the manifest of revision r shares the untouched chunks'
+    hashes with revision r-1, which is exactly what chunk-level dedup
+    exploits, and all revisions share one lineage, which is what delta
+    encoding needs.
+    """
+    rng = np.random.default_rng(seed)
+    manifests: list[FileManifest] = []
+    lineages: list[str] = []
+    for user in range(model.n_users):
+        for doc in range(model.documents_per_user):
+            # Per-chunk generation counters: bumping one changes its hash.
+            generations = [0] * model.document_chunks
+            for revision in range(model.revisions_per_document):
+                if revision > 0:
+                    changed = rng.choice(
+                        model.document_chunks,
+                        size=min(
+                            model.chunks_changed_per_revision,
+                            model.document_chunks,
+                        ),
+                        replace=False,
+                    )
+                    for c in changed:
+                        generations[int(c)] += 1
+                chunk_seeds = [
+                    f"pc/u{user}/d{doc}/c{c}/g{generations[c]}"
+                    for c in range(model.document_chunks)
+                ]
+                sizes = [CHUNK_SIZE] * model.document_chunks
+                from ..service.chunks import content_md5
+
+                manifest = FileManifest(
+                    name=f"doc-{doc}.docx",
+                    size=sum(sizes),
+                    file_md5=content_md5("|".join(chunk_seeds).encode()),
+                    chunk_md5s=tuple(
+                        content_md5(s.encode()) for s in chunk_seeds
+                    ),
+                    chunk_sizes=tuple(sizes),
+                )
+                manifests.append(manifest)
+                lineages.append(f"pc/u{user}/doc{doc}")
+    return manifests, lineages

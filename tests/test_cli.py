@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_and_analyze_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "trace.tsv"
+    assert main(["generate", str(trace), "--users", "150",
+                 "--max-chunks", "4", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert trace.exists()
+
+    assert main(["analyze", str(trace), "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "sessions recovered" in out
+    assert "[Sessions]" in out
+
+
+def test_generate_jsonl_gz(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl.gz"
+    assert main(["generate", str(trace), "--users", "50",
+                 "--max-chunks", "2", "--anonymize"]) == 0
+    assert trace.exists()
+
+
+def test_generate_deterministic(tmp_path):
+    a = tmp_path / "a.tsv"
+    b = tmp_path / "b.tsv"
+    main(["generate", str(a), "--users", "40", "--seed", "9"])
+    main(["generate", str(b), "--users", "40", "--seed", "9"])
+    assert a.read_text() == b.read_text()
+
+
+def test_experiments_filter(capsys):
+    assert main(["experiments", "dedup"]) == 0
+    out = capsys.readouterr().out
+    assert "A4" in out
+    assert "1/1 experiments pass" in out
+
+
+def test_experiments_no_match(capsys):
+    assert main(["experiments", "nonexistent-experiment"]) == 1
+
+
+def test_simulate_flow(capsys):
+    assert main(["simulate-flow", "--chunks", "3", "--device", "ios"]) == 0
+    out = capsys.readouterr().out
+    assert "chunk 0" in out
+    assert "goodput" in out
+
+
+def test_analyze_empty_trace(tmp_path, capsys):
+    trace = tmp_path / "empty.tsv"
+    trace.write_text("#header\n")
+    assert main(["analyze", str(trace)]) == 1
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_experiments_json_output(capsys):
+    import json
+
+    assert main(["experiments", "dedup", "--json"]) == 0
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert data[0]["experiment"] == "A4"
+    assert data[0]["pass"] is True
+    assert all("measured" in c for c in data[0]["checks"])

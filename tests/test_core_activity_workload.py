@@ -1,0 +1,119 @@
+"""Tests for activity modeling (Fig 10) and workload series (Fig 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    files_per_user,
+    fit_activity_model,
+    workload_series,
+)
+from repro.logs import DeviceType, Direction, LogRecord, RequestKind
+
+HOUR = 3600.0
+
+
+def op(user, direction=Direction.STORE, ts=0.0):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id="d",
+        user_id=user,
+        kind=RequestKind.FILE_OP,
+        direction=direction,
+    )
+
+
+def chunk(ts, direction=Direction.STORE, volume=100):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id="d",
+        user_id=1,
+        kind=RequestKind.CHUNK,
+        direction=direction,
+        volume=volume,
+    )
+
+
+class TestFilesPerUser:
+    def test_counts_ops_by_direction(self):
+        records = [op(1), op(1), op(2), op(1, Direction.RETRIEVE)]
+        counts = files_per_user(records, Direction.STORE)
+        assert sorted(counts, reverse=True) == [2, 1]
+        assert list(files_per_user(records, Direction.RETRIEVE)) == [1]
+
+    def test_chunks_not_counted(self):
+        records = [op(1), chunk(1.0)]
+        assert list(files_per_user(records, Direction.STORE)) == [1]
+
+
+class TestActivityFit:
+    def test_fit_on_se_population(self):
+        rng = np.random.default_rng(0)
+        n = 3000
+        ranks = np.arange(1, n + 1)
+        b = 0.448 * np.log(n) + 1.0
+        counts = np.clip(b - 0.448 * np.log(ranks), 1e-9, None) ** 5.0
+        counts = np.maximum(1, np.round(counts)).astype(int)
+        records = []
+        for user, count in enumerate(counts):
+            records.extend(op(user) for _ in range(int(count)))
+        fit = fit_activity_model(records, Direction.STORE)
+        assert fit.fit.c == pytest.approx(0.2, abs=0.05)
+        assert fit.fit.r_squared > 0.98
+        assert fit.se_beats_power_law
+
+    def test_rank_curve_decreasing(self):
+        records = [op(u) for u in range(20) for _ in range(u + 1)]
+        fit = fit_activity_model(records, Direction.STORE)
+        ranks, values = fit.rank_curve(n_points=5)
+        assert np.all(np.diff(values) <= 0)
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(ValueError):
+            fit_activity_model([op(1)], Direction.STORE)
+
+
+class TestWorkloadSeries:
+    def records(self):
+        return [
+            chunk(0.5 * HOUR, Direction.STORE, volume=100),
+            chunk(0.6 * HOUR, Direction.RETRIEVE, volume=300),
+            chunk(2.5 * HOUR, Direction.STORE, volume=50),
+            op(1, Direction.STORE, ts=0.1 * HOUR),
+            op(1, Direction.STORE, ts=0.2 * HOUR),
+            op(1, Direction.RETRIEVE, ts=2.9 * HOUR),
+        ]
+
+    def test_hourly_binning(self):
+        series = workload_series(self.records())
+        assert series.n_hours == 3
+        assert series.store_volume[0] == 100
+        assert series.retrieve_volume[0] == 300
+        assert series.store_volume[2] == 50
+        assert series.store_files[0] == 2
+        assert series.retrieve_files[2] == 1
+
+    def test_ratios(self):
+        series = workload_series(self.records())
+        assert series.retrieve_to_store_volume_ratio == pytest.approx(2.0)
+        assert series.store_to_retrieve_file_ratio == pytest.approx(2.0)
+
+    def test_peak_detection(self):
+        series = workload_series(self.records())
+        assert series.peak_hour == 0  # 400 bytes in hour 0
+        assert series.peak_to_mean > 1.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            workload_series([])
+
+    def test_hour_of_day_profile_folds(self):
+        records = [
+            chunk(5 * HOUR, volume=10),
+            chunk(24 * HOUR + 5 * HOUR, volume=20),
+        ]
+        series = workload_series(records)
+        profile = series.hour_of_day_profile()
+        assert profile[5] == 30

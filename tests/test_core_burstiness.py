@@ -1,0 +1,95 @@
+"""Tests for burstiness analysis."""
+
+import pytest
+
+from repro.core import burstiness_curves, normalized_operating_times
+from repro.core.sessions import sessionize_user
+from repro.logs import DeviceType, Direction, LogRecord, RequestKind
+
+
+def op(ts, user=1):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id="d",
+        user_id=user,
+        kind=RequestKind.FILE_OP,
+        direction=Direction.STORE,
+    )
+
+
+def chunk(ts, proc=1.0):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id="d",
+        user_id=1,
+        kind=RequestKind.CHUNK,
+        direction=Direction.STORE,
+        volume=100,
+        processing_time=proc,
+    )
+
+
+def session(records):
+    return list(sessionize_user(records))[0]
+
+
+def bursty_session(n_ops=5, tail=100.0):
+    """Ops in the first second, transfers until ``tail``."""
+    records = [op(0.1 * i) for i in range(n_ops)]
+    records.append(chunk(tail, proc=0.0))
+    return session(records)
+
+
+def spread_session(n_ops=5, tail=10.0):
+    """Ops spread over the whole session."""
+    records = [op(i * tail / (n_ops - 1)) for i in range(n_ops)]
+    return session(records)
+
+
+class TestNormalizedTimes:
+    def test_bursty_session_fraction_small(self):
+        values = normalized_operating_times([bursty_session()])
+        assert values[0] < 0.01
+
+    def test_spread_session_fraction_large(self):
+        values = normalized_operating_times([spread_session()])
+        assert values[0] > 0.9
+
+    def test_single_op_sessions_excluded(self):
+        values = normalized_operating_times([session([op(0.0), chunk(5.0)])])
+        assert values.size == 0
+
+    def test_min_ops_threshold(self):
+        sessions = [bursty_session(n_ops=3), bursty_session(n_ops=30)]
+        assert normalized_operating_times(sessions, min_ops=10).size == 1
+
+    def test_invalid_min_ops(self):
+        with pytest.raises(ValueError):
+            normalized_operating_times([], min_ops=0)
+
+    def test_values_capped_at_one(self):
+        values = normalized_operating_times([spread_session()])
+        assert values.max() <= 1.0
+
+
+class TestCurves:
+    def test_curve_family(self):
+        sessions = [bursty_session(n_ops=n) for n in (2, 5, 15, 25, 30)]
+        curves = burstiness_curves(sessions, thresholds=(1, 10, 20))
+        assert [c.min_ops for c in curves] == [1, 10, 20]
+        assert curves[0].n_sessions == 5
+        assert curves[1].n_sessions == 3
+        assert curves[2].n_sessions == 2
+
+    def test_fraction_below(self):
+        sessions = [bursty_session(), spread_session()]
+        curves = burstiness_curves(sessions, thresholds=(1,))
+        assert curves[0].fraction_below(0.1) == pytest.approx(0.5)
+
+    def test_cdf_accessor(self):
+        sessions = [bursty_session()]
+        curve = burstiness_curves(sessions, thresholds=(1,))[0]
+        cdf = curve.cdf()
+        assert cdf.evaluate(1.0)[()] == pytest.approx(1.0)

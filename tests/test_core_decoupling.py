@@ -1,0 +1,103 @@
+"""Tests for the metadata/data decoupling analysis."""
+
+import pytest
+
+from repro.core.decoupling import (
+    fine_grained_peak_to_mean,
+    session_front_loading,
+)
+from repro.core.sessions import sessionize_user
+from repro.logs import DeviceType, Direction, LogRecord, RequestKind
+
+
+def op(ts, user=1):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id="d",
+        user_id=user,
+        kind=RequestKind.FILE_OP,
+        direction=Direction.STORE,
+    )
+
+
+def chunk(ts, volume=1000, proc=0.0):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id="d",
+        user_id=1,
+        kind=RequestKind.CHUNK,
+        direction=Direction.STORE,
+        volume=volume,
+        processing_time=proc,
+    )
+
+
+def front_loaded_session():
+    """Two ops at t=0..1, transfers until t=100."""
+    records = [op(0.0), op(1.0), chunk(5.0), chunk(50.0), chunk(100.0)]
+    return list(sessionize_user(records))[0]
+
+
+def spread_session():
+    """Ops and chunks interleaved over the session."""
+    records = [op(0.0), chunk(30.0), op(60.0), chunk(100.0)]
+    return list(sessionize_user(records))[0]
+
+
+class TestFrontLoading:
+    def test_front_loaded_sessions(self):
+        front = session_front_loading([front_loaded_session()])
+        assert front.ops_in_first_decile == pytest.approx(1.0)
+        assert front.bytes_in_first_decile == pytest.approx(1 / 3)
+        assert front.asymmetry == pytest.approx(3.0)
+
+    def test_spread_session(self):
+        front = session_front_loading([spread_session()])
+        assert front.ops_in_first_decile == pytest.approx(0.5)
+        assert front.bytes_in_first_decile == pytest.approx(0.0)
+
+    def test_single_op_sessions_excluded(self):
+        single = list(sessionize_user([op(0.0), chunk(10.0)]))[0]
+        with pytest.raises(ValueError):
+            session_front_loading([single])
+
+    def test_decile_validated(self):
+        with pytest.raises(ValueError):
+            session_front_loading([front_loaded_session()], decile=0.0)
+
+    def test_mixed_population(self):
+        front = session_front_loading(
+            [front_loaded_session(), spread_session()]
+        )
+        assert front.n_sessions == 2
+        assert 0.5 < front.ops_in_first_decile < 1.0
+
+
+class TestPeakToMean:
+    def test_profiles_computed(self):
+        records = (
+            [op(0.0), op(1.0), op(2.0)]
+            + [chunk(t * 60.0) for t in range(10)]
+        )
+        ops_profile, bytes_profile = fine_grained_peak_to_mean(records)
+        # All ops in one minute bin -> peak == mean over one active bin.
+        assert ops_profile.active_bins == 1
+        assert ops_profile.peak_to_mean == pytest.approx(1.0)
+        assert bytes_profile.active_bins == 10
+
+    def test_spiky_ops_vs_flat_bytes(self):
+        records = [op(float(i)) for i in range(20)]  # one bursty minute
+        records += [op(3600.0)]  # a lone op later
+        records += [chunk(t * 60.0, volume=100) for t in range(60)]
+        ops_profile, bytes_profile = fine_grained_peak_to_mean(records)
+        assert ops_profile.peak_to_mean > bytes_profile.peak_to_mean
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            fine_grained_peak_to_mean([op(0.0)])
+
+    def test_bin_validated(self):
+        with pytest.raises(ValueError):
+            fine_grained_peak_to_mean([op(0.0), chunk(1.0)], bin_seconds=0)

@@ -1,0 +1,115 @@
+"""Tests for engagement and retrieval-return analysis (Figs 8, 9)."""
+
+import pytest
+
+from repro.core import engagement_curves, retrieval_return_curves
+from repro.core.sessions import sessionize
+from repro.core.usage import UserProfile
+from repro.logs import DeviceType, Direction, LogRecord, RequestKind
+from repro.workload import DeviceGroup, UserType
+
+DAY = 86_400.0
+
+
+def op(ts, user, direction=Direction.STORE):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id=f"d{user}",
+        user_id=user,
+        kind=RequestKind.FILE_OP,
+        direction=direction,
+    )
+
+
+def profile(user, group=DeviceGroup.ONE_MOBILE):
+    return UserProfile(
+        user_id=user,
+        user_type=UserType.UPLOAD_ONLY,
+        group=group,
+        stored_bytes=10**7,
+        retrieved_bytes=0,
+    )
+
+
+class TestEngagement:
+    def test_first_return_day_distribution(self):
+        records = [
+            # User 1: day 0 and day 1.
+            op(0.0, 1), op(1 * DAY + 100, 1),
+            # User 2: day 0 only.
+            op(100.0, 2),
+            # User 3: day 0 and first return day 3.
+            op(200.0, 3), op(3 * DAY + 100, 3), op(5 * DAY, 3),
+            # User 4: active day 2 only (not a day-0 user).
+            op(2 * DAY + 100, 4),
+        ]
+        sessions = sessionize(records)
+        profiles = [profile(u) for u in (1, 2, 3, 4)]
+        (curve,) = engagement_curves(sessions, profiles)
+        assert curve.group is DeviceGroup.ONE_MOBILE
+        assert curve.n_first_day_users == 3
+        assert curve.return_fractions[1] == pytest.approx(1 / 3)
+        assert curve.return_fractions[3] == pytest.approx(1 / 3)
+        assert curve.never_fraction == pytest.approx(1 / 3)
+
+    def test_groups_separated(self):
+        records = [op(0.0, 1), op(0.0, 2), op(1 * DAY, 2)]
+        sessions = sessionize(records)
+        profiles = [
+            profile(1, DeviceGroup.ONE_MOBILE),
+            profile(2, DeviceGroup.MULTI_MOBILE),
+        ]
+        curves = engagement_curves(sessions, profiles)
+        by_group = {c.group: c for c in curves}
+        assert by_group[DeviceGroup.ONE_MOBILE].never_fraction == 1.0
+        assert by_group[DeviceGroup.MULTI_MOBILE].never_fraction == 0.0
+
+
+class TestRetrievalReturn:
+    def test_same_day_retrieval_counts_as_day_zero(self):
+        records = [
+            op(100.0, 1, Direction.STORE),
+            op(5000.0, 1, Direction.RETRIEVE),
+        ]
+        sessions = sessionize(records)
+        (curve,) = retrieval_return_curves(sessions, [profile(1)])
+        assert curve.per_day[0] == pytest.approx(1.0)
+        assert curve.never_fraction == 0.0
+
+    def test_retrieval_before_upload_ignored(self):
+        records = [
+            op(100.0, 1, Direction.RETRIEVE),
+            op(5000.0, 1, Direction.STORE),
+        ]
+        sessions = sessionize(records)
+        (curve,) = retrieval_return_curves(sessions, [profile(1)])
+        assert curve.never_fraction == 1.0
+
+    def test_later_day_retrieval(self):
+        records = [
+            op(100.0, 1, Direction.STORE),
+            op(2 * DAY + 100, 1, Direction.RETRIEVE),
+        ]
+        sessions = sessionize(records)
+        (curve,) = retrieval_return_curves(sessions, [profile(1)])
+        assert curve.per_day[2] == pytest.approx(1.0)
+        assert curve.cumulative(1) == 0.0
+        assert curve.cumulative(2) == pytest.approx(1.0)
+
+    def test_non_day_zero_uploaders_excluded(self):
+        records = [op(3 * DAY, 1, Direction.STORE)]
+        sessions = sessionize(records)
+        curves = retrieval_return_curves(sessions, [profile(1)])
+        assert curves == []
+
+    def test_mixed_session_counts_as_both(self):
+        # One session containing a store and a retrieve op: the retrieval
+        # is available immediately (upper-bound semantics).
+        records = [
+            op(100.0, 1, Direction.STORE),
+            op(110.0, 1, Direction.RETRIEVE),
+        ]
+        sessions = sessionize(records)
+        (curve,) = retrieval_return_curves(sessions, [profile(1)])
+        assert curve.per_day[0] == pytest.approx(1.0)

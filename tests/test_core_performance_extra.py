@@ -1,0 +1,74 @@
+"""Additional coverage for Section 4.1 log analyses on simulated flows."""
+
+import numpy as np
+import pytest
+
+from repro.core.performance import restart_fraction
+from repro.logs import CHUNK_SIZE, Direction
+from repro.tcpsim import ANDROID, IOS, NetworkPath, simulate_flow
+
+
+@pytest.fixture(scope="module")
+def android_flow():
+    return simulate_flow(
+        direction=Direction.STORE,
+        device=ANDROID,
+        file_size=12 * CHUNK_SIZE,
+        path=NetworkPath(bandwidth=2_000_000.0, one_way_delay=0.05),
+        seed=9,
+    )
+
+
+def test_restart_flag_consistent_with_ratio(android_flow):
+    """A chunk's restarted flag must agree with its actual idle/RTO."""
+    for chunk in android_flow.chunk_results[1:]:
+        if chunk.restarted:
+            assert chunk.idle_rto_ratio > 1.0
+
+
+def test_processing_ratio_count(android_flow):
+    assert (
+        android_flow.processing_idle_ratios.size
+        == len(android_flow.chunk_results) - 1
+    )
+
+
+def test_restart_fraction_matches_simulator_count(android_flow):
+    ratios = android_flow.idle_rto_ratios
+    expected = android_flow.slow_start_restarts / ratios.size
+    assert restart_fraction(ratios) == pytest.approx(expected, abs=0.01)
+
+
+def test_restarted_chunks_slower_on_average():
+    """The causal claim of Section 4: restarts lengthen chunk transfers."""
+    restarted, clean = [], []
+    for seed in range(6):
+        flow = simulate_flow(
+            direction=Direction.STORE,
+            device=ANDROID,
+            file_size=12 * CHUNK_SIZE,
+            path=NetworkPath(bandwidth=4_000_000.0, one_way_delay=0.05),
+            seed=seed,
+        )
+        for chunk in flow.chunk_results[1:]:
+            (restarted if chunk.restarted else clean).append(chunk.ttran)
+    assert np.median(restarted) > np.median(clean)
+
+
+def test_ios_restarts_less_than_android_on_same_path():
+    """On identical paths the device gap is purely client processing."""
+    restarts = {}
+    for device in (IOS, ANDROID):
+        total = 0
+        for seed in range(4):
+            flow = simulate_flow(
+                direction=Direction.STORE,
+                device=device,
+                file_size=12 * CHUNK_SIZE,
+                path=NetworkPath(bandwidth=2_000_000.0, one_way_delay=0.05),
+                seed=seed,
+            )
+            total += flow.slow_start_restarts
+        restarts[device.device_type] = total
+    values = list(restarts.values())
+    assert values[0] < values[1]  # iOS < Android

@@ -1,0 +1,52 @@
+"""Tests for the findings report (Table 4 as code)."""
+
+import pytest
+
+from repro.core import analyze_trace
+from repro.workload import GeneratorOptions, generate_trace
+
+
+@pytest.fixture(scope="module")
+def report():
+    records = generate_trace(
+        600, options=GeneratorOptions(max_chunks_per_file=4), seed=21
+    )
+    return analyze_trace(records)
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        analyze_trace([])
+
+
+def test_report_recovers_headline_findings(report):
+    assert report.interval_model.tau == 3600.0
+    assert report.session_shares.store_only > report.session_shares.retrieve_only
+    assert report.session_shares.mixed < 0.1
+    assert 0.8 <= report.storage_slope_mb <= 2.5
+    assert report.upload_only_share > 0.3
+    assert report.never_retrieve_fraction > 0.6
+    assert 0.1 <= report.store_activity.fit.c <= 0.35
+
+
+def test_findings_table_complete(report):
+    topics = {f.topic for f in report.rows()}
+    assert topics == {
+        "Sessions",
+        "Activity burstiness",
+        "File attribute",
+        "Usage pattern",
+        "User engagement",
+        "User activity model",
+    }
+    for finding in report.rows():
+        assert finding.statement
+        assert finding.implication
+
+
+def test_size_model_optional():
+    records = generate_trace(
+        120, options=GeneratorOptions(max_chunks_per_file=4), seed=22
+    )
+    report = analyze_trace(records, fit_size_model=False)
+    assert report.store_size_model is None

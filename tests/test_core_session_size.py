@@ -1,0 +1,145 @@
+"""Tests for session size analysis and the average-file-size model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SessionType,
+    average_file_sizes_mb,
+    fit_file_size_model,
+    ops_per_session,
+    storage_slope_mb,
+    volume_by_ops,
+)
+from repro.core.sessions import sessionize_user
+from repro.logs import DeviceType, Direction, LogRecord, RequestKind
+
+MB = 1024 * 1024
+
+
+def build_session(n_ops, per_file_mb, direction=Direction.STORE, user=1):
+    """A session with ``n_ops`` files of ``per_file_mb`` each."""
+    records = []
+    for i in range(n_ops):
+        records.append(
+            LogRecord(
+                timestamp=float(i),
+                device_type=DeviceType.ANDROID,
+                device_id="d",
+                user_id=user,
+                kind=RequestKind.FILE_OP,
+                direction=direction,
+            )
+        )
+        records.append(
+            LogRecord(
+                timestamp=float(i) + 0.5,
+                device_type=DeviceType.ANDROID,
+                device_id="d",
+                user_id=user,
+                kind=RequestKind.CHUNK,
+                direction=direction,
+                volume=int(per_file_mb * MB),
+            )
+        )
+    return list(sessionize_user(records))[0]
+
+
+class TestOpsPerSession:
+    def test_counts_by_type(self):
+        sessions = [
+            build_session(3, 1.0, Direction.STORE),
+            build_session(5, 1.0, Direction.RETRIEVE),
+        ]
+        assert list(ops_per_session(sessions, SessionType.STORE_ONLY)) == [3]
+        assert list(ops_per_session(sessions, SessionType.RETRIEVE_ONLY)) == [5]
+
+
+class TestVolumeByOps:
+    def test_linear_data_gives_exact_slope(self):
+        sessions = [
+            build_session(n, 1.5) for n in (1, 2, 3, 5, 8, 13) for _ in range(3)
+        ]
+        bins = volume_by_ops(sessions, SessionType.STORE_ONLY)
+        assert [b.n_files for b in bins] == [1, 2, 3, 5, 8, 13]
+        slope = storage_slope_mb(bins)
+        assert slope == pytest.approx(1.5, rel=1e-6)
+
+    def test_statistics_within_bin(self):
+        sessions = [build_session(2, s) for s in (1.0, 2.0, 9.0)]
+        bins = volume_by_ops(sessions, SessionType.STORE_ONLY)
+        (bin2,) = bins
+        assert bin2.n_sessions == 3
+        assert bin2.mean_mb == pytest.approx(8.0)  # (2+4+18)/3
+        assert bin2.median_mb == pytest.approx(4.0)
+
+    def test_max_files_filter(self):
+        sessions = [build_session(5, 1.0), build_session(50, 1.0)]
+        bins = volume_by_ops(sessions, SessionType.STORE_ONLY, max_files=10)
+        assert [b.n_files for b in bins] == [5]
+
+    def test_slope_needs_two_bins(self):
+        sessions = [build_session(2, 1.0)]
+        with pytest.raises(ValueError):
+            storage_slope_mb(volume_by_ops(sessions, SessionType.STORE_ONLY))
+
+
+class TestAverageFileSizes:
+    def test_values_in_mb(self):
+        sessions = [build_session(4, 2.0)]
+        sizes = average_file_sizes_mb(sessions, SessionType.STORE_ONLY)
+        assert sizes[0] == pytest.approx(2.0)
+
+    def test_zero_volume_sessions_excluded(self):
+        record = LogRecord(
+            timestamp=0.0,
+            device_type=DeviceType.ANDROID,
+            device_id="d",
+            user_id=1,
+            kind=RequestKind.FILE_OP,
+            direction=Direction.STORE,
+        )
+        session = list(sessionize_user([record]))[0]
+        sizes = average_file_sizes_mb([session], SessionType.STORE_ONLY)
+        assert sizes.size == 0
+
+
+class TestModelFit:
+    def synthetic_sessions(self, n=3000, seed=0):
+        rng = np.random.default_rng(seed)
+        sessions = []
+        for i in range(n):
+            component = rng.choice(3, p=[0.91, 0.07, 0.02])
+            mu = (1.5, 13.1, 77.4)[component]
+            avg = max(0.02, float(rng.exponential(mu)))
+            sessions.append(build_session(1, avg, user=i))
+        return sessions
+
+    def test_recovers_planted_mixture(self):
+        fit = fit_file_size_model(
+            self.synthetic_sessions(), SessionType.STORE_ONLY
+        )
+        rows = fit.table_rows()
+        assert fit.mixture.n_components == 3
+        assert rows[0][0] == pytest.approx(0.91, abs=0.05)
+        assert rows[0][1] == pytest.approx(1.5, rel=0.25)
+
+    def test_paper_criterion_supported(self):
+        fit = fit_file_size_model(
+            self.synthetic_sessions(), SessionType.STORE_ONLY,
+            criterion="paper",
+        )
+        assert fit.mixture.n_components >= 2
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(ValueError):
+            fit_file_size_model(
+                self.synthetic_sessions(n=100), SessionType.STORE_ONLY,
+                criterion="aic",
+            )
+
+    def test_too_few_sessions_rejected(self):
+        with pytest.raises(ValueError):
+            fit_file_size_model(
+                self.synthetic_sessions(n=10), SessionType.STORE_ONLY
+            )

@@ -1,0 +1,78 @@
+"""Property-based invariants of the sessionizer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sessions import sessionize_user
+from repro.logs import DeviceType, Direction, LogRecord, RequestKind
+
+TAU = 3600.0
+
+
+def op(ts):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id="d",
+        user_id=1,
+        kind=RequestKind.FILE_OP,
+        direction=Direction.STORE,
+    )
+
+
+op_times = st.lists(
+    st.floats(0, 7 * 86_400, allow_nan=False), min_size=1, max_size=60
+).map(sorted)
+
+
+@given(times=op_times)
+@settings(max_examples=200)
+def test_sessions_partition_operations(times):
+    records = [op(t) for t in times]
+    sessions = list(sessionize_user(records, tau=TAU))
+    recovered = sorted(
+        r.timestamp for s in sessions for r in s.records
+    )
+    assert recovered == sorted(times)
+
+
+@given(times=op_times)
+@settings(max_examples=200)
+def test_within_session_gaps_bounded_by_tau(times):
+    records = [op(t) for t in times]
+    for session in sessionize_user(records, tau=TAU):
+        ops = [r.timestamp for r in session.file_ops]
+        gaps = np.diff(ops)
+        assert np.all(gaps <= TAU + 1e-9)
+
+
+@given(times=op_times)
+@settings(max_examples=200)
+def test_between_session_gaps_exceed_tau(times):
+    records = [op(t) for t in times]
+    sessions = list(sessionize_user(records, tau=TAU))
+    for earlier, later in zip(sessions, sessions[1:]):
+        last_op = earlier.file_ops[-1].timestamp
+        first_op = later.file_ops[0].timestamp
+        assert first_op - last_op > TAU
+
+
+@given(times=op_times)
+@settings(max_examples=100)
+def test_sessions_time_ordered_and_disjoint(times):
+    records = [op(t) for t in times]
+    sessions = list(sessionize_user(records, tau=TAU))
+    starts = [s.start for s in sessions]
+    assert starts == sorted(starts)
+    for earlier, later in zip(sessions, sessions[1:]):
+        assert earlier.file_ops[-1].timestamp < later.start
+
+
+@given(times=op_times, tau=st.floats(1.0, 86_400.0))
+@settings(max_examples=100)
+def test_smaller_tau_never_fewer_sessions(times, tau):
+    records = [op(t) for t in times]
+    fine = len(list(sessionize_user(records, tau=tau)))
+    coarse = len(list(sessionize_user(records, tau=tau * 2)))
+    assert fine >= coarse

@@ -1,0 +1,135 @@
+"""Tests for usage-pattern classification (Fig 7 / Table 3)."""
+
+import pytest
+
+from repro.core import classify_user, device_group_of, profile_users, table3
+from repro.core.usage import ratio_samples
+from repro.logs import (
+    DeviceType,
+    Direction,
+    LogRecord,
+    RequestKind,
+    UserDevices,
+    VolumeTally,
+)
+from repro.workload import DeviceGroup, UserType
+
+MB = 1024 * 1024
+
+
+def tally(stored=0, retrieved=0):
+    t = VolumeTally()
+    t.stored_bytes = stored
+    t.retrieved_bytes = retrieved
+    return t
+
+
+class TestClassifyUser:
+    def test_occasional_below_1mb(self):
+        assert classify_user(tally(stored=500_000)) is UserType.OCCASIONAL
+
+    def test_zero_volume_is_occasional(self):
+        assert classify_user(tally()) is UserType.OCCASIONAL
+
+    def test_upload_only_with_zero_retrieval(self):
+        assert classify_user(tally(stored=2 * MB)) is UserType.UPLOAD_ONLY
+
+    def test_small_but_pure_upload_still_upload_only(self):
+        # 1.1 MB stored, nothing retrieved: ratio is infinite.
+        assert classify_user(tally(stored=1_200_000)) is UserType.UPLOAD_ONLY
+
+    def test_download_only_with_zero_storage(self):
+        assert classify_user(tally(retrieved=2 * MB)) is UserType.DOWNLOAD_ONLY
+
+    def test_mixed_when_ratio_moderate(self):
+        assert classify_user(tally(stored=5 * MB, retrieved=3 * MB)) is UserType.MIXED
+
+    def test_extreme_ratio_upload_only(self):
+        assert (
+            classify_user(tally(stored=10**12, retrieved=1000))
+            is UserType.UPLOAD_ONLY
+        )
+
+    def test_extreme_ratio_download_only(self):
+        assert (
+            classify_user(tally(stored=1000, retrieved=10**12))
+            is UserType.DOWNLOAD_ONLY
+        )
+
+
+class TestDeviceGroup:
+    def test_groups(self):
+        assert (
+            device_group_of(UserDevices(mobile_devices={"a"}))
+            is DeviceGroup.ONE_MOBILE
+        )
+        assert (
+            device_group_of(UserDevices(mobile_devices={"a", "b"}))
+            is DeviceGroup.MULTI_MOBILE
+        )
+        assert (
+            device_group_of(
+                UserDevices(mobile_devices={"a"}, pc_devices={"p"})
+            )
+            is DeviceGroup.MOBILE_AND_PC
+        )
+        assert (
+            device_group_of(UserDevices(pc_devices={"p"}))
+            is DeviceGroup.PC_ONLY
+        )
+
+
+def chunk(user, direction, volume, device_type=DeviceType.ANDROID, device="m"):
+    return LogRecord(
+        timestamp=0.0,
+        device_type=device_type,
+        device_id=device,
+        user_id=user,
+        kind=RequestKind.CHUNK,
+        direction=direction,
+        volume=volume,
+    )
+
+
+class TestProfiles:
+    def records(self):
+        return [
+            chunk(1, Direction.STORE, 10 * MB),
+            chunk(2, Direction.RETRIEVE, 10 * MB),
+            chunk(3, Direction.STORE, 10 * MB),
+            chunk(3, Direction.RETRIEVE, 8 * MB),
+            chunk(4, Direction.STORE, 100),  # occasional
+            chunk(5, Direction.STORE, 5 * MB, DeviceType.PC, "p"),
+        ]
+
+    def test_profile_types(self):
+        profiles = {p.user_id: p for p in profile_users(self.records())}
+        assert profiles[1].user_type is UserType.UPLOAD_ONLY
+        assert profiles[2].user_type is UserType.DOWNLOAD_ONLY
+        assert profiles[3].user_type is UserType.MIXED
+        assert profiles[4].user_type is UserType.OCCASIONAL
+        assert profiles[5].group is DeviceGroup.PC_ONLY
+
+    def test_ratio_samples_grouped(self):
+        profiles = profile_users(self.records())
+        mobile = ratio_samples(
+            profiles, (DeviceGroup.ONE_MOBILE, DeviceGroup.MULTI_MOBILE)
+        )
+        pc = ratio_samples(profiles, (DeviceGroup.PC_ONLY,))
+        assert mobile.size == 4
+        assert pc.size == 1
+
+    def test_table3_shares(self):
+        breakdowns = table3(profile_users(self.records()))
+        mobile = breakdowns["mobile_only"]
+        assert mobile.n_users == 4
+        assert mobile.user_share[UserType.UPLOAD_ONLY] == pytest.approx(0.25)
+        assert mobile.user_share[UserType.MIXED] == pytest.approx(0.25)
+        # Upload-only user 1 stored 10 of the 18 MB (+100 B) mobile total.
+        assert mobile.store_volume_share[UserType.UPLOAD_ONLY] == pytest.approx(
+            10 * MB / (20 * MB + 100), rel=0.01
+        )
+
+    def test_table3_requires_users(self):
+        with pytest.raises(ValueError):
+            table3([])

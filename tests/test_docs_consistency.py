@@ -1,0 +1,77 @@
+"""Consistency between documentation, experiments and benchmarks."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def experiment_ids():
+    return {module.run().experiment for module in []}  # placeholder
+
+
+@pytest.fixture(scope="module")
+def module_names():
+    return [m.__name__.rsplit(".", 1)[-1] for m in ALL_EXPERIMENTS]
+
+
+def test_every_experiment_has_a_benchmark(module_names):
+    bench_dir = REPO / "benchmarks"
+    missing = [
+        name
+        for name in module_names
+        if not (bench_dir / f"bench_{name}.py").exists()
+    ]
+    assert not missing, f"experiments without benchmarks: {missing}"
+
+
+def test_every_benchmark_maps_to_an_experiment(module_names):
+    bench_dir = REPO / "benchmarks"
+    strays = []
+    for path in bench_dir.glob("bench_*.py"):
+        name = path.stem.removeprefix("bench_")
+        if name not in module_names:
+            strays.append(path.name)
+    assert not strays, f"benchmarks without experiments: {strays}"
+
+
+def test_design_md_references_every_bench(module_names):
+    design = (REPO / "DESIGN.md").read_text()
+    missing = [
+        name
+        for name in module_names
+        if f"bench_{name}.py" not in design
+    ]
+    assert not missing, f"DESIGN.md missing bench references: {missing}"
+
+
+def test_paper_map_mentions_every_experiment_module():
+    paper_map = (REPO / "docs" / "PAPER_MAP.md").read_text()
+    # Every experiment id printed by the battery should appear in the map.
+    ids = set()
+    for module in ALL_EXPERIMENTS:
+        match = re.search(
+            r'experiment="([^"]+)"', pathlib.Path(module.__file__).read_text()
+        )
+        assert match, module.__name__
+        ids.add(match.group(1).split("/")[0])
+    missing = [i for i in ids if i not in paper_map]
+    assert not missing, f"PAPER_MAP.md missing experiment ids: {missing}"
+
+
+def test_readme_experiment_count_current():
+    readme = (REPO / "README.md").read_text()
+    assert f"all {len(ALL_EXPERIMENTS)}" in readme, (
+        "README experiment count is stale"
+    )
+
+
+def test_experiment_modules_define_main():
+    for module in ALL_EXPERIMENTS:
+        source = pathlib.Path(module.__file__).read_text()
+        assert '__main__' in source, module.__name__
+        assert callable(module.run)

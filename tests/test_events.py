@@ -1,0 +1,137 @@
+"""Tests for the discrete-event loop core."""
+
+import math
+
+import pytest
+
+from repro.events import EventLoop
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.schedule_at(2.0, lambda: order.append("b"))
+    loop.schedule_at(1.0, lambda: order.append("a"))
+    loop.schedule_at(3.0, lambda: order.append("c"))
+    loop.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    loop = EventLoop()
+    order = []
+    for i in range(10):
+        loop.schedule_at(1.0, lambda i=i: order.append(i))
+    loop.run()
+    assert order == list(range(10))
+
+
+def test_now_advances_with_events():
+    loop = EventLoop()
+    seen = []
+    loop.schedule_at(5.0, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [5.0]
+    assert loop.now == 5.0
+
+
+def test_schedule_after_relative_to_now():
+    loop = EventLoop(start_time=10.0)
+    seen = []
+    loop.schedule_after(2.5, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [12.5]
+
+
+def test_schedule_in_past_rejected():
+    loop = EventLoop(start_time=10.0)
+    with pytest.raises(ValueError):
+        loop.schedule_at(9.0, lambda: None)
+
+
+def test_schedule_nan_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule_at(float("nan"), lambda: None)
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule_at(1.0, lambda: fired.append(1))
+    handle.cancel()
+    loop.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    handle = loop.schedule_at(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert loop.run() == 0
+
+
+def test_events_can_schedule_events():
+    loop = EventLoop()
+    order = []
+
+    def first():
+        order.append("first")
+        loop.schedule_after(1.0, lambda: order.append("second"))
+
+    loop.schedule_at(1.0, first)
+    loop.run()
+    assert order == ["first", "second"]
+    assert loop.now == 2.0
+
+
+def test_run_until_stops_before_later_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(1.0, lambda: fired.append(1))
+    loop.schedule_at(10.0, lambda: fired.append(10))
+    executed = loop.run(until=5.0)
+    assert executed == 1
+    assert fired == [1]
+    # The later event remains pending.
+    assert loop.pending() == 1
+
+
+def test_run_returns_event_count():
+    loop = EventLoop()
+    for i in range(5):
+        loop.schedule_at(float(i + 1), lambda: None)
+    assert loop.run() == 5
+
+
+def test_event_budget_guard():
+    loop = EventLoop()
+
+    def recurse():
+        loop.schedule_after(0.001, recurse)
+
+    loop.schedule_at(0.0, recurse)
+    with pytest.raises(RuntimeError):
+        loop.run(max_events=1000)
+
+
+def test_pending_counts_only_live_events():
+    loop = EventLoop()
+    h1 = loop.schedule_at(1.0, lambda: None)
+    loop.schedule_at(2.0, lambda: None)
+    h1.cancel()
+    assert loop.pending() == 1
+
+
+def test_run_with_infinite_until_drains_queue():
+    loop = EventLoop()
+    loop.schedule_at(1.0, lambda: None)
+    loop.run(until=math.inf)
+    assert loop.pending() == 0

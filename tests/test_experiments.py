@@ -1,0 +1,57 @@
+"""Every experiment harness must run and reproduce the paper's shape.
+
+These are the repository's acceptance tests: a failure here means the
+reproduction drifted from the paper's qualitative findings.  They share one
+memoized trace, so the marginal cost per experiment is the analysis alone.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.base import Check, ExperimentResult
+
+
+@pytest.mark.parametrize(
+    "module",
+    ALL_EXPERIMENTS,
+    ids=[m.__name__.rsplit(".", 1)[-1] for m in ALL_EXPERIMENTS],
+)
+def test_experiment_reproduces_paper_shape(module):
+    result = module.run()
+    assert isinstance(result, ExperimentResult)
+    assert result.checks, "experiment must compare against the paper"
+    failures = result.failures()
+    assert not failures, "\n" + "\n".join(c.render() for c in failures)
+
+
+class TestCheckSemantics:
+    def test_close(self):
+        assert Check("x", paper=1.0, measured=1.05, tolerance=0.1).ok()
+        assert not Check("x", paper=1.0, measured=1.2, tolerance=0.1).ok()
+
+    def test_ratio(self):
+        assert Check("x", 10.0, 14.0, tolerance=0.5, kind="ratio").ok()
+        assert Check("x", 10.0, 7.0, tolerance=0.5, kind="ratio").ok()
+        assert not Check("x", 10.0, 16.0, tolerance=0.5, kind="ratio").ok()
+
+    def test_one_sided(self):
+        assert Check("x", 1.0, 2.0, kind="greater").ok()
+        assert not Check("x", 1.0, 0.5, kind="greater").ok()
+        assert Check("x", 1.0, 0.5, kind="less").ok()
+
+    def test_info_never_fails(self):
+        assert Check("x", 1.0, 99.0, kind="info").ok()
+
+    def test_nan_fails(self):
+        assert not Check("x", 1.0, float("nan"), tolerance=10.0).ok()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            Check("x", 1.0, 1.0, kind="banana").ok()
+
+    def test_result_render_includes_status(self):
+        result = ExperimentResult(experiment="T", title="demo")
+        result.add_check("a", 1.0, 1.0, tolerance=0.1)
+        assert "PASS" in result.render()
+        result.add_check("b", 1.0, 9.0, tolerance=0.1)
+        assert "FAIL" in result.render()

@@ -1,0 +1,44 @@
+"""Tests for the shared experiment preparation layer."""
+
+import pytest
+
+from repro.experiments.common import PreparedTrace, prepared_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return prepared_trace(n_users=200, n_pc_users=30, seed=5)
+
+
+def test_prepared_trace_structure(small_trace):
+    assert isinstance(small_trace, PreparedTrace)
+    assert len(small_trace.records) > 0
+    assert len(small_trace.sessions) > 0
+    assert len(small_trace.profiles) > 0
+
+
+def test_mobile_records_filtered(small_trace):
+    assert all(r.is_mobile for r in small_trace.mobile_records)
+    assert len(small_trace.mobile_records) < len(small_trace.records)
+
+
+def test_mobile_sessions_subset_of_all(small_trace):
+    # PC sessions exist only in the all-platform view.
+    assert len(small_trace.all_sessions) > len(small_trace.sessions)
+
+
+def test_sessions_cover_only_mobile_users(small_trace):
+    mobile_users = {r.user_id for r in small_trace.mobile_records}
+    assert {s.user_id for s in small_trace.sessions} <= mobile_users
+
+
+def test_memoization_returns_same_object(small_trace):
+    again = prepared_trace(n_users=200, n_pc_users=30, seed=5)
+    assert again is small_trace
+
+
+def test_different_arguments_differ():
+    a = prepared_trace(n_users=200, n_pc_users=30, seed=5)
+    b = prepared_trace(n_users=200, n_pc_users=30, seed=6)
+    assert a is not b
+    assert a.records != b.records

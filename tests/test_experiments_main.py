@@ -1,0 +1,50 @@
+"""Tests for the experiment battery CLI entry point."""
+
+from repro.experiments.__main__ import main
+
+
+def test_main_runs_battery_and_reports(capsys, monkeypatch):
+    """The CLI entry runs every experiment and returns 0 when all pass.
+
+    The full battery is slow, so patch ALL_EXPERIMENTS down to a cheap
+    pair and one deliberate failure to exercise both exit codes.
+    """
+    import repro.experiments as experiments
+    from repro.experiments.base import ExperimentResult
+
+    class FakePass:
+        __name__ = "fake_pass"
+
+        @staticmethod
+        def run():
+            result = ExperimentResult(experiment="OK", title="fake")
+            result.add_check("x", 1.0, 1.0, tolerance=0.1)
+            return result
+
+    class FakeFail:
+        __name__ = "fake_fail"
+
+        @staticmethod
+        def run():
+            result = ExperimentResult(experiment="BAD", title="fake")
+            result.add_check("x", 1.0, 99.0, tolerance=0.1)
+            return result
+
+    monkeypatch.setattr(experiments, "run_all", lambda verbose=True: [
+        FakePass.run(), FakePass.run()
+    ])
+    import repro.experiments.__main__ as main_module
+
+    monkeypatch.setattr(main_module, "run_all", lambda verbose=True: [
+        FakePass.run(), FakePass.run()
+    ])
+    assert main() == 0
+    out = capsys.readouterr().out
+    assert "2/2 experiments" in out
+
+    monkeypatch.setattr(main_module, "run_all", lambda verbose=True: [
+        FakePass.run(), FakeFail.run()
+    ])
+    assert main() == 1
+    out = capsys.readouterr().out
+    assert "failing: BAD" in out

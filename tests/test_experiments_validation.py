@@ -1,0 +1,108 @@
+"""Tests for the multi-seed validation harness."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.validation import (
+    CheckRobustness,
+    ExperimentRobustness,
+    pass_rate_summary,
+    validate,
+)
+
+
+class StableModule:
+    """A fake experiment whose check always passes."""
+
+    __name__ = "stable"
+
+    @staticmethod
+    def run(seed: int = 0):
+        result = ExperimentResult(experiment="STABLE", title="fake")
+        result.add_check("always", paper=1.0, measured=1.0, tolerance=0.1)
+        result.add_check("note", paper=1.0, measured=5.0, kind="info")
+        return result
+
+
+class SeedyModule:
+    """A fake experiment that fails on odd seeds."""
+
+    __name__ = "seedy"
+
+    @staticmethod
+    def run(seed: int = 0):
+        result = ExperimentResult(experiment="SEEDY", title="fake")
+        result.add_check(
+            "flaky", paper=1.0, measured=1.0 + (seed % 2), tolerance=0.1
+        )
+        return result
+
+
+class NoSeedModule:
+    """An experiment without a seed parameter is skipped."""
+
+    __name__ = "noseed"
+
+    @staticmethod
+    def run():
+        return ExperimentResult(experiment="NOSEED", title="fake")
+
+
+def test_stable_experiment_is_robust():
+    (outcome,) = validate([StableModule], seeds=[1, 2, 3])
+    assert outcome.robust
+    assert outcome.runs == 4  # default run + 3 seeds
+    assert outcome.checks["always"].pass_rate == 1.0
+
+
+def test_info_checks_not_aggregated():
+    (outcome,) = validate([StableModule], seeds=[1])
+    assert "note" not in outcome.checks
+
+
+def test_fragile_experiment_detected():
+    (outcome,) = validate([SeedyModule], seeds=[1, 2])
+    assert not outcome.robust
+    fragile = outcome.fragile_checks
+    assert len(fragile) == 1
+    assert fragile[0].name == "flaky"
+    assert fragile[0].pass_rate == pytest.approx(2 / 3)
+    lo, hi = fragile[0].spread
+    assert (lo, hi) == (1.0, 2.0)
+
+
+def test_modules_without_seed_skipped():
+    outcomes = validate([NoSeedModule, StableModule], seeds=[1])
+    assert [o.experiment for o in outcomes] == ["STABLE"]
+
+
+def test_empty_seeds_rejected():
+    with pytest.raises(ValueError):
+        validate([StableModule], seeds=[])
+
+
+def test_pass_rate_summary():
+    outcomes = validate([StableModule, SeedyModule], seeds=[1, 2])
+    robust, total, rate = pass_rate_summary(outcomes)
+    assert (robust, total) == (1, 2)
+    assert 0.5 < rate < 1.0
+
+
+def test_summary_requires_outcomes():
+    with pytest.raises(ValueError):
+        pass_rate_summary([])
+
+
+def test_render_mentions_status():
+    (outcome,) = validate([SeedyModule], seeds=[1])
+    assert "FRAGILE" in outcome.render()
+    (outcome,) = validate([StableModule], seeds=[1])
+    assert "ROBUST" in outcome.render()
+
+
+def test_real_experiment_validates_across_seeds():
+    """The dedup ablation is cheap enough to validate for real."""
+    from repro.experiments import ablation_dedup
+
+    (outcome,) = validate([ablation_dedup], seeds=[11, 12])
+    assert outcome.robust

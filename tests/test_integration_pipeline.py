@@ -1,0 +1,107 @@
+"""Integration tests: full pipelines across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    analyze_trace,
+    classify_sessions,
+    file_operation_intervals,
+    fit_interval_model,
+    sessionize,
+)
+from repro.logs import (
+    Anonymizer,
+    CHUNK_SIZE,
+    DeviceType,
+    mobile_only,
+    read_tsv,
+    write_tsv,
+)
+from repro.service import ServiceCluster
+from repro.workload import GeneratorOptions, TraceGenerator, generate_trace
+
+
+class TestGenerateWriteReadAnalyze:
+    def test_roundtrip_through_files(self, tmp_path):
+        """Generate -> anonymize -> write -> read -> analyze."""
+        records = generate_trace(
+            400, options=GeneratorOptions(max_chunks_per_file=4), seed=13
+        )
+        anonymizer = Anonymizer(key=b"integration")
+        path = tmp_path / "trace.tsv.gz"
+        write_tsv(anonymizer.anonymize_stream(records), path)
+
+        loaded = list(read_tsv(path))
+        assert len(loaded) == len(records)
+
+        report = analyze_trace(loaded, fit_size_model=False)
+        assert report.interval_model.tau == 3600.0
+        assert report.session_shares.store_only > 0.5
+
+
+class TestGroundTruthSessionRecovery:
+    def test_sessionization_matches_planted_sessions(self):
+        """The tau=1h sessionizer must recover the generator's sessions."""
+        generator = TraceGenerator(
+            300, options=GeneratorOptions(max_chunks_per_file=4), seed=17
+        )
+        records = [r for r in generator.generate() if r.is_mobile]
+        recovered = sessionize(records)
+
+        # Score: for each recovered session, all its records should share
+        # one ground-truth id (purity), and the number of sessions should
+        # be close to the number of planted ids.
+        truth_ids = {r.session_id for r in records}
+        pure = 0
+        for session in recovered:
+            ids = {r.session_id for r in session.records}
+            pure += len(ids) == 1
+        purity = pure / len(recovered)
+        count_ratio = len(recovered) / len(truth_ids)
+        assert purity > 0.97
+        assert 0.9 < count_ratio < 1.1
+
+
+class TestServiceLogsFeedAnalysis:
+    def test_cluster_logs_sessionize(self):
+        """Logs produced by the service simulator flow through the
+        analysis pipeline unchanged."""
+        cluster = ServiceCluster(n_frontends=2)
+        rng = np.random.default_rng(0)
+        for user in range(1, 21):
+            client = cluster.new_client(user, f"m{user}", DeviceType.ANDROID)
+            client.clock = float(rng.uniform(0, 3600.0))
+            n_files = int(rng.integers(1, 4))
+            for i in range(n_files):
+                client.store_file(
+                    f"f{i}.jpg", f"content-{user}-{i}".encode(),
+                    int(rng.integers(CHUNK_SIZE // 2, 3 * CHUNK_SIZE)),
+                )
+        log = cluster.access_log()
+        sessions = sessionize(list(mobile_only(log)))
+        shares = classify_sessions(sessions)
+        assert shares.store_only == 1.0
+        assert len(sessions) == 20
+
+    def test_interval_model_from_combined_sources(self):
+        """Synthetic trace intervals stay fittable after filtering."""
+        records = generate_trace(
+            500, options=GeneratorOptions(emit_chunks=False), seed=19
+        )
+        intervals = file_operation_intervals(list(mobile_only(records)))
+        model = fit_interval_model(intervals)
+        assert 1.0 < model.within_session_mean_seconds < 60.0
+        assert model.between_session_mean_seconds > 3600.0
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("n_users", [300, 900])
+    def test_headline_stats_stable_across_scale(self, n_users):
+        records = generate_trace(
+            n_users, options=GeneratorOptions(max_chunks_per_file=4),
+            seed=23,
+        )
+        report = analyze_trace(records, fit_size_model=False)
+        assert report.session_shares.store_only == pytest.approx(0.70, abs=0.08)
+        assert report.upload_only_share == pytest.approx(0.5, abs=0.12)

@@ -1,0 +1,101 @@
+"""Tests for record filters."""
+
+import pytest
+
+from repro.logs import (
+    DeviceType,
+    Direction,
+    LogRecord,
+    RequestKind,
+    in_window,
+    matching,
+    mobile_only,
+    of_device,
+    of_direction,
+    of_kind,
+    of_users,
+    pc_only,
+    unproxied,
+)
+
+
+def record(ts=0.0, device=DeviceType.ANDROID, user=1, kind=RequestKind.CHUNK,
+           direction=Direction.STORE, proxied=False):
+    return LogRecord(
+        timestamp=ts,
+        device_type=device,
+        device_id=f"d{user}",
+        user_id=user,
+        kind=kind,
+        direction=direction,
+        volume=0 if kind is RequestKind.FILE_OP else 100,
+        proxied=proxied,
+    )
+
+
+RECORDS = [
+    record(ts=0.0, device=DeviceType.ANDROID, user=1),
+    record(ts=1.0, device=DeviceType.IOS, user=2, direction=Direction.RETRIEVE),
+    record(ts=2.0, device=DeviceType.PC, user=3, proxied=True),
+    record(ts=3.0, device=DeviceType.ANDROID, user=1, kind=RequestKind.FILE_OP),
+]
+
+
+def test_mobile_only_excludes_pc():
+    assert all(r.is_mobile for r in mobile_only(RECORDS))
+    assert len(list(mobile_only(RECORDS))) == 3
+
+
+def test_pc_only():
+    out = list(pc_only(RECORDS))
+    assert len(out) == 1
+    assert out[0].device_type is DeviceType.PC
+
+
+def test_unproxied():
+    assert all(not r.proxied for r in unproxied(RECORDS))
+    assert len(list(unproxied(RECORDS))) == 3
+
+
+def test_of_kind():
+    assert len(list(of_kind(RECORDS, RequestKind.FILE_OP))) == 1
+
+
+def test_of_direction():
+    assert len(list(of_direction(RECORDS, Direction.RETRIEVE))) == 1
+
+
+def test_of_device():
+    assert len(list(of_device(RECORDS, DeviceType.ANDROID))) == 2
+
+
+def test_in_window_is_half_open():
+    out = list(in_window(RECORDS, 1.0, 3.0))
+    assert [r.timestamp for r in out] == [1.0, 2.0]
+
+
+def test_in_window_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        list(in_window(RECORDS, 3.0, 1.0))
+
+
+def test_of_users():
+    out = list(of_users(RECORDS, {1}))
+    assert len(out) == 2
+    assert all(r.user_id == 1 for r in out)
+
+
+def test_matching_combines_predicates():
+    out = list(
+        matching(
+            RECORDS,
+            lambda r: r.is_mobile,
+            lambda r: r.direction is Direction.STORE,
+        )
+    )
+    assert len(out) == 2
+
+
+def test_filters_are_lazy():
+    gen = mobile_only(iter(RECORDS))
+    assert next(gen).user_id == 1

@@ -1,0 +1,156 @@
+"""Tests for log file I/O (TSV / JSONL, plain and gzipped)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs import (
+    DeviceType,
+    Direction,
+    LogRecord,
+    RequestKind,
+    open_reader,
+    read_jsonl,
+    read_tsv,
+    record_from_dict,
+    record_from_tsv,
+    record_to_dict,
+    record_to_tsv,
+    write_jsonl,
+    write_tsv,
+)
+
+SAMPLE = [
+    LogRecord(
+        timestamp=0.5,
+        device_type=DeviceType.IOS,
+        device_id="abc",
+        user_id=1,
+        kind=RequestKind.FILE_OP,
+        direction=Direction.STORE,
+    ),
+    LogRecord(
+        timestamp=1.25,
+        device_type=DeviceType.ANDROID,
+        device_id="def",
+        user_id=2,
+        kind=RequestKind.CHUNK,
+        direction=Direction.RETRIEVE,
+        volume=524288,
+        processing_time=1.5,
+        server_time=0.2,
+        rtt=0.1,
+        proxied=True,
+        session_id=42,
+    ),
+]
+
+
+def test_tsv_roundtrip(tmp_path):
+    path = tmp_path / "trace.tsv"
+    count = write_tsv(SAMPLE, path)
+    assert count == 2
+    assert list(read_tsv(path)) == SAMPLE
+
+
+def test_jsonl_roundtrip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    count = write_jsonl(SAMPLE, path)
+    assert count == 2
+    assert list(read_jsonl(path)) == SAMPLE
+
+
+def test_gzip_roundtrip(tmp_path):
+    path = tmp_path / "trace.tsv.gz"
+    write_tsv(SAMPLE, path)
+    assert list(read_tsv(path)) == SAMPLE
+
+
+def test_open_reader_dispatches_by_extension(tmp_path):
+    tsv = tmp_path / "a.tsv"
+    jsonl = tmp_path / "b.jsonl"
+    gz = tmp_path / "c.jsonl.gz"
+    write_tsv(SAMPLE, tsv)
+    write_jsonl(SAMPLE, jsonl)
+    write_jsonl(SAMPLE, gz)
+    assert list(open_reader(tsv)) == SAMPLE
+    assert list(open_reader(jsonl)) == SAMPLE
+    assert list(open_reader(gz)) == SAMPLE
+
+
+def test_open_reader_rejects_unknown_format(tmp_path):
+    with pytest.raises(ValueError):
+        list(open_reader(tmp_path / "trace.csv"))
+
+
+def test_tsv_header_line_skipped(tmp_path):
+    path = tmp_path / "trace.tsv"
+    write_tsv(SAMPLE, path)
+    first_line = path.read_text().splitlines()[0]
+    assert first_line.startswith("#")
+
+
+def test_malformed_tsv_line_raises():
+    with pytest.raises(ValueError):
+        record_from_tsv("too\tfew\tcolumns")
+
+
+def test_record_dict_roundtrip():
+    for record in SAMPLE:
+        assert record_from_dict(record_to_dict(record)) == record
+
+
+def test_record_dict_defaults_for_missing_optionals():
+    data = {
+        "timestamp": 1.0,
+        "device_type": "android",
+        "device_id": "x",
+        "user_id": 3,
+        "kind": "chunk",
+        "direction": "store",
+        "volume": 10,
+    }
+    record = record_from_dict(data)
+    assert record.rtt == 0.0
+    assert record.session_id == -1
+    assert not record.proxied
+
+
+record_strategy = st.builds(
+    LogRecord,
+    timestamp=st.floats(0, 1e7, allow_nan=False),
+    device_type=st.sampled_from(list(DeviceType)),
+    device_id=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+        min_size=1,
+        max_size=12,
+    ),
+    user_id=st.integers(0, 2**40),
+    kind=st.just(RequestKind.CHUNK),
+    direction=st.sampled_from(list(Direction)),
+    volume=st.integers(0, 2**31),
+    processing_time=st.floats(0, 1e4, allow_nan=False),
+    server_time=st.floats(0, 1e4, allow_nan=False),
+    rtt=st.floats(0, 100, allow_nan=False),
+    proxied=st.booleans(),
+    session_id=st.integers(-1, 2**31),
+)
+
+
+@given(record=record_strategy)
+@settings(max_examples=200)
+def test_tsv_line_roundtrip_property(record):
+    parsed = record_from_tsv(record_to_tsv(record))
+    assert parsed.user_id == record.user_id
+    assert parsed.device_id == record.device_id
+    assert parsed.volume == record.volume
+    assert parsed.timestamp == pytest.approx(record.timestamp, abs=1e-6)
+    assert parsed.rtt == pytest.approx(record.rtt, abs=1e-6)
+    assert parsed.proxied == record.proxied
+    assert parsed.session_id == record.session_id
+
+
+@given(record=record_strategy)
+@settings(max_examples=200)
+def test_dict_roundtrip_property(record):
+    assert record_from_dict(record_to_dict(record)) == record

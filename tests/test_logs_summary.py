@@ -1,0 +1,86 @@
+"""Tests for the one-pass trace summary."""
+
+import pytest
+
+from repro.logs import DeviceType, Direction, LogRecord, RequestKind
+from repro.logs.summary import TraceSummary, summarize
+
+
+def record(ts=0.0, user=1, device="m1", device_type=DeviceType.ANDROID,
+           kind=RequestKind.CHUNK, direction=Direction.STORE, volume=100,
+           proxied=False):
+    return LogRecord(
+        timestamp=ts,
+        device_type=device_type,
+        device_id=device,
+        user_id=user,
+        kind=kind,
+        direction=direction,
+        volume=volume if kind is RequestKind.CHUNK else 0,
+        proxied=proxied,
+    )
+
+
+SAMPLE = [
+    record(ts=0.0, user=1, device="m1", volume=100),
+    record(ts=10.0, user=1, device="m1", kind=RequestKind.FILE_OP),
+    record(ts=86_400.0, user=2, device="m2",
+           device_type=DeviceType.IOS,
+           direction=Direction.RETRIEVE, volume=300),
+    record(ts=90_000.0, user=2, device="p1",
+           device_type=DeviceType.PC, volume=50, proxied=True),
+]
+
+
+@pytest.fixture()
+def summary():
+    return summarize(SAMPLE)
+
+
+def test_counts(summary):
+    assert summary.n_records == 4
+    assert summary.n_file_ops == 1
+    assert summary.n_chunks == 3
+    assert summary.n_proxied == 1
+
+
+def test_volumes(summary):
+    assert summary.stored_bytes == 150
+    assert summary.retrieved_bytes == 300
+    assert summary.total_bytes == 450
+
+
+def test_populations(summary):
+    assert summary.n_users == 2
+    assert summary.n_devices == 3
+    assert summary.devices_per_user == pytest.approx(1.5)
+
+
+def test_span(summary):
+    assert summary.span_seconds == pytest.approx(90_000.0)
+    assert summary.span_days == pytest.approx(90_000.0 / 86_400.0)
+
+
+def test_android_record_share_excludes_pc(summary):
+    # 2 android mobile records, 1 ios mobile record; PC excluded.
+    assert summary.android_record_share == pytest.approx(2 / 3)
+
+
+def test_pc_co_use_share(summary):
+    # Users 1 and 2 are mobile users; only user 2 also used a PC.
+    assert summary.pc_co_use_share == pytest.approx(0.5)
+
+
+def test_render_contains_key_lines(summary):
+    text = summary.render()
+    assert "records" in text
+    assert "android share" in text
+    assert "PC co-use" in text
+
+
+def test_empty_summary_safe():
+    summary = TraceSummary()
+    assert summary.span_seconds == 0.0
+    assert summary.android_record_share == 0.0
+    assert summary.pc_co_use_share == 0.0
+    assert summary.devices_per_user == 0.0

@@ -1,0 +1,99 @@
+"""Tests for the elastic provisioning simulator."""
+
+import numpy as np
+import pytest
+
+from repro.service.autoscaler import (
+    AutoscalerPolicy,
+    compare_strategies,
+    oracle_provisioning,
+    reactive_provisioning,
+    static_provisioning,
+)
+
+POLICY = AutoscalerPolicy(capacity_per_server=100.0, headroom=1.5,
+                          scale_down_cooldown=1)
+
+FLAT = np.full(24, 250.0)
+DIURNAL = np.array([50.0] * 8 + [200.0] * 8 + [800.0] * 8)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(capacity_per_server=0.0)
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(capacity_per_server=1.0, headroom=0.9)
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(capacity_per_server=1.0, scale_down_cooldown=-1)
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(capacity_per_server=1.0, min_servers=0)
+
+
+class TestStatic:
+    def test_peak_sized_fleet(self):
+        outcome = static_provisioning(DIURNAL, POLICY)
+        assert outcome.server_hours == 8 * 24  # ceil(800/100) * 24 hours
+        assert outcome.underprovisioned_hours == 0
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            static_provisioning(np.array([]), POLICY)
+
+
+class TestOracle:
+    def test_exact_fit_every_hour(self):
+        outcome = oracle_provisioning(DIURNAL, POLICY)
+        expected = 8 * (1 + 2 + 8)
+        assert outcome.server_hours == expected
+        assert outcome.underprovisioned_hours == 0
+
+    def test_oracle_never_costlier_than_static(self):
+        static = static_provisioning(DIURNAL, POLICY)
+        oracle = oracle_provisioning(DIURNAL, POLICY)
+        assert oracle.server_hours <= static.server_hours
+
+
+class TestReactive:
+    def test_flat_profile_no_violations(self):
+        outcome = reactive_provisioning(FLAT, POLICY)
+        assert outcome.underprovisioned_hours == 0
+        assert outcome.violation_rate == 0.0
+
+    def test_lags_a_step_increase(self):
+        profile = np.array([100.0] * 4 + [1000.0] * 4)
+        outcome = reactive_provisioning(profile, POLICY)
+        # The hour of the jump is under-provisioned (reactive lag).
+        assert outcome.underprovisioned_hours >= 1
+
+    def test_cooldown_delays_scale_down(self):
+        profile = np.array([1000.0, 100.0, 100.0, 100.0, 100.0])
+        eager = reactive_provisioning(
+            profile,
+            AutoscalerPolicy(capacity_per_server=100.0, headroom=1.0,
+                             scale_down_cooldown=0),
+        )
+        patient = reactive_provisioning(
+            profile,
+            AutoscalerPolicy(capacity_per_server=100.0, headroom=1.0,
+                             scale_down_cooldown=3),
+        )
+        assert patient.server_hours > eager.server_hours
+
+    def test_costs_between_oracle_and_static_on_diurnal(self):
+        outcomes = compare_strategies(DIURNAL, POLICY)
+        assert (
+            outcomes["oracle"].server_hours
+            <= outcomes["reactive"].server_hours
+            <= outcomes["static"].server_hours
+        )
+
+    def test_savings_over(self):
+        outcomes = compare_strategies(DIURNAL, POLICY)
+        saving = outcomes["reactive"].savings_over(outcomes["static"])
+        assert 0.0 < saving < 1.0
+
+    def test_min_servers_floor(self):
+        policy = AutoscalerPolicy(capacity_per_server=100.0, min_servers=5)
+        outcome = reactive_provisioning(np.full(10, 1.0), policy)
+        assert outcome.server_hours == 50

@@ -1,0 +1,108 @@
+"""Tests for the LRU/LFU web cache proxies."""
+
+import pytest
+
+from repro.service import LfuCache, LruCache
+
+
+class TestLru:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    def test_miss_then_hit(self):
+        cache = LruCache(100)
+        assert not cache.request("a", 10)
+        assert cache.request("a", 10)
+        stats = cache.stats()
+        assert stats.requests == 2
+        assert stats.hits == 1
+        assert stats.hit_ratio == pytest.approx(0.5)
+
+    def test_eviction_order_is_lru(self):
+        cache = LruCache(20)
+        cache.request("a", 10)
+        cache.request("b", 10)
+        cache.request("a", 10)  # touch a: b becomes LRU
+        cache.request("c", 10)  # evicts b
+        assert cache.request("a", 10)
+        assert not cache.request("b", 10)
+
+    def test_oversized_object_not_admitted(self):
+        cache = LruCache(50)
+        cache.request("big", 100)
+        assert cache.used_bytes == 0
+        assert not cache.request("big", 100)
+
+    def test_used_bytes_tracks_contents(self):
+        cache = LruCache(100)
+        cache.request("a", 30)
+        cache.request("b", 40)
+        assert cache.used_bytes == 70
+
+    def test_byte_hit_ratio(self):
+        cache = LruCache(1000)
+        cache.request("a", 100)  # miss
+        cache.request("a", 100)  # hit
+        cache.request("b", 300)  # miss
+        stats = cache.stats()
+        assert stats.byte_hit_ratio == pytest.approx(100 / 500)
+
+    def test_eviction_counter(self):
+        cache = LruCache(10)
+        cache.request("a", 10)
+        cache.request("b", 10)
+        assert cache.stats().evictions == 1
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(10).request("a", 0)
+
+
+class TestLfu:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LfuCache(0)
+
+    def test_frequency_protects_hot_object(self):
+        cache = LfuCache(20)
+        for _ in range(5):
+            cache.request("hot", 10)
+        cache.request("cold1", 10)
+        cache.request("cold2", 10)  # must evict cold1, not hot
+        assert cache.request("hot", 10)
+        assert not cache.request("cold1", 10)
+
+    def test_tie_break_is_fifo(self):
+        cache = LfuCache(20)
+        cache.request("a", 10)
+        cache.request("b", 10)
+        cache.request("c", 10)  # a and b both count 1 -> evict a
+        assert cache.request("b", 10)
+        assert not cache.request("a", 10)
+
+    def test_stats_shape(self):
+        cache = LfuCache(100)
+        cache.request("a", 10)
+        cache.request("a", 10)
+        stats = cache.stats()
+        assert stats.hit_ratio == pytest.approx(0.5)
+        assert stats.bytes_hit == 10
+
+    def test_oversized_object_skipped(self):
+        cache = LfuCache(5)
+        cache.request("big", 100)
+        assert cache.used_bytes == 0
+
+
+class TestComparative:
+    def test_lfu_beats_lru_on_scan_pollution(self):
+        """A one-off scan flushes LRU but not LFU."""
+        hot = [("hot", 10)] * 30
+        scan = [(f"scan-{i}", 10) for i in range(20)]
+        workload = hot[:10] + scan + hot[10:]
+        lru, lfu = LruCache(30), LfuCache(30)
+        for key, size in workload:
+            lru.request(key, size)
+            lfu.request(key, size)
+        assert lfu.stats().hit_ratio > lru.stats().hit_ratio

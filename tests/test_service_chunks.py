@@ -1,0 +1,79 @@
+"""Tests for chunking and content manifests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs import CHUNK_SIZE
+from repro.service import FileManifest, build_manifest, chunk_sizes, content_md5
+
+
+class TestChunkSizes:
+    def test_exact_multiple(self):
+        assert chunk_sizes(2 * CHUNK_SIZE) == [CHUNK_SIZE, CHUNK_SIZE]
+
+    def test_remainder_tail(self):
+        sizes = chunk_sizes(CHUNK_SIZE + 100)
+        assert sizes == [CHUNK_SIZE, 100]
+
+    def test_small_file_single_chunk(self):
+        assert chunk_sizes(5000) == [5000]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_sizes(0)
+        with pytest.raises(ValueError):
+            chunk_sizes(100, chunk_size=0)
+
+    @given(size=st.integers(1, 50 * CHUNK_SIZE))
+    @settings(max_examples=200)
+    def test_sizes_sum_and_bounds(self, size):
+        sizes = chunk_sizes(size)
+        assert sum(sizes) == size
+        assert all(0 < s <= CHUNK_SIZE for s in sizes)
+        # Only the final chunk may be short.
+        assert all(s == CHUNK_SIZE for s in sizes[:-1])
+
+
+class TestContentMd5:
+    def test_deterministic(self):
+        assert content_md5(b"x") == content_md5(b"x")
+
+    def test_distinct_for_distinct_content(self):
+        assert content_md5(b"x") != content_md5(b"y")
+
+    def test_hex_shape(self):
+        digest = content_md5(b"content")
+        assert len(digest) == 32
+        int(digest, 16)
+
+
+class TestManifest:
+    def test_build_manifest_consistency(self):
+        manifest = build_manifest("a.jpg", b"seed", 3 * CHUNK_SIZE + 10)
+        assert manifest.n_chunks == 4
+        assert sum(manifest.chunk_sizes) == manifest.size
+        assert len(set(manifest.chunk_md5s)) == 4
+
+    def test_same_content_same_hashes(self):
+        a = build_manifest("a.jpg", b"seed", CHUNK_SIZE * 2)
+        b = build_manifest("b.jpg", b"seed", CHUNK_SIZE * 2)
+        assert a.file_md5 == b.file_md5
+        assert a.chunk_md5s == b.chunk_md5s
+
+    def test_different_content_different_hashes(self):
+        a = build_manifest("a.jpg", b"seed-1", CHUNK_SIZE)
+        b = build_manifest("a.jpg", b"seed-2", CHUNK_SIZE)
+        assert a.file_md5 != b.file_md5
+
+    def test_manifest_validation(self):
+        with pytest.raises(ValueError):
+            FileManifest(
+                name="x", size=10, file_md5="a",
+                chunk_md5s=("h1", "h2"), chunk_sizes=(10,),
+            )
+        with pytest.raises(ValueError):
+            FileManifest(
+                name="x", size=10, file_md5="a",
+                chunk_md5s=("h1",), chunk_sizes=(5,),
+            )

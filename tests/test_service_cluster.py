@@ -1,0 +1,114 @@
+"""End-to-end tests of the service cluster (client + metadata + front-ends)."""
+
+import pytest
+
+from repro.logs import CHUNK_SIZE, DeviceType, Direction, RequestKind
+from repro.service import ClientNetwork, ServiceCluster
+
+
+@pytest.fixture()
+def cluster():
+    return ServiceCluster(n_frontends=2)
+
+
+class TestStore:
+    def test_store_emits_file_op_plus_chunks(self, cluster):
+        client = cluster.new_client(1, "m1", DeviceType.ANDROID)
+        report = client.store_file("p.jpg", b"c1", 2 * CHUNK_SIZE + 100)
+        assert report.n_chunks == 3
+        assert not report.deduplicated
+        log = cluster.access_log()
+        ops = [r for r in log if r.kind is RequestKind.FILE_OP]
+        chunks = [r for r in log if r.kind is RequestKind.CHUNK]
+        assert len(ops) == 1
+        assert len(chunks) == 3
+        assert sum(r.volume for r in chunks) == 2 * CHUNK_SIZE + 100
+
+    def test_duplicate_upload_skips_transfer(self, cluster):
+        a = cluster.new_client(1, "m1", DeviceType.ANDROID)
+        b = cluster.new_client(2, "m2", DeviceType.IOS)
+        a.store_file("p.jpg", b"same", CHUNK_SIZE)
+        before = len(cluster.access_log())
+        report = b.store_file("p.jpg", b"same", CHUNK_SIZE)
+        assert report.deduplicated
+        assert len(cluster.access_log()) == before
+        assert cluster.dedup_ratio == pytest.approx(0.5)
+
+    def test_clock_advances_during_store(self, cluster):
+        client = cluster.new_client(1, "m1", DeviceType.ANDROID)
+        report = client.store_file("p.jpg", b"c", CHUNK_SIZE)
+        assert report.duration > 0
+        assert client.clock == report.finished_at
+
+
+class TestRetrieve:
+    def test_roundtrip_volume(self, cluster):
+        a = cluster.new_client(1, "m1", DeviceType.ANDROID)
+        b = cluster.new_client(2, "m2", DeviceType.IOS)
+        stored = a.store_file("p.jpg", b"c", 3 * CHUNK_SIZE)
+        fetched = b.retrieve_url(stored.url)
+        assert fetched.size == 3 * CHUNK_SIZE
+        assert fetched.n_chunks == 3
+        assert cluster.bytes_served == 3 * CHUNK_SIZE
+
+    def test_unknown_url_raises(self, cluster):
+        client = cluster.new_client(1, "m1", DeviceType.ANDROID)
+        with pytest.raises(KeyError):
+            client.retrieve_url("https://cloud.example/s/nope")
+
+    def test_retrieval_records_direction(self, cluster):
+        a = cluster.new_client(1, "m1", DeviceType.ANDROID)
+        stored = a.store_file("p.jpg", b"c", CHUNK_SIZE)
+        a.retrieve_url(stored.url)
+        directions = {
+            r.direction for r in cluster.access_log() if r.is_chunk
+        }
+        assert directions == {Direction.STORE, Direction.RETRIEVE}
+
+
+class TestCluster:
+    def test_access_log_time_ordered(self, cluster):
+        a = cluster.new_client(1, "m1", DeviceType.ANDROID)
+        b = cluster.new_client(2, "m2", DeviceType.IOS)
+        a.store_file("x", b"1", CHUNK_SIZE)
+        b.store_file("y", b"2", CHUNK_SIZE)
+        log = cluster.access_log()
+        times = [r.timestamp for r in log]
+        assert times == sorted(times)
+
+    def test_bytes_stored_accumulates(self, cluster):
+        client = cluster.new_client(1, "m1", DeviceType.ANDROID)
+        client.store_file("x", b"1", CHUNK_SIZE)
+        client.store_file("y", b"2", 2 * CHUNK_SIZE)
+        assert cluster.bytes_stored == 3 * CHUNK_SIZE
+
+    def test_network_conditions_affect_duration(self):
+        fast = ServiceCluster(n_frontends=1)
+        slow = ServiceCluster(n_frontends=1)
+        fast_client = fast.new_client(
+            1, "m", DeviceType.IOS,
+            network=ClientNetwork(rtt=0.02, bandwidth=5_000_000.0),
+        )
+        slow_client = slow.new_client(
+            1, "m", DeviceType.IOS,
+            network=ClientNetwork(rtt=0.3, bandwidth=100_000.0),
+        )
+        fast_report = fast_client.store_file("x", b"1", 2 * CHUNK_SIZE)
+        slow_report = slow_client.store_file("x", b"1", 2 * CHUNK_SIZE)
+        assert slow_report.duration > fast_report.duration
+
+    def test_client_requires_frontends(self, cluster):
+        from repro.service import StorageClient
+
+        with pytest.raises(ValueError):
+            StorageClient(
+                user_id=1,
+                device_id="d",
+                device_type=DeviceType.IOS,
+                metadata=cluster.metadata,
+                frontends=[],
+            )
+
+    def test_bad_network_rejected(self):
+        with pytest.raises(ValueError):
+            ClientNetwork(rtt=0.0)

@@ -1,0 +1,110 @@
+"""Tests for redundancy-elimination accounting."""
+
+import pytest
+
+from repro.logs import CHUNK_SIZE
+from repro.service import RedundancyEliminator, Strategy, build_manifest
+
+
+def manifest(seed, size=2 * CHUNK_SIZE, name="f"):
+    return build_manifest(name, seed, size)
+
+
+class TestBasics:
+    def test_delta_fraction_validated(self):
+        with pytest.raises(ValueError):
+            RedundancyEliminator(delta_fraction=1.5)
+
+    def test_first_upload_full_price_everywhere(self):
+        elim = RedundancyEliminator()
+        elim.upload(manifest(b"a"))
+        for strategy in Strategy:
+            acct = elim.accounting[strategy]
+            assert acct.transferred_bytes == 2 * CHUNK_SIZE
+            assert acct.savings == 0.0
+
+    def test_exact_reupload_skipped_by_file_dedup(self):
+        elim = RedundancyEliminator()
+        elim.upload(manifest(b"a"))
+        elim.upload(manifest(b"a"))
+        assert elim.accounting[Strategy.NONE].transferred_bytes == 4 * CHUNK_SIZE
+        for strategy in (Strategy.FILE_DEDUP, Strategy.CHUNK_DEDUP, Strategy.DELTA):
+            assert (
+                elim.accounting[strategy].transferred_bytes == 2 * CHUNK_SIZE
+            ), strategy
+        assert elim.accounting[Strategy.FILE_DEDUP].files_skipped == 1
+
+    def test_savings_fraction(self):
+        elim = RedundancyEliminator()
+        elim.upload(manifest(b"a"))
+        elim.upload(manifest(b"a"))
+        assert elim.accounting[Strategy.FILE_DEDUP].savings == pytest.approx(0.5)
+
+
+class TestChunkOverlap:
+    def overlapping_manifests(self):
+        """Two 4-chunk files sharing 3 chunks (one revised chunk)."""
+        from repro.service import FileManifest, content_md5
+
+        sizes = (CHUNK_SIZE,) * 4
+        base_chunks = [f"doc/c{i}/g0" for i in range(4)]
+        rev_chunks = base_chunks[:3] + ["doc/c3/g1"]
+        make = lambda chunks: FileManifest(
+            name="doc",
+            size=4 * CHUNK_SIZE,
+            file_md5=content_md5("|".join(chunks).encode()),
+            chunk_md5s=tuple(content_md5(c.encode()) for c in chunks),
+            chunk_sizes=sizes,
+        )
+        return make(base_chunks), make(rev_chunks)
+
+    def test_chunk_dedup_transfers_only_changed_chunk(self):
+        base, revised = self.overlapping_manifests()
+        elim = RedundancyEliminator()
+        elim.upload(base, lineage="doc")
+        elim.upload(revised, lineage="doc")
+        acct = elim.accounting[Strategy.CHUNK_DEDUP]
+        assert acct.transferred_bytes == 5 * CHUNK_SIZE  # 4 + 1 changed
+        assert acct.chunks_skipped == 3
+        # File dedup gets nothing: the file hash changed.
+        assert (
+            elim.accounting[Strategy.FILE_DEDUP].transferred_bytes
+            == 8 * CHUNK_SIZE
+        )
+
+    def test_delta_needs_lineage(self):
+        base, revised = self.overlapping_manifests()
+        # Without lineage the changed chunk costs full price under DELTA.
+        elim = RedundancyEliminator(delta_fraction=0.1)
+        elim.upload(base)
+        elim.upload(revised)
+        assert (
+            elim.accounting[Strategy.DELTA].transferred_bytes
+            == 5 * CHUNK_SIZE
+        )
+        # With lineage, only the delta fraction of the changed chunk.
+        elim = RedundancyEliminator(delta_fraction=0.1)
+        elim.upload(base, lineage="doc")
+        elim.upload(revised, lineage="doc")
+        expected = 4 * CHUNK_SIZE + int(round(CHUNK_SIZE * 0.1))
+        assert elim.accounting[Strategy.DELTA].transferred_bytes == expected
+
+    def test_marginal_gain(self):
+        base, revised = self.overlapping_manifests()
+        elim = RedundancyEliminator()
+        elim.upload(base, lineage="doc")
+        elim.upload(revised, lineage="doc")
+        gain = elim.marginal_gain(Strategy.FILE_DEDUP, Strategy.CHUNK_DEDUP)
+        assert gain == pytest.approx(3 / 8)
+
+
+class TestUploadAll:
+    def test_lineage_alignment_checked(self):
+        elim = RedundancyEliminator()
+        with pytest.raises(ValueError):
+            elim.upload_all([manifest(b"a")], lineages=["x", "y"])
+
+    def test_stream_without_lineages(self):
+        elim = RedundancyEliminator()
+        elim.upload_all([manifest(b"a"), manifest(b"b")])
+        assert elim.accounting[Strategy.NONE].logical_bytes == 4 * CHUNK_SIZE

@@ -1,0 +1,96 @@
+"""Tests for the metadata server (namespaces + dedup)."""
+
+import pytest
+
+from repro.logs import CHUNK_SIZE
+from repro.service import MetadataServer, build_manifest
+
+
+def manifest(seed=b"content", size=CHUNK_SIZE, name="f.jpg"):
+    return build_manifest(name, seed, size)
+
+
+class TestStorePath:
+    def test_first_upload_is_not_duplicate(self):
+        server = MetadataServer()
+        decision = server.request_store(1, manifest())
+        assert not decision.duplicate
+        assert decision.frontend_id is not None
+
+    def test_second_upload_of_same_content_deduplicated(self):
+        server = MetadataServer()
+        m = manifest()
+        decision = server.request_store(1, m)
+        server.commit_store(1, m, decision.frontend_id)
+        dup = server.request_store(2, m)
+        assert dup.duplicate
+        assert dup.frontend_id is None
+        assert dup.url  # registered directly in user 2's space
+
+    def test_dedup_ratio(self):
+        server = MetadataServer()
+        m = manifest()
+        decision = server.request_store(1, m)
+        server.commit_store(1, m, decision.frontend_id)
+        server.request_store(2, m)
+        server.request_store(3, m)
+        assert server.dedup_ratio == pytest.approx(2 / 3)
+        assert server.unique_contents == 1
+
+    def test_commit_registers_user_file(self):
+        server = MetadataServer()
+        m = manifest()
+        decision = server.request_store(1, m)
+        url = server.commit_store(1, m, decision.frontend_id)
+        files = server.user_files(1)
+        assert len(files) == 1
+        assert files[0].url == url
+        assert files[0].size == m.size
+
+    def test_commit_to_unknown_frontend_rejected(self):
+        server = MetadataServer(n_frontends=2)
+        with pytest.raises(ValueError):
+            server.commit_store(1, manifest(), 5)
+
+    def test_frontend_assignment_stable(self):
+        server = MetadataServer(n_frontends=4)
+        d1 = server.request_store(6, manifest(b"a"))
+        d2 = server.request_store(6, manifest(b"b"))
+        assert d1.frontend_id == d2.frontend_id
+
+    def test_reregistering_same_file_keeps_url(self):
+        server = MetadataServer()
+        m = manifest()
+        decision = server.request_store(1, m)
+        url1 = server.commit_store(1, m, decision.frontend_id)
+        url2 = server.commit_store(1, m, decision.frontend_id)
+        assert url1 == url2
+        assert len(server.user_files(1)) == 1
+
+
+class TestRetrievalPath:
+    def test_resolve_url(self):
+        server = MetadataServer()
+        m = manifest()
+        decision = server.request_store(1, m)
+        url = server.commit_store(1, m, decision.frontend_id)
+        record, frontend = server.resolve_url(url)
+        assert record.file_md5 == m.file_md5
+        assert frontend == decision.frontend_id
+
+    def test_any_user_can_resolve_shared_url(self):
+        server = MetadataServer()
+        m = manifest()
+        decision = server.request_store(1, m)
+        url = server.commit_store(1, m, decision.frontend_id)
+        record, _ = server.resolve_url(url)  # user 2 fetches user 1's link
+        assert record.owner == 1
+
+    def test_unknown_url_raises(self):
+        with pytest.raises(KeyError):
+            MetadataServer().resolve_url("https://nope")
+
+
+def test_needs_at_least_one_frontend():
+    with pytest.raises(ValueError):
+        MetadataServer(n_frontends=0)

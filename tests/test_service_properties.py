@@ -1,0 +1,68 @@
+"""Property-based invariants of the service simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs import CHUNK_SIZE, DeviceType
+from repro.service import MetadataServer, ServiceCluster, build_manifest
+
+
+@given(
+    sizes=st.lists(
+        st.integers(1, 5 * CHUNK_SIZE), min_size=1, max_size=8
+    ),
+    seed_tags=st.lists(
+        st.integers(0, 3), min_size=1, max_size=8
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_store_retrieve_volume_conservation(sizes, seed_tags):
+    """Bytes logged for a store always equal the file size, and every
+    stored URL retrieves the exact same number of bytes."""
+    cluster = ServiceCluster(n_frontends=2)
+    client = cluster.new_client(1, "m1", DeviceType.ANDROID)
+    fetcher = cluster.new_client(2, "m2", DeviceType.IOS)
+    stored_urls = []
+    unique_bytes = {}
+    for index, (size, tag) in enumerate(zip(sizes, seed_tags)):
+        seed = f"content-{tag}".encode()
+        report = client.store_file(f"f{index}", seed, size)
+        stored_urls.append((report.url, size))
+        key = (tag, size)
+        if key not in unique_bytes and not report.deduplicated:
+            unique_bytes[key] = size
+    # Dedup means total uploaded bytes equal the sum of *unique* contents.
+    assert cluster.bytes_stored == sum(unique_bytes.values())
+    for url, size in stored_urls:
+        fetched = fetcher.retrieve_url(url)
+        assert fetched.size == size
+
+
+@given(
+    n_users=st.integers(1, 12),
+    size=st.integers(1, 2 * CHUNK_SIZE),
+)
+@settings(max_examples=40, deadline=None)
+def test_dedup_uploads_identical_content_once(n_users, size):
+    server = MetadataServer()
+    manifest = build_manifest("same", b"identical", size)
+    uploads = 0
+    for user in range(1, n_users + 1):
+        decision = server.request_store(user, manifest)
+        if not decision.duplicate:
+            uploads += 1
+            server.commit_store(user, manifest, decision.frontend_id)
+    assert uploads == 1
+    assert server.unique_contents == 1
+    # Every user still sees the file in their namespace.
+    for user in range(1, n_users + 1):
+        assert len(server.user_files(user)) == 1
+
+
+@given(size=st.integers(1, 20 * CHUNK_SIZE))
+@settings(max_examples=100)
+def test_manifest_chunks_invariants(size):
+    manifest = build_manifest("f", b"x", size)
+    assert sum(manifest.chunk_sizes) == size
+    assert all(0 < s <= CHUNK_SIZE for s in manifest.chunk_sizes)
+    assert len(set(manifest.chunk_md5s)) == manifest.n_chunks

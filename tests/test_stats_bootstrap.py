@@ -1,0 +1,58 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_ci
+
+
+def test_interval_contains_estimate():
+    rng = np.random.default_rng(0)
+    data = rng.normal(10.0, 2.0, 500)
+    ci = bootstrap_ci(data, np.mean, seed=1)
+    assert ci.low <= ci.estimate <= ci.high
+
+
+def test_mean_interval_covers_truth():
+    rng = np.random.default_rng(1)
+    data = rng.normal(5.0, 1.0, 1000)
+    ci = bootstrap_ci(data, np.mean, seed=2)
+    assert ci.contains(5.0)
+
+
+def test_width_shrinks_with_sample_size():
+    rng = np.random.default_rng(2)
+    small = bootstrap_ci(rng.normal(0, 1, 50), np.mean, seed=3)
+    large = bootstrap_ci(rng.normal(0, 1, 5000), np.mean, seed=3)
+    assert large.width < small.width
+
+
+def test_confidence_widens_interval():
+    rng = np.random.default_rng(3)
+    data = rng.normal(0, 1, 300)
+    narrow = bootstrap_ci(data, np.mean, confidence=0.5, seed=4)
+    wide = bootstrap_ci(data, np.mean, confidence=0.99, seed=4)
+    assert wide.width > narrow.width
+
+
+def test_median_statistic():
+    data = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+    ci = bootstrap_ci(data, np.median, seed=5)
+    assert ci.estimate == 3.0
+
+
+def test_deterministic_given_seed():
+    rng = np.random.default_rng(6)
+    data = rng.normal(0, 1, 100)
+    a = bootstrap_ci(data, np.mean, seed=7)
+    b = bootstrap_ci(data, np.mean, seed=7)
+    assert (a.low, a.high) == (b.low, b.high)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci(np.array([]), np.mean)
+    with pytest.raises(ValueError):
+        bootstrap_ci(np.array([1.0]), np.mean, confidence=1.5)
+    with pytest.raises(ValueError):
+        bootstrap_ci(np.array([1.0]), np.mean, n_resamples=1)

@@ -1,0 +1,136 @@
+"""Tests for empirical distribution utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    ccdf_points,
+    ecdf,
+    fraction_below,
+    histogram,
+    log_bins,
+    quantiles,
+)
+
+floats_list = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestEcdf:
+    def test_simple_values(self):
+        e = ecdf([1.0, 2.0, 3.0, 4.0])
+        assert e.evaluate(2.0) == pytest.approx(0.5)
+        assert e.evaluate(0.5) == pytest.approx(0.0)
+        assert e.evaluate(10.0) == pytest.approx(1.0)
+
+    def test_median(self):
+        assert ecdf([1, 2, 3]).median == 2
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            ecdf([1.0]).quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+    @given(values=floats_list)
+    @settings(max_examples=100)
+    def test_cdf_is_monotone_and_bounded(self, values):
+        e = ecdf(values)
+        probs = e.evaluate(np.sort(np.asarray(values)))
+        assert np.all(np.diff(probs) >= 0)
+        assert probs[-1] == pytest.approx(1.0)
+
+    @given(values=floats_list)
+    @settings(max_examples=100)
+    def test_quantile_inverts_cdf(self, values):
+        e = ecdf(values)
+        for q in (0.1, 0.5, 0.9):
+            v = float(e.quantile(q)[0])
+            assert e.evaluate(v) >= q - 1e-12
+
+
+class TestCcdf:
+    def test_points_follow_rank_convention(self):
+        xs, probs = ccdf_points([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        # P(X >= min) = 1, P(X >= max) = 1/n.
+        assert probs[0] == pytest.approx(1.0)
+        assert probs[-1] == pytest.approx(1.0 / 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ccdf_points([])
+
+
+class TestLogBins:
+    def test_edges_cover_range(self):
+        edges = log_bins(1.0, 1000.0, 5)
+        assert edges[0] == pytest.approx(1.0)
+        assert edges[-1] == pytest.approx(1000.0)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_bins_per_decade(self):
+        edges = log_bins(1.0, 100.0, 10)
+        assert len(edges) == 21
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            log_bins(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_bins(10.0, 1.0)
+
+
+class TestHistogram:
+    def test_counts(self):
+        h = histogram([0.5, 1.5, 1.6, 2.5], edges=[0, 1, 2, 3])
+        assert list(h.counts) == [1, 2, 1]
+
+    def test_fractions_sum_to_one(self):
+        h = histogram([0.5, 1.5, 2.5], edges=[0, 1, 2, 3])
+        assert h.fractions.sum() == pytest.approx(1.0)
+
+    def test_densities_integrate_to_one(self):
+        h = histogram(np.random.default_rng(0).uniform(0, 3, 1000),
+                      edges=[0, 1, 2, 3])
+        assert float((h.densities * np.diff(h.edges)).sum()) == pytest.approx(1.0)
+
+    def test_out_of_range_dropped(self):
+        h = histogram([-1.0, 5.0, 0.5], edges=[0, 1])
+        assert h.counts.sum() == 1
+
+    def test_log_centers_geometric(self):
+        h = histogram([], edges=[1.0, 100.0])
+        assert h.log_centers[0] == pytest.approx(10.0)
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], edges=[1, 0, 2])
+
+    def test_empty_histogram_densities_zero(self):
+        h = histogram([], edges=[0, 1, 2])
+        assert np.all(h.densities == 0)
+
+
+def test_quantiles_match_numpy():
+    data = [1.0, 2.0, 3.0, 4.0, 5.0]
+    out = quantiles(data, (0.0, 0.5, 1.0))
+    assert list(out) == [1.0, 3.0, 5.0]
+
+
+def test_quantiles_empty_rejected():
+    with pytest.raises(ValueError):
+        quantiles([])
+
+
+def test_fraction_below():
+    assert fraction_below([1, 2, 3, 4], 3) == pytest.approx(0.5)
+
+
+def test_fraction_below_empty_rejected():
+    with pytest.raises(ValueError):
+        fraction_below([], 1.0)

@@ -1,0 +1,154 @@
+"""Tests for the exponential mixture EM fitter and order selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import fit_exponential_mixture, select_order
+from repro.stats.expmix import ExponentialMixture, bic, select_order_bic
+
+
+def table2_store_sample(n=40000, seed=0):
+    """Sample from the paper's store-only Table 2 mixture."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.multinomial(n, [0.91, 0.07, 0.02])
+    return np.concatenate(
+        [
+            rng.exponential(1.5, sizes[0]),
+            rng.exponential(13.1, sizes[1]),
+            rng.exponential(77.4, sizes[2]),
+        ]
+    )
+
+
+class TestFit:
+    def test_single_component_is_sample_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(3.0, 10000)
+        fit = fit_exponential_mixture(data, 1)
+        assert fit.means[0] == pytest.approx(data.mean(), rel=1e-6)
+        assert fit.weights[0] == pytest.approx(1.0)
+
+    def test_recovers_planted_parameters(self):
+        fit = fit_exponential_mixture(table2_store_sample(), 3)
+        assert fit.means[0] == pytest.approx(1.5, rel=0.1)
+        assert fit.means[1] == pytest.approx(13.1, rel=0.4)
+        assert fit.means[2] == pytest.approx(77.4, rel=0.4)
+        assert fit.weights[0] == pytest.approx(0.91, abs=0.03)
+
+    def test_components_sorted_by_mean(self):
+        fit = fit_exponential_mixture(table2_store_sample(), 3)
+        assert list(fit.means) == sorted(fit.means)
+
+    def test_weights_sum_to_one(self):
+        fit = fit_exponential_mixture(table2_store_sample(), 3)
+        assert sum(fit.weights) == pytest.approx(1.0)
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential_mixture(np.array([1.0, -2.0]), 1)
+
+    def test_zero_data_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential_mixture(np.array([0.0, 1.0]), 1)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential_mixture(np.array([1.0]), 2)
+
+    def test_invalid_component_count_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential_mixture(np.array([1.0, 2.0]), 0)
+
+
+class TestDensityAndCcdf:
+    def fit(self):
+        return fit_exponential_mixture(table2_store_sample(), 3)
+
+    def test_pdf_nonnegative_and_integrates(self):
+        fit = self.fit()
+        grid = np.linspace(0, 500, 100001)
+        mass = np.trapezoid(fit.pdf(grid), grid)
+        assert mass == pytest.approx(1.0, abs=1e-2)
+
+    def test_ccdf_monotone_decreasing(self):
+        fit = self.fit()
+        grid = np.linspace(0, 300, 1000)
+        values = fit.ccdf(grid)
+        assert np.all(np.diff(values) <= 1e-12)
+        assert values[0] == pytest.approx(1.0)
+
+    def test_ccdf_negative_x_is_one(self):
+        assert self.fit().ccdf(-5.0)[0] == pytest.approx(1.0)
+
+    def test_mixture_mean(self):
+        fit = ExponentialMixture(
+            weights=(0.5, 0.5), means=(1.0, 3.0),
+            log_likelihood=0.0, n_iterations=1, converged=True,
+        )
+        assert fit.mean == pytest.approx(2.0)
+
+    def test_component_table_rows(self):
+        rows = self.fit().component_table()
+        assert len(rows) == 3
+        assert rows[0][1] < rows[1][1] < rows[2][1]
+
+
+class TestOrderSelection:
+    def test_paper_rule_finds_three_components(self):
+        fit = select_order(table2_store_sample())
+        assert fit.n_components == 3
+
+    def test_bic_finds_three_components(self):
+        fit = select_order_bic(table2_store_sample())
+        assert fit.n_components == 3
+
+    def test_single_exponential_yields_one_component(self):
+        rng = np.random.default_rng(2)
+        data = rng.exponential(2.0, 20000)
+        assert select_order(data).n_components == 1
+        assert select_order_bic(data).n_components == 1
+
+    def test_bic_prefers_true_order_with_enough_data(self):
+        data = table2_store_sample(n=40000)
+        f2 = fit_exponential_mixture(data, 2)
+        f3 = fit_exponential_mixture(data, 3)
+        assert bic(f3, data.size) < bic(f2, data.size)
+
+    def test_bic_ordering_is_monotone_in_likelihood(self):
+        data = table2_store_sample(n=4000)
+        f3 = fit_exponential_mixture(data, 3)
+        # Same component count: higher likelihood must mean lower BIC.
+        worse = ExponentialMixture(
+            weights=f3.weights,
+            means=f3.means,
+            log_likelihood=f3.log_likelihood - 100.0,
+            n_iterations=f3.n_iterations,
+            converged=True,
+        )
+        assert bic(f3, data.size) < bic(worse, data.size)
+
+
+class TestSampling:
+    def test_sample_refit_roundtrip(self):
+        fit = fit_exponential_mixture(table2_store_sample(), 3)
+        rng = np.random.default_rng(5)
+        draws = fit.sample(40000, rng)
+        refit = fit_exponential_mixture(draws, 3)
+        for mu, mu_ref in zip(refit.means, fit.means):
+            assert mu == pytest.approx(mu_ref, rel=0.35)
+
+    def test_samples_positive(self):
+        fit = fit_exponential_mixture(table2_store_sample(), 2)
+        draws = fit.sample(1000, np.random.default_rng(0))
+        assert np.all(draws >= 0)
+
+
+@given(mu=st.floats(0.5, 50.0))
+@settings(max_examples=20, deadline=None)
+def test_single_component_recovery_property(mu):
+    rng = np.random.default_rng(11)
+    data = rng.exponential(mu, 4000)
+    fit = fit_exponential_mixture(data, 1)
+    assert fit.means[0] == pytest.approx(mu, rel=0.15)

@@ -1,0 +1,52 @@
+"""Tests for multi-restart EM initialization diversity."""
+
+import numpy as np
+import pytest
+
+from repro.stats.expmix import (
+    _best_of_restarts,
+    fit_exponential_mixture,
+    select_order_bic,
+)
+
+
+def rare_tail_sample(n=4000, seed=401):
+    """A mixture whose rare tail component traps single-start EM."""
+    rng = np.random.default_rng(seed)
+    counts = rng.multinomial(n, [0.91, 0.07, 0.02])
+    return np.concatenate(
+        [
+            rng.exponential(1.5, counts[0]),
+            rng.exponential(13.1, counts[1]),
+            rng.exponential(77.4, counts[2]),
+        ]
+    )
+
+
+def test_random_init_differs_from_quantile():
+    data = rare_tail_sample()
+    quantile = fit_exponential_mixture(data, 3, seed=5, init="quantile")
+    random = fit_exponential_mixture(data, 3, seed=5, init="random")
+    assert quantile.means != random.means
+
+
+def test_unknown_init_rejected():
+    with pytest.raises(ValueError):
+        fit_exponential_mixture(rare_tail_sample(), 2, init="banana")
+
+
+def test_restarts_never_worse_than_single_start():
+    data = rare_tail_sample()
+    single = fit_exponential_mixture(data, 3, seed=0)
+    multi = _best_of_restarts(data, 3, seed=0, restarts=4)
+    assert multi.log_likelihood >= single.log_likelihood
+
+
+@pytest.mark.parametrize("seed", [400, 401, 402, 403, 404])
+def test_order_selection_finds_three_components_across_seeds(seed):
+    data = rare_tail_sample(seed=seed)
+    fit = select_order_bic(data, seed=seed)
+    assert fit.n_components == 3
+    means = sorted(fit.means)
+    assert means[0] == pytest.approx(1.5, rel=0.25)
+    assert means[2] == pytest.approx(77.4, rel=0.5)

@@ -1,0 +1,127 @@
+"""Tests for the 1-D Gaussian mixture EM fitter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import fit_gmm
+
+
+def two_component_sample(n1=5000, n2=2000, mu1=0.0, mu2=5.0, s1=0.5, s2=0.5,
+                         seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [rng.normal(mu1, s1, n1), rng.normal(mu2, s2, n2)]
+    )
+
+
+class TestFit:
+    def test_recovers_well_separated_components(self):
+        data = two_component_sample()
+        fit = fit_gmm(data, 2)
+        assert fit.means[0] == pytest.approx(0.0, abs=0.05)
+        assert fit.means[1] == pytest.approx(5.0, abs=0.05)
+        assert fit.weights[0] == pytest.approx(5 / 7, abs=0.02)
+        assert fit.stds[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_components_sorted_by_mean(self):
+        data = two_component_sample(mu1=10.0, mu2=-3.0)
+        fit = fit_gmm(data, 2)
+        assert fit.means[0] < fit.means[1]
+
+    def test_weights_sum_to_one(self):
+        fit = fit_gmm(two_component_sample(), 3)
+        assert fit.weights.sum() == pytest.approx(1.0)
+
+    def test_converges(self):
+        fit = fit_gmm(two_component_sample(), 2)
+        assert fit.converged
+
+    def test_single_component_is_sample_moments(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(3.0, 2.0, 10000)
+        fit = fit_gmm(data, 1)
+        assert fit.means[0] == pytest.approx(data.mean(), abs=1e-6)
+        assert fit.stds[0] == pytest.approx(data.std(), abs=1e-4)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gmm(np.array([1.0]), 2)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gmm(np.array([1.0, np.nan, 2.0]), 2)
+
+    def test_deterministic_given_seed(self):
+        data = two_component_sample()
+        a = fit_gmm(data, 2, seed=3)
+        b = fit_gmm(data, 2, seed=3)
+        assert a.means.tolist() == b.means.tolist()
+
+
+class TestDensity:
+    def test_pdf_integrates_to_one(self):
+        fit = fit_gmm(two_component_sample(), 2)
+        grid = np.linspace(-5, 10, 20001)
+        mass = np.trapezoid(fit.pdf(grid), grid)
+        assert mass == pytest.approx(1.0, abs=1e-3)
+
+    def test_responsibilities_rows_sum_to_one(self):
+        fit = fit_gmm(two_component_sample(), 2)
+        resp = fit.responsibilities(np.linspace(-2, 7, 50))
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_responsibilities_assign_extremes(self):
+        fit = fit_gmm(two_component_sample(), 2)
+        resp = fit.responsibilities(np.array([-1.0, 6.0]))
+        assert resp[0, 0] > 0.99
+        assert resp[1, 1] > 0.99
+
+
+class TestValleyAndCrossover:
+    def test_valley_between_means(self):
+        fit = fit_gmm(two_component_sample(), 2)
+        valley = fit.valley()
+        assert fit.means[0] < valley < fit.means[1]
+
+    def test_crossover_near_valley_for_symmetric_mixture(self):
+        data = two_component_sample(n1=4000, n2=4000, s1=0.5, s2=0.5)
+        fit = fit_gmm(data, 2)
+        assert fit.crossover() == pytest.approx(fit.valley(), abs=0.15)
+
+    def test_valley_requires_two_components(self):
+        rng = np.random.default_rng(0)
+        fit = fit_gmm(rng.normal(0, 1, 100), 1)
+        with pytest.raises(ValueError):
+            fit.valley()
+        with pytest.raises(ValueError):
+            fit.crossover()
+
+
+class TestSampling:
+    def test_sample_roundtrip(self):
+        fit = fit_gmm(two_component_sample(), 2)
+        rng = np.random.default_rng(0)
+        draws = fit.sample(20000, rng)
+        refit = fit_gmm(draws, 2)
+        assert refit.means[0] == pytest.approx(fit.means[0], abs=0.1)
+        assert refit.means[1] == pytest.approx(fit.means[1], abs=0.1)
+
+
+@given(
+    mu2=st.floats(4.0, 20.0),
+    w=st.floats(0.2, 0.8),
+)
+@settings(max_examples=20, deadline=None)
+def test_recovery_property(mu2, w):
+    """EM recovers the means of well-separated planted mixtures."""
+    rng = np.random.default_rng(17)
+    n = 4000
+    n1 = int(n * w)
+    data = np.concatenate(
+        [rng.normal(0.0, 0.5, n1), rng.normal(mu2, 0.5, n - n1)]
+    )
+    fit = fit_gmm(data, 2)
+    assert fit.means[0] == pytest.approx(0.0, abs=0.25)
+    assert fit.means[1] == pytest.approx(mu2, abs=0.25)

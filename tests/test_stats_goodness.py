@@ -1,0 +1,87 @@
+"""Tests for the chi-square goodness-of-fit machinery."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats import chi2_sf, chi_square_gof, regularized_gamma_p
+
+
+class TestIncompleteGamma:
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.5, 10.0, 50.0])
+    @pytest.mark.parametrize("x", [0.01, 0.5, 1.0, 5.0, 30.0, 100.0])
+    def test_matches_scipy(self, a, x):
+        ours = regularized_gamma_p(a, x)
+        reference = float(scipy_stats.gamma.cdf(x, a))
+        assert ours == pytest.approx(reference, abs=1e-10)
+
+    def test_boundaries(self):
+        assert regularized_gamma_p(1.0, 0.0) == 0.0
+        assert regularized_gamma_p(1.0, 1e6) == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            regularized_gamma_p(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_gamma_p(1.0, -1.0)
+
+
+class TestChi2Sf:
+    @pytest.mark.parametrize("dof", [1, 3, 10, 30])
+    @pytest.mark.parametrize("stat", [0.5, 2.0, 10.0, 50.0])
+    def test_matches_scipy(self, dof, stat):
+        assert chi2_sf(stat, dof) == pytest.approx(
+            float(scipy_stats.chi2.sf(stat, dof)), abs=1e-10
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            chi2_sf(1.0, 0)
+        with pytest.raises(ValueError):
+            chi2_sf(-1.0, 1)
+
+
+class TestGoodnessOfFit:
+    def exponential_cdf(self, mu):
+        return lambda x: 1.0 - np.exp(-np.clip(x, 0.0, None) / mu)
+
+    def test_accepts_correct_model(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(2.0, 5000)
+        result = chi_square_gof(data, self.exponential_cdf(2.0),
+                                n_fitted_params=1)
+        assert result.passes(0.05)
+
+    def test_rejects_wrong_model(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(2.0, 5000)
+        result = chi_square_gof(data, self.exponential_cdf(5.0),
+                                n_fitted_params=1)
+        assert not result.passes(0.05)
+
+    def test_dof_reduced_by_fitted_params(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(2.0, 500)
+        r0 = chi_square_gof(data, self.exponential_cdf(2.0))
+        r2 = chi_square_gof(data, self.exponential_cdf(2.0), n_fitted_params=2)
+        assert r2.dof == r0.dof - 2
+
+    def test_sparse_bins_merged(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(1.0, 200)
+        result = chi_square_gof(data, self.exponential_cdf(1.0), n_bins=100)
+        assert result.n_bins < 100
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_gof(np.array([1.0] * 5), self.exponential_cdf(1.0))
+
+    def test_custom_edges(self):
+        rng = np.random.default_rng(2)
+        data = rng.exponential(1.0, 2000)
+        result = chi_square_gof(
+            data,
+            self.exponential_cdf(1.0),
+            edges=np.linspace(0.0, 8.0, 20),
+        )
+        assert result.p_value > 0.01

@@ -1,0 +1,96 @@
+"""Tests for the Kolmogorov-Smirnov implementation."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.ks import kolmogorov_sf, ks_one_sample, ks_two_sample
+
+
+class TestKolmogorovSf:
+    @pytest.mark.parametrize("x", [0.3, 0.5, 0.8, 1.0, 1.36, 2.0])
+    def test_matches_scipy(self, x):
+        assert kolmogorov_sf(x) == pytest.approx(
+            float(scipy_stats.kstwobign.sf(x)), abs=1e-8
+        )
+
+    def test_boundaries(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(-1.0) == 1.0
+        assert kolmogorov_sf(5.0) < 1e-10
+
+
+class TestOneSample:
+    def exponential_cdf(self, mu):
+        return lambda x: 1.0 - np.exp(-np.clip(x, 0.0, None) / mu)
+
+    def test_accepts_true_model(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(2.0, 2000)
+        result = ks_one_sample(data, self.exponential_cdf(2.0))
+        assert result.passes(0.05)
+
+    def test_rejects_wrong_model(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(2.0, 2000)
+        result = ks_one_sample(data, self.exponential_cdf(4.0))
+        assert not result.passes(0.05)
+
+    def test_statistic_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(1.0, 500)
+        ours = ks_one_sample(data, self.exponential_cdf(1.0))
+        reference = scipy_stats.kstest(data, lambda x: 1 - np.exp(-x))
+        assert ours.statistic == pytest.approx(reference.statistic, abs=1e-12)
+        assert ours.p_value == pytest.approx(reference.pvalue, abs=0.02)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ks_one_sample(np.array([1.0, 2.0]), self.exponential_cdf(1.0))
+
+    def test_invalid_cdf_rejected(self):
+        with pytest.raises(ValueError):
+            ks_one_sample(np.ones(10), lambda x: x * 100.0)
+
+
+class TestTwoSample:
+    def test_same_distribution_accepted(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 800)
+        b = rng.normal(0, 1, 900)
+        assert ks_two_sample(a, b).passes(0.05)
+
+    def test_shifted_distribution_rejected(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 800)
+        b = rng.normal(0.5, 1, 900)
+        assert not ks_two_sample(a, b).passes(0.05)
+
+    def test_statistic_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        a = rng.exponential(1.0, 300)
+        b = rng.exponential(1.3, 400)
+        ours = ks_two_sample(a, b)
+        reference = scipy_stats.ks_2samp(a, b, method="asymp")
+        assert ours.statistic == pytest.approx(reference.statistic, abs=1e-12)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample(np.ones(3), np.ones(10))
+
+
+class TestOnRecoveredModels:
+    def test_table2_fit_passes_ks(self):
+        """The recovered Table 2 mixture survives a KS test against the
+        data it was fit on."""
+        from repro.stats import fit_exponential_mixture
+
+        rng = np.random.default_rng(4)
+        data = np.concatenate([
+            rng.exponential(1.5, 9100),
+            rng.exponential(13.1, 700),
+            rng.exponential(77.4, 200),
+        ])
+        fit = fit_exponential_mixture(data, 3)
+        result = ks_one_sample(data, lambda x: 1.0 - fit.ccdf(x))
+        assert result.passes(0.01)

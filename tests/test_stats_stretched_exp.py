@@ -1,0 +1,114 @@
+"""Tests for stretched-exponential rank models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    StretchedExponentialFit,
+    fit_stretched_exponential,
+    fit_weibull_mle,
+    power_law_r_squared,
+)
+
+
+def se_sample(c=0.2, x0=5.0, n=20000, seed=0):
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(1e-12, 1.0, n)
+    return x0 * (-np.log(u)) ** (1.0 / c)
+
+
+class TestFit:
+    def test_recovers_planted_c(self):
+        fit = fit_stretched_exponential(se_sample(c=0.2))
+        assert fit.c == pytest.approx(0.2, abs=0.02)
+
+    def test_high_r_squared_on_true_model(self):
+        fit = fit_stretched_exponential(se_sample())
+        assert fit.r_squared > 0.995
+
+    def test_zeros_dropped(self):
+        data = np.concatenate([se_sample(n=500), np.zeros(100)])
+        fit = fit_stretched_exponential(data)
+        assert fit.n == 500
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ValueError):
+            fit_stretched_exponential(np.array([1.0, 2.0]))
+
+    def test_paper_parameters_recovered(self):
+        """The paper's storage fit: c=0.2, a=0.448, b=7.239."""
+        n = 50000
+        ranks = np.arange(1, n + 1)
+        b = 0.448 * np.log(n) + 1.0
+        values = np.clip(b - 0.448 * np.log(ranks), 1e-9, None) ** 5.0
+        fit = fit_stretched_exponential(values)
+        assert fit.c == pytest.approx(0.2, abs=0.01)
+        assert fit.a == pytest.approx(0.448, rel=0.05)
+
+
+class TestModelFunctions:
+    def fit(self):
+        return fit_stretched_exponential(se_sample())
+
+    def test_ccdf_monotone(self):
+        fit = self.fit()
+        grid = np.linspace(0, 100, 500)
+        ccdf = fit.ccdf(grid)
+        assert np.all(np.diff(ccdf) <= 1e-12)
+        assert ccdf[0] == pytest.approx(1.0)
+
+    def test_value_at_rank_decreasing(self):
+        fit = self.fit()
+        values = fit.value_at_rank(np.array([1.0, 10.0, 100.0]))
+        assert values[0] > values[1] > values[2]
+
+    def test_value_at_rank_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            self.fit().value_at_rank(0.5)
+
+    def test_sample_statistics(self):
+        model = StretchedExponentialFit(
+            c=0.5, a=1.0, b=1.0, x0=2.0, r_squared=1.0, n=0
+        )
+        draws = model.sample(50000, np.random.default_rng(0))
+        # Weibull(shape c, scale x0) mean = x0 * Gamma(1 + 1/c) = 2 * 2! = 4.
+        assert draws.mean() == pytest.approx(4.0, rel=0.05)
+
+
+class TestWeibullMle:
+    def test_agrees_with_rank_fit(self):
+        data = se_sample(c=0.3, x0=3.0)
+        c, x0 = fit_weibull_mle(data)
+        assert c == pytest.approx(0.3, abs=0.02)
+        assert x0 == pytest.approx(3.0, rel=0.1)
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ValueError):
+            fit_weibull_mle(np.array([1.0]))
+
+    @given(c=st.floats(0.2, 2.0), x0=st.floats(0.5, 20.0))
+    @settings(max_examples=20, deadline=None)
+    def test_recovery_property(self, c, x0):
+        rng = np.random.default_rng(23)
+        data = x0 * rng.weibull(c, 5000)
+        c_hat, x0_hat = fit_weibull_mle(data)
+        assert c_hat == pytest.approx(c, rel=0.1)
+        assert x0_hat == pytest.approx(x0, rel=0.15)
+
+
+class TestPowerLawComparison:
+    def test_se_data_prefers_se(self):
+        data = se_sample(c=0.15)
+        se_fit = fit_stretched_exponential(data)
+        assert se_fit.r_squared > power_law_r_squared(data)
+
+    def test_power_law_data_fits_power_law_well(self):
+        rng = np.random.default_rng(3)
+        data = (1.0 - rng.uniform(0, 1, 20000)) ** (-1.0 / 1.5)
+        assert power_law_r_squared(data) > 0.98
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ValueError):
+            power_law_r_squared(np.array([1.0]))

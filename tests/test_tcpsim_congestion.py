@@ -1,0 +1,115 @@
+"""Tests for the congestion control state machine."""
+
+import pytest
+
+from repro.tcpsim import CongestionControl
+
+
+def cc(**kwargs):
+    return CongestionControl(mss=1000, initial_window_segments=3, **kwargs)
+
+
+class TestInitialState:
+    def test_initial_window(self):
+        control = cc()
+        assert control.cwnd == 3000
+        assert control.initial_window == 3000
+        assert control.in_slow_start
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionControl(mss=0)
+        with pytest.raises(ValueError):
+            CongestionControl(initial_window_segments=0)
+
+
+class TestSlowStart:
+    def test_exponential_growth(self):
+        control = cc()
+        control.on_ack(3000)
+        assert control.cwnd == 6000
+
+    def test_growth_capped_at_ssthresh(self):
+        control = cc()
+        control.ssthresh = 5000
+        control.on_ack(3000)
+        assert control.cwnd == 5000
+        assert not control.in_slow_start
+
+    def test_zero_ack_no_growth(self):
+        control = cc()
+        control.on_ack(0)
+        assert control.cwnd == 3000
+
+    def test_negative_ack_rejected(self):
+        with pytest.raises(ValueError):
+            cc().on_ack(-1)
+
+
+class TestCongestionAvoidance:
+    def test_linear_growth_per_window(self):
+        control = cc()
+        control.ssthresh = 3000  # start in CA
+        control.cwnd = 3000
+        before = control.cwnd
+        # One full window of ACKs should add roughly one MSS.
+        control.on_ack(3000)
+        assert before < control.cwnd <= before + 2 * control.mss
+
+
+class TestLossReactions:
+    def test_fast_retransmit_halves(self):
+        control = cc()
+        control.cwnd = 20000
+        control.on_fast_retransmit(flight_size=20000)
+        assert control.ssthresh == 10000
+        assert control.cwnd == 10000
+
+    def test_fast_retransmit_floor(self):
+        control = cc()
+        control.on_fast_retransmit(flight_size=1000)
+        assert control.ssthresh == 2 * control.mss
+
+    def test_timeout_collapses_to_one_mss(self):
+        control = cc()
+        control.cwnd = 20000
+        control.on_timeout(flight_size=20000)
+        assert control.cwnd == control.mss
+        assert control.ssthresh == 10000
+        assert control.in_slow_start
+
+
+class TestSlowStartAfterIdle:
+    def test_restart_fires_when_idle_exceeds_rto(self):
+        control = cc()
+        control.cwnd = 64000
+        fired = control.maybe_restart_after_idle(idle_time=1.0, rto=0.3)
+        assert fired
+        assert control.cwnd == control.initial_window
+        assert control.slow_start_restarts == 1
+
+    def test_no_restart_within_rto(self):
+        control = cc()
+        control.cwnd = 64000
+        assert not control.maybe_restart_after_idle(idle_time=0.2, rto=0.3)
+        assert control.cwnd == 64000
+
+    def test_restart_never_raises_window(self):
+        control = cc()
+        control.cwnd = 1000  # below IW after a timeout
+        control.maybe_restart_after_idle(idle_time=1.0, rto=0.3)
+        assert control.cwnd == 1000
+
+    def test_disabled_by_option(self):
+        control = cc(slow_start_after_idle=False)
+        control.cwnd = 64000
+        assert not control.maybe_restart_after_idle(idle_time=10.0, rto=0.3)
+        assert control.cwnd == 64000
+        assert control.slow_start_restarts == 0
+
+    def test_restart_counter_accumulates(self):
+        control = cc()
+        for _ in range(5):
+            control.cwnd = 64000
+            control.maybe_restart_after_idle(idle_time=1.0, rto=0.3)
+        assert control.slow_start_restarts == 5

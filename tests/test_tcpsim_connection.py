@@ -1,0 +1,204 @@
+"""Tests for the packet-level TCP transfer simulation."""
+
+import numpy as np
+import pytest
+
+from repro.events import EventLoop
+from repro.tcpsim import (
+    MAX_UNSCALED_RWND,
+    CongestionControl,
+    FlowTrace,
+    NetworkPath,
+    TcpTransfer,
+)
+
+
+def run_transfer(size, *, path=None, peer_rwnd=MAX_UNSCALED_RWND,
+                 window_scaling=False, trace=None, congestion=None):
+    loop = EventLoop()
+    path = path or NetworkPath(bandwidth=1_000_000.0, one_way_delay=0.02)
+    transfer = TcpTransfer(
+        loop,
+        path,
+        "up",
+        peer_rwnd=peer_rwnd,
+        window_scaling=window_scaling,
+        trace=trace,
+        congestion=congestion,
+    )
+    receipts = []
+    transfer.connect(lambda: transfer.send_message(size, receipts.append))
+    loop.run()
+    assert receipts, "transfer did not complete"
+    return transfer, receipts[0]
+
+
+class TestDelivery:
+    def test_small_message_delivered(self):
+        # A single-packet message arrives all at once.
+        transfer, receipt = run_transfer(1000)
+        assert receipt.last_arrival >= receipt.first_arrival > 0
+        assert transfer.inflight == 0
+
+    def test_large_message_delivered(self):
+        transfer, receipt = run_transfer(500_000)
+        assert receipt.last_ack_time > receipt.last_arrival
+
+    def test_sequential_messages(self):
+        loop = EventLoop()
+        path = NetworkPath(bandwidth=1_000_000.0, one_way_delay=0.02)
+        transfer = TcpTransfer(loop, path, "up")
+        receipts = []
+
+        def send_second(receipt):
+            receipts.append(receipt)
+            transfer.send_message(2000, receipts.append)
+
+        transfer.connect(lambda: transfer.send_message(2000, send_second))
+        loop.run()
+        assert len(receipts) == 2
+        assert receipts[1].first_arrival > receipts[0].last_arrival
+
+    def test_overlapping_message_rejected(self):
+        loop = EventLoop()
+        transfer = TcpTransfer(loop, NetworkPath(), "up")
+        transfer.send_message(100_000, lambda r: None)
+        with pytest.raises(RuntimeError):
+            transfer.send_message(1000, lambda r: None)
+
+    def test_zero_size_rejected(self):
+        loop = EventLoop()
+        transfer = TcpTransfer(loop, NetworkPath(), "up")
+        with pytest.raises(ValueError):
+            transfer.send_message(0, lambda r: None)
+
+
+class TestWindows:
+    def test_unscaled_rwnd_cap_enforced_at_construction(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            TcpTransfer(
+                loop, NetworkPath(), "up",
+                peer_rwnd=1_000_000, window_scaling=False,
+            )
+
+    def test_inflight_respects_rwnd(self):
+        trace = FlowTrace()
+        # High bandwidth-delay product so the window is the binding limit.
+        path = NetworkPath(bandwidth=50_000_000.0, one_way_delay=0.05)
+        transfer, _ = run_transfer(
+            2_000_000, path=path, peer_rwnd=MAX_UNSCALED_RWND, trace=trace
+        )
+        assert trace.max_inflight() <= MAX_UNSCALED_RWND + transfer.cc.mss
+
+    def test_scaled_window_allows_more_inflight(self):
+        trace = FlowTrace()
+        path = NetworkPath(bandwidth=50_000_000.0, one_way_delay=0.05)
+        run_transfer(
+            4_000_000, path=path, peer_rwnd=2_000_000,
+            window_scaling=True, trace=trace,
+        )
+        assert trace.max_inflight() > MAX_UNSCALED_RWND
+
+    def test_throughput_window_limited(self):
+        trace = FlowTrace()
+        path = NetworkPath(bandwidth=50_000_000.0, one_way_delay=0.05)
+        run_transfer(3_000_000, path=path, trace=trace)
+        # Steady state: ~64 KB per 100 ms RTT ~ 640 KB/s.
+        assert trace.throughput() == pytest.approx(655_360, rel=0.25)
+
+
+class TestRttSampling:
+    def test_rtt_samples_near_path_rtt(self):
+        trace = FlowTrace()
+        path = NetworkPath(bandwidth=10_000_000.0, one_way_delay=0.04)
+        run_transfer(300_000, path=path, trace=trace)
+        assert trace.average_rtt() == pytest.approx(0.08, rel=0.35)
+
+    def test_rto_tracks_rtt(self):
+        transfer, _ = run_transfer(300_000)
+        assert transfer.rto.srtt is not None
+        assert transfer.rto.rto >= transfer.rto.srtt
+
+
+class TestLossRecovery:
+    @pytest.mark.parametrize("loss_rate", [0.01, 0.05])
+    def test_lossy_path_still_delivers(self, loss_rate):
+        path = NetworkPath(
+            bandwidth=2_000_000.0, one_way_delay=0.03,
+            loss_rate=loss_rate, seed=11,
+        )
+        transfer, receipt = run_transfer(400_000, path=path)
+        assert transfer.retransmissions > 0
+        assert receipt.last_arrival > 0
+
+    def test_loss_free_path_has_no_retransmissions(self):
+        transfer, _ = run_transfer(400_000)
+        assert transfer.retransmissions == 0
+        assert transfer.timeouts == 0
+
+    def test_heavy_loss_eventually_completes(self):
+        path = NetworkPath(
+            bandwidth=2_000_000.0, one_way_delay=0.02,
+            loss_rate=0.15, seed=3,
+        )
+        _, receipt = run_transfer(100_000, path=path)
+        assert receipt.last_arrival > 0
+
+
+class TestTraceConsistency:
+    def test_sequence_series_monotone(self):
+        trace = FlowTrace()
+        run_transfer(500_000, trace=trace)
+        _, seqs = trace.sequence_series()
+        assert np.all(np.diff(seqs) >= 0)
+
+    def test_ack_series_monotone(self):
+        trace = FlowTrace()
+        run_transfer(500_000, trace=trace)
+        acks = np.asarray(trace.ack_seqs)
+        assert np.all(np.diff(acks) >= 0)
+
+    def test_final_ack_covers_message(self):
+        trace = FlowTrace()
+        run_transfer(123_456, trace=trace)
+        assert trace.ack_seqs[-1] == 123_456
+
+
+class TestIdleRestart:
+    def test_idle_gap_triggers_restart(self):
+        loop = EventLoop()
+        path = NetworkPath(bandwidth=5_000_000.0, one_way_delay=0.05)
+        congestion = CongestionControl()
+        transfer = TcpTransfer(loop, path, "up", congestion=congestion)
+        done = []
+
+        def second(receipt):
+            done.append(receipt)
+
+        def after_first(receipt):
+            # Wait far beyond the RTO before the next message.
+            loop.schedule_after(
+                5.0, lambda: transfer.send_message(200_000, second)
+            )
+
+        transfer.connect(lambda: transfer.send_message(200_000, after_first))
+        loop.run()
+        assert done[0].restarted
+        assert done[0].idle_before > 4.0
+        assert congestion.slow_start_restarts == 1
+
+    def test_short_gap_keeps_window(self):
+        loop = EventLoop()
+        path = NetworkPath(bandwidth=5_000_000.0, one_way_delay=0.05)
+        transfer = TcpTransfer(loop, path, "up")
+        done = []
+
+        def after_first(receipt):
+            loop.schedule_after(
+                0.01, lambda: transfer.send_message(200_000, done.append)
+            )
+
+        transfer.connect(lambda: transfer.send_message(200_000, after_first))
+        loop.run()
+        assert not done[0].restarted

@@ -1,0 +1,181 @@
+"""Tests for chunked storage/retrieval flows."""
+
+import numpy as np
+import pytest
+
+from repro.logs import CHUNK_SIZE, DeviceType, Direction
+from repro.tcpsim import (
+    ANDROID,
+    IOS,
+    NetworkPath,
+    TransferOptions,
+    sample_flow_population,
+    simulate_flow,
+)
+
+
+def store_flow(file_size=4 * CHUNK_SIZE, device=IOS, **kwargs):
+    return simulate_flow(
+        direction=Direction.STORE,
+        device=device,
+        file_size=file_size,
+        path=NetworkPath(bandwidth=2_000_000.0, one_way_delay=0.05),
+        **kwargs,
+    )
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferOptions(chunk_size=0)
+        with pytest.raises(ValueError):
+            TransferOptions(batch_size=0)
+        with pytest.raises(ValueError):
+            TransferOptions(server_rwnd=1_000_000)  # needs scaling
+
+    def test_scaled_server_rwnd_allowed(self):
+        options = TransferOptions(
+            server_window_scaling=True, server_rwnd=1_000_000
+        )
+        assert options.server_rwnd == 1_000_000
+
+
+class TestStoreFlow:
+    def test_chunk_count(self):
+        flow = store_flow(file_size=4 * CHUNK_SIZE)
+        assert len(flow.chunk_results) == 4
+        assert flow.total_bytes == 4 * CHUNK_SIZE
+
+    def test_last_chunk_may_be_short(self):
+        flow = store_flow(file_size=CHUNK_SIZE + 1000)
+        sizes = [c.size for c in flow.chunk_results]
+        assert sizes == [CHUNK_SIZE, 1000]
+
+    def test_ttran_positive_and_decomposed(self):
+        flow = store_flow()
+        for chunk in flow.chunk_results:
+            assert chunk.ttran > 0
+            assert chunk.tchunk == pytest.approx(chunk.ttran + chunk.tsrv)
+
+    def test_throughput_positive(self):
+        flow = store_flow()
+        assert flow.throughput > 0
+        assert flow.duration > 0
+
+    def test_idle_ratio_series_lengths(self):
+        flow = store_flow(file_size=5 * CHUNK_SIZE)
+        assert len(flow.idle_rto_ratios) == 4
+        assert len(flow.processing_idle_ratios) == 4
+
+    def test_first_chunk_has_no_idle(self):
+        flow = store_flow()
+        assert flow.chunk_results[0].idle_before == 0.0
+        assert flow.chunk_results[0].idle_rto_ratio == 0.0
+
+    def test_invalid_file_size_rejected(self):
+        with pytest.raises(ValueError):
+            store_flow(file_size=0)
+
+    def test_device_type_accepted_as_enum(self):
+        flow = simulate_flow(
+            direction=Direction.STORE,
+            device=DeviceType.IOS,
+            file_size=CHUNK_SIZE,
+        )
+        assert flow.device_type is DeviceType.IOS
+
+
+class TestRetrieveFlow:
+    def test_completes_with_client_window(self):
+        flow = simulate_flow(
+            direction=Direction.RETRIEVE,
+            device=IOS,
+            file_size=3 * CHUNK_SIZE,
+            seed=2,
+        )
+        assert len(flow.chunk_results) == 3
+        # Downloads are not bound by the 64 KB server window.
+        assert flow.trace.max_inflight() > 65_535
+
+
+class TestDeviceEffect:
+    def test_android_restarts_more_than_ios(self):
+        android = sum(
+            store_flow(file_size=8 * CHUNK_SIZE, device=ANDROID,
+                       seed=s).slow_start_restarts
+            for s in range(3)
+        )
+        ios = sum(
+            store_flow(file_size=8 * CHUNK_SIZE, device=IOS,
+                       seed=s).slow_start_restarts
+            for s in range(3)
+        )
+        assert android > ios
+
+
+class TestMitigationMechanics:
+    def test_batching_reduces_request_count(self):
+        baseline = store_flow(
+            file_size=8 * CHUNK_SIZE, options=TransferOptions(batch_size=1)
+        )
+        batched = store_flow(
+            file_size=8 * CHUNK_SIZE, options=TransferOptions(batch_size=4)
+        )
+        assert len(batched.chunk_results) == 2
+        assert len(baseline.chunk_results) == 8
+
+    def test_larger_chunks_reduce_gaps(self):
+        big = store_flow(
+            file_size=8 * CHUNK_SIZE,
+            options=TransferOptions(chunk_size=2 * 1024 * 1024),
+        )
+        assert len(big.chunk_results) == 2
+
+    def test_no_ssai_eliminates_restarts(self):
+        flow = store_flow(
+            file_size=8 * CHUNK_SIZE,
+            device=ANDROID,
+            options=TransferOptions(slow_start_after_idle=False),
+            seed=5,
+        )
+        assert flow.slow_start_restarts == 0
+
+    def test_scaled_server_window_raises_inflight(self):
+        flow = store_flow(
+            file_size=8 * CHUNK_SIZE,
+            options=TransferOptions(
+                server_window_scaling=True, server_rwnd=512 * 1024
+            ),
+            seed=1,
+        )
+        assert flow.trace.max_inflight() > 65_535
+
+
+class TestPopulation:
+    def test_population_size_and_determinism(self):
+        flows_a = sample_flow_population(
+            direction=Direction.STORE, device=IOS, n_flows=5, seed=4
+        )
+        flows_b = sample_flow_population(
+            direction=Direction.STORE, device=IOS, n_flows=5, seed=4
+        )
+        assert len(flows_a) == 5
+        assert [f.duration for f in flows_a] == [f.duration for f in flows_b]
+
+    def test_population_heterogeneous_rtts(self):
+        flows = sample_flow_population(
+            direction=Direction.STORE, device=IOS, n_flows=10, seed=1
+        )
+        rtts = [f.average_rtt() for f in flows]
+        assert np.std(rtts) > 0.01
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sample_flow_population(
+                direction=Direction.STORE, device=IOS, n_flows=0
+            )
+        with pytest.raises(ValueError):
+            sample_flow_population(
+                direction=Direction.STORE, device=IOS, n_flows=1,
+                downlink_factor=0.0,
+            )

@@ -1,0 +1,105 @@
+"""Edge-case tests for flow/chunk result containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs import CHUNK_SIZE, DeviceType, Direction
+from repro.tcpsim import IOS, NetworkPath, simulate_flow
+from repro.tcpsim.flow import ChunkResult, FlowResult
+
+
+class TestChunkResult:
+    def make(self, idle=0.5, rto=0.3, tchunk=1.0, tsrv=0.2):
+        return ChunkResult(
+            index=1, size=CHUNK_SIZE, tchunk=tchunk, tsrv=tsrv,
+            tclt=0.1, idle_before=idle, rto_at_idle=rto, restarted=idle > rto,
+        )
+
+    def test_ttran_decomposition(self):
+        chunk = self.make(tchunk=1.0, tsrv=0.2)
+        assert chunk.ttran == pytest.approx(0.8)
+
+    def test_ttran_clamped_nonnegative(self):
+        chunk = self.make(tchunk=0.1, tsrv=0.5)
+        assert chunk.ttran == 0.0
+
+    def test_idle_ratio(self):
+        chunk = self.make(idle=0.6, rto=0.3)
+        assert chunk.idle_rto_ratio == pytest.approx(2.0)
+
+    def test_zero_idle_has_zero_ratio(self):
+        chunk = self.make(idle=0.0)
+        assert chunk.idle_rto_ratio == 0.0
+
+
+class TestFlowResult:
+    def test_throughput_requires_duration(self):
+        result = FlowResult(
+            direction=Direction.STORE, device_type=DeviceType.IOS
+        )
+        with pytest.raises(ValueError):
+            result.throughput
+
+    def test_empty_ratio_arrays(self):
+        result = FlowResult(
+            direction=Direction.STORE, device_type=DeviceType.IOS
+        )
+        assert result.idle_rto_ratios.size == 0
+        assert result.processing_idle_ratios.size == 0
+        assert result.chunk_times.size == 0
+
+
+class TestRetrieveSemantics:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        return simulate_flow(
+            direction=Direction.RETRIEVE,
+            device=IOS,
+            file_size=5 * CHUNK_SIZE,
+            path=NetworkPath(bandwidth=2_000_000.0, one_way_delay=0.04),
+            seed=8,
+        )
+
+    def test_direction_recorded(self, flow):
+        assert flow.direction is Direction.RETRIEVE
+
+    def test_tchunk_covers_request_to_last_byte(self, flow):
+        # Retrieval Tchunk includes Tsrv (content preparation) plus the
+        # downstream transfer, so it must exceed Tsrv for every chunk.
+        for chunk in flow.chunk_results:
+            assert chunk.tchunk > chunk.tsrv
+
+    def test_duration_covers_all_chunks(self, flow):
+        assert flow.duration > sum(c.ttran for c in flow.chunk_results) * 0.5
+
+    def test_average_rtt_at_least_base_with_queueing(self, flow):
+        # Downloads fill the bottleneck queue (the client window is huge),
+        # so RTT samples sit above the propagation floor — bufferbloat.
+        assert 0.08 <= flow.average_rtt() <= 0.5
+
+
+@given(
+    n_chunks=st.integers(1, 6),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=15, deadline=None)
+def test_flow_invariants_property(n_chunks, seed):
+    flow = simulate_flow(
+        direction=Direction.STORE,
+        device=IOS,
+        file_size=n_chunks * CHUNK_SIZE,
+        path=NetworkPath(bandwidth=3_000_000.0, one_way_delay=0.03),
+        seed=seed,
+    )
+    assert len(flow.chunk_results) == n_chunks
+    assert flow.total_bytes == n_chunks * CHUNK_SIZE
+    assert sum(c.size for c in flow.chunk_results) == flow.total_bytes
+    assert flow.chunk_results[0].idle_before == 0.0
+    assert np.all(flow.chunk_times >= 0)
+    assert flow.duration > 0
+    # Restart counter agrees with per-chunk flags.
+    assert flow.slow_start_restarts == sum(
+        c.restarted for c in flow.chunk_results
+    )

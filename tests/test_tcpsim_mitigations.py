@@ -1,0 +1,87 @@
+"""Tests for the Section 4.3 mitigation presets and sweep."""
+
+import pytest
+
+from repro.logs import CHUNK_SIZE, DeviceType, Direction
+from repro.tcpsim import (
+    BASELINE,
+    BATCHED_CHUNKS,
+    LARGER_CHUNKS,
+    MITIGATIONS,
+    NO_SSAI,
+    SCALED_SERVER_WINDOW,
+    run_mitigation_sweep,
+)
+
+
+class TestPresets:
+    def test_baseline_matches_deployed_service(self):
+        assert BASELINE.chunk_size == CHUNK_SIZE
+        assert BASELINE.batch_size == 1
+        assert BASELINE.slow_start_after_idle
+        assert not BASELINE.server_window_scaling
+
+    def test_presets_change_one_thing(self):
+        assert LARGER_CHUNKS.chunk_size == 2 * 1024 * 1024
+        assert LARGER_CHUNKS.batch_size == 1
+        assert BATCHED_CHUNKS.batch_size == 4
+        assert BATCHED_CHUNKS.chunk_size == CHUNK_SIZE
+        assert not NO_SSAI.slow_start_after_idle
+        assert SCALED_SERVER_WINDOW.server_window_scaling
+
+    def test_registry_complete(self):
+        assert set(MITIGATIONS) == {
+            "baseline",
+            "larger_chunks",
+            "batched_chunks",
+            "no_ssai",
+            "paced_restart",
+            "scaled_server_window",
+        }
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return run_mitigation_sweep(
+            device=DeviceType.ANDROID,
+            direction=Direction.STORE,
+            n_flows=6,
+            file_size=6 * CHUNK_SIZE,
+            seed=2,
+        )
+
+    def test_all_mitigations_measured(self, outcomes):
+        assert set(outcomes) == set(MITIGATIONS)
+
+    def test_every_mitigation_beats_baseline(self, outcomes):
+        base = outcomes["baseline"]
+        for name, outcome in outcomes.items():
+            if name == "baseline":
+                continue
+            assert outcome.speedup_over(base) > 1.0, name
+
+    def test_no_ssai_removes_restarts(self, outcomes):
+        assert outcomes["no_ssai"].restart_fraction == 0.0
+        assert outcomes["baseline"].restart_fraction > 0.0
+
+    def test_larger_chunks_cut_restart_events(self, outcomes):
+        assert (
+            outcomes["larger_chunks"].restarts_per_flow
+            < outcomes["baseline"].restarts_per_flow
+        )
+
+    def test_restarts_per_flow_consistent(self, outcomes):
+        base = outcomes["baseline"]
+        # restarts_per_flow = restart_fraction * gaps_per_flow; with 6
+        # chunks there are 5 gaps per flow.
+        assert base.restarts_per_flow == pytest.approx(
+            base.restart_fraction * 5, rel=0.01
+        )
+
+    def test_speedup_requires_positive_baseline(self, outcomes):
+        from dataclasses import replace
+
+        broken = replace(outcomes["baseline"], mean_flow_throughput=0.0)
+        with pytest.raises(ValueError):
+            outcomes["no_ssai"].speedup_over(broken)

@@ -1,0 +1,177 @@
+"""Tests for parallel striping, pacing-after-idle and shallow buffers."""
+
+import pytest
+
+from repro.events import EventLoop
+from repro.logs import CHUNK_SIZE, Direction
+from repro.tcpsim import (
+    ANDROID,
+    NetworkPath,
+    PACED_RESTART,
+    TcpTransfer,
+    connection_sweep,
+    simulate_flow,
+    simulate_parallel_upload,
+)
+from repro.tcpsim.congestion import CongestionControl
+
+
+class TestShallowBuffer:
+    def test_buffer_validated(self):
+        with pytest.raises(ValueError):
+            NetworkPath(buffer_bytes=0)
+
+    def test_burst_into_shallow_buffer_drops_tail(self):
+        path = NetworkPath(
+            bandwidth=1_000_000.0, one_way_delay=0.05, buffer_bytes=3000.0
+        )
+        outcomes = [path.transmit("up", 0.0, 1400)[1] for _ in range(5)]
+        assert outcomes[0] and outcomes[1]
+        assert not all(outcomes)
+
+    def test_spaced_packets_survive_shallow_buffer(self):
+        path = NetworkPath(
+            bandwidth=1_000_000.0, one_way_delay=0.05, buffer_bytes=3000.0
+        )
+        outcomes = [
+            path.transmit("up", i * 0.01, 1400)[1] for i in range(20)
+        ]
+        assert all(outcomes)
+
+    def test_unbounded_buffer_never_drops(self):
+        path = NetworkPath(bandwidth=1_000_000.0, one_way_delay=0.05)
+        assert all(path.transmit("up", 0.0, 1400)[1] for _ in range(100))
+
+
+class TestPacing:
+    def run_two_chunk_flow(self, pace):
+        loop = EventLoop()
+        path = NetworkPath(bandwidth=5_000_000.0, one_way_delay=0.05)
+        transfer = TcpTransfer(
+            loop,
+            path,
+            "up",
+            congestion=CongestionControl(slow_start_after_idle=False),
+            pace_after_idle=pace,
+        )
+        done = []
+
+        def after_first(receipt):
+            loop.schedule_after(
+                5.0, lambda: transfer.send_message(300_000, done.append)
+            )
+
+        transfer.connect(lambda: transfer.send_message(300_000, after_first))
+        loop.run()
+        return transfer, done
+
+    def test_pacing_activates_after_long_idle(self):
+        transfer, done = self.run_two_chunk_flow(pace=True)
+        assert transfer.paced_windows == 1
+        assert len(done) == 1
+        assert not done[0].restarted  # SSAI is off
+
+    def test_no_pacing_without_option(self):
+        transfer, _ = self.run_two_chunk_flow(pace=False)
+        assert transfer.paced_windows == 0
+
+    def test_pacing_spreads_the_post_idle_burst(self):
+        """With pacing the first post-idle window's sends are spaced."""
+        from repro.tcpsim import FlowTrace
+
+        for pace in (False, True):
+            loop = EventLoop()
+            path = NetworkPath(bandwidth=5_000_000.0, one_way_delay=0.05)
+            trace = FlowTrace()
+            transfer = TcpTransfer(
+                loop, path, "up",
+                congestion=CongestionControl(slow_start_after_idle=False),
+                pace_after_idle=pace, trace=trace,
+            )
+            done = []
+
+            def after_first(receipt, t=transfer, d=done):
+                loop.schedule_after(
+                    5.0, lambda: t.send_message(200_000, d.append)
+                )
+
+            transfer.connect(
+                lambda: transfer.send_message(200_000, after_first)
+            )
+            loop.run()
+            # Find the sends right after the 5 s idle.
+            post_idle = [t for t in trace.send_times if t > 5.0]
+            gaps = [b - a for a, b in zip(post_idle, post_idle[1:])][:10]
+            if pace:
+                paced_gaps = gaps
+            else:
+                burst_gaps = gaps
+        assert max(paced_gaps[:5]) > max(burst_gaps[:5])
+
+    def test_paced_flow_loses_less_on_shallow_buffer(self):
+        retx = {}
+        for name, options in (("paced", PACED_RESTART),):
+            path = NetworkPath(
+                bandwidth=2_000_000.0, one_way_delay=0.05,
+                buffer_bytes=56_000.0, seed=2,
+            )
+            flow = simulate_flow(
+                direction=Direction.STORE,
+                device=ANDROID,
+                file_size=8 * CHUNK_SIZE,
+                path=path,
+                options=options,
+                seed=2,
+            )
+            retx[name] = flow.retransmissions
+        from repro.tcpsim.mitigations import NO_SSAI
+
+        path = NetworkPath(
+            bandwidth=2_000_000.0, one_way_delay=0.05,
+            buffer_bytes=56_000.0, seed=2,
+        )
+        burst = simulate_flow(
+            direction=Direction.STORE,
+            device=ANDROID,
+            file_size=8 * CHUNK_SIZE,
+            path=path,
+            options=NO_SSAI,
+            seed=2,
+        )
+        assert retx["paced"] <= burst.retransmissions
+
+
+class TestParallel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_parallel_upload(0, 1)
+        with pytest.raises(ValueError):
+            simulate_parallel_upload(1000, 0)
+
+    def test_stripes_cover_file(self):
+        result = simulate_parallel_upload(1_000_001, 4)
+        assert sum(result.per_connection_bytes) == 1_000_001
+        assert result.n_connections == 4
+
+    def test_single_connection_window_limited(self):
+        path = NetworkPath(bandwidth=4_000_000.0, one_way_delay=0.05)
+        result = simulate_parallel_upload(2_000_000, 1, path=path)
+        # ~64 KB per 100 ms RTT -> ~640 KB/s.
+        assert result.aggregate_throughput == pytest.approx(
+            655_360, rel=0.3
+        )
+
+    def test_two_connections_faster(self):
+        sweep = connection_sweep(
+            8 * CHUNK_SIZE, connection_counts=(1, 2),
+            bandwidth=4_000_000.0,
+        )
+        assert sweep[2].speedup_over(sweep[1]) > 1.5
+
+    def test_saturation_at_bottleneck(self):
+        sweep = connection_sweep(
+            8 * CHUNK_SIZE, connection_counts=(1, 16),
+            bandwidth=1_000_000.0, one_way_delay=0.02,
+        )
+        # BDP (40 KB) < one window: parallelism cannot help much.
+        assert sweep[16].speedup_over(sweep[1]) < 1.6

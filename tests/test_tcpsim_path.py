@@ -1,0 +1,103 @@
+"""Tests for the network path model."""
+
+import numpy as np
+import pytest
+
+from repro.tcpsim import NetworkPath
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            NetworkPath(bandwidth=0)
+        with pytest.raises(ValueError):
+            NetworkPath(one_way_delay=-1)
+        with pytest.raises(ValueError):
+            NetworkPath(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkPath(jitter=-0.1)
+        with pytest.raises(ValueError):
+            NetworkPath(down_bandwidth=0)
+
+    def test_transmit_rejects_bad_args(self):
+        path = NetworkPath()
+        with pytest.raises(ValueError):
+            path.transmit("sideways", 0.0, 100)
+        with pytest.raises(ValueError):
+            path.transmit("up", 0.0, 0)
+
+
+class TestTiming:
+    def test_base_rtt(self):
+        assert NetworkPath(one_way_delay=0.05).base_rtt == pytest.approx(0.1)
+
+    def test_arrival_includes_serialization_and_propagation(self):
+        path = NetworkPath(bandwidth=1000.0, one_way_delay=0.5)
+        arrival, delivered = path.transmit("up", 0.0, 100)
+        assert delivered
+        assert arrival == pytest.approx(0.1 + 0.5)
+
+    def test_back_to_back_packets_queue(self):
+        path = NetworkPath(bandwidth=1000.0, one_way_delay=0.0)
+        first, _ = path.transmit("up", 0.0, 500)
+        second, _ = path.transmit("up", 0.0, 500)
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(1.0)
+
+    def test_directions_independent(self):
+        path = NetworkPath(bandwidth=1000.0, one_way_delay=0.0)
+        path.transmit("up", 0.0, 1000)
+        down, _ = path.transmit("down", 0.0, 500)
+        assert down == pytest.approx(0.5)
+
+    def test_fifo_per_direction(self):
+        path = NetworkPath(bandwidth=10_000.0, one_way_delay=0.01)
+        arrivals = [path.transmit("up", 0.0, 100)[0] for _ in range(20)]
+        assert arrivals == sorted(arrivals)
+
+    def test_asymmetric_bandwidth(self):
+        path = NetworkPath(bandwidth=1000.0, down_bandwidth=4000.0,
+                           one_way_delay=0.0)
+        up, _ = path.transmit("up", 0.0, 1000)
+        down, _ = path.transmit("down", 0.0, 1000)
+        assert up == pytest.approx(1.0)
+        assert down == pytest.approx(0.25)
+
+    def test_rate_for_defaults_to_uplink(self):
+        path = NetworkPath(bandwidth=1000.0)
+        assert path.rate_for("down") == 1000.0
+
+    def test_reset_clears_queue(self):
+        path = NetworkPath(bandwidth=1000.0, one_way_delay=0.0)
+        path.transmit("up", 0.0, 10_000)
+        path.reset()
+        arrival, _ = path.transmit("up", 0.0, 1000)
+        assert arrival == pytest.approx(1.0)
+
+
+class TestLossAndJitter:
+    def test_zero_loss_always_delivers(self):
+        path = NetworkPath(loss_rate=0.0)
+        assert all(path.transmit("up", i * 1.0, 100)[1] for i in range(100))
+
+    def test_empirical_loss_rate(self):
+        path = NetworkPath(loss_rate=0.2, seed=42)
+        outcomes = [path.transmit("up", i * 1.0, 100)[1] for i in range(5000)]
+        assert 1.0 - np.mean(outcomes) == pytest.approx(0.2, abs=0.03)
+
+    def test_jitter_perturbs_delay(self):
+        path = NetworkPath(
+            bandwidth=1e9, one_way_delay=0.1, jitter=0.02, seed=1
+        )
+        arrivals = [
+            path.transmit("up", i * 10.0, 100)[0] - i * 10.0 for i in range(200)
+        ]
+        assert np.std(arrivals) > 0.005
+        assert all(a >= 0 for a in arrivals)
+
+    def test_deterministic_given_seed(self):
+        a = NetworkPath(loss_rate=0.3, seed=7)
+        b = NetworkPath(loss_rate=0.3, seed=7)
+        out_a = [a.transmit("up", i * 1.0, 10)[1] for i in range(50)]
+        out_b = [b.transmit("up", i * 1.0, 10)[1] for i in range(50)]
+        assert out_a == out_b

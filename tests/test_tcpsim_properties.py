@@ -1,0 +1,97 @@
+"""Property-based invariants of the packet-level TCP simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventLoop
+from repro.tcpsim import MAX_UNSCALED_RWND, FlowTrace, NetworkPath, TcpTransfer
+
+
+def run_once(size, bandwidth, delay, loss, seed, rwnd=MAX_UNSCALED_RWND):
+    loop = EventLoop()
+    path = NetworkPath(
+        bandwidth=bandwidth,
+        one_way_delay=delay,
+        loss_rate=loss,
+        seed=seed,
+    )
+    trace = FlowTrace()
+    transfer = TcpTransfer(
+        loop, path, "up", peer_rwnd=rwnd, window_scaling=rwnd > MAX_UNSCALED_RWND,
+        trace=trace,
+    )
+    receipts = []
+    transfer.connect(lambda: transfer.send_message(size, receipts.append))
+    loop.run()
+    return transfer, trace, receipts
+
+
+@given(
+    size=st.integers(100, 800_000),
+    bandwidth=st.floats(100_000, 20_000_000),
+    delay=st.floats(0.001, 0.3),
+)
+@settings(max_examples=40, deadline=None)
+def test_lossless_delivery_is_complete_and_exact(size, bandwidth, delay):
+    transfer, trace, receipts = run_once(size, bandwidth, delay, 0.0, 0)
+    assert len(receipts) == 1
+    assert trace.ack_seqs[-1] == size
+    assert transfer.inflight == 0
+    assert transfer.retransmissions == 0
+
+
+@given(
+    size=st.integers(5_000, 300_000),
+    loss=st.floats(0.001, 0.12),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_lossy_delivery_still_completes(size, loss, seed):
+    transfer, trace, receipts = run_once(
+        size, 2_000_000.0, 0.03, loss, seed
+    )
+    assert len(receipts) == 1
+    assert trace.ack_seqs[-1] == size
+
+
+@given(
+    size=st.integers(100_000, 2_000_000),
+    delay=st.floats(0.02, 0.2),
+)
+@settings(max_examples=25, deadline=None)
+def test_inflight_never_exceeds_unscaled_window(size, delay):
+    _, trace, _ = run_once(size, 50_000_000.0, delay, 0.0, 0)
+    # Allowance of one MSS for the segment being clocked out.
+    assert trace.max_inflight() <= MAX_UNSCALED_RWND + 1448
+
+
+@given(size=st.integers(10_000, 500_000))
+@settings(max_examples=25, deadline=None)
+def test_event_times_monotone(size):
+    _, trace, _ = run_once(size, 1_000_000.0, 0.05, 0.0, 0)
+    times = trace.send_times
+    assert all(b >= a for a, b in zip(times, times[1:]))
+    acks = trace.ack_times
+    assert all(b >= a for a, b in zip(acks, acks[1:]))
+
+
+@given(
+    size=st.integers(50_000, 400_000),
+    delay=st.floats(0.01, 0.1),
+)
+@settings(max_examples=20, deadline=None)
+def test_completion_time_bounded_below_by_physics(size, delay):
+    """No transfer finishes faster than serialization + one-way delay."""
+    bandwidth = 2_000_000.0
+    _, trace, receipts = run_once(size, bandwidth, delay, 0.0, 0)
+    lower_bound = size / bandwidth + delay
+    assert receipts[0].last_arrival >= lower_bound * 0.99
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_determinism_across_runs(seed):
+    a = run_once(120_000, 1_500_000.0, 0.04, 0.03, seed)[2][0]
+    b = run_once(120_000, 1_500_000.0, 0.04, 0.03, seed)[2][0]
+    assert a.last_ack_time == pytest.approx(b.last_ack_time)

@@ -1,0 +1,70 @@
+"""Tests for the window-scaling provisioning analysis."""
+
+import pytest
+
+from repro.tcpsim.connection import MAX_UNSCALED_RWND
+from repro.tcpsim.provisioning import (
+    WindowOperatingPoint,
+    saturation_window,
+    window_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return window_sweep(
+        rwnd_values=(MAX_UNSCALED_RWND, 256 * 1024, 1024 * 1024),
+        concurrent_flows_per_server=10_000,
+        n_flows=2,
+        seed=1,
+    )
+
+
+class TestSweep:
+    def test_point_per_window(self, points):
+        assert [p.rwnd_bytes for p in points] == [
+            MAX_UNSCALED_RWND, 256 * 1024, 1024 * 1024
+        ]
+
+    def test_goodput_monotone_nondecreasing(self, points):
+        goodputs = [p.goodput for p in points]
+        assert goodputs[0] <= goodputs[1] + 1e-6
+        assert goodputs[1] <= goodputs[2] * 1.05
+
+    def test_memory_linear_in_window(self, points):
+        assert points[1].memory_per_server_bytes == pytest.approx(
+            points[0].memory_per_server_bytes * (256 * 1024) / MAX_UNSCALED_RWND
+        )
+
+    def test_goodput_per_memory_decreasing(self, points):
+        efficiencies = [p.goodput_per_memory() for p in points]
+        assert efficiencies[0] > efficiencies[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_sweep(concurrent_flows_per_server=0)
+
+
+class TestSaturation:
+    def test_picks_smallest_near_peak(self):
+        points = [
+            WindowOperatingPoint(64_000, 400_000.0, 1.0),
+            WindowOperatingPoint(256_000, 580_000.0, 4.0),
+            WindowOperatingPoint(1_024_000, 590_000.0, 16.0),
+        ]
+        assert saturation_window(points) == 256_000
+
+    def test_first_point_can_saturate(self):
+        points = [
+            WindowOperatingPoint(64_000, 500_000.0, 1.0),
+            WindowOperatingPoint(256_000, 505_000.0, 4.0),
+        ]
+        assert saturation_window(points) == 64_000
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_window([])
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(ValueError):
+            WindowOperatingPoint(64_000, 1.0, 0.0).goodput_per_memory()

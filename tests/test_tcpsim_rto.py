@@ -1,0 +1,77 @@
+"""Tests for the RFC 6298 RTO estimator."""
+
+import pytest
+
+from repro.tcpsim import RtoEstimator, paper_rto_estimate
+
+
+class TestEstimator:
+    def test_initial_rto_before_samples(self):
+        assert RtoEstimator().rto == 1.0
+
+    def test_first_sample_initializes(self):
+        est = RtoEstimator()
+        est.observe(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        # RTO = SRTT + max(G, 4*RTTVAR) = 0.1 + max(0.2, 0.2) = 0.3.
+        assert est.rto == pytest.approx(0.3)
+
+    def test_ewma_updates_follow_rfc(self):
+        est = RtoEstimator()
+        est.observe(0.1)
+        est.observe(0.2)
+        # RTTVAR <- 3/4*0.05 + 1/4*|0.1-0.2| = 0.0625
+        # SRTT   <- 7/8*0.1 + 1/8*0.2 = 0.1125
+        assert est.rttvar == pytest.approx(0.0625)
+        assert est.srtt == pytest.approx(0.1125)
+        assert est.rto == pytest.approx(0.1125 + 0.25)
+
+    def test_variance_floor_dominates_steady_rtt(self):
+        est = RtoEstimator()
+        for _ in range(100):
+            est.observe(0.1)
+        # RTTVAR decays toward zero; the 200 ms floor holds.
+        assert est.rto == pytest.approx(0.3, abs=0.01)
+
+    def test_large_variance_exceeds_floor(self):
+        est = RtoEstimator()
+        for rtt in (0.1, 0.5, 0.1, 0.5, 0.1, 0.5):
+            est.observe(rtt)
+        assert est.rto > est.srtt + 0.2
+
+    def test_rto_clamped_to_max(self):
+        est = RtoEstimator(max_rto=2.0)
+        est.observe(10.0)
+        assert est.rto == 2.0
+
+    def test_backoff_doubles_without_samples(self):
+        est = RtoEstimator()
+        first = est.rto
+        assert est.backoff() == pytest.approx(2 * first)
+
+    def test_backoff_increases_rto_after_samples(self):
+        est = RtoEstimator()
+        est.observe(0.1)
+        before = est.rto
+        assert est.backoff() > before
+
+    def test_non_positive_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RtoEstimator().observe(0.0)
+
+
+class TestPaperEstimate:
+    def test_small_rtt_uses_floor(self):
+        # RTO ~ RTT + max(200ms, 2 RTT); at 50 ms the floor dominates.
+        assert paper_rto_estimate(0.05) == pytest.approx(0.25)
+
+    def test_large_rtt_scales(self):
+        assert paper_rto_estimate(0.5) == pytest.approx(1.5)
+
+    def test_boundary_at_100ms(self):
+        assert paper_rto_estimate(0.1) == pytest.approx(0.3)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            paper_rto_estimate(0.0)

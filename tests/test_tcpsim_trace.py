@@ -1,0 +1,80 @@
+"""Tests for packet-level flow traces and their derived series."""
+
+import numpy as np
+import pytest
+
+from repro.tcpsim import FlowTrace
+
+
+def populated_trace():
+    trace = FlowTrace()
+    # Simulated: three sends, two ACKs, two RTT samples.
+    trace.record_send(0.0, 1000, 1000)
+    trace.record_send(0.1, 2000, 2000)
+    trace.record_send(1.5, 3000, 1000)  # after a 1.4 s idle gap
+    trace.record_ack(0.2, 1000, 1000)
+    trace.record_ack(0.3, 2000, 0)
+    trace.record_rtt(0.2, 0.2)
+    trace.record_rtt(0.3, 0.2)
+    return trace
+
+
+class TestSeries:
+    def test_sequence_series(self):
+        times, seqs = populated_trace().sequence_series()
+        assert list(times) == [0.0, 0.1, 1.5]
+        assert list(seqs) == [1000, 2000, 3000]
+
+    def test_inflight_series_from_acks(self):
+        times, inflight = populated_trace().inflight_series()
+        assert list(times) == [0.2, 0.3]
+        assert list(inflight) == [1000, 0]
+
+    def test_average_rtt(self):
+        assert populated_trace().average_rtt() == pytest.approx(0.2)
+
+    def test_average_rtt_requires_samples(self):
+        with pytest.raises(ValueError):
+            FlowTrace().average_rtt()
+
+    def test_max_inflight(self):
+        assert populated_trace().max_inflight() == 2000
+
+    def test_max_inflight_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FlowTrace().max_inflight()
+
+
+class TestIdleGaps:
+    def test_gaps_above_threshold(self):
+        gaps = populated_trace().idle_gaps(threshold=1.0)
+        assert list(np.round(gaps, 6)) == [1.4]
+
+    def test_all_gaps_with_zero_threshold(self):
+        gaps = populated_trace().idle_gaps()
+        assert gaps.size == 2
+
+    def test_single_send_no_gaps(self):
+        trace = FlowTrace()
+        trace.record_send(0.0, 100, 100)
+        assert trace.idle_gaps().size == 0
+
+
+class TestThroughput:
+    def test_delivered_bytes_over_span(self):
+        trace = populated_trace()
+        # 1000 bytes delivered over 0.1 s.
+        assert trace.throughput() == pytest.approx(10_000.0)
+
+    def test_requires_two_acks(self):
+        trace = FlowTrace()
+        trace.record_ack(0.0, 100, 0)
+        with pytest.raises(ValueError):
+            trace.throughput()
+
+    def test_zero_span_rejected(self):
+        trace = FlowTrace()
+        trace.record_ack(1.0, 100, 0)
+        trace.record_ack(1.0, 200, 0)
+        with pytest.raises(ValueError):
+            trace.throughput()

@@ -1,0 +1,84 @@
+"""Tests for stretched-exponential activity assignment."""
+
+import numpy as np
+import pytest
+
+from repro.stats import fit_stretched_exponential
+from repro.workload import ActivityModel, assign_store_retrieve_counts
+from repro.workload.activity import rank_activity_counts
+
+
+class TestRankCounts:
+    def test_counts_at_least_one(self):
+        counts = rank_activity_counts(
+            1000, 0.2, 0.448, np.random.default_rng(0)
+        )
+        assert counts.min() >= 1
+
+    def test_rank_order_without_jitter(self):
+        counts = rank_activity_counts(
+            1000, 0.2, 0.448, np.random.default_rng(0), jitter_sigma=0.0
+        )
+        assert list(counts) == sorted(counts, reverse=True)
+
+    def test_top_user_far_more_active(self):
+        counts = rank_activity_counts(
+            5000, 0.2, 0.448, np.random.default_rng(0), jitter_sigma=0.0
+        )
+        assert counts[0] > 100 * counts[-1]
+
+    def test_bottom_user_near_one_file(self):
+        counts = rank_activity_counts(
+            5000, 0.2, 0.448, np.random.default_rng(0), jitter_sigma=0.0
+        )
+        assert counts[-1] <= 3
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            rank_activity_counts(0, 0.2, 0.448, rng)
+        with pytest.raises(ValueError):
+            rank_activity_counts(10, 0.0, 0.448, rng)
+        with pytest.raises(ValueError):
+            rank_activity_counts(10, 0.2, 0.0, rng)
+
+    def test_planted_c_recoverable(self):
+        counts = rank_activity_counts(
+            20_000, 0.2, 0.448, np.random.default_rng(1), jitter_sigma=0.1
+        )
+        fit = fit_stretched_exponential(counts.astype(float))
+        assert fit.c == pytest.approx(0.2, abs=0.06)
+        assert fit.r_squared > 0.98
+
+
+class TestAssignment:
+    def test_shapes(self):
+        stores, retrieves = assign_store_retrieve_counts(
+            100, 50, ActivityModel(), np.random.default_rng(0)
+        )
+        assert stores.shape == (100,)
+        assert retrieves.shape == (50,)
+
+    def test_empty_populations(self):
+        stores, retrieves = assign_store_retrieve_counts(
+            0, 0, ActivityModel(), np.random.default_rng(0)
+        )
+        assert stores.size == 0
+        assert retrieves.size == 0
+
+    def test_shuffled_not_rank_ordered(self):
+        stores, _ = assign_store_retrieve_counts(
+            2000, 0, ActivityModel(), np.random.default_rng(2)
+        )
+        assert list(stores) != sorted(stores, reverse=True)
+
+    def test_retrieval_more_skewed(self):
+        # c=0.15 (retrieve) produces a heavier top relative to the median
+        # than c=0.2 (store).
+        rng = np.random.default_rng(3)
+        stores, retrieves = assign_store_retrieve_counts(
+            20_000, 20_000, ActivityModel(), rng
+        )
+        store_skew = stores.max() / np.median(stores)
+        retrieve_skew = retrieves.max() / np.median(retrieves)
+        assert retrieve_skew > store_skew

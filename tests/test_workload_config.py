@@ -1,0 +1,92 @@
+"""Tests for the paper-calibrated configuration defaults."""
+
+import pytest
+
+from repro.workload import (
+    DeviceGroup,
+    PAPER_CONFIG,
+    UserType,
+    WorkloadConfig,
+)
+from repro.workload.config import DiurnalModel
+
+
+def test_default_config_is_complete():
+    config = WorkloadConfig()
+    assert config.observation_days == 7
+    assert 0 < config.first_day_cohort < 1
+
+
+def test_user_mix_shares_normalized():
+    config = WorkloadConfig()
+    for group in DeviceGroup:
+        shares = config.user_mix.shares(group)
+        assert set(shares) == set(UserType)
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.02)
+
+
+def test_multi_mobile_users_more_mixed_than_single():
+    """The Fig 7b mechanism: multi-device users sync between devices."""
+    config = WorkloadConfig()
+    single = config.user_mix.shares(DeviceGroup.ONE_MOBILE)
+    multi = config.user_mix.shares(DeviceGroup.MULTI_MOBILE)
+    assert multi[UserType.MIXED] > single[UserType.MIXED]
+    assert multi[UserType.UPLOAD_ONLY] < single[UserType.UPLOAD_ONLY]
+
+
+def test_table2_plants_match_paper():
+    sizes = WorkloadConfig().file_sizes
+    assert sizes.store_weights == (0.91, 0.07, 0.02)
+    assert sizes.store_means_mb == (1.5, 13.1, 77.4)
+    assert sizes.retrieve_weights == (0.46, 0.26, 0.28)
+    assert sizes.retrieve_means_mb == (1.6, 29.8, 146.8)
+
+
+def test_session_mix_matches_paper():
+    mix = WorkloadConfig().session_mix
+    assert mix.store_only == pytest.approx(0.682)
+    assert mix.retrieve_only == pytest.approx(0.299)
+    assert mix.store_only + mix.retrieve_only + mix.mixed == pytest.approx(
+        1.0
+    )
+
+
+def test_activity_plants_match_fig10():
+    activity = WorkloadConfig().activity
+    assert activity.store_c == 0.20
+    assert activity.retrieve_c == 0.15
+    assert activity.retrieve_c < activity.store_c
+
+
+def test_engagement_probabilities_valid():
+    engagement = WorkloadConfig().engagement
+    for group in DeviceGroup:
+        assert 0.0 < engagement.p_engaged[group] <= 1.0
+    assert engagement.p_engaged[DeviceGroup.MULTI_MOBILE] > (
+        engagement.p_engaged[DeviceGroup.ONE_MOBILE]
+    )
+
+
+def test_diurnal_surge_in_evening():
+    weights = WorkloadConfig().diurnal.hourly_weights
+    assert max(weights) == weights[22]
+    assert min(weights) in (weights[3], weights[4])
+
+
+def test_diurnal_validation():
+    with pytest.raises(ValueError):
+        DiurnalModel(hourly_weights=(1.0,) * 12)
+
+
+def test_paper_config_singleton_equals_defaults():
+    assert PAPER_CONFIG.session_mix == WorkloadConfig().session_mix
+    assert PAPER_CONFIG.file_sizes == WorkloadConfig().file_sizes
+
+
+def test_interval_model_scales():
+    intervals = WorkloadConfig().intervals
+    assert 10 ** intervals.within_mean_log10 == pytest.approx(11.2, rel=0.1)
+    assert 10 ** intervals.between_mean_log10 == pytest.approx(
+        86_400.0, rel=0.15
+    )
+    assert 0 <= intervals.p_batch_small <= 1

@@ -1,0 +1,144 @@
+"""Tests for the upload-deferral policy."""
+
+import numpy as np
+import pytest
+
+from repro.logs import DeviceType, Direction, LogRecord, RequestKind
+from repro.workload import (
+    DeferralPolicy,
+    LoadSummary,
+    evaluate_deferral,
+    folded_load,
+    hourly_load,
+)
+
+HOUR = 3600.0
+
+
+def chunk(ts, direction=Direction.STORE, volume=1000):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id="d",
+        user_id=1,
+        kind=RequestKind.CHUNK,
+        direction=direction,
+        volume=volume,
+    )
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DeferralPolicy(peak_hours=())
+        with pytest.raises(ValueError):
+            DeferralPolicy(peak_hours=(25,))
+        with pytest.raises(ValueError):
+            DeferralPolicy(target_hour=24)
+        with pytest.raises(ValueError):
+            DeferralPolicy(window_hours=0)
+        with pytest.raises(ValueError):
+            DeferralPolicy(defer_fraction=1.5)
+
+
+class TestApply:
+    def test_peak_store_chunks_moved_to_next_morning(self):
+        policy = DeferralPolicy(
+            peak_hours=(22,), target_hour=4, window_hours=1.0,
+            defer_fraction=1.0,
+        )
+        record = chunk(ts=22.5 * HOUR)
+        (moved,) = list(policy.apply([record]))
+        assert 86_400 + 4 * HOUR <= moved.timestamp < 86_400 + 5 * HOUR
+
+    def test_off_peak_records_untouched(self):
+        policy = DeferralPolicy(peak_hours=(22,), defer_fraction=1.0)
+        record = chunk(ts=10 * HOUR)
+        (out,) = list(policy.apply([record]))
+        assert out.timestamp == record.timestamp
+
+    def test_retrievals_never_deferred(self):
+        policy = DeferralPolicy(peak_hours=(22,), defer_fraction=1.0)
+        record = chunk(ts=22.5 * HOUR, direction=Direction.RETRIEVE)
+        (out,) = list(policy.apply([record]))
+        assert out.timestamp == record.timestamp
+
+    def test_file_ops_never_deferred(self):
+        policy = DeferralPolicy(peak_hours=(22,), defer_fraction=1.0)
+        record = LogRecord(
+            timestamp=22.5 * HOUR,
+            device_type=DeviceType.ANDROID,
+            device_id="d",
+            user_id=1,
+            kind=RequestKind.FILE_OP,
+            direction=Direction.STORE,
+        )
+        (out,) = list(policy.apply([record]))
+        assert out.timestamp == record.timestamp
+
+    def test_defer_fraction_zero_is_identity(self):
+        policy = DeferralPolicy(peak_hours=(22,), defer_fraction=0.0)
+        records = [chunk(ts=22.5 * HOUR) for _ in range(50)]
+        out = list(policy.apply(records))
+        assert all(o.timestamp == r.timestamp for o, r in zip(out, records))
+
+    def test_partial_fraction(self):
+        policy = DeferralPolicy(peak_hours=(22,), defer_fraction=0.5)
+        records = [chunk(ts=22.5 * HOUR) for _ in range(2000)]
+        moved = sum(
+            1
+            for out, orig in zip(policy.apply(records, seed=1), records)
+            if out.timestamp != orig.timestamp
+        )
+        assert moved / 2000 == pytest.approx(0.5, abs=0.05)
+
+
+class TestLoadSummaries:
+    def test_hourly_load_bins(self):
+        records = [chunk(ts=0.0, volume=10), chunk(ts=HOUR + 1, volume=30)]
+        load = hourly_load(records)
+        assert load.hourly_bytes[0] == 10
+        assert load.hourly_bytes[1] == 30
+        assert load.peak == 30
+        assert load.peak_to_mean == pytest.approx(30 / 20)
+
+    def test_folded_load_wraps_days(self):
+        records = [chunk(ts=5 * HOUR, volume=10),
+                   chunk(ts=86_400 + 5 * HOUR, volume=20)]
+        load = folded_load(records)
+        assert load.hourly_bytes[5] == 30
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            hourly_load([])
+        with pytest.raises(ValueError):
+            folded_load([])
+
+    def test_peak_to_mean_of_flat_profile(self):
+        load = LoadSummary(hourly_bytes=np.full(24, 7.0))
+        assert load.peak_to_mean == pytest.approx(1.0)
+
+
+class TestEvaluate:
+    def test_volume_conserved(self):
+        rng = np.random.default_rng(0)
+        records = [
+            chunk(ts=float(rng.uniform(0, 7 * 86_400)), volume=100)
+            for _ in range(3000)
+        ]
+        before, after = evaluate_deferral(records, DeferralPolicy(), seed=1)
+        assert before.hourly_bytes.sum() == pytest.approx(
+            after.hourly_bytes.sum()
+        )
+
+    def test_concentrated_peak_is_flattened(self):
+        # Everything lands at 22:00 each day; deferral must cut that peak.
+        records = [
+            chunk(ts=day * 86_400 + 22 * HOUR + i, volume=100)
+            for day in range(7)
+            for i in range(100)
+        ]
+        policy = DeferralPolicy(peak_hours=(22,), defer_fraction=0.8)
+        before, after = evaluate_deferral(records, policy, seed=2)
+        assert after.peak < before.peak
+        assert after.peak_to_mean < before.peak_to_mean

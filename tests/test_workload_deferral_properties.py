@@ -1,0 +1,82 @@
+"""Property-based invariants of the deferral policy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs import DeviceType, Direction, LogRecord, RequestKind
+from repro.workload import DeferralPolicy
+
+HOUR = 3600.0
+DAY = 86_400.0
+
+
+def chunk(ts, direction=Direction.STORE, volume=100):
+    return LogRecord(
+        timestamp=ts,
+        device_type=DeviceType.ANDROID,
+        device_id="d",
+        user_id=1,
+        kind=RequestKind.CHUNK,
+        direction=direction,
+        volume=volume,
+    )
+
+
+timestamps = st.lists(
+    st.floats(0, 7 * DAY - 1, allow_nan=False), min_size=1, max_size=80
+)
+policies = st.builds(
+    DeferralPolicy,
+    peak_hours=st.sets(st.integers(0, 23), min_size=1, max_size=5).map(tuple),
+    target_hour=st.integers(0, 9),
+    window_hours=st.floats(1.0, 6.0),
+    defer_fraction=st.floats(0.0, 1.0),
+)
+
+
+@given(times=timestamps, policy=policies, seed=st.integers(0, 100))
+@settings(max_examples=150, deadline=None)
+def test_volume_and_count_conserved(times, policy, seed):
+    records = [chunk(t) for t in times]
+    out = list(policy.apply(records, seed=seed))
+    assert len(out) == len(records)
+    assert sum(r.volume for r in out) == sum(r.volume for r in records)
+
+
+@given(times=timestamps, policy=policies, seed=st.integers(0, 100))
+@settings(max_examples=150, deadline=None)
+def test_deferred_records_land_in_target_window(times, policy, seed):
+    records = [chunk(t) for t in times]
+    for original, moved in zip(records, policy.apply(records, seed=seed)):
+        if moved.timestamp == original.timestamp:
+            continue
+        # Moved: must be the next day, inside the replay window.
+        day = int(original.timestamp // DAY)
+        window_start = (day + 1) * DAY + policy.target_hour * HOUR
+        window_end = window_start + policy.window_hours * HOUR
+        assert window_start <= moved.timestamp < window_end
+        # And the original must have been in a peak hour.
+        hour = int((original.timestamp % DAY) // HOUR)
+        assert hour in policy.peak_hours
+
+
+@given(times=timestamps, policy=policies, seed=st.integers(0, 100))
+@settings(max_examples=100, deadline=None)
+def test_never_moves_retrievals(times, policy, seed):
+    records = [chunk(t, direction=Direction.RETRIEVE) for t in times]
+    out = list(policy.apply(records, seed=seed))
+    assert all(o.timestamp == r.timestamp for o, r in zip(out, records))
+
+
+@given(times=timestamps, seed=st.integers(0, 100))
+@settings(max_examples=100, deadline=None)
+def test_full_fraction_moves_every_peak_record(times, seed):
+    policy = DeferralPolicy(peak_hours=(22,), defer_fraction=1.0)
+    records = [chunk(t) for t in times]
+    for original, moved in zip(records, policy.apply(records, seed=seed)):
+        hour = int((original.timestamp % DAY) // HOUR)
+        if hour == 22:
+            assert moved.timestamp != original.timestamp
+        else:
+            assert moved.timestamp == original.timestamp

@@ -1,0 +1,71 @@
+"""Tests for diurnal time-of-day sampling."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    SECONDS_PER_DAY,
+    DiurnalModel,
+    DiurnalSampler,
+)
+
+
+@pytest.fixture()
+def sampler():
+    return DiurnalSampler(DiurnalModel())
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        DiurnalModel(hourly_weights=(1.0,) * 23)
+    with pytest.raises(ValueError):
+        DiurnalModel(hourly_weights=(0.0,) + (1.0,) * 23)
+
+
+def test_sample_within_day(sampler):
+    rng = np.random.default_rng(0)
+    samples = [sampler.sample_time_of_day(rng) for _ in range(1000)]
+    assert all(0 <= s < SECONDS_PER_DAY for s in samples)
+
+
+def test_timestamp_lands_in_requested_day(sampler):
+    rng = np.random.default_rng(0)
+    for day in (0, 3, 6):
+        ts = sampler.sample_timestamp(day, rng)
+        assert day * SECONDS_PER_DAY <= ts < (day + 1) * SECONDS_PER_DAY
+
+
+def test_negative_day_rejected(sampler):
+    with pytest.raises(ValueError):
+        sampler.sample_timestamp(-1, np.random.default_rng(0))
+
+
+def test_distribution_matches_weights(sampler):
+    rng = np.random.default_rng(1)
+    counts = np.zeros(24)
+    for _ in range(50_000):
+        hour = int(sampler.sample_time_of_day(rng) // 3600)
+        counts[hour] += 1
+    empirical = counts / counts.sum()
+    expected = sampler.hourly_probabilities()
+    assert np.max(np.abs(empirical - expected)) < 0.01
+
+
+def test_peak_hours_reflect_surge(sampler):
+    # The paper's surge: the busiest hours are in the late evening.
+    assert set(sampler.peak_hours(2)) <= {21, 22, 23}
+
+
+def test_trough_hours_early_morning(sampler):
+    assert set(sampler.trough_hours(2)) <= {2, 3, 4, 5}
+
+
+def test_peak_hours_validation(sampler):
+    with pytest.raises(ValueError):
+        sampler.peak_hours(0)
+    with pytest.raises(ValueError):
+        sampler.trough_hours(25)
+
+
+def test_probabilities_sum_to_one(sampler):
+    assert sampler.hourly_probabilities().sum() == pytest.approx(1.0)

@@ -1,0 +1,139 @@
+"""Tests for the trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.logs import DeviceType, Direction, RequestKind
+from repro.workload import (
+    GeneratorOptions,
+    TraceGenerator,
+    UserType,
+    generate_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace(
+        300, options=GeneratorOptions(max_chunks_per_file=4), seed=3
+    )
+
+
+def test_options_validation():
+    with pytest.raises(ValueError):
+        GeneratorOptions(max_chunks_per_file=0)
+
+
+def test_records_time_ordered_per_user(small_trace):
+    last_seen: dict[int, float] = {}
+    for record in small_trace:
+        previous = last_seen.get(record.user_id)
+        if previous is not None:
+            assert record.timestamp >= previous
+        last_seen[record.user_id] = record.timestamp
+
+
+def test_ground_truth_session_ids_assigned(small_trace):
+    assert all(r.session_id > 0 for r in small_trace)
+
+
+def test_session_ids_consistent_within_user(small_trace):
+    """All records of one session belong to a single user/device."""
+    sessions: dict[int, set] = {}
+    for record in small_trace:
+        sessions.setdefault(record.session_id, set()).add(
+            (record.user_id, record.device_id)
+        )
+    for members in sessions.values():
+        assert len(members) == 1
+
+
+def test_chunk_volume_matches_planned_budget():
+    generator = TraceGenerator(
+        150, options=GeneratorOptions(max_chunks_per_file=4), seed=8
+    )
+    records = list(generator.generate())
+    ops = {}
+    for user in generator.population:
+        ops[user.user_id] = (user.store_files, user.retrieve_files)
+    emitted_store_ops: dict[int, int] = {}
+    for record in records:
+        if record.is_file_op and record.direction is Direction.STORE:
+            emitted_store_ops[record.user_id] = (
+                emitted_store_ops.get(record.user_id, 0) + 1
+            )
+    for user in generator.population:
+        if user.store_files and user.user_type is not UserType.OCCASIONAL:
+            # Every planned store file produces exactly one file operation.
+            assert emitted_store_ops.get(user.user_id, 0) == user.store_files
+
+
+def test_chunk_cap_respected():
+    records = generate_trace(
+        100, options=GeneratorOptions(max_chunks_per_file=2), seed=4
+    )
+    per_op: dict[tuple, int] = {}
+    for r in records:
+        if r.is_chunk:
+            # Heuristic: chunks of one file share a session and direction;
+            # count chunks per (session, direction) and divide by ops later.
+            key = (r.session_id, r.direction)
+            per_op[key] = per_op.get(key, 0) + 1
+    ops_per_session: dict[tuple, int] = {}
+    for r in records:
+        if r.is_file_op:
+            key = (r.session_id, r.direction)
+            ops_per_session[key] = ops_per_session.get(key, 0) + 1
+    for key, chunk_count in per_op.items():
+        assert chunk_count <= 2 * ops_per_session[key]
+
+
+def test_dedup_only_users_emit_no_chunks():
+    generator = TraceGenerator(
+        400, options=GeneratorOptions(max_chunks_per_file=4), seed=2
+    )
+    records = list(generator.generate())
+    dedup_users = {
+        u.user_id for u in generator.population if u.dedup_only
+    }
+    assert dedup_users
+    for record in records:
+        if record.user_id in dedup_users:
+            assert record.kind is RequestKind.FILE_OP
+
+
+def test_emit_chunks_false_gives_ops_only():
+    records = generate_trace(
+        100, options=GeneratorOptions(emit_chunks=False), seed=1
+    )
+    assert all(r.is_file_op for r in records)
+
+
+def test_determinism():
+    a = generate_trace(100, seed=6)
+    b = generate_trace(100, seed=6)
+    assert len(a) == len(b)
+    assert all(x == y for x, y in zip(a, b))
+
+
+def test_different_seeds_differ():
+    a = generate_trace(100, seed=1)
+    b = generate_trace(100, seed=2)
+    assert [r.timestamp for r in a] != [r.timestamp for r in b]
+
+
+def test_pc_records_present_with_pc_users():
+    records = generate_trace(100, n_pc_only_users=50, seed=7)
+    assert any(r.device_type is DeviceType.PC for r in records)
+
+
+def test_timestamps_within_observation_window(small_trace):
+    # Sessions may spill slightly past the last midnight while transfers
+    # drain, but never beyond a few hours.
+    limit = 7 * 86_400.0 + 12 * 3600.0
+    assert all(0 <= r.timestamp < limit for r in small_trace)
+
+
+def test_proxied_fraction_small_but_present(small_trace):
+    proxied = np.mean([r.proxied for r in small_trace])
+    assert 0.0 < proxied < 0.3

@@ -1,0 +1,99 @@
+"""Edge-case tests for the trace generator."""
+
+import pytest
+from dataclasses import replace
+
+from repro.logs import Direction
+from repro.workload import (
+    GeneratorOptions,
+    TraceGenerator,
+    WorkloadConfig,
+    generate_trace,
+)
+
+
+def test_single_user_trace():
+    records = generate_trace(1, seed=1)
+    assert records
+    assert len({r.user_id for r in records}) == 1
+
+
+def test_longer_observation_window():
+    config = replace(WorkloadConfig(), observation_days=14)
+    records = generate_trace(
+        150, config=config,
+        options=GeneratorOptions(max_chunks_per_file=2), seed=2,
+    )
+    last_day = max(int(r.timestamp // 86_400) for r in records)
+    assert 7 <= last_day <= 14
+
+
+def test_one_day_window():
+    config = replace(WorkloadConfig(), observation_days=1)
+    records = generate_trace(
+        100, config=config,
+        options=GeneratorOptions(max_chunks_per_file=2), seed=3,
+    )
+    assert records
+    assert all(r.timestamp < 2 * 86_400 for r in records)
+
+
+def test_max_chunks_one_preserves_volume():
+    generator = TraceGenerator(
+        80, options=GeneratorOptions(max_chunks_per_file=1), seed=4
+    )
+    records = list(generator.generate())
+    chunk_volume = sum(r.volume for r in records if r.is_chunk)
+    assert chunk_volume > 0
+    # One chunk record per file operation of non-dedup users.
+    dedup_users = {u.user_id for u in generator.population if u.dedup_only}
+    ops = sum(
+        1
+        for r in records
+        if r.is_file_op and r.user_id not in dedup_users
+    )
+    chunks = sum(1 for r in records if r.is_chunk)
+    assert chunks == ops
+
+
+def test_store_dominates_op_counts():
+    records = generate_trace(
+        400, options=GeneratorOptions(emit_chunks=False), seed=5
+    )
+    store_ops = sum(
+        1 for r in records
+        if r.is_file_op and r.direction is Direction.STORE and r.is_mobile
+    )
+    retrieve_ops = sum(
+        1 for r in records
+        if r.is_file_op and r.direction is Direction.RETRIEVE and r.is_mobile
+    )
+    assert store_ops > 1.4 * retrieve_ops
+
+
+def test_retrieve_dominates_volume():
+    records = generate_trace(
+        400, options=GeneratorOptions(max_chunks_per_file=3), seed=5
+    )
+    store_volume = sum(
+        r.volume for r in records
+        if r.is_chunk and r.direction is Direction.STORE and r.is_mobile
+    )
+    retrieve_volume = sum(
+        r.volume for r in records
+        if r.is_chunk and r.direction is Direction.RETRIEVE and r.is_mobile
+    )
+    assert retrieve_volume > store_volume
+
+
+def test_every_user_emits_something():
+    generator = TraceGenerator(120, seed=6)
+    records = list(generator.generate())
+    emitted_users = {r.user_id for r in records}
+    planned_users = {u.user_id for u in generator.population}
+    assert emitted_users == planned_users
+
+
+def test_invalid_population_rejected():
+    with pytest.raises(ValueError):
+        TraceGenerator(0)

@@ -1,0 +1,115 @@
+"""Tests for user population synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.logs import DeviceType
+from repro.workload import (
+    DeviceGroup,
+    UserType,
+    WorkloadConfig,
+    build_population,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population(3000, n_pc_only_users=500, seed=5)
+
+
+def test_population_sizes(population):
+    mobile = [u for u in population if u.group is not DeviceGroup.PC_ONLY]
+    pc = [u for u in population if u.group is DeviceGroup.PC_ONLY]
+    assert len(mobile) == 3000
+    assert len(pc) == 500
+
+
+def test_unique_user_ids(population):
+    ids = [u.user_id for u in population]
+    assert len(set(ids)) == len(ids)
+
+
+def test_determinism():
+    a = build_population(200, seed=9)
+    b = build_population(200, seed=9)
+    assert [u.store_files for u in a] == [u.store_files for u in b]
+    assert [u.active_days for u in a] == [u.active_days for u in b]
+
+
+def test_pc_co_use_share(population):
+    mobile = [u for u in population if u.group is not DeviceGroup.PC_ONLY]
+    both = [u for u in mobile if u.group is DeviceGroup.MOBILE_AND_PC]
+    assert len(both) / len(mobile) == pytest.approx(0.143, abs=0.03)
+
+
+def test_device_inventories_match_groups(population):
+    for user in population:
+        if user.group is DeviceGroup.PC_ONLY:
+            assert not user.mobile_devices
+            assert user.pc_devices
+        elif user.group is DeviceGroup.MOBILE_AND_PC:
+            assert user.mobile_devices and user.pc_devices
+        elif user.group is DeviceGroup.ONE_MOBILE:
+            assert len(user.mobile_devices) == 1
+            assert not user.pc_devices
+        else:
+            assert len(user.mobile_devices) >= 2
+
+
+def test_android_share(population):
+    devices = [
+        d
+        for u in population
+        for d in u.mobile_devices
+    ]
+    android = sum(1 for d in devices if d.device_type is DeviceType.ANDROID)
+    assert android / len(devices) == pytest.approx(0.784, abs=0.03)
+
+
+def test_budgets_match_types(population):
+    for user in population:
+        if user.user_type is UserType.UPLOAD_ONLY:
+            assert user.store_files >= 1
+            assert user.retrieve_files == 0
+        elif user.user_type is UserType.DOWNLOAD_ONLY:
+            assert user.retrieve_files >= 1
+            assert user.store_files == 0
+        elif user.user_type is UserType.MIXED:
+            assert user.store_files >= 1
+            assert user.retrieve_files >= 1
+
+
+def test_occasional_users_are_dedup_only(population):
+    occasional = [
+        u for u in population if u.user_type is UserType.OCCASIONAL
+    ]
+    assert occasional
+    assert all(u.dedup_only for u in occasional)
+    assert all(u.store_files + u.retrieve_files <= 3 for u in occasional)
+
+
+def test_active_days_sorted_within_window(population):
+    config = WorkloadConfig()
+    for user in population:
+        days = user.active_days
+        assert list(days) == sorted(set(days))
+        assert 0 <= days[0] < config.observation_days
+        assert days[-1] < config.observation_days
+
+
+def test_first_day_cohort_share(population):
+    first_day = sum(1 for u in population if u.first_day == 0)
+    assert first_day / len(population) == pytest.approx(0.40, abs=0.04)
+
+
+def test_same_day_sync_only_for_mixed(population):
+    for user in population:
+        if user.same_day_sync:
+            assert user.user_type is UserType.MIXED
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        build_population(0)
+    with pytest.raises(ValueError):
+        build_population(10, n_pc_only_users=-1)

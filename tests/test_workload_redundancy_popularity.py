@@ -1,0 +1,114 @@
+"""Tests for redundancy streams and download-popularity modeling."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    MobileBackupModel,
+    PcSyncModel,
+    PopularityModel,
+    build_catalog,
+    corpus_bytes,
+    mobile_backup_stream,
+    pc_sync_stream,
+    request_stream,
+    zipf_weights,
+)
+
+
+class TestMobileStream:
+    def test_stream_aligned_with_lineages(self):
+        manifests, lineages = mobile_backup_stream(seed=1)
+        assert len(manifests) == len(lineages)
+        assert len(manifests) > 0
+
+    def test_every_photo_has_unique_lineage_per_capture(self):
+        manifests, lineages = mobile_backup_stream(
+            MobileBackupModel(n_users=5, photos_per_user=10,
+                              rebackup_probability=0.0, viral_files=0),
+            seed=2,
+        )
+        # No re-backups, no viral: manifests and lineages are all unique.
+        assert len(set(lineages)) == len(lineages)
+        assert len({m.file_md5 for m in manifests}) == len(manifests)
+
+    def test_rebackups_share_content(self):
+        manifests, _ = mobile_backup_stream(
+            MobileBackupModel(n_users=10, photos_per_user=20,
+                              rebackup_probability=0.5, viral_files=0),
+            seed=3,
+        )
+        hashes = [m.file_md5 for m in manifests]
+        assert len(set(hashes)) < len(hashes)
+
+    def test_viral_files_uploaded_by_many(self):
+        manifests, _ = mobile_backup_stream(
+            MobileBackupModel(n_users=2, photos_per_user=1,
+                              rebackup_probability=0.0,
+                              viral_files=1, viral_uploaders=7),
+            seed=4,
+        )
+        hashes = [m.file_md5 for m in manifests]
+        most_common = max(set(hashes), key=hashes.count)
+        assert hashes.count(most_common) == 7
+
+    def test_deterministic(self):
+        a = mobile_backup_stream(seed=5)
+        b = mobile_backup_stream(seed=5)
+        assert [m.file_md5 for m in a[0]] == [m.file_md5 for m in b[0]]
+
+
+class TestPcStream:
+    def test_revisions_share_lineage(self):
+        model = PcSyncModel(n_users=2, documents_per_user=1,
+                            revisions_per_document=4)
+        manifests, lineages = pc_sync_stream(model, seed=1)
+        assert len(manifests) == 8
+        assert len(set(lineages)) == 2
+
+    def test_consecutive_revisions_share_chunks(self):
+        model = PcSyncModel(n_users=1, documents_per_user=1,
+                            document_chunks=8,
+                            chunks_changed_per_revision=2,
+                            revisions_per_document=3)
+        manifests, _ = pc_sync_stream(model, seed=2)
+        first, second = manifests[0], manifests[1]
+        shared = set(first.chunk_md5s) & set(second.chunk_md5s)
+        assert len(shared) == 6
+        assert first.file_md5 != second.file_md5
+
+
+class TestPopularity:
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            PopularityModel(n_objects=0)
+        with pytest.raises(ValueError):
+            PopularityModel(zipf_s=-1)
+        with pytest.raises(ValueError):
+            PopularityModel(mean_size_mb=0)
+
+    def test_zipf_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(100, 0.9)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_zipf_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_catalog_sizes_floor(self):
+        model = PopularityModel(n_objects=50, min_size_mb=2.0)
+        catalog = build_catalog(model, np.random.default_rng(0))
+        assert all(o.size >= 2 * 1024 * 1024 for o in catalog)
+        assert corpus_bytes(catalog) == sum(o.size for o in catalog)
+
+    def test_request_stream_skews_to_head(self):
+        model = PopularityModel(n_objects=100, zipf_s=1.0)
+        catalog, requests = request_stream(model, 5000, seed=1)
+        head = {o.key for o in catalog[:10]}
+        head_share = np.mean([r.key in head for r in requests])
+        assert head_share > 0.35
+
+    def test_request_count_validated(self):
+        with pytest.raises(ValueError):
+            request_stream(PopularityModel(), 0)

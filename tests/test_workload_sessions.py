@@ -1,0 +1,175 @@
+"""Tests for session planning and file-size synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    FileSizeModel,
+    SessionClass,
+    SessionMixModel,
+    SessionPlanner,
+    sample_average_file_size,
+    sample_ops_count,
+    spread_file_sizes,
+)
+
+
+@pytest.fixture()
+def planner():
+    return SessionPlanner(SessionMixModel(), FileSizeModel())
+
+
+class TestOpsCount:
+    def test_respects_budget_cap(self):
+        mix = SessionMixModel()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert sample_ops_count(mix, rng, max_ops=3) <= 3
+
+    def test_cap_one_forces_single(self):
+        mix = SessionMixModel()
+        rng = np.random.default_rng(0)
+        assert sample_ops_count(mix, rng, max_ops=1) == 1
+
+    def test_never_exceeds_max_ops(self):
+        mix = SessionMixModel()
+        rng = np.random.default_rng(1)
+        counts = [sample_ops_count(mix, rng) for _ in range(5000)]
+        assert max(counts) <= mix.max_ops
+        assert min(counts) >= 1
+
+    def test_tail_exists(self):
+        mix = SessionMixModel()
+        rng = np.random.default_rng(2)
+        counts = np.array([sample_ops_count(mix, rng) for _ in range(5000)])
+        assert np.mean(counts > 20) > 0.02
+
+
+class TestAverageFileSize:
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            sample_average_file_size((0.5, 0.5), (1.0,), np.random.default_rng(0))
+
+    def test_component_override(self):
+        rng = np.random.default_rng(0)
+        sizes = [
+            sample_average_file_size(
+                (0.9, 0.1), (1.0, 100.0), rng, component=1
+            )
+            for _ in range(200)
+        ]
+        # All draws come from the 100 MB component.
+        assert np.mean(sizes) > 30 * 1024 * 1024
+
+    def test_component_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            sample_average_file_size(
+                (1.0,), (1.0,), np.random.default_rng(0), component=2
+            )
+
+    def test_minimum_size_floor(self):
+        rng = np.random.default_rng(0)
+        sizes = [
+            sample_average_file_size((1.0,), (0.0001,), rng)
+            for _ in range(100)
+        ]
+        assert min(sizes) >= 16 * 1024
+
+
+class TestSpreadSizes:
+    def test_single_file_exact(self):
+        assert spread_file_sizes(1000, 1, np.random.default_rng(0)) == (1000,)
+
+    @given(
+        average=st.integers(10_000, 10_000_000),
+        n=st.integers(2, 40),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=150)
+    def test_mean_preserved_exactly(self, average, n, seed):
+        sizes = spread_file_sizes(average, n, np.random.default_rng(seed))
+        assert len(sizes) == n
+        assert sum(sizes) == average * n
+        assert all(s >= 1 for s in sizes)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            spread_file_sizes(100, 0, rng)
+        with pytest.raises(ValueError):
+            spread_file_sizes(2, 10, rng)
+
+
+class TestPlanner:
+    def test_budgets_respected(self, planner):
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            plan = planner.plan_session(rng, store_budget=3, retrieve_budget=2)
+            assert len(plan.store_sizes) <= 3
+            assert len(plan.retrieve_sizes) <= 2
+
+    def test_store_only_budget(self, planner):
+        rng = np.random.default_rng(1)
+        plan = planner.plan_session(rng, store_budget=5, retrieve_budget=0)
+        assert plan.session_class is SessionClass.STORE_ONLY
+        assert plan.retrieve_sizes == ()
+
+    def test_retrieve_only_budget(self, planner):
+        rng = np.random.default_rng(1)
+        plan = planner.plan_session(rng, store_budget=0, retrieve_budget=5)
+        assert plan.session_class is SessionClass.RETRIEVE_ONLY
+
+    def test_empty_budgets_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan_session(
+                np.random.default_rng(0), store_budget=0, retrieve_budget=0
+            )
+
+    def test_bulk_store_session(self, planner):
+        rng = np.random.default_rng(2)
+        plan = planner.plan_session(
+            rng, store_budget=500, retrieve_budget=0, bulk_store_ops=500
+        )
+        assert plan.session_class is SessionClass.STORE_ONLY
+        assert len(plan.store_sizes) == 500
+
+    def test_bulk_retrieve_session(self, planner):
+        rng = np.random.default_rng(2)
+        plan = planner.plan_session(
+            rng, store_budget=0, retrieve_budget=120, bulk_retrieve_ops=120
+        )
+        assert len(plan.retrieve_sizes) == 120
+
+    def test_bulk_both_directions_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan_session(
+                np.random.default_rng(0),
+                store_budget=5,
+                retrieve_budget=5,
+                bulk_store_ops=5,
+                bulk_retrieve_ops=5,
+            )
+
+    def test_size_cap_bounds_average(self, planner):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            plan = planner.plan_session(
+                rng,
+                store_budget=1,
+                retrieve_budget=0,
+                max_avg_size_bytes=450 * 1024,
+            )
+            assert plan.store_volume <= 450 * 1024
+
+    def test_session_class_shares_roughly_planted(self, planner):
+        rng = np.random.default_rng(4)
+        classes = [
+            planner.plan_session(
+                rng, store_budget=100, retrieve_budget=100
+            ).session_class
+            for _ in range(4000)
+        ]
+        store_share = np.mean([c is SessionClass.STORE_ONLY for c in classes])
+        assert store_share == pytest.approx(0.682, abs=0.03)
