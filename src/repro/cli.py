@@ -23,21 +23,58 @@ from typing import Sequence
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
     from .logs.anonymize import Anonymizer
     from .logs.io import write_jsonl, write_tsv
     from .workload.generator import GeneratorOptions, TraceGenerator
+    from .workload.parallel import generate_sharded
 
-    generator = TraceGenerator(
-        args.users,
-        n_pc_only_users=args.pc_users,
-        options=GeneratorOptions(max_chunks_per_file=args.max_chunks),
-        seed=args.seed,
-    )
-    records = generator.generate()
-    if args.anonymize:
-        records = Anonymizer().anonymize_stream(records)
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.shards < 0:
+        print(f"--shards must be >= 1 (or 0 for auto), got {args.shards}",
+              file=sys.stderr)
+        return 2
+    options = GeneratorOptions(max_chunks_per_file=args.max_chunks)
     writer = write_jsonl if args.output.endswith((".jsonl", ".jsonl.gz")) else write_tsv
-    count = writer(records, args.output)
+    n_shards = args.shards or args.workers
+    if n_shards > 1 or args.workers > 1:
+        # Sharded path: workers write sorted part files into a scratch
+        # directory, then the k-way merge streams one time-sorted trace
+        # into the output.  Record-identical to the serial path for any
+        # (--shards, --workers) — see docs/SCALING.md.
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        with tempfile.TemporaryDirectory(
+            prefix=output.name + ".parts-", dir=output.parent
+        ) as scratch:
+            sharded = generate_sharded(
+                args.users,
+                n_pc_only_users=args.pc_users,
+                options=options,
+                seed=args.seed,
+                n_shards=max(n_shards, 1),
+                n_workers=args.workers,
+                part_dir=scratch,
+            )
+            records = sharded.merged()
+            if args.anonymize:
+                records = Anonymizer().anonymize_stream(records)
+            count = writer(records, args.output)
+    else:
+        generator = TraceGenerator(
+            args.users,
+            n_pc_only_users=args.pc_users,
+            options=options,
+            seed=args.seed,
+        )
+        records = generator.generate()
+        if args.anonymize:
+            records = Anonymizer().anonymize_stream(records)
+        count = writer(records, args.output)
     print(f"wrote {count:,} records to {args.output}")
     return 0
 
@@ -164,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--max-chunks", type=int, default=8,
                      help="chunk records per file cap")
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--workers", type=int, default=1,
+                     help="worker processes for sharded generation "
+                          "(output is identical for any value)")
+    gen.add_argument("--shards", type=int, default=0,
+                     help="population shards (default: --workers); "
+                          "output is identical for any value")
     gen.add_argument("--anonymize", action="store_true",
                      help="pseudonymize user/device ids")
     gen.set_defaults(func=_cmd_generate)

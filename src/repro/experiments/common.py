@@ -8,6 +8,7 @@ benchmark suite does not regenerate identical traces a dozen times.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -15,12 +16,20 @@ from ..core.sessions import Session, sessionize
 from ..core.usage import UserProfile, profile_users
 from ..logs.schema import LogRecord
 from ..workload.generator import GeneratorOptions, TraceGenerator
+from ..workload.parallel import generate_trace_parallel
 
 #: Default experiment scale: large enough for stable statistics, small
 #: enough to generate in seconds.
 DEFAULT_USERS = 2500
 DEFAULT_PC_USERS = 400
 DEFAULT_SEED = 20160814  # the observation week was August 2015; homage only
+
+#: Populations at or above this size opt into sharded parallel generation
+#: (one shard per available core).  The determinism contract guarantees
+#: the records are identical to the serial path, so the threshold only
+#: trades process overhead against core count — small default traces stay
+#: serial and pay nothing.
+PARALLEL_USERS_THRESHOLD = 20_000
 
 
 @dataclass(frozen=True)
@@ -49,15 +58,43 @@ def prepared_trace(
     n_pc_users: int = DEFAULT_PC_USERS,
     seed: int = DEFAULT_SEED,
     max_chunks_per_file: int = 6,
+    workers: int | None = None,
 ) -> PreparedTrace:
-    """Generate (once per arguments) the shared experiment trace."""
-    generator = TraceGenerator(
-        n_users,
-        n_pc_only_users=n_pc_users,
-        options=GeneratorOptions(max_chunks_per_file=max_chunks_per_file),
-        seed=seed,
-    )
-    records = tuple(generator.generate())
+    """Generate (once per arguments) the shared experiment trace.
+
+    ``workers`` opts into sharded parallel generation: ``None`` picks it
+    automatically for populations of :data:`PARALLEL_USERS_THRESHOLD`
+    users or more, ``1`` forces the serial path, and any larger value
+    pins the worker count.  Either path yields byte-identical records
+    (the :mod:`repro.workload.parallel` determinism contract), so the
+    memoization key stays meaningful.
+    """
+    options = GeneratorOptions(max_chunks_per_file=max_chunks_per_file)
+    if workers is None:
+        workers = (
+            os.cpu_count() or 1
+            if n_users + n_pc_users >= PARALLEL_USERS_THRESHOLD
+            else 1
+        )
+    if workers > 1:
+        records = tuple(
+            generate_trace_parallel(
+                n_users,
+                n_pc_only_users=n_pc_users,
+                options=options,
+                seed=seed,
+                n_shards=workers,
+                n_workers=workers,
+            )
+        )
+    else:
+        generator = TraceGenerator(
+            n_users,
+            n_pc_only_users=n_pc_users,
+            options=options,
+            seed=seed,
+        )
+        records = tuple(generator.generate())
     mobile = [r for r in records if r.is_mobile]
     sessions = tuple(sessionize(mobile))
     all_sessions = tuple(sessionize(list(records)))

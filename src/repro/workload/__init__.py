@@ -31,7 +31,26 @@ from .deferral import (
     hourly_load,
 )
 from .diurnal import SECONDS_PER_DAY, SECONDS_PER_HOUR, DiurnalSampler
-from .generator import GeneratorOptions, TraceGenerator, generate_trace
+from .generator import (
+    SESSION_ID_STRIDE,
+    GeneratorOptions,
+    TraceGenerator,
+    generate_trace,
+    user_rng,
+)
+from .parallel import (
+    ShardedTrace,
+    ShardPart,
+    ShardTask,
+    generate_shard,
+    generate_sharded,
+    generate_trace_parallel,
+    generate_trace_to_file,
+    merge_key,
+    merge_shards,
+    partition_users,
+    shard_of_user,
+)
 from .popularity import (
     PopularityModel,
     SharedObject,
@@ -76,12 +95,16 @@ __all__ = [
     "PAPER_CONFIG",
     "SECONDS_PER_DAY",
     "SECONDS_PER_HOUR",
+    "SESSION_ID_STRIDE",
     "SessionClass",
     "SessionIntervalModel",
     "SessionMixModel",
     "SessionPlan",
     "SessionPlanner",
     "SharedObject",
+    "ShardPart",
+    "ShardTask",
+    "ShardedTrace",
     "TraceGenerator",
     "UserMixModel",
     "UserSpec",
@@ -92,15 +115,24 @@ __all__ = [
     "build_population",
     "corpus_bytes",
     "evaluate_deferral",
+    "generate_shard",
+    "generate_sharded",
     "generate_trace",
+    "generate_trace_parallel",
+    "generate_trace_to_file",
     "folded_load",
     "hourly_load",
+    "merge_key",
+    "merge_shards",
     "mobile_backup_stream",
+    "partition_users",
     "pc_sync_stream",
     "rank_activity_counts",
     "request_stream",
     "sample_average_file_size",
     "sample_ops_count",
+    "shard_of_user",
     "spread_file_sizes",
+    "user_rng",
     "zipf_weights",
 ]

@@ -10,6 +10,13 @@ the closed-form TCP transfer model with slow-start-restart penalties.
 The generator is streaming — it yields records user by user — and every
 record carries a ground-truth ``session_id`` that the analysis pipeline
 ignores but tests use to score the recovered sessionization.
+
+Every user's record stream depends only on the master seed and their own
+``user_id`` (per-user generators are spawned off the master seed through
+:class:`numpy.random.SeedSequence`, and session ids live in a per-user
+namespace), so users can be generated in any order — or on any worker —
+and still produce bit-identical records.  :mod:`repro.workload.parallel`
+relies on this contract to shard generation across processes.
 """
 
 from __future__ import annotations
@@ -28,6 +35,29 @@ from .config import UserType, WorkloadConfig
 from .diurnal import SECONDS_PER_DAY, DiurnalSampler
 from .population import UserSpec, build_population
 from .sessions import SessionClass, SessionPlan, SessionPlanner
+
+#: Session ids are namespaced per user: user ``u``'s ``k``-th session gets
+#: id ``u * SESSION_ID_STRIDE + k``.  A user emits at most a few sessions
+#: per active day, so the stride leaves orders of magnitude of headroom
+#: while keeping ids unique across the whole population regardless of the
+#: order (or process) users are generated in.
+SESSION_ID_STRIDE = 1 << 16
+
+
+def user_rng(master_seed: int, user_id: int) -> np.random.Generator:
+    """Derive user ``user_id``'s private RNG from the master seed.
+
+    Uses a :class:`numpy.random.SeedSequence` spawn key, the supported way
+    to carve independent, collision-resistant streams out of one seed:
+    ``SeedSequence(s, spawn_key=(u,))`` is exactly the ``u``-th child that
+    ``SeedSequence(s).spawn(n)`` would produce, without materializing the
+    other ``n - 1``.  The derivation depends only on ``(master_seed,
+    user_id)``, never on generation order — the property that lets shards
+    of the population be generated on different workers bit-identically.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(master_seed, spawn_key=(user_id,))
+    )
 
 
 @dataclass(frozen=True)
@@ -71,6 +101,12 @@ class TraceGenerator:
         Fidelity/size trade-offs.
     seed:
         Master seed; the trace is fully deterministic given it.
+    population:
+        Prebuilt user specs to execute instead of synthesizing them from
+        the counts.  The caller must guarantee they came from
+        :func:`~repro.workload.population.build_population` with the same
+        ``(counts, config, seed)`` — the sharded engine uses this to build
+        the population once and hand each worker only its shard.
     """
 
     def __init__(
@@ -81,21 +117,33 @@ class TraceGenerator:
         config: WorkloadConfig | None = None,
         options: GeneratorOptions | None = None,
         seed: int = 0,
+        population: list[UserSpec] | None = None,
     ) -> None:
+        if n_mobile_users < 1:
+            raise ValueError(
+                f"n_mobile_users must be >= 1, got {n_mobile_users}"
+            )
+        if n_pc_only_users < 0:
+            raise ValueError(
+                f"n_pc_only_users must be >= 0, got {n_pc_only_users}"
+            )
         self.config = config or WorkloadConfig()
         self.options = options or GeneratorOptions()
         self.seed = seed
-        self.population = build_population(
-            n_mobile_users,
-            n_pc_only_users=n_pc_only_users,
-            config=self.config,
-            seed=seed,
+        self.population = (
+            population
+            if population is not None
+            else build_population(
+                n_mobile_users,
+                n_pc_only_users=n_pc_only_users,
+                config=self.config,
+                seed=seed,
+            )
         )
         self._diurnal = DiurnalSampler(self.config.diurnal)
         self._planner = SessionPlanner(self.config.session_mix, self.config.file_sizes)
         self._transfer = TransferModel()
         self._server: ServerProfile = DEFAULT_SERVER
-        self._session_counter = 0
 
     # ------------------------------------------------------------------
     # Record generation
@@ -107,8 +155,13 @@ class TraceGenerator:
             yield from self.generate_user(user)
 
     def generate_user(self, user: UserSpec) -> Iterator[LogRecord]:
-        """Yield one user's records in timestamp order."""
-        rng = np.random.default_rng((self.seed << 20) ^ (user.user_id * 2_654_435_761))
+        """Yield one user's records in timestamp order.
+
+        Depends only on ``(self.seed, user)`` — no generator state survives
+        between users — so any subset of the population can be generated in
+        any order (or in another process) with bit-identical output.
+        """
+        rng = user_rng(self.seed, user.user_id)
         records: list[LogRecord] = []
         store_left = user.store_files
         retrieve_left = user.retrieve_files
@@ -136,9 +189,10 @@ class TraceGenerator:
                 )
                 used_platforms.add(device.device_type is DeviceType.PC)
                 session_index += 1
+                session_id = user.user_id * SESSION_ID_STRIDE + session_index
                 records.extend(
                     self._emit_session(user, device.device_id, device.device_type,
-                                       plan, base, rng)
+                                       plan, base, session_id, rng)
                 )
                 base += float(rng.uniform(0.5 * gap_hi, gap_hi)) * 3600.0
         records.sort(key=lambda r: r.timestamp)
@@ -290,11 +344,10 @@ class TraceGenerator:
         device_type: DeviceType,
         plan: SessionPlan,
         start: float,
+        session_id: int,
         rng: np.random.Generator,
     ) -> list[LogRecord]:
         """Emit one session: bursty file operations, then chunk streams."""
-        self._session_counter += 1
-        session_id = self._session_counter
         intervals = self.config.intervals
         records: list[LogRecord] = []
 

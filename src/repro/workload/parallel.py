@@ -1,0 +1,371 @@
+"""Sharded parallel trace generation.
+
+The serial :class:`~repro.workload.generator.TraceGenerator` executes the
+whole population in one process, which makes week-scale traces CPU-bound
+on a single core.  This module partitions the population into ``K``
+deterministic shards and generates them on worker processes, preserving a
+strict determinism contract:
+
+**Determinism contract.**  For a fixed master seed, the multiset of
+records produced is identical regardless of the number of shards, the
+number of workers, or worker scheduling.  Three properties make this
+hold:
+
+1. Per-user RNG streams are spawned off the master seed with
+   :class:`numpy.random.SeedSequence` keyed only by ``user_id`` (see
+   :func:`repro.workload.generator.user_rng`), so a user's records do not
+   depend on which other users a worker generates, or in what order.
+2. Session ids are namespaced per user
+   (``user_id * SESSION_ID_STRIDE + k``), so no cross-user counter leaks
+   scheduling order into the output.
+3. Shard assignment is a pure function of ``user_id`` and the shard
+   count (:func:`shard_of_user`), and every worker rebuilds the same
+   deterministic population from ``(n_mobile_users, n_pc_only_users,
+   config, seed)``.
+
+Each shard's records are sorted by the total order :func:`merge_key` =
+``(timestamp, user_id)`` and streamed to a per-shard TSV/JSONL part file
+through :mod:`repro.logs.io`; :func:`merge_shards` is a k-way heap merge
+over the part files, so downstream analyses see one globally
+timestamp-sorted stream without ever materializing the trace in memory.
+Ties within one ``(timestamp, user_id)`` key keep the user's emission
+order, which is well-defined because a user lives in exactly one shard.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from ..logs.io import open_reader, write_jsonl, write_tsv
+from ..logs.schema import LogRecord
+from .config import WorkloadConfig
+from .generator import GeneratorOptions, TraceGenerator
+from .population import UserSpec, build_population
+
+#: Part files are named ``part-0042.tsv`` etc. inside the part directory.
+PART_STEM = "part"
+
+
+# ----------------------------------------------------------------------
+# Shard partitioning
+# ----------------------------------------------------------------------
+
+
+def shard_of_user(user_id: int, n_shards: int) -> int:
+    """Deterministic shard assignment: ``user_id % n_shards``.
+
+    A pure function of its arguments — independent of population size,
+    generation order, and worker count.  Changing ``n_shards`` *does*
+    reassign users (this is the one documented instability); for a fixed
+    shard count the mapping never changes.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return user_id % n_shards
+
+
+def partition_users(
+    users: Sequence[UserSpec], n_shards: int
+) -> list[list[UserSpec]]:
+    """Split ``users`` into ``n_shards`` lists by :func:`shard_of_user`.
+
+    Every user lands in exactly one shard; shards may be empty (including
+    the degenerate empty-population case, which yields ``n_shards`` empty
+    lists).  Within a shard, the population's relative order is kept.
+    """
+    shards: list[list[UserSpec]] = [[] for _ in range(n_shards)]
+    for user in users:
+        shards[shard_of_user(user.user_id, n_shards)].append(user)
+    return shards
+
+
+def merge_key(record: LogRecord) -> tuple[float, int]:
+    """Total-order sort key for shard files and the k-way merge.
+
+    ``(timestamp, user_id)`` is total across shards because equal keys can
+    only collide within a single user (one shard), where stable sorting
+    preserves the generator's emission order.
+    """
+    return (record.timestamp, record.user_id)
+
+
+# ----------------------------------------------------------------------
+# Shard execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to regenerate one shard from scratch."""
+
+    shard_index: int
+    n_shards: int
+    n_mobile_users: int
+    n_pc_only_users: int
+    config: WorkloadConfig | None
+    options: GeneratorOptions | None
+    seed: int
+    #: Destination part file; ``None`` returns records in memory instead.
+    path: str | None
+    #: This shard's prebuilt user specs.  ``None`` makes the worker
+    #: rebuild the (deterministic) population and partition it itself —
+    #: same output, one redundant population build per worker.
+    users: tuple[UserSpec, ...] | None = None
+
+
+@dataclass(frozen=True)
+class ShardPart:
+    """One generated shard: its part file (if any) and bookkeeping."""
+
+    shard_index: int
+    path: str | None
+    n_records: int
+    n_users: int
+    records: tuple[LogRecord, ...] = ()
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        if self.path is None:
+            return iter(self.records)
+        return open_reader(self.path)
+
+
+def generate_shard(task: ShardTask) -> ShardPart:
+    """Generate one shard's records, sorted by :func:`merge_key`.
+
+    Runs in a worker process: takes the shard's users from the task (or
+    rebuilds the deterministic population and partitions it), then either
+    streams the sorted records to ``task.path`` via :mod:`repro.logs.io`
+    or returns them in memory.
+    """
+    generator = TraceGenerator(
+        task.n_mobile_users,
+        n_pc_only_users=task.n_pc_only_users,
+        config=task.config,
+        options=task.options,
+        seed=task.seed,
+        population=list(task.users) if task.users is not None else None,
+    )
+    users = (
+        list(task.users)
+        if task.users is not None
+        else partition_users(generator.population, task.n_shards)[task.shard_index]
+    )
+    records = [r for user in users for r in generator.generate_user(user)]
+    records.sort(key=merge_key)
+    if task.path is None:
+        return ShardPart(
+            shard_index=task.shard_index,
+            path=None,
+            n_records=len(records),
+            n_users=len(users),
+            records=tuple(records),
+        )
+    writer = (
+        write_jsonl
+        if task.path.endswith((".jsonl", ".jsonl.gz"))
+        else write_tsv
+    )
+    count = writer(records, task.path)
+    return ShardPart(
+        shard_index=task.shard_index,
+        path=task.path,
+        n_records=count,
+        n_users=len(users),
+    )
+
+
+# ----------------------------------------------------------------------
+# Orchestration and merging
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardedTrace:
+    """The output of a sharded generation run."""
+
+    parts: tuple[ShardPart, ...]
+
+    @property
+    def n_records(self) -> int:
+        return sum(part.n_records for part in self.parts)
+
+    @property
+    def paths(self) -> list[str]:
+        return [part.path for part in self.parts if part.path is not None]
+
+    def merged(self) -> Iterator[LogRecord]:
+        """One globally time-sorted stream over all shards."""
+        return heapq.merge(*self.parts, key=merge_key)
+
+
+def merge_shards(paths: Sequence[str | Path]) -> Iterator[LogRecord]:
+    """K-way merge of sorted part files into one time-sorted stream.
+
+    Holds one record per shard in memory; output is non-decreasing in
+    :func:`merge_key` provided each part file is sorted by it (which
+    :func:`generate_shard` guarantees).
+    """
+    return heapq.merge(*(open_reader(p) for p in paths), key=merge_key)
+
+
+def _resolve_workers(n_shards: int, n_workers: int | None) -> int:
+    if n_workers is None:
+        n_workers = min(n_shards, os.cpu_count() or 1)
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return min(n_workers, n_shards)
+
+
+def generate_sharded(
+    n_mobile_users: int,
+    *,
+    n_pc_only_users: int = 0,
+    config: WorkloadConfig | None = None,
+    options: GeneratorOptions | None = None,
+    seed: int = 0,
+    n_shards: int = 4,
+    n_workers: int | None = None,
+    part_dir: str | Path | None = None,
+    part_format: str = "tsv",
+) -> ShardedTrace:
+    """Generate a trace as ``n_shards`` sorted shards on worker processes.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of deterministic population shards.  The merged output is
+        identical for every value (the determinism contract).
+    n_workers:
+        Worker processes; defaults to ``min(n_shards, cpu_count)``.  With
+        one worker, shards run inline in this process (no pool overhead,
+        same output).
+    part_dir:
+        Directory receiving ``part-NNNN.<fmt>`` files.  When ``None``,
+        shards are returned in memory on the :class:`ShardPart` objects —
+        records then round-trip through pickle instead of a file, keeping
+        full float precision.
+    part_format:
+        ``"tsv"`` or ``"jsonl"`` (optionally with a ``.gz`` suffix, e.g.
+        ``"tsv.gz"``), for ``part_dir`` mode.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    stem_format = part_format.removesuffix(".gz")
+    if stem_format not in ("tsv", "jsonl"):
+        raise ValueError(f"unsupported part format: {part_format!r}")
+    n_workers = _resolve_workers(n_shards, n_workers)
+    if part_dir is not None:
+        part_dir = Path(part_dir)
+        part_dir.mkdir(parents=True, exist_ok=True)
+    # Build the population once here and hand each worker only its shard,
+    # so workers skip the redundant O(population) rebuild.  build_population
+    # validates the counts as a side effect.
+    population = build_population(
+        n_mobile_users,
+        n_pc_only_users=n_pc_only_users,
+        config=config or WorkloadConfig(),
+        seed=seed,
+    )
+    shards = partition_users(population, n_shards)
+    tasks = [
+        ShardTask(
+            shard_index=index,
+            n_shards=n_shards,
+            n_mobile_users=n_mobile_users,
+            n_pc_only_users=n_pc_only_users,
+            config=config,
+            options=options,
+            seed=seed,
+            path=(
+                str(part_dir / f"{PART_STEM}-{index:04d}.{part_format}")
+                if part_dir is not None
+                else None
+            ),
+            users=tuple(shards[index]),
+        )
+        for index in range(n_shards)
+    ]
+    if n_workers == 1:
+        parts = [generate_shard(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            parts = list(pool.map(generate_shard, tasks))
+    return ShardedTrace(parts=tuple(parts))
+
+
+def generate_trace_parallel(
+    n_mobile_users: int,
+    *,
+    n_pc_only_users: int = 0,
+    config: WorkloadConfig | None = None,
+    options: GeneratorOptions | None = None,
+    seed: int = 0,
+    n_shards: int = 4,
+    n_workers: int | None = None,
+) -> list[LogRecord]:
+    """Parallel drop-in for :func:`repro.workload.generator.generate_trace`.
+
+    Generates in-memory shards on worker processes and returns the exact
+    record list the serial generator would produce — same records, same
+    order (the serial generator emits users in ascending ``user_id`` with
+    each user time-sorted, so sorting the merged stream by ``(user_id,
+    timestamp)`` reconstructs it; the sort is stable and a user's
+    within-timestamp ties keep their emission order).
+    """
+    sharded = generate_sharded(
+        n_mobile_users,
+        n_pc_only_users=n_pc_only_users,
+        config=config,
+        options=options,
+        seed=seed,
+        n_shards=n_shards,
+        n_workers=n_workers,
+        part_dir=None,
+    )
+    records = [r for part in sharded.parts for r in part.records]
+    records.sort(key=lambda r: (r.user_id, r.timestamp))
+    return records
+
+
+def generate_trace_to_file(
+    output: str | Path,
+    n_mobile_users: int,
+    *,
+    n_pc_only_users: int = 0,
+    config: WorkloadConfig | None = None,
+    options: GeneratorOptions | None = None,
+    seed: int = 0,
+    n_shards: int = 4,
+    n_workers: int | None = None,
+) -> int:
+    """Generate shards in a scratch directory and merge into ``output``.
+
+    The output file is globally timestamp-sorted (merge order), written in
+    the format implied by its extension.  Returns the record count.
+    """
+    output = Path(output)
+    suffix = "".join(output.suffixes)
+    part_format = "jsonl" if ".jsonl" in suffix else "tsv"
+    writer = write_jsonl if part_format == "jsonl" else write_tsv
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(
+        prefix=output.name + ".parts-", dir=output.parent
+    ) as scratch:
+        sharded = generate_sharded(
+            n_mobile_users,
+            n_pc_only_users=n_pc_only_users,
+            config=config,
+            options=options,
+            seed=seed,
+            n_shards=n_shards,
+            n_workers=n_workers,
+            part_dir=scratch,
+            part_format=part_format,
+        )
+        return writer(sharded.merged(), output)

@@ -1,0 +1,60 @@
+"""Shared test helpers: the trace canonicalizer.
+
+The serial generator emits records grouped by user while the sharded
+engine merges shards into a globally time-sorted stream, so the two
+equal traces arrive in different orders — and a trace that round-tripped
+through a TSV part file carries floats quantized to the format's 6
+decimal places.  :func:`canonical_lines` maps any of those
+representations of the same trace to one canonical form so equivalence
+asserts are record-for-record string comparisons:
+
+* every record is serialized with :func:`repro.logs.io.record_to_tsv`,
+  which quantizes floats identically whether or not the record already
+  visited a file, and covers **every** field including ``session_id``
+  (which ``LogRecord.__eq__`` deliberately ignores);
+* lines are stable-sorted by the serialized ``(timestamp, user_id)``
+  key.  The key is total across users; within one user, equal-timestamp
+  records keep their emission order in every representation (per-user
+  streams are never split across shards), so the stable sort yields one
+  well-defined order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logs.io import record_to_tsv
+from repro.logs.schema import LogRecord
+
+
+def canonical_lines(records: Iterable[LogRecord]) -> list[str]:
+    """Serialize ``records`` into the canonical sorted line list."""
+    lines = [record_to_tsv(record) for record in records]
+    lines.sort(key=_line_key)
+    return lines
+
+
+def _line_key(line: str) -> tuple[float, int]:
+    parts = line.split("\t")
+    return (float(parts[0]), int(parts[3]))
+
+
+def assert_traces_equivalent(
+    expected: Iterable[LogRecord],
+    actual: Iterable[LogRecord],
+    *,
+    label: str = "trace",
+) -> None:
+    """Assert two traces are record-for-record identical (canonicalized)."""
+    expected_lines = canonical_lines(expected)
+    actual_lines = canonical_lines(actual)
+    assert len(expected_lines) == len(actual_lines), (
+        f"{label}: record count differs: "
+        f"{len(expected_lines)} != {len(actual_lines)}"
+    )
+    for index, (want, got) in enumerate(zip(expected_lines, actual_lines)):
+        assert want == got, (
+            f"{label}: first mismatch at canonical record {index}:\n"
+            f"  expected: {want}\n"
+            f"  actual:   {got}"
+        )

@@ -97,3 +97,26 @@ def test_every_user_emits_something():
 def test_invalid_population_rejected():
     with pytest.raises(ValueError):
         TraceGenerator(0)
+
+
+def test_zero_mobile_users_rejected_with_clear_message():
+    with pytest.raises(ValueError, match="n_mobile_users must be >= 1"):
+        TraceGenerator(0)
+
+
+def test_negative_mobile_users_rejected():
+    with pytest.raises(ValueError, match="n_mobile_users must be >= 1"):
+        TraceGenerator(-5)
+
+
+def test_negative_pc_users_rejected():
+    with pytest.raises(ValueError, match="n_pc_only_users must be >= 0"):
+        TraceGenerator(10, n_pc_only_users=-1)
+
+
+def test_invalid_population_rejected_before_any_work():
+    """Validation happens in __init__, not lazily at generate() time."""
+    with pytest.raises(ValueError):
+        generate_trace(-1, seed=1)
+    with pytest.raises(ValueError):
+        generate_trace(5, n_pc_only_users=-3, seed=1)

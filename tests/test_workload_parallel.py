@@ -1,0 +1,282 @@
+"""Sharded parallel generation: determinism-equivalence harness.
+
+The contract under test (see ``docs/SCALING.md``): for a fixed master
+seed the sharded engine produces a trace record-for-record identical to
+the serial generator, for every shard count and worker count, whether
+shards stay in memory or round-trip through part files.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import assert_traces_equivalent, canonical_lines
+from repro.workload import (
+    GeneratorOptions,
+    ShardTask,
+    generate_shard,
+    generate_sharded,
+    generate_trace,
+    generate_trace_parallel,
+    generate_trace_to_file,
+    merge_key,
+    merge_shards,
+    partition_users,
+    shard_of_user,
+)
+from repro.logs.io import open_reader
+
+N_USERS = 120
+N_PC_USERS = 25
+SEED = 977
+OPTIONS = GeneratorOptions(max_chunks_per_file=2)
+
+
+@pytest.fixture(scope="module")
+def serial_trace():
+    return generate_trace(
+        N_USERS, n_pc_only_users=N_PC_USERS, options=OPTIONS, seed=SEED
+    )
+
+
+def sharded_kwargs(**overrides):
+    kwargs = dict(
+        n_pc_only_users=N_PC_USERS, options=OPTIONS, seed=SEED
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+# ----------------------------------------------------------------------
+# Serial == sharded equivalence
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("n_shards", "n_workers"),
+    [(1, 1), (2, 1), (4, 1), (2, 2), (4, 2)],
+)
+def test_sharded_equals_serial(serial_trace, n_shards, n_workers):
+    parallel = generate_trace_parallel(
+        N_USERS,
+        **sharded_kwargs(n_shards=n_shards, n_workers=n_workers),
+    )
+    assert_traces_equivalent(
+        serial_trace,
+        parallel,
+        label=f"shards={n_shards} workers={n_workers}",
+    )
+
+
+def test_parallel_reconstructs_serial_order_exactly(serial_trace):
+    """In-memory mode returns the serial list itself: same records, same
+    order, same session ids (which ``LogRecord.__eq__`` ignores)."""
+    parallel = generate_trace_parallel(
+        N_USERS, **sharded_kwargs(n_shards=4, n_workers=2)
+    )
+    assert parallel == serial_trace
+    assert [r.session_id for r in parallel] == [
+        r.session_id for r in serial_trace
+    ]
+
+
+@pytest.mark.parametrize("part_format", ["tsv", "jsonl"])
+def test_file_backed_shards_equal_serial(serial_trace, tmp_path, part_format):
+    sharded = generate_sharded(
+        N_USERS,
+        **sharded_kwargs(n_shards=3, n_workers=2),
+        part_dir=tmp_path,
+        part_format=part_format,
+    )
+    assert sharded.n_records == len(serial_trace)
+    assert len(sharded.paths) == 3
+    assert_traces_equivalent(
+        serial_trace, sharded.merged(), label=f"file-backed {part_format}"
+    )
+
+
+def test_generate_trace_to_file_equal_serial(serial_trace, tmp_path):
+    out = tmp_path / "trace.tsv"
+    count = generate_trace_to_file(
+        out, N_USERS, **sharded_kwargs(n_shards=4, n_workers=2)
+    )
+    assert count == len(serial_trace)
+    assert_traces_equivalent(serial_trace, open_reader(out), label="to-file")
+
+
+def test_different_seeds_produce_different_sharded_traces():
+    a = generate_trace_parallel(40, options=OPTIONS, seed=1, n_shards=2)
+    b = generate_trace_parallel(40, options=OPTIONS, seed=2, n_shards=2)
+    assert canonical_lines(a) != canonical_lines(b)
+
+
+# ----------------------------------------------------------------------
+# Per-shard determinism and merge ordering
+# ----------------------------------------------------------------------
+
+
+def shard_task(index, n_shards, path):
+    return ShardTask(
+        shard_index=index,
+        n_shards=n_shards,
+        n_mobile_users=N_USERS,
+        n_pc_only_users=N_PC_USERS,
+        config=None,
+        options=OPTIONS,
+        seed=SEED,
+        path=path,
+    )
+
+
+def test_shard_rerun_is_bit_identical(tmp_path):
+    """Re-running one shard task writes a byte-identical part file."""
+    first = tmp_path / "a.tsv"
+    second = tmp_path / "b.tsv"
+    part_a = generate_shard(shard_task(1, 3, str(first)))
+    part_b = generate_shard(shard_task(1, 3, str(second)))
+    assert part_a.n_records == part_b.n_records
+    assert part_a.n_users == part_b.n_users
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_in_memory_shard_rerun_identical():
+    part_a = generate_shard(shard_task(0, 4, None))
+    part_b = generate_shard(shard_task(0, 4, None))
+    assert part_a.records == part_b.records
+    assert [r.session_id for r in part_a.records] == [
+        r.session_id for r in part_b.records
+    ]
+
+
+def test_part_files_sorted_by_merge_key(tmp_path):
+    for index in range(3):
+        part = generate_shard(
+            shard_task(index, 3, str(tmp_path / f"part-{index}.tsv"))
+        )
+        keys = [merge_key(r) for r in open_reader(part.path)]
+        assert keys == sorted(keys)
+
+
+def test_merge_stream_is_globally_sorted(tmp_path):
+    sharded = generate_sharded(
+        N_USERS,
+        **sharded_kwargs(n_shards=4, n_workers=1),
+        part_dir=tmp_path,
+    )
+    previous = None
+    count = 0
+    for record in merge_shards(sharded.paths):
+        key = merge_key(record)
+        if previous is not None:
+            assert key >= previous
+        previous = key
+        count += 1
+    assert count == sharded.n_records
+
+
+def test_merged_iterator_streams_in_memory_parts():
+    sharded = generate_sharded(
+        N_USERS, **sharded_kwargs(n_shards=2, n_workers=1)
+    )
+    keys = [merge_key(r) for r in sharded.merged()]
+    assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# Shard partitioner properties (Hypothesis)
+# ----------------------------------------------------------------------
+
+user_id_lists = st.lists(
+    st.integers(min_value=0, max_value=100_000), unique=True, max_size=200
+)
+shard_counts = st.integers(min_value=1, max_value=16)
+
+
+def stub_users(user_ids):
+    return [SimpleNamespace(user_id=uid) for uid in user_ids]
+
+
+@given(user_ids=user_id_lists, n_shards=shard_counts)
+@settings(max_examples=200, deadline=None)
+def test_every_user_in_exactly_one_shard(user_ids, n_shards):
+    shards = partition_users(stub_users(user_ids), n_shards)
+    assert len(shards) == n_shards
+    seen = [u.user_id for shard in shards for u in shard]
+    assert sorted(seen) == sorted(user_ids)
+    assert len(seen) == len(set(seen))
+
+
+@given(user_ids=user_id_lists, n_shards=shard_counts)
+@settings(max_examples=100, deadline=None)
+def test_assignment_independent_of_other_users(user_ids, n_shards):
+    """A user's shard is a pure function of (user_id, n_shards): dropping
+    other users from the population never moves anyone."""
+    full = partition_users(stub_users(user_ids), n_shards)
+    placement = {
+        u.user_id: index
+        for index, shard in enumerate(full)
+        for u in shard
+    }
+    subset = user_ids[::2]
+    for index, shard in enumerate(partition_users(stub_users(subset), n_shards)):
+        for user in shard:
+            assert placement[user.user_id] == index
+
+
+@given(user_id=st.integers(min_value=0, max_value=10**9),
+       n_shards=shard_counts)
+@settings(max_examples=100, deadline=None)
+def test_shard_of_user_in_range_and_stable(user_id, n_shards):
+    shard = shard_of_user(user_id, n_shards)
+    assert 0 <= shard < n_shards
+    assert shard == shard_of_user(user_id, n_shards)
+
+
+@given(n_shards=shard_counts)
+@settings(max_examples=20, deadline=None)
+def test_empty_population_yields_empty_shards(n_shards):
+    shards = partition_users([], n_shards)
+    assert shards == [[] for _ in range(n_shards)]
+
+
+def test_shard_count_change_reassigns_only_as_documented():
+    """The documented instability: assignment may change with the shard
+    count, but for user_id % lcm-compatible counts it follows the modulo
+    rule exactly."""
+    for n_shards in (1, 2, 4, 8):
+        for user_id in range(32):
+            assert shard_of_user(user_id, n_shards) == user_id % n_shards
+
+
+# ----------------------------------------------------------------------
+# Validation error paths
+# ----------------------------------------------------------------------
+
+
+def test_invalid_shard_count_rejected():
+    with pytest.raises(ValueError, match="n_shards"):
+        shard_of_user(3, 0)
+    with pytest.raises(ValueError, match="n_shards"):
+        generate_sharded(10, n_shards=0)
+
+
+def test_invalid_worker_count_rejected():
+    with pytest.raises(ValueError, match="n_workers"):
+        generate_sharded(10, n_shards=2, n_workers=0)
+
+
+def test_invalid_part_format_rejected(tmp_path):
+    with pytest.raises(ValueError, match="part format"):
+        generate_sharded(
+            10, n_shards=2, part_dir=tmp_path, part_format="csv"
+        )
+
+
+def test_more_shards_than_users_still_equivalent():
+    serial = generate_trace(3, options=OPTIONS, seed=5)
+    parallel = generate_trace_parallel(
+        3, options=OPTIONS, seed=5, n_shards=8, n_workers=1
+    )
+    assert_traces_equivalent(serial, parallel, label="shards>users")
