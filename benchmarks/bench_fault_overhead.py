@@ -1,0 +1,95 @@
+"""Benchmark — fault-injection machinery overhead on the happy path.
+
+The fault layer is threaded through every request the service simulator
+handles (preflight crash/shed checks, typed outcomes, retry plumbing).
+The zero-overhead-when-off contract says a simulation with a disabled
+fault config must stay within 10% of one with no fault plan at all.  A
+third armed-but-quiet configuration (vanishingly small error rate, so
+every request pays the outage-window lookups and transient-error draw
+without ever failing) is reported for context but not gated: it measures
+what turning the machinery on actually costs.
+"""
+
+import time
+
+from repro.experiments.r2_fault_resilience import _planned_workload
+from repro.faults import FaultConfig
+from repro.service import ClientNetwork, ServiceCluster
+
+BENCH_USERS = 48
+BENCH_SEED = 7
+REPEATS = 3
+
+#: The acceptance gate: disabled faults may cost at most this much over
+#: no fault plan at all.
+OVERHEAD_GATE = 1.10
+
+
+def _drive(plan, faults):
+    cluster = ServiceCluster(
+        n_frontends=4,
+        faults=faults,
+        fault_seed=BENCH_SEED,
+        frontend_capacity=64 if faults is not None else None,
+    )
+    clients = {}
+    n_transfers = 0
+    for session_start, user, device_type, files in plan:
+        client = clients.get(user)
+        if client is None:
+            client = cluster.new_client(
+                user, f"m{user}", device_type,
+                network=ClientNetwork(rtt=0.08, bandwidth=4_000_000.0),
+                seed=BENCH_SEED,
+            )
+            clients[user] = client
+        client.clock = max(client.clock, session_start)
+        for offset, name, content_seed, size in files:
+            client.clock = max(client.clock, session_start + offset)
+            client.store_file(name, content_seed, size)
+            n_transfers += 1
+    return cluster, n_transfers
+
+
+def _best_of(plan, faults):
+    best = float("inf")
+    cluster = None
+    n_transfers = 0
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        cluster, n_transfers = _drive(plan, faults)
+        best = min(best, time.perf_counter() - started)
+    return best, cluster, n_transfers
+
+
+def test_fault_overhead_when_disabled():
+    plan = _planned_workload(BENCH_USERS, BENCH_SEED)
+    disabled = FaultConfig.at_rate(0.0)
+    assert not disabled.enabled
+    quiet = FaultConfig(error_rate=1e-12)
+    assert quiet.enabled
+
+    none_seconds, _, n_transfers = _best_of(plan, None)
+    disabled_seconds, _, _ = _best_of(plan, disabled)
+    armed_seconds, armed_cluster, _ = _best_of(plan, quiet)
+    # Quiet means quiet: the armed run must not actually have faulted.
+    assert armed_cluster.fault_stats.total_faults == 0
+    assert armed_cluster.requests_failed == 0
+
+    print()
+    print(f"fault machinery overhead, {n_transfers} transfers, "
+          f"best of {REPEATS}")
+    print(f"{'configuration':<22} {'seconds':>8} {'vs none':>8}")
+    for name, seconds in (
+        ("no fault plan", none_seconds),
+        ("disabled config", disabled_seconds),
+        ("armed, quiet (info)", armed_seconds),
+    ):
+        print(f"{name:<22} {seconds:>8.3f} "
+              f"{seconds / none_seconds:>7.2f}x")
+
+    overhead = disabled_seconds / none_seconds
+    assert overhead < OVERHEAD_GATE, (
+        f"disabled fault config costs {overhead:.2f}x over no plan, "
+        f"gate is {OVERHEAD_GATE:.2f}x"
+    )

@@ -1,0 +1,7 @@
+"""Benchmark R2 — fault injection, recovery and analysis robustness."""
+
+from repro.experiments import r2_fault_resilience
+
+
+def test_r2_fault_resilience(experiment):
+    experiment(r2_fault_resilience)

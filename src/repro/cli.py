@@ -11,6 +11,9 @@ Subcommands
     Run the paper-reproduction battery (all of it, or selected ids).
 ``simulate-flow``
     Run one packet-level chunk flow and print per-chunk measurements.
+``faults-demo``
+    Chaos smoke test: replay a fixed workload through the fault-injected
+    service cluster and fail unless every transfer eventually completes.
 
 All subcommands are deterministic given ``--seed``.
 """
@@ -184,6 +187,34 @@ def _cmd_simulate_flow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults_demo(args: argparse.Namespace) -> int:
+    from .experiments.r2_fault_resilience import _planned_workload, _replay
+
+    if args.fault_rate < 0:
+        print(f"--fault-rate must be >= 0, got {args.fault_rate}",
+              file=sys.stderr)
+        return 2
+    plan = _planned_workload(args.users, args.seed)
+    outcome = _replay(plan, args.fault_rate, args.seed)
+    unrecovered = outcome.n_transfers - outcome.n_completed
+    print(
+        f"replayed {outcome.n_transfers} transfers at fault rate "
+        f"{args.fault_rate:g}: {outcome.n_completed} completed, "
+        f"{unrecovered} unrecovered"
+    )
+    print(
+        f"  attempt failure rate {outcome.failure_rate:.1%}, "
+        f"{outcome.retries} retries, {outcome.failovers} failovers, "
+        f"{outcome.backoff_seconds:.1f}s spent backing off"
+    )
+    if unrecovered:
+        print(f"FAIL: {unrecovered} transfers never completed",
+              file=sys.stderr)
+        return 1
+    print("all transfers eventually completed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -244,6 +275,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--rtt", type=float, default=0.1, help="base RTT seconds")
     sim.add_argument("--seed", type=int, default=0)
     sim.set_defaults(func=_cmd_simulate_flow)
+
+    chaos = sub.add_parser(
+        "faults-demo",
+        help="chaos smoke test: inject faults, require full recovery",
+    )
+    chaos.add_argument("--fault-rate", type=float, default=0.05,
+                       help="fault severity (see FaultConfig.at_rate)")
+    chaos.add_argument("--users", type=int, default=12)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.set_defaults(func=_cmd_faults_demo)
 
     return parser
 

@@ -32,6 +32,7 @@ from . import (
     fig14_rtt,
     fig15_swnd,
     fig16_idle,
+    r2_fault_resilience,
     recovery,
     s1_session_classes,
     table3_user_types,
@@ -68,6 +69,7 @@ ALL_EXPERIMENTS = (
     ablation_decoupling,
     ablation_autoscaling,
     recovery,
+    r2_fault_resilience,
 )
 
 

@@ -1,0 +1,467 @@
+"""Deterministic fault injection and failure recovery for the service layer.
+
+The paper's Table 1 log schema carries a per-request *result* field: real
+front-end logs record failed and retried requests next to successful ones,
+and the retransmission-driven idle gaps the paper diagnoses in its TCP
+section are exactly the silences a retrying client produces.  This module
+supplies the failure side of the service simulator:
+
+* :class:`FaultConfig` / :class:`FaultPlan` — a seeded schedule of
+  front-end crash/restart windows, slow-server episodes (latency
+  multipliers), metadata-server outages and per-request transient error
+  probabilities.  All randomness is drawn from per-component streams
+  spawned off one master :class:`numpy.random.SeedSequence` (the same
+  idiom :mod:`repro.workload.parallel` uses for per-user streams), so a
+  plan is byte-for-byte reproducible from ``(config, n_frontends, seed)``
+  and one component's draws never perturb another's.
+* :class:`RetryPolicy` — the client-side recovery policy: capped
+  exponential backoff with deterministic jitter, a per-operation timeout,
+  a bounded attempt budget and front-end failover.
+* :class:`RequestOutcome` — the typed result every front-end handler
+  returns instead of unconditional success.
+* :class:`FaultStats` — counters for injected faults and recovery actions,
+  aggregated by :class:`~repro.service.cluster.ServiceCluster`.
+
+With no plan (or a disabled one) the service layer takes the exact same
+code path it always did: zero extra RNG draws, zero clock perturbation,
+record-identical access logs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field, fields, replace
+
+import numpy as np
+
+from .logs.schema import ResultCode
+
+
+class FaultKind(enum.Enum):
+    """The fault classes a :class:`FaultPlan` can schedule."""
+
+    CRASH = "crash"
+    TRANSIENT_ERROR = "transient_error"
+    SLOW_EPISODE = "slow_episode"
+    METADATA_OUTAGE = "metadata_outage"
+    OVERLOAD = "overload"
+
+
+class MetadataUnavailableError(RuntimeError):
+    """Raised by the metadata server during a scheduled outage window."""
+
+
+@dataclass(frozen=True)
+class Window:
+    """One half-open downtime/slowdown interval ``[start, end)``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("window must not end before it starts")
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs of the fault model.  All rates are per *hour* of sim time.
+
+    The default instance is fully benign (every rate zero); a plan built
+    from it reports ``enabled == False`` and the service layer skips all
+    fault bookkeeping.  :meth:`at_rate` scales the whole model with one
+    severity knob — the x-axis of experiment R2.
+    """
+
+    #: Probability that any single front-end request fails transiently.
+    error_rate: float = 0.0
+    #: Front-end crashes per server-hour.
+    crash_rate: float = 0.0
+    #: Mean seconds a crashed front-end stays down before restarting.
+    crash_mean_downtime: float = 30.0
+    #: Slow-server episodes per server-hour.
+    slow_rate: float = 0.0
+    #: Mean seconds a slow episode lasts.
+    slow_mean_duration: float = 120.0
+    #: Latency multiplier applied to ``Tsrv`` and transfer time while slow.
+    slow_multiplier: float = 4.0
+    #: Metadata-server outages per hour.
+    metadata_outage_rate: float = 0.0
+    #: Mean seconds a metadata outage lasts.
+    metadata_mean_downtime: float = 20.0
+    #: Seconds of sim time the schedules cover.  Queries beyond the
+    #: horizon are benign (no crash/slow/outage windows are planned there).
+    horizon: float = 7 * 24 * 3600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        for name in (
+            "crash_rate",
+            "crash_mean_downtime",
+            "slow_rate",
+            "slow_mean_duration",
+            "metadata_outage_rate",
+            "metadata_mean_downtime",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.slow_multiplier < 1.0:
+            raise ValueError("slow_multiplier must be >= 1")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this config can produce any fault at all."""
+        return (
+            self.error_rate > 0
+            or self.crash_rate > 0
+            or self.slow_rate > 0
+            or self.metadata_outage_rate > 0
+        )
+
+    @classmethod
+    def at_rate(cls, rate: float, *, horizon: float = 7 * 24 * 3600.0) -> "FaultConfig":
+        """One-knob severity scaling used by experiment R2 and the CLI.
+
+        ``rate`` is the per-request transient error probability; crash,
+        slow-episode and metadata-outage frequencies scale linearly with
+        it (calibrated so ``rate=0.05`` yields a few crash and outage
+        windows per server-day).
+        """
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        return cls(
+            error_rate=rate,
+            crash_rate=rate * 2.0,
+            slow_rate=rate * 4.0,
+            metadata_outage_rate=rate * 1.0,
+            horizon=horizon,
+        )
+
+
+@dataclass
+class FaultStats:
+    """Counters for injected faults and the recovery actions they forced."""
+
+    injected_errors: int = 0
+    crash_rejections: int = 0
+    shed_requests: int = 0
+    timeouts: int = 0
+    metadata_rejections: int = 0
+    retries: int = 0
+    failovers: int = 0
+    backoff_seconds: float = 0.0
+    aborted_transfers: int = 0
+    completed_transfers: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            self.injected_errors
+            + self.crash_rejections
+            + self.shed_requests
+            + self.timeouts
+            + self.metadata_rejections
+        )
+
+    def merge(self, other: "FaultStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _poisson_windows(
+    rng: np.random.Generator, rate_per_hour: float, mean_duration: float, horizon: float
+) -> tuple[Window, ...]:
+    """Sample non-overlapping outage windows from a Poisson arrival process.
+
+    Arrivals with exponential interarrival times at ``rate_per_hour``;
+    each window lasts an exponential ``mean_duration``.  A window opening
+    inside the previous one is pushed back to its end, preserving the
+    half-open, sorted, disjoint invariant binary search relies on.
+    """
+    if rate_per_hour <= 0 or mean_duration <= 0:
+        return ()
+    windows: list[Window] = []
+    t = float(rng.exponential(3600.0 / rate_per_hour))
+    while t < horizon:
+        if windows and t < windows[-1].end:
+            t = windows[-1].end
+        duration = float(rng.exponential(mean_duration))
+        windows.append(Window(start=t, end=min(t + duration, horizon)))
+        t += duration + float(rng.exponential(3600.0 / rate_per_hour))
+    return tuple(windows)
+
+
+def _in_windows(windows: tuple[Window, ...], starts: tuple[float, ...], t: float) -> Window | None:
+    """Return the window containing ``t``, if any (binary search)."""
+    index = bisect.bisect_right(starts, t) - 1
+    if index >= 0 and windows[index].contains(t):
+        return windows[index]
+    return None
+
+
+class FaultPlan:
+    """A deterministic, precomputed fault schedule for one deployment.
+
+    Parameters
+    ----------
+    config:
+        The fault model knobs.
+    n_frontends:
+        Number of front-end servers the plan covers.
+    seed:
+        Master seed.  Component streams are spawned off
+        ``SeedSequence(seed)`` in a fixed order — per-frontend crash,
+        slow-episode and transient-error streams, then the metadata
+        stream — so adding front-ends never reshuffles existing ones,
+        and the same ``(config, n_frontends, seed)`` always yields the
+        same schedule and the same per-request error draws.
+
+    All window schedules are materialized at construction; only the
+    per-request transient-error draws consume RNG state at query time
+    (in the deterministic order the single-threaded simulator issues
+    requests).
+    """
+
+    def __init__(self, config: FaultConfig, *, n_frontends: int = 1, seed: int = 0) -> None:
+        if n_frontends < 1:
+            raise ValueError("need at least one front-end")
+        self.config = config
+        self.n_frontends = n_frontends
+        self.seed = seed
+        self.stats = FaultStats()
+        master = np.random.SeedSequence(seed)
+        # 3 streams per front-end + 1 metadata stream, in a fixed order.
+        children = master.spawn(3 * n_frontends + 1)
+        crash_seqs = children[0:n_frontends]
+        slow_seqs = children[n_frontends : 2 * n_frontends]
+        error_seqs = children[2 * n_frontends : 3 * n_frontends]
+        metadata_seq = children[3 * n_frontends]
+        self._crash_windows: list[tuple[Window, ...]] = []
+        self._slow_windows: list[tuple[Window, ...]] = []
+        for fid in range(n_frontends):
+            self._crash_windows.append(
+                _poisson_windows(
+                    np.random.default_rng(crash_seqs[fid]),
+                    config.crash_rate,
+                    config.crash_mean_downtime,
+                    config.horizon,
+                )
+            )
+            self._slow_windows.append(
+                _poisson_windows(
+                    np.random.default_rng(slow_seqs[fid]),
+                    config.slow_rate,
+                    config.slow_mean_duration,
+                    config.horizon,
+                )
+            )
+        self._metadata_windows = _poisson_windows(
+            np.random.default_rng(metadata_seq),
+            config.metadata_outage_rate,
+            config.metadata_mean_downtime,
+            config.horizon,
+        )
+        self._crash_starts = [
+            tuple(w.start for w in ws) for ws in self._crash_windows
+        ]
+        self._slow_starts = [
+            tuple(w.start for w in ws) for ws in self._slow_windows
+        ]
+        self._metadata_starts = tuple(w.start for w in self._metadata_windows)
+        self._error_rngs = [np.random.default_rng(s) for s in error_seqs]
+
+    # ------------------------------------------------------------------
+    # Queries (all deterministic; windows never consume RNG state)
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def frontend_down(self, frontend_id: int, t: float) -> bool:
+        """Whether front-end ``frontend_id`` is inside a crash window at ``t``."""
+        return (
+            _in_windows(
+                self._crash_windows[frontend_id],
+                self._crash_starts[frontend_id],
+                t,
+            )
+            is not None
+        )
+
+    def downtime_remaining(self, frontend_id: int, t: float) -> float:
+        """Seconds until the crash window containing ``t`` ends (0 if up)."""
+        window = _in_windows(
+            self._crash_windows[frontend_id], self._crash_starts[frontend_id], t
+        )
+        return window.end - t if window is not None else 0.0
+
+    def latency_multiplier(self, frontend_id: int, t: float) -> float:
+        """Slow-episode multiplier on processing/transfer time (1.0 = healthy)."""
+        window = _in_windows(
+            self._slow_windows[frontend_id], self._slow_starts[frontend_id], t
+        )
+        return self.config.slow_multiplier if window is not None else 1.0
+
+    def metadata_down(self, t: float) -> bool:
+        """Whether the metadata server is inside an outage window at ``t``."""
+        return _in_windows(self._metadata_windows, self._metadata_starts, t) is not None
+
+    def draw_transient_error(self, frontend_id: int) -> bool:
+        """One per-request transient-error Bernoulli draw.
+
+        Consumes the front-end's dedicated error stream, so the decision
+        sequence is a pure function of the plan seed and this front-end's
+        request order — other components' draws cannot perturb it.
+        """
+        if self.config.error_rate <= 0:
+            return False
+        return bool(self._error_rngs[frontend_id].random() < self.config.error_rate)
+
+    def error_fraction(self, frontend_id: int) -> float:
+        """Fraction of the nominal request duration spent before it failed."""
+        return float(self._error_rngs[frontend_id].random())
+
+    def crash_windows(self, frontend_id: int) -> tuple[Window, ...]:
+        return self._crash_windows[frontend_id]
+
+    def slow_windows(self, frontend_id: int) -> tuple[Window, ...]:
+        return self._slow_windows[frontend_id]
+
+    @property
+    def metadata_windows(self) -> tuple[Window, ...]:
+        return self._metadata_windows
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side failure recovery: bounded retries with capped backoff.
+
+    ``backoff_delay`` grows geometrically from ``base_delay`` and is
+    capped at ``max_delay`` before jitter; jitter is a deterministic
+    multiplicative perturbation drawn from the caller's RNG stream in
+    ``[1 - jitter, 1 + jitter]``, so the delay never exceeds
+    ``max_delay * (1 + jitter)`` (the bound the Hypothesis property in
+    ``tests/test_faults.py`` enforces).
+    """
+
+    #: Total attempts per request, including the first (>= 1).
+    max_attempts: int = 5
+    #: First retry delay, seconds.
+    base_delay: float = 0.2
+    #: Cap on the pre-jitter delay, seconds.
+    max_delay: float = 5.0
+    #: Geometric growth factor between consecutive delays.
+    multiplier: float = 2.0
+    #: Jitter half-width as a fraction of the delay (0 disables jitter).
+    jitter: float = 0.1
+    #: Client-side per-operation timeout, seconds; a request whose
+    #: (possibly slow-episode-inflated) duration exceeds it is abandoned
+    #: and logged as :attr:`ResultCode.TIMEOUT`.
+    request_timeout: float = 60.0
+    #: Whether retries may rotate to an alternate front-end after an
+    #: UNAVAILABLE/SHED outcome (content is replicated across the fleet;
+    #: the metadata assignment is the *preferred* server, not the only one).
+    failover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+
+    def nominal_delay(self, failure_index: int) -> float:
+        """Pre-jitter delay after the ``failure_index``-th failure (1-based)."""
+        if failure_index < 1:
+            raise ValueError("failure_index is 1-based")
+        return min(
+            self.base_delay * self.multiplier ** (failure_index - 1),
+            self.max_delay,
+        )
+
+    def backoff_delay(self, failure_index: int, rng: np.random.Generator) -> float:
+        """Jittered delay to wait before retry number ``failure_index``."""
+        delay = self.nominal_delay(failure_index)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+    @property
+    def max_backoff(self) -> float:
+        """Upper bound on any single jittered delay."""
+        return self.max_delay * (1.0 + self.jitter)
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Typed result of one front-end request attempt.
+
+    ``elapsed`` is the client-perceived duration of the attempt —
+    ``tchunk`` on success, the partial time spent before the failure
+    otherwise — and is what advances the client clock.
+    """
+
+    result: ResultCode
+    elapsed: float
+    tchunk: float = 0.0
+    tsrv: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result.is_ok
+
+    @property
+    def retryable(self) -> bool:
+        """Every non-OK outcome in the current model is retryable."""
+        return not self.ok
+
+    @property
+    def wants_failover(self) -> bool:
+        """Whether retrying on a different front-end could help."""
+        return self.result in (ResultCode.UNAVAILABLE, ResultCode.SHED)
+
+
+def scaled_config(config: FaultConfig, scale: float) -> FaultConfig:
+    """Scale every rate in ``config`` by ``scale`` (durations unchanged)."""
+    if scale < 0:
+        raise ValueError("scale must be >= 0")
+    return replace(
+        config,
+        error_rate=min(config.error_rate * scale, 0.999),
+        crash_rate=config.crash_rate * scale,
+        slow_rate=config.slow_rate * scale,
+        metadata_outage_rate=config.metadata_outage_rate * scale,
+    )
+
+
+__all__ = [
+    "FaultConfig",
+    "FaultKind",
+    "FaultPlan",
+    "FaultStats",
+    "MetadataUnavailableError",
+    "RequestOutcome",
+    "RetryPolicy",
+    "Window",
+    "scaled_config",
+]

@@ -19,7 +19,7 @@ import json
 from pathlib import Path
 from typing import IO, Callable, Iterable, Iterator
 
-from .schema import Direction, DeviceType, LogRecord, RequestKind
+from .schema import Direction, DeviceType, LogRecord, RequestKind, ResultCode
 
 TSV_COLUMNS = (
     "timestamp",
@@ -33,8 +33,13 @@ TSV_COLUMNS = (
     "server_time",
     "rtt",
     "proxied",
+    "result",
     "session_id",
 )
+
+#: Column count of traces written before the ``result`` field existed;
+#: such lines parse with ``result=ok`` (the only value they could carry).
+_LEGACY_TSV_COLUMNS = len(TSV_COLUMNS) - 1
 
 _HEADER = "#" + "\t".join(TSV_COLUMNS)
 
@@ -62,6 +67,7 @@ def record_to_tsv(record: LogRecord) -> str:
             f"{record.server_time:.6f}",
             f"{record.rtt:.6f}",
             "1" if record.proxied else "0",
+            record.result.value,
             str(record.session_id),
         )
     )
@@ -70,6 +76,9 @@ def record_to_tsv(record: LogRecord) -> str:
 def record_from_tsv(line: str) -> LogRecord:
     """Parse one TSV line into a :class:`LogRecord`.
 
+    Accepts both the current column set and the legacy pre-``result``
+    layout (every legacy request was implicitly successful).
+
     Raises
     ------
     ValueError
@@ -77,7 +86,11 @@ def record_from_tsv(line: str) -> LogRecord:
         a field fails to parse.
     """
     parts = line.rstrip("\n").split("\t")
-    if len(parts) != len(TSV_COLUMNS):
+    if len(parts) == _LEGACY_TSV_COLUMNS:
+        result, session_id = ResultCode.OK, int(parts[11])
+    elif len(parts) == len(TSV_COLUMNS):
+        result, session_id = ResultCode(parts[11]), int(parts[12])
+    else:
         raise ValueError(
             f"expected {len(TSV_COLUMNS)} columns, got {len(parts)}: {line!r}"
         )
@@ -93,7 +106,8 @@ def record_from_tsv(line: str) -> LogRecord:
         server_time=float(parts[8]),
         rtt=float(parts[9]),
         proxied=parts[10] == "1",
-        session_id=int(parts[11]),
+        result=result,
+        session_id=session_id,
     )
 
 
@@ -111,6 +125,7 @@ def record_to_dict(record: LogRecord) -> dict:
         "server_time": record.server_time,
         "rtt": record.rtt,
         "proxied": record.proxied,
+        "result": record.result.value,
         "session_id": record.session_id,
     }
 
@@ -129,6 +144,7 @@ def record_from_dict(data: dict) -> LogRecord:
         server_time=float(data.get("server_time", 0.0)),
         rtt=float(data.get("rtt", 0.0)),
         proxied=bool(data.get("proxied", False)),
+        result=ResultCode(data.get("result", "ok")),
         session_id=int(data.get("session_id", -1)),
     )
 

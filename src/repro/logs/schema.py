@@ -54,6 +54,30 @@ class Direction(enum.Enum):
     RETRIEVE = "retrieve"
 
 
+class ResultCode(enum.Enum):
+    """Outcome of one request (the Table 1 *result* field).
+
+    Real front-end logs record failed requests next to successful ones;
+    the fault-injection layer (:mod:`repro.faults`) produces every code
+    below, and analyses that only want the happy path filter with
+    :func:`iter_ok` / :attr:`LogRecord.is_ok`.
+    """
+
+    OK = "ok"
+    #: Transient server-side error (5xx); the request may be retried.
+    SERVER_ERROR = "server_error"
+    #: The front-end (or metadata server) was down/unreachable.
+    UNAVAILABLE = "unavailable"
+    #: The client gave up waiting for the response (per-op timeout).
+    TIMEOUT = "timeout"
+    #: Rejected by degraded-mode load shedding (in-flight queue full).
+    SHED = "shed"
+
+    @property
+    def is_ok(self) -> bool:
+        return self is ResultCode.OK
+
+
 @dataclass(frozen=True, slots=True)
 class LogRecord:
     """One HTTP request log entry (paper Table 1).
@@ -87,6 +111,11 @@ class LogRecord:
     proxied:
         True when the request passed through an HTTP proxy
         (``X-FORWARDED-FOR`` present).
+    result:
+        Request outcome (Table 1's *result* field).  Failed attempts are
+        logged with their error code and ``volume == 0`` — no payload was
+        durably transferred — so retries are visible in the trace exactly
+        as in real front-end logs.
     session_id:
         Ground-truth session tag assigned by the workload generator, or
         ``-1`` when unknown (as in real traces).  The analysis pipeline never
@@ -105,6 +134,7 @@ class LogRecord:
     server_time: float = 0.0
     rtt: float = 0.0
     proxied: bool = False
+    result: ResultCode = ResultCode.OK
     session_id: int = field(default=-1, compare=False)
 
     def __post_init__(self) -> None:
@@ -116,6 +146,8 @@ class LogRecord:
             raise ValueError("rtt must be >= 0")
         if self.kind is RequestKind.FILE_OP and self.volume:
             raise ValueError("file operations carry no payload")
+        if not self.result.is_ok and self.volume:
+            raise ValueError("failed requests carry no payload")
 
     @property
     def is_file_op(self) -> bool:
@@ -128,6 +160,11 @@ class LogRecord:
     @property
     def is_mobile(self) -> bool:
         return self.device_type.is_mobile
+
+    @property
+    def is_ok(self) -> bool:
+        """Whether the request succeeded (Table 1 result field)."""
+        return self.result.is_ok
 
     @property
     def transfer_time(self) -> float:
@@ -152,3 +189,18 @@ def iter_file_ops(records: Iterable[LogRecord]) -> Iterator[LogRecord]:
 def iter_chunks(records: Iterable[LogRecord]) -> Iterator[LogRecord]:
     """Yield only chunk records, preserving order."""
     return (r for r in records if r.is_chunk)
+
+
+def iter_ok(records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+    """Yield only successful requests, preserving order.
+
+    The behaviour analyses consume this view of a failure-polluted trace:
+    retried attempts appear as extra failed records, and filtering them out
+    must recover the fault-free workload statistics (experiment R2).
+    """
+    return (r for r in records if r.is_ok)
+
+
+def iter_failures(records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+    """Yield only failed requests, preserving order."""
+    return (r for r in records if not r.is_ok)

@@ -3,7 +3,18 @@
 Models the examined service end to end: MD5-based chunking and manifests,
 a metadata server with content deduplication, storage front-end servers
 that emit Table 1 access logs, and client state machines speaking the
-store/retrieve protocol of the paper's Section 2.1."""
+store/retrieve protocol of the paper's Section 2.1 — with optional
+deterministic fault injection and failure recovery from
+:mod:`repro.faults` threaded through every layer."""
+
+from ..faults import (
+    FaultConfig,
+    FaultPlan,
+    FaultStats,
+    MetadataUnavailableError,
+    RequestOutcome,
+    RetryPolicy,
+)
 
 from .autoscaler import (
     AutoscalerPolicy,
@@ -26,12 +37,18 @@ __all__ = [
     "CacheStats",
     "ClientNetwork",
     "DedupDecision",
+    "FaultConfig",
+    "FaultPlan",
+    "FaultStats",
     "FileManifest",
     "FrontendServer",
     "LfuCache",
     "LruCache",
     "MetadataServer",
+    "MetadataUnavailableError",
     "ProvisioningOutcome",
+    "RequestOutcome",
+    "RetryPolicy",
     "RedundancyEliminator",
     "ServiceCluster",
     "StorageClient",

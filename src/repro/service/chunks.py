@@ -16,11 +16,18 @@ from ..logs.schema import CHUNK_SIZE
 
 
 def chunk_sizes(file_size: int, chunk_size: int = CHUNK_SIZE) -> list[int]:
-    """Sizes of the chunks a file of ``file_size`` bytes splits into."""
-    if file_size <= 0:
-        raise ValueError("file_size must be positive")
+    """Sizes of the chunks a file of ``file_size`` bytes splits into.
+
+    A zero-byte file is a defined case: it splits into no chunks at all,
+    so storing it is a metadata-only operation (one file-op request, no
+    chunk requests).
+    """
+    if file_size < 0:
+        raise ValueError("file_size must be >= 0")
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    if file_size == 0:
+        return []
     full, tail = divmod(file_size, chunk_size)
     sizes = [chunk_size] * full
     if tail:

@@ -12,20 +12,48 @@ A :class:`StorageClient` executes the Section 2.1 protocol against a
 Each request advances the client's local clock by the time the front-end
 charged, so a session's requests carry realistic timestamps and the idle
 gaps between chunks include the client's own processing time.
+
+Failure recovery follows the client's :class:`~repro.faults.RetryPolicy`:
+a failed attempt advances the clock by the partial time it consumed plus a
+capped, jittered exponential backoff, UNAVAILABLE/SHED outcomes may fail
+over to an alternate front-end (content is replicated across the fleet;
+the metadata assignment is only the *preferred* server), and a transfer
+whose attempt budget runs out is reported with ``completed=False``.  Every
+attempt — including failed ones — emits a front-end log record, so retries
+are visible in the access log exactly as in the paper's dataset.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from ..faults import FaultPlan, MetadataUnavailableError, RequestOutcome, RetryPolicy
 from ..logs.schema import DeviceType, Direction
 from ..tcpsim.devices import DeviceProfile, profile_for
 from ..tcpsim.rto import paper_rto_estimate
 from .chunks import FileManifest, build_manifest
 from .frontend import FrontendServer
 from .metadata import MetadataServer
+
+
+def client_seed(user_id: int, device_id: str, seed: int) -> np.random.SeedSequence:
+    """Stable per-client seed stream, independent of ``PYTHONHASHSEED``.
+
+    The historical derivation used :func:`hash` on the device-id string,
+    which Python salts per process — two identical runs produced different
+    service logs.  A keyed BLAKE2 digest restores the cross-run
+    determinism the retry tests (and any golden service log) rely on,
+    mirroring the :class:`numpy.random.SeedSequence` spawning idiom of
+    :mod:`repro.workload.parallel`.
+    """
+    digest = hashlib.blake2b(
+        f"{user_id}/{device_id}".encode(), digest_size=8
+    ).digest()
+    return np.random.SeedSequence([int.from_bytes(digest, "little"), seed])
 
 
 @dataclass
@@ -51,10 +79,30 @@ class TransferReport:
     deduplicated: bool
     started_at: float
     finished_at: float
+    #: False when the retry budget ran out before every request succeeded.
+    completed: bool = True
+    #: Total request attempts issued (file op + chunks + metadata),
+    #: including the successful ones.
+    attempts: int = 0
+    #: Failed attempts that were retried.
+    retries: int = 0
+    #: Retries that rotated to an alternate front-end.
+    failovers: int = 0
 
     @property
     def duration(self) -> float:
         return self.finished_at - self.started_at
+
+
+class _AttemptTally:
+    """Per-transfer bookkeeping shared by the retry helpers."""
+
+    __slots__ = ("attempts", "retries", "failovers")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.retries = 0
+        self.failovers = 0
 
 
 @dataclass
@@ -73,6 +121,14 @@ class StorageClient:
         WiFi and cellular conditions.
     proxied:
         Whether this client's requests traverse an HTTP proxy.
+    retry_policy:
+        Failure-recovery knobs (attempt budget, backoff, timeout,
+        failover).  Only consulted when a request fails, so the fault-free
+        path is untouched by the default policy.
+    fault_plan:
+        The deployment's fault plan, used for recovery bookkeeping
+        (retry/failover/backoff counters).  The plan injects faults at the
+        *servers*; the client only reads it for stats.
     """
 
     user_id: int
@@ -85,12 +141,14 @@ class StorageClient:
     seed: int = 0
     clock: float = 0.0
     session_id: int = -1
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.frontends:
             raise ValueError("need at least one front-end")
         self._rng = np.random.default_rng(
-            (hash((self.user_id, self.device_id)) ^ self.seed) & 0x7FFFFFFF
+            client_seed(self.user_id, self.device_id, self.seed)
         )
         self._profile: DeviceProfile = profile_for(self.device_type)
 
@@ -103,10 +161,18 @@ class StorageClient:
     ) -> TransferReport:
         """Upload one file, emitting front-end log records as a side effect."""
         started = self.clock
+        tally = _AttemptTally()
         manifest = build_manifest(name, content_seed, size)
-        decision = self.metadata.request_store(self.user_id, manifest)
-        # Metadata exchange costs one round trip.
-        self.clock += self.network.rtt
+        decision = self._metadata_call(
+            lambda: self.metadata.request_store(
+                self.user_id, manifest, now=self.clock
+            ),
+            tally,
+        )
+        if decision is None:
+            return self._aborted(
+                Direction.STORE, "", size, manifest.n_chunks, started, tally
+            )
         if decision.duplicate:
             return TransferReport(
                 direction=Direction.STORE,
@@ -116,13 +182,24 @@ class StorageClient:
                 deduplicated=True,
                 started_at=started,
                 finished_at=self.clock,
+                attempts=tally.attempts,
+                retries=tally.retries,
+                failovers=tally.failovers,
             )
-        frontend = self.frontends[decision.frontend_id]
-        self._file_op(frontend, Direction.STORE)
-        self._transfer_chunks(frontend, manifest, Direction.STORE)
+        if not self._file_op(decision.frontend_id, Direction.STORE, tally):
+            return self._aborted(
+                Direction.STORE, "", size, manifest.n_chunks, started, tally
+            )
+        if not self._transfer_chunks(
+            decision.frontend_id, manifest, Direction.STORE, tally
+        ):
+            return self._aborted(
+                Direction.STORE, "", size, manifest.n_chunks, started, tally
+            )
         url = self.metadata.commit_store(
-            self.user_id, manifest, decision.frontend_id
+            self.user_id, manifest, decision.frontend_id, now=self.clock
         )
+        self._note_completed()
         return TransferReport(
             direction=Direction.STORE,
             url=url,
@@ -131,17 +208,35 @@ class StorageClient:
             deduplicated=False,
             started_at=started,
             finished_at=self.clock,
+            attempts=tally.attempts,
+            retries=tally.retries,
+            failovers=tally.failovers,
         )
 
     def retrieve_url(self, url: str) -> TransferReport:
         """Download the file behind ``url`` (own file or shared link)."""
         started = self.clock
-        record, frontend_id = self.metadata.resolve_url(url)
-        self.clock += self.network.rtt
-        frontend = self.frontends[frontend_id]
+        tally = _AttemptTally()
+        resolved = self._metadata_call(
+            lambda: self.metadata.resolve_url(url, now=self.clock), tally
+        )
+        if resolved is None:
+            return self._aborted(Direction.RETRIEVE, url, 0, 0, started, tally)
+        record, frontend_id = resolved
         manifest = build_manifest(record.name, record.file_md5.encode(), record.size)
-        self._file_op(frontend, Direction.RETRIEVE)
-        self._transfer_chunks(frontend, manifest, Direction.RETRIEVE)
+        if not self._file_op(frontend_id, Direction.RETRIEVE, tally):
+            return self._aborted(
+                Direction.RETRIEVE, url, record.size, manifest.n_chunks,
+                started, tally,
+            )
+        if not self._transfer_chunks(
+            frontend_id, manifest, Direction.RETRIEVE, tally
+        ):
+            return self._aborted(
+                Direction.RETRIEVE, url, record.size, manifest.n_chunks,
+                started, tally,
+            )
+        self._note_completed()
         return TransferReport(
             direction=Direction.RETRIEVE,
             url=url,
@@ -150,52 +245,190 @@ class StorageClient:
             deduplicated=False,
             started_at=started,
             finished_at=self.clock,
+            attempts=tally.attempts,
+            retries=tally.retries,
+            failovers=tally.failovers,
         )
 
     # ------------------------------------------------------------------
-    # Internals
+    # Recovery internals
     # ------------------------------------------------------------------
 
-    def _file_op(self, frontend: FrontendServer, direction: Direction) -> None:
-        elapsed = frontend.handle_file_op(
-            timestamp=self.clock,
-            user_id=self.user_id,
-            device_id=self.device_id,
-            device_type=self.device_type,
+    def _aborted(
+        self,
+        direction: Direction,
+        url: str,
+        size: int,
+        n_chunks: int,
+        started: float,
+        tally: _AttemptTally,
+    ) -> TransferReport:
+        if self.fault_plan is not None:
+            self.fault_plan.stats.aborted_transfers += 1
+        return TransferReport(
             direction=direction,
-            rtt=self.network.rtt,
-            proxied=self.proxied,
-            session_id=self.session_id,
-            rng=self._rng,
+            url=url,
+            size=size,
+            n_chunks=n_chunks,
+            deduplicated=False,
+            started_at=started,
+            finished_at=self.clock,
+            completed=False,
+            attempts=tally.attempts,
+            retries=tally.retries,
+            failovers=tally.failovers,
         )
-        self.clock += elapsed + self.network.rtt
 
-    def _transfer_chunks(
-        self, frontend: FrontendServer, manifest: FileManifest, direction: Direction
-    ) -> None:
-        rto = paper_rto_estimate(self.network.rtt)
-        tclt_dist = self._profile.tclt(direction is Direction.STORE)
-        idle = 0.0
-        for i, size in enumerate(manifest.chunk_sizes):
-            restarted = i > 0 and idle > rto
-            tchunk, tsrv = frontend.handle_chunk(
+    def _note_completed(self) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.stats.completed_transfers += 1
+
+    def _backoff(self, failure_index: int) -> None:
+        """Advance the clock by one jittered backoff delay."""
+        delay = self.retry_policy.backoff_delay(failure_index, self._rng)
+        self.clock += delay
+        if self.fault_plan is not None:
+            self.fault_plan.stats.backoff_seconds += delay
+
+    def _metadata_call(self, call: Callable, tally: _AttemptTally):
+        """Run a metadata operation with outage retries.
+
+        Returns the operation's value, or ``None`` when the attempt
+        budget ran out.  Every attempt — failed or not — costs one
+        metadata round trip on the client clock, exactly as before.
+        """
+        policy = self.retry_policy
+        failures = 0
+        while True:
+            tally.attempts += 1
+            try:
+                value = call()
+            except MetadataUnavailableError:
+                self.clock += self.network.rtt
+                failures += 1
+                if failures >= policy.max_attempts:
+                    return None
+                tally.retries += 1
+                if self.fault_plan is not None:
+                    self.fault_plan.stats.retries += 1
+                self._backoff(failures)
+                continue
+            self.clock += self.network.rtt
+            return value
+
+    def _request(
+        self,
+        preferred_id: int,
+        call: Callable[[FrontendServer, int], RequestOutcome],
+        tally: _AttemptTally,
+    ) -> RequestOutcome | None:
+        """Issue one front-end request with retries and failover.
+
+        ``call(frontend, attempt)`` performs attempt number ``attempt``
+        (1-based) against ``frontend`` at the current clock.  On success
+        the outcome is returned with the clock *not yet* advanced — the
+        caller applies its operation-specific cost, keeping the fault-free
+        arithmetic identical to the historical simulator.  Failed attempts
+        advance the clock by the partial time they consumed plus backoff.
+        """
+        policy = self.retry_policy
+        plan = self.fault_plan
+        shift = 0
+        failures = 0
+        while True:
+            frontend = self.frontends[
+                (preferred_id + shift) % len(self.frontends)
+            ]
+            attempt = failures + 1
+            tally.attempts += 1
+            outcome = call(frontend, attempt)
+            if outcome.ok:
+                return outcome
+            failures += 1
+            self.clock += outcome.elapsed
+            if failures >= policy.max_attempts:
+                return None
+            tally.retries += 1
+            if plan is not None:
+                plan.stats.retries += 1
+            if (
+                outcome.wants_failover
+                and policy.failover
+                and len(self.frontends) > 1
+            ):
+                shift += 1
+                tally.failovers += 1
+                if plan is not None:
+                    plan.stats.failovers += 1
+            self._backoff(failures)
+
+    def _file_op(
+        self, frontend_id: int, direction: Direction, tally: _AttemptTally
+    ) -> bool:
+        outcome = self._request(
+            frontend_id,
+            lambda frontend, attempt: frontend.handle_file_op(
                 timestamp=self.clock,
                 user_id=self.user_id,
                 device_id=self.device_id,
                 device_type=self.device_type,
                 direction=direction,
-                size=size,
                 rtt=self.network.rtt,
-                bandwidth=self.network.bandwidth,
-                restarted=restarted,
                 proxied=self.proxied,
                 session_id=self.session_id,
+                timeout=self.retry_policy.request_timeout,
                 rng=self._rng,
+            ),
+            tally,
+        )
+        if outcome is None:
+            return False
+        self.clock += outcome.elapsed + self.network.rtt
+        return True
+
+    def _transfer_chunks(
+        self,
+        frontend_id: int,
+        manifest: FileManifest,
+        direction: Direction,
+        tally: _AttemptTally,
+    ) -> bool:
+        rto = paper_rto_estimate(self.network.rtt)
+        tclt_dist = self._profile.tclt(direction is Direction.STORE)
+        idle = 0.0
+        for i, size in enumerate(manifest.chunk_sizes):
+            restarted = i > 0 and idle > rto
+            outcome = self._request(
+                frontend_id,
+                # A retry attempt always restarts the congestion window:
+                # the failed connection was torn down and the backoff gap
+                # exceeds the RTO by construction.
+                lambda frontend, attempt, _restarted=restarted, _size=size: (
+                    frontend.handle_chunk(
+                        timestamp=self.clock,
+                        user_id=self.user_id,
+                        device_id=self.device_id,
+                        device_type=self.device_type,
+                        direction=direction,
+                        size=_size,
+                        rtt=self.network.rtt,
+                        bandwidth=self.network.bandwidth,
+                        restarted=_restarted or attempt > 1,
+                        proxied=self.proxied,
+                        session_id=self.session_id,
+                        timeout=self.retry_policy.request_timeout,
+                        rng=self._rng,
+                    )
+                ),
+                tally,
             )
+            if outcome is None:
+                return False
             tclt = float(tclt_dist.sample(self._rng))
             # The next chunk request goes out after the transfer completes
             # and the client prepared the next chunk.
-            self.clock += tchunk + tclt
+            self.clock += outcome.tchunk + tclt
             # Idle time between chunk transmissions per the paper's Fig 11:
             # server processing plus client processing.
-            idle = tsrv + tclt
+            idle = outcome.tsrv + tclt
+        return True

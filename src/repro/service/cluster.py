@@ -4,14 +4,22 @@
 operations users perform (store, retrieve), a combined access log in
 timestamp order, and the aggregate load statistics used for capacity
 studies (the Fig 1 workload view from the serving side).
+
+A cluster may be deployed with a :class:`~repro.faults.FaultConfig`: it
+then builds one :class:`~repro.faults.FaultPlan` (seeded off the cluster's
+``fault_seed``), threads it through the metadata server and every
+front-end, hands each client the deployment's retry policy, and exposes
+failure/retry counters.  With no fault config (the default) the cluster is
+record-identical to the historical fault-free simulator.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults import FaultConfig, FaultPlan, FaultStats, RetryPolicy
 from ..logs.schema import DeviceType, LogRecord, sort_by_time
-from ..tcpsim.devices import DEFAULT_SERVER, ServerProfile
+from ..tcpsim.devices import ServerProfile
 from .client import ClientNetwork, StorageClient
 from .frontend import FrontendServer, TransferModel
 from .metadata import MetadataServer
@@ -26,24 +34,52 @@ class ServiceCluster:
     n_frontends:
         Number of storage front-end servers.
     server_profile:
-        Processing-time profile shared by the front-ends.
+        Processing-time profile shared by this cluster's front-ends.  Each
+        cluster gets its own instance by default (``default_factory``), so
+        one deployment's profile can never leak into another.
     transfer_model:
         Chunk transfer-time model (window caps, restart penalty).
+    faults:
+        Optional fault model; ``None`` (or a config with all rates zero)
+        deploys the historical always-healthy cluster.
+    fault_seed:
+        Master seed for the fault plan's per-component RNG streams.
+    retry_policy:
+        Recovery policy handed to every client this cluster creates.
+    frontend_capacity:
+        Degraded-mode knob: per-front-end in-flight request limit before
+        load shedding kicks in (``None`` disables shedding).  Only active
+        when a fault plan is deployed.
     """
 
     n_frontends: int = 4
-    server_profile: ServerProfile = DEFAULT_SERVER
+    server_profile: ServerProfile = field(default_factory=ServerProfile)
     transfer_model: TransferModel = field(default_factory=TransferModel)
+    faults: FaultConfig | None = None
+    fault_seed: int = 0
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    frontend_capacity: int | None = None
     metadata: MetadataServer = field(init=False)
     frontends: list[FrontendServer] = field(init=False)
+    fault_plan: FaultPlan | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
-        self.metadata = MetadataServer(n_frontends=self.n_frontends)
+        if self.faults is not None:
+            self.fault_plan = FaultPlan(
+                self.faults,
+                n_frontends=self.n_frontends,
+                seed=self.fault_seed,
+            )
+        self.metadata = MetadataServer(
+            n_frontends=self.n_frontends, fault_plan=self.fault_plan
+        )
         self.frontends = [
             FrontendServer(
                 server_id=i,
                 profile=self.server_profile,
                 transfer_model=self.transfer_model,
+                fault_plan=self.fault_plan,
+                capacity=self.frontend_capacity,
             )
             for i in range(self.n_frontends)
         ]
@@ -57,6 +93,7 @@ class ServiceCluster:
         network: ClientNetwork | None = None,
         proxied: bool = False,
         seed: int = 0,
+        retry_policy: RetryPolicy | None = None,
     ) -> StorageClient:
         """Create a client bound to this deployment."""
         return StorageClient(
@@ -68,6 +105,8 @@ class ServiceCluster:
             network=network or ClientNetwork(),
             proxied=proxied,
             seed=seed,
+            retry_policy=retry_policy or self.retry_policy,
+            fault_plan=self.fault_plan,
         )
 
     def access_log(self) -> list[LogRecord]:
@@ -88,3 +127,28 @@ class ServiceCluster:
     @property
     def dedup_ratio(self) -> float:
         return self.metadata.dedup_ratio
+
+    # ------------------------------------------------------------------
+    # Failure/recovery introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Injected-fault and recovery counters (zeros when fault-free)."""
+        if self.fault_plan is None:
+            return FaultStats()
+        return self.fault_plan.stats
+
+    @property
+    def requests_ok(self) -> int:
+        return sum(f.requests_ok for f in self.frontends)
+
+    @property
+    def requests_failed(self) -> int:
+        return sum(f.requests_failed for f in self.frontends)
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of front-end request attempts that failed."""
+        total = self.requests_ok + self.requests_failed
+        return self.requests_failed / total if total else 0.0

@@ -6,6 +6,16 @@ entry with the Table 1 fields.  This module models a front-end as a request
 handler that charges processing time (``Tsrv`` from the server profile plus
 transfer time from a latency model) and appends :class:`LogRecord` entries
 to its access log.
+
+Requests are no longer unconditionally successful: when the front-end is
+bound to a :class:`~repro.faults.FaultPlan`, each handler consults the
+plan — crash windows, slow-server episodes, per-request transient errors,
+and degraded-mode load shedding — and returns a typed
+:class:`~repro.faults.RequestOutcome` carrying the Table 1 result code.
+Failed attempts are logged too (with ``volume == 0``), so retries appear
+in the access log exactly as they would in the paper's dataset.  Without a
+plan the happy path is byte-identical to the fault-free simulator: no
+extra RNG draws, no extra log fields beyond ``result=ok``.
 """
 
 from __future__ import annotations
@@ -15,8 +25,9 @@ from typing import Callable
 
 import numpy as np
 
-from ..logs.schema import DeviceType, Direction, LogRecord, RequestKind
-from ..tcpsim.devices import ServerProfile, DEFAULT_SERVER
+from ..faults import FaultPlan, RequestOutcome
+from ..logs.schema import DeviceType, Direction, LogRecord, RequestKind, ResultCode
+from ..tcpsim.devices import ServerProfile
 
 
 @dataclass
@@ -54,11 +65,18 @@ class TransferModel:
         direction: Direction,
         restarted: bool = False,
     ) -> float:
-        """Estimated seconds to move ``size`` bytes."""
-        if size <= 0:
-            raise ValueError("size must be positive")
+        """Estimated seconds to move ``size`` bytes.
+
+        ``size == 0`` is a defined case — metadata-only / empty-file
+        requests move no payload, so the transfer time is zero and the
+        request costs processing time only.
+        """
+        if size < 0:
+            raise ValueError("size must be >= 0")
         if rtt <= 0 or bandwidth <= 0:
             raise ValueError("rtt and bandwidth must be positive")
+        if size == 0:
+            return 0.0
         window = (
             self.server_rwnd if direction is Direction.STORE else self.client_rwnd
         )
@@ -79,27 +97,120 @@ class FrontendServer:
     server_id:
         Stable identifier (used by the metadata server's assignment).
     profile:
-        Server processing-time profile (``Tsrv`` distribution).
+        Server processing-time profile (``Tsrv`` distribution).  A fresh
+        instance per server by default — deployments must not share one
+        module-level profile object whose mutation would leak between
+        clusters.
     transfer_model:
         Chunk transfer-time estimator.
     log_sink:
         Optional callable receiving each record as it is produced; when
         None, records accumulate in :attr:`access_log`.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`.  ``None`` (or a
+        disabled plan) keeps the historical always-succeed behaviour.
+    capacity:
+        Degraded-mode knob: maximum number of in-flight requests before
+        the server sheds load (``None`` disables shedding).  In-flight is
+        tracked as the set of started requests whose finish time lies
+        beyond the current timestamp.
     """
 
     server_id: int
-    profile: ServerProfile = DEFAULT_SERVER
+    profile: ServerProfile = field(default_factory=ServerProfile)
     transfer_model: TransferModel = field(default_factory=TransferModel)
     log_sink: Callable[[LogRecord], None] | None = None
+    fault_plan: FaultPlan | None = None
+    capacity: int | None = None
     access_log: list[LogRecord] = field(default_factory=list)
     bytes_stored: int = 0
     bytes_served: int = 0
+    requests_ok: int = 0
+    requests_failed: int = 0
+    _in_flight: list[float] = field(default_factory=list, repr=False)
 
     def _emit(self, record: LogRecord) -> None:
         if self.log_sink is not None:
             self.log_sink(record)
         else:
             self.access_log.append(record)
+
+    # ------------------------------------------------------------------
+    # Fault consultation
+    # ------------------------------------------------------------------
+
+    @property
+    def _faults(self) -> FaultPlan | None:
+        plan = self.fault_plan
+        return plan if plan is not None and plan.enabled else None
+
+    def in_flight(self, now: float) -> int:
+        """Number of requests started but not yet finished at ``now``."""
+        self._in_flight = [t for t in self._in_flight if t > now]
+        return len(self._in_flight)
+
+    def _preflight(self, now: float, timeout: float | None) -> ResultCode | None:
+        """Check crash windows and load shedding before doing any work.
+
+        Returns the failure code, or ``None`` when the request may
+        proceed.  Only runs with an enabled fault plan, so the fault-free
+        path never touches the in-flight queue.
+        """
+        plan = self._faults
+        if plan is None:
+            return None
+        if plan.frontend_down(self.server_id, now):
+            plan.stats.crash_rejections += 1
+            return ResultCode.UNAVAILABLE
+        if self.capacity is not None and self.in_flight(now) >= self.capacity:
+            plan.stats.shed_requests += 1
+            return ResultCode.SHED
+        return None
+
+    def _finish(
+        self,
+        *,
+        now: float,
+        nominal: float,
+        timeout: float | None,
+    ) -> tuple[ResultCode, float]:
+        """Resolve transient errors/timeouts for a started request.
+
+        Returns ``(result, elapsed)`` where ``elapsed`` is the
+        client-perceived duration: the full ``nominal`` time on success, a
+        partial time when the request errored mid-flight, or the timeout
+        when the client abandoned it.
+        """
+        plan = self._faults
+        if plan is None:
+            return ResultCode.OK, nominal
+        if plan.draw_transient_error(self.server_id):
+            plan.stats.injected_errors += 1
+            elapsed = nominal * plan.error_fraction(self.server_id)
+            if timeout is not None:
+                elapsed = min(elapsed, timeout)
+            self._track(now, elapsed)
+            return ResultCode.SERVER_ERROR, elapsed
+        if timeout is not None and nominal > timeout:
+            plan.stats.timeouts += 1
+            self._track(now, timeout)
+            return ResultCode.TIMEOUT, timeout
+        self._track(now, nominal)
+        return ResultCode.OK, nominal
+
+    def _track(self, now: float, elapsed: float) -> None:
+        if self.capacity is not None and self._faults is not None:
+            self._in_flight.append(now + elapsed)
+
+    def _count(self, result: ResultCode) -> None:
+        if result.is_ok:
+            self.requests_ok += 1
+        else:
+            self.requests_failed += 1
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
 
     def handle_file_op(
         self,
@@ -112,10 +223,32 @@ class FrontendServer:
         rtt: float,
         proxied: bool = False,
         session_id: int = -1,
+        timeout: float | None = None,
         rng: np.random.Generator,
-    ) -> float:
-        """Process a file operation request; returns its processing time."""
+    ) -> RequestOutcome:
+        """Process a file operation request; returns its typed outcome."""
+        failure = self._preflight(timestamp, timeout)
+        if failure is not None:
+            return self._emit_failure(
+                result=failure,
+                timestamp=timestamp,
+                user_id=user_id,
+                device_id=device_id,
+                device_type=device_type,
+                kind=RequestKind.FILE_OP,
+                direction=direction,
+                rtt=rtt,
+                proxied=proxied,
+                session_id=session_id,
+            )
         tsrv = float(self.profile.tsrv.sample(rng)) * 0.2  # metadata only
+        plan = self._faults
+        if plan is not None:
+            tsrv *= plan.latency_multiplier(self.server_id, timestamp)
+        result, elapsed = self._finish(
+            now=timestamp, nominal=tsrv, timeout=timeout
+        )
+        self._count(result)
         self._emit(
             LogRecord(
                 timestamp=timestamp,
@@ -125,14 +258,19 @@ class FrontendServer:
                 kind=RequestKind.FILE_OP,
                 direction=direction,
                 volume=0,
-                processing_time=tsrv,
-                server_time=tsrv,
+                processing_time=elapsed,
+                server_time=elapsed if result.is_ok else 0.0,
                 rtt=rtt,
                 proxied=proxied,
+                result=result,
                 session_id=session_id,
             )
         )
-        return tsrv
+        if not result.is_ok:
+            return RequestOutcome(result=result, elapsed=elapsed)
+        return RequestOutcome(
+            result=result, elapsed=elapsed, tchunk=elapsed, tsrv=elapsed
+        )
 
     def handle_chunk(
         self,
@@ -148,22 +286,48 @@ class FrontendServer:
         restarted: bool = False,
         proxied: bool = False,
         session_id: int = -1,
+        timeout: float | None = None,
         rng: np.random.Generator,
-    ) -> tuple[float, float]:
-        """Process one chunk request; returns ``(Tchunk, Tsrv)``.
+    ) -> RequestOutcome:
+        """Process one chunk request; returns its typed outcome.
 
-        ``Tchunk`` is the transfer time plus the upstream storage time, the
-        same decomposition the paper's logs carry.
+        On success the outcome carries ``(tchunk, tsrv)`` — the transfer
+        time plus the upstream storage time, the same decomposition the
+        paper's logs carry.
         """
+        failure = self._preflight(timestamp, timeout)
+        if failure is not None:
+            return self._emit_failure(
+                result=failure,
+                timestamp=timestamp,
+                user_id=user_id,
+                device_id=device_id,
+                device_type=device_type,
+                kind=RequestKind.CHUNK,
+                direction=direction,
+                rtt=rtt,
+                proxied=proxied,
+                session_id=session_id,
+            )
         tsrv = float(self.profile.tsrv.sample(rng))
         ttran = self.transfer_model.transfer_time(
             size, rtt, bandwidth, direction, restarted
         )
+        plan = self._faults
+        if plan is not None:
+            multiplier = plan.latency_multiplier(self.server_id, timestamp)
+            tsrv *= multiplier
+            ttran *= multiplier
         tchunk = ttran + tsrv
-        if direction is Direction.STORE:
-            self.bytes_stored += size
-        else:
-            self.bytes_served += size
+        result, elapsed = self._finish(
+            now=timestamp, nominal=tchunk, timeout=timeout
+        )
+        self._count(result)
+        if result.is_ok:
+            if direction is Direction.STORE:
+                self.bytes_stored += size
+            else:
+                self.bytes_served += size
         self._emit(
             LogRecord(
                 timestamp=timestamp,
@@ -172,12 +336,57 @@ class FrontendServer:
                 user_id=user_id,
                 kind=RequestKind.CHUNK,
                 direction=direction,
-                volume=size,
-                processing_time=tchunk,
-                server_time=tsrv,
+                volume=size if result.is_ok else 0,
+                processing_time=elapsed,
+                server_time=tsrv if result.is_ok else 0.0,
                 rtt=rtt,
                 proxied=proxied,
+                result=result,
                 session_id=session_id,
             )
         )
-        return tchunk, tsrv
+        if not result.is_ok:
+            return RequestOutcome(result=result, elapsed=elapsed)
+        return RequestOutcome(
+            result=result, elapsed=elapsed, tchunk=tchunk, tsrv=tsrv
+        )
+
+    def _emit_failure(
+        self,
+        *,
+        result: ResultCode,
+        timestamp: float,
+        user_id: int,
+        device_id: str,
+        device_type: DeviceType,
+        kind: RequestKind,
+        direction: Direction,
+        rtt: float,
+        proxied: bool,
+        session_id: int,
+    ) -> RequestOutcome:
+        """Log a request rejected before any processing happened.
+
+        A connect to a crashed server costs one RTT to fail; a shed
+        request is answered immediately with a cheap rejection.
+        """
+        elapsed = rtt if result is ResultCode.UNAVAILABLE else rtt / 2.0
+        self._count(result)
+        self._emit(
+            LogRecord(
+                timestamp=timestamp,
+                device_type=device_type,
+                device_id=device_id,
+                user_id=user_id,
+                kind=kind,
+                direction=direction,
+                volume=0,
+                processing_time=elapsed,
+                server_time=0.0,
+                rtt=rtt,
+                proxied=proxied,
+                result=result,
+                session_id=session_id,
+            )
+        )
+        return RequestOutcome(result=result, elapsed=elapsed)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults import FaultPlan, MetadataUnavailableError
 from .chunks import FileManifest
 
 
@@ -43,18 +44,37 @@ class MetadataServer:
     n_frontends:
         Number of storage front-end servers to spread users across.  The
         "closest" front-end is modeled as a stable hash of the user ID.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; during a scheduled
+        metadata outage window every operation raises
+        :class:`~repro.faults.MetadataUnavailableError` (clients back off
+        and retry).  ``None`` keeps the historical always-available
+        behaviour.
     """
 
-    def __init__(self, n_frontends: int = 4) -> None:
+    def __init__(
+        self, n_frontends: int = 4, *, fault_plan: FaultPlan | None = None
+    ) -> None:
         if n_frontends < 1:
             raise ValueError("need at least one front-end server")
         self.n_frontends = n_frontends
+        self.fault_plan = fault_plan
         self._content: dict[str, int] = {}  # file_md5 -> hosting frontend
         self._by_url: dict[str, StoredFile] = {}
         self._spaces: dict[int, dict[str, StoredFile]] = {}
         self._url_counter = 0
         self.dedup_hits = 0
         self.store_requests = 0
+        self.rejected_requests = 0
+
+    def _check_available(self, now: float) -> None:
+        plan = self.fault_plan
+        if plan is not None and plan.enabled and plan.metadata_down(now):
+            self.rejected_requests += 1
+            plan.stats.metadata_rejections += 1
+            raise MetadataUnavailableError(
+                f"metadata server down at t={now:.3f}"
+            )
 
     def _frontend_for(self, user_id: int) -> int:
         return user_id % self.n_frontends
@@ -67,12 +87,17 @@ class MetadataServer:
     # Storage path
     # ------------------------------------------------------------------
 
-    def request_store(self, user_id: int, manifest: FileManifest) -> DedupDecision:
+    def request_store(
+        self, user_id: int, manifest: FileManifest, *, now: float = 0.0
+    ) -> DedupDecision:
         """Handle a file storage operation request.
 
         Returns the dedup decision; on a duplicate the file is registered
-        in the user's space immediately and no upload happens.
+        in the user's space immediately and no upload happens.  During a
+        scheduled outage window raises
+        :class:`~repro.faults.MetadataUnavailableError`.
         """
+        self._check_available(now)
         self.store_requests += 1
         hosting = self._content.get(manifest.file_md5)
         if hosting is not None:
@@ -85,8 +110,21 @@ class MetadataServer:
             url="",
         )
 
-    def commit_store(self, user_id: int, manifest: FileManifest, frontend_id: int) -> str:
-        """Record a completed upload; returns the file's URL."""
+    def commit_store(
+        self,
+        user_id: int,
+        manifest: FileManifest,
+        frontend_id: int,
+        *,
+        now: float = 0.0,
+    ) -> str:
+        """Record a completed upload; returns the file's URL.
+
+        The commit is accepted even during an outage window: the upload
+        already happened, and losing the registration would orphan the
+        stored bytes.  (Real systems write-ahead-queue this; we model the
+        queue as always draining.)
+        """
         if not 0 <= frontend_id < self.n_frontends:
             raise ValueError(f"unknown front-end {frontend_id}")
         self._content[manifest.file_md5] = frontend_id
@@ -113,13 +151,15 @@ class MetadataServer:
     # Retrieval path
     # ------------------------------------------------------------------
 
-    def resolve_url(self, url: str) -> tuple[StoredFile, int]:
+    def resolve_url(self, url: str, *, now: float = 0.0) -> tuple[StoredFile, int]:
         """Resolve a share/retrieval URL to the file and its front-end.
 
-        Raises KeyError for unknown URLs.  Any user may resolve any URL —
-        URL-based sharing is exactly how the paper's download-only users
-        fetch popular content.
+        Raises KeyError for unknown URLs and
+        :class:`~repro.faults.MetadataUnavailableError` during an outage
+        window.  Any user may resolve any URL — URL-based sharing is
+        exactly how the paper's download-only users fetch popular content.
         """
+        self._check_available(now)
         record = self._by_url[url]
         frontend = self._content.get(record.file_md5)
         if frontend is None:

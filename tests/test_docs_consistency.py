@@ -11,7 +11,10 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 #: Benchmarks of the toolkit's own machinery rather than of a paper
 #: figure/table; exempt from the bench <-> experiment mapping.
-INFRASTRUCTURE_BENCHMARKS = {"bench_parallel_generation.py"}
+INFRASTRUCTURE_BENCHMARKS = {
+    "bench_parallel_generation.py",
+    "bench_fault_overhead.py",
+}
 
 
 def experiment_ids():

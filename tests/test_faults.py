@@ -1,0 +1,233 @@
+"""Tests for the fault-injection plan and retry policy primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FaultConfig,
+    FaultPlan,
+    RequestOutcome,
+    RetryPolicy,
+    Window,
+    scaled_config,
+)
+from repro.logs import ResultCode
+
+
+class TestWindow:
+    def test_contains_half_open(self):
+        w = Window(10.0, 20.0)
+        assert w.contains(10.0)
+        assert w.contains(19.999)
+        assert not w.contains(20.0)
+        assert not w.contains(9.999)
+        assert w.duration == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Window(5.0, 4.0)
+
+
+class TestFaultConfig:
+    def test_default_is_benign(self):
+        assert not FaultConfig().enabled
+
+    def test_at_rate_scales_every_channel(self):
+        config = FaultConfig.at_rate(0.05)
+        assert config.enabled
+        assert config.error_rate == 0.05
+        assert config.crash_rate > 0
+        assert config.slow_rate > 0
+        assert config.metadata_outage_rate > 0
+
+    def test_at_rate_zero_is_disabled(self):
+        assert not FaultConfig.at_rate(0.0).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(error_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultConfig(error_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(crash_rate=-1.0)
+        with pytest.raises(ValueError):
+            FaultConfig(slow_multiplier=0.5)
+        with pytest.raises(ValueError):
+            FaultConfig(horizon=0.0)
+
+    def test_scaled_config(self):
+        base = FaultConfig.at_rate(0.02)
+        double = scaled_config(base, 2.0)
+        assert double.error_rate == pytest.approx(0.04)
+        assert double.crash_rate == pytest.approx(base.crash_rate * 2)
+        assert double.crash_mean_downtime == base.crash_mean_downtime
+
+
+class TestFaultPlan:
+    def make(self, seed=0, n_frontends=3, rate=0.1):
+        return FaultPlan(
+            FaultConfig.at_rate(rate, horizon=24 * 3600.0),
+            n_frontends=n_frontends,
+            seed=seed,
+        )
+
+    def test_same_seed_same_schedule(self):
+        a, b = self.make(seed=7), self.make(seed=7)
+        for fid in range(3):
+            assert a.crash_windows(fid) == b.crash_windows(fid)
+            assert a.slow_windows(fid) == b.slow_windows(fid)
+        assert a.metadata_windows == b.metadata_windows
+
+    def test_different_seeds_differ(self):
+        a, b = self.make(seed=1), self.make(seed=2)
+        assert (
+            a.crash_windows(0) != b.crash_windows(0)
+            or a.metadata_windows != b.metadata_windows
+        )
+
+    def test_windows_sorted_and_disjoint(self):
+        plan = self.make(rate=0.5)
+        for windows in (
+            *(plan.crash_windows(f) for f in range(3)),
+            *(plan.slow_windows(f) for f in range(3)),
+            plan.metadata_windows,
+        ):
+            for earlier, later in zip(windows, windows[1:]):
+                assert earlier.end <= later.start
+
+    def test_frontend_down_matches_windows(self):
+        plan = self.make(rate=0.5)
+        windows = plan.crash_windows(0)
+        assert windows, "expected crash windows at rate 0.5 over a day"
+        inside = (windows[0].start + windows[0].end) / 2.0
+        assert plan.frontend_down(0, inside)
+        assert plan.downtime_remaining(0, inside) == pytest.approx(
+            windows[0].end - inside
+        )
+        assert not plan.frontend_down(0, windows[0].end)
+        assert plan.downtime_remaining(0, windows[0].end) == 0.0
+
+    def test_latency_multiplier(self):
+        plan = self.make(rate=0.5)
+        windows = plan.slow_windows(1)
+        assert windows
+        t = windows[0].start
+        assert plan.latency_multiplier(1, t) == plan.config.slow_multiplier
+        assert plan.latency_multiplier(1, windows[0].end) == 1.0
+
+    def test_error_draws_are_per_frontend(self):
+        """Draws on one front-end's stream never perturb another's."""
+        a, b = self.make(seed=3), self.make(seed=3)
+        # Interleave extra draws on front-end 0 of plan `a` only.
+        seq_a = []
+        seq_b = [b.draw_transient_error(1) for _ in range(50)]
+        for _ in range(50):
+            a.draw_transient_error(0)
+            seq_a.append(a.draw_transient_error(1))
+        assert seq_a == seq_b
+
+    def test_adding_frontends_preserves_existing_schedules(self):
+        small = self.make(seed=9, n_frontends=2)
+        large = self.make(seed=9, n_frontends=4)
+        # Spawn order is per-component blocks, so front-end 0's crash
+        # stream is child 0 in both plans.
+        assert small.crash_windows(0) == large.crash_windows(0)
+
+    def test_disabled_plan_draws_nothing(self):
+        plan = FaultPlan(FaultConfig(), n_frontends=2, seed=0)
+        assert not plan.enabled
+        assert not plan.draw_transient_error(0)
+        assert not plan.frontend_down(0, 100.0)
+        assert not plan.metadata_down(100.0)
+        assert plan.latency_multiplier(0, 100.0) == 1.0
+
+    def test_beyond_horizon_is_benign(self):
+        plan = self.make(rate=0.5)
+        after = plan.config.horizon + 10.0
+        assert not plan.frontend_down(0, after)
+        assert not plan.metadata_down(after)
+        assert plan.latency_multiplier(0, after) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(FaultConfig(), n_frontends=0)
+
+
+class TestRequestOutcome:
+    def test_ok(self):
+        outcome = RequestOutcome(ResultCode.OK, elapsed=1.0, tchunk=1.0)
+        assert outcome.ok
+        assert not outcome.retryable
+        assert not outcome.wants_failover
+
+    def test_failover_only_for_unavailable_and_shed(self):
+        for code, wants in (
+            (ResultCode.UNAVAILABLE, True),
+            (ResultCode.SHED, True),
+            (ResultCode.SERVER_ERROR, False),
+            (ResultCode.TIMEOUT, False),
+        ):
+            outcome = RequestOutcome(code, elapsed=0.5)
+            assert outcome.retryable
+            assert outcome.wants_failover is wants
+
+
+class TestRetryPolicy:
+    def test_nominal_delay_doubles_then_caps(self):
+        policy = RetryPolicy(base_delay=0.2, max_delay=5.0, multiplier=2.0)
+        assert policy.nominal_delay(1) == pytest.approx(0.2)
+        assert policy.nominal_delay(2) == pytest.approx(0.4)
+        assert policy.nominal_delay(5) == pytest.approx(3.2)
+        assert policy.nominal_delay(6) == pytest.approx(5.0)
+        assert policy.nominal_delay(50) == pytest.approx(5.0)
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.backoff_delay(1, rng) == policy.nominal_delay(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.9)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(request_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().nominal_delay(0)
+
+    @given(
+        base=st.floats(0.01, 2.0),
+        max_delay_extra=st.floats(0.0, 30.0),
+        multiplier=st.floats(1.0, 4.0),
+        jitter=st.floats(0.0, 0.99),
+        failure_index=st.integers(1, 64),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_backoff_capped_and_monotonically_bounded(
+        self, base, max_delay_extra, multiplier, jitter, failure_index, seed
+    ):
+        """Jittered delays never exceed ``max_backoff``; the pre-jitter
+        schedule is non-decreasing and capped at ``max_delay``."""
+        policy = RetryPolicy(
+            base_delay=base,
+            max_delay=base + max_delay_extra,
+            multiplier=multiplier,
+            jitter=jitter,
+        )
+        rng = np.random.default_rng(seed)
+        delay = policy.backoff_delay(failure_index, rng)
+        assert 0.0 <= delay <= policy.max_backoff
+        nominals = [policy.nominal_delay(i) for i in range(1, failure_index + 1)]
+        assert all(
+            later >= earlier - 1e-12
+            for earlier, later in zip(nominals, nominals[1:])
+        )
+        assert all(n <= policy.max_delay + 1e-12 for n in nominals)

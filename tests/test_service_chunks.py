@@ -19,9 +19,13 @@ class TestChunkSizes:
     def test_small_file_single_chunk(self):
         assert chunk_sizes(5000) == [5000]
 
+    def test_zero_byte_file_has_no_chunks(self):
+        """Empty files are metadata-only: they split into zero chunks."""
+        assert chunk_sizes(0) == []
+
     def test_validation(self):
         with pytest.raises(ValueError):
-            chunk_sizes(0)
+            chunk_sizes(-1)
         with pytest.raises(ValueError):
             chunk_sizes(100, chunk_size=0)
 

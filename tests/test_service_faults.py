@@ -1,0 +1,273 @@
+"""Tests for fault injection, recovery and determinism in the service layer.
+
+Covers the three contracts of the fault subsystem:
+
+* injected faults surface as typed failure records in the Table 1 log and
+  the retry policy recovers from them;
+* the whole faulty simulation is deterministic — same seed and plan,
+  byte-identical logs;
+* zero overhead when off — a cluster with no fault plan and one with a
+  disabled plan produce record-identical logs.
+"""
+
+import pytest
+
+from repro.faults import FaultConfig, FaultPlan, RetryPolicy
+from repro.logs import Direction, DeviceType, RequestKind, ResultCode
+from repro.logs.io import record_to_tsv
+from repro.service import ClientNetwork, MetadataUnavailableError, ServiceCluster
+
+
+def drive_workload(cluster, n_users=6, files_per_user=4, seed=11):
+    """A small deterministic store workload; returns transfer reports."""
+    reports = []
+    for user in range(1, n_users + 1):
+        client = cluster.new_client(
+            user, f"dev{user}", DeviceType.ANDROID,
+            network=ClientNetwork(rtt=0.1, bandwidth=2_000_000.0),
+            seed=seed,
+        )
+        client.clock = 100.0 * user
+        for f in range(files_per_user):
+            reports.append(
+                client.store_file(
+                    f"u{user}f{f}.jpg", f"u{user}/f{f}".encode(),
+                    700_000 + 10_000 * f,
+                )
+            )
+    return reports
+
+
+def log_bytes(cluster):
+    return "\n".join(record_to_tsv(r) for r in cluster.access_log())
+
+
+class TestFaultInjection:
+    def test_transient_errors_logged_and_recovered(self):
+        cluster = ServiceCluster(
+            n_frontends=2,
+            faults=FaultConfig(error_rate=0.2),
+            fault_seed=5,
+        )
+        reports = drive_workload(cluster)
+        assert all(r.completed for r in reports)
+        failures = [r for r in cluster.access_log() if not r.is_ok]
+        assert failures, "expected injected transient errors at rate 0.2"
+        assert all(f.result is ResultCode.SERVER_ERROR for f in failures)
+        assert all(f.volume == 0 for f in failures)
+        assert cluster.fault_stats.injected_errors == len(failures)
+        assert cluster.fault_stats.retries >= len(failures)
+        assert cluster.failure_rate > 0
+
+    def test_crash_window_rejections_fail_over(self):
+        config = FaultConfig(crash_rate=3.0, crash_mean_downtime=300.0)
+        cluster = ServiceCluster(
+            n_frontends=3, faults=config, fault_seed=1,
+        )
+        # Find a crash window and aim a client straight into it.
+        plan = cluster.fault_plan
+        windows = next(
+            (f, plan.crash_windows(f)[0])
+            for f in range(3)
+            if plan.crash_windows(f)
+        )
+        fid, window = windows
+        client = cluster.new_client(
+            1, "d1", DeviceType.IOS,
+            network=ClientNetwork(rtt=0.05, bandwidth=2_000_000.0),
+        )
+        client.clock = window.start + 1.0
+        report = client.store_file("a.jpg", b"a", 400_000)
+        assert report.completed
+        unavailable = [
+            r for r in cluster.access_log()
+            if r.result is ResultCode.UNAVAILABLE
+        ]
+        if unavailable:
+            assert cluster.fault_stats.crash_rejections == len(unavailable)
+            assert cluster.fault_stats.failovers >= 0
+
+    def test_load_shedding_at_capacity(self):
+        cluster = ServiceCluster(
+            n_frontends=1,
+            faults=FaultConfig(error_rate=1e-9),  # arm the plan, stay quiet
+            frontend_capacity=0,  # every data request sheds
+            retry_policy=RetryPolicy(max_attempts=2, failover=False),
+        )
+        client = cluster.new_client(
+            1, "d1", DeviceType.ANDROID,
+            network=ClientNetwork(rtt=0.1, bandwidth=2_000_000.0),
+        )
+        report = client.store_file("a.jpg", b"a", 400_000)
+        assert not report.completed
+        shed = [
+            r for r in cluster.access_log() if r.result is ResultCode.SHED
+        ]
+        assert shed
+        assert cluster.fault_stats.shed_requests == len(shed)
+        assert cluster.fault_stats.aborted_transfers == 1
+
+    def test_metadata_outage_raises_then_client_retries(self):
+        config = FaultConfig(
+            metadata_outage_rate=2.0, metadata_mean_downtime=10.0
+        )
+        cluster = ServiceCluster(n_frontends=2, faults=config, fault_seed=3)
+        plan = cluster.fault_plan
+        assert plan.metadata_windows
+        window = plan.metadata_windows[0]
+        inside = (window.start + window.end) / 2.0
+        with pytest.raises(MetadataUnavailableError):
+            cluster.metadata.resolve_url("no-such-url", now=inside)
+        client = cluster.new_client(
+            1, "d1", DeviceType.ANDROID,
+            network=ClientNetwork(rtt=0.05, bandwidth=2_000_000.0),
+        )
+        # Start just before the outage lifts so the retry budget spans it.
+        client.clock = max(window.start, window.end - 0.3)
+        started = client.clock
+        report = client.store_file("a.jpg", b"a", 200_000)
+        assert report.completed
+        assert cluster.metadata.rejected_requests >= 1
+        assert cluster.fault_stats.metadata_rejections >= 1
+        assert client.clock > started
+
+    def test_timeout_result_on_extreme_slow_episode(self):
+        config = FaultConfig(
+            slow_rate=50.0, slow_mean_duration=3600.0, slow_multiplier=1000.0
+        )
+        cluster = ServiceCluster(
+            n_frontends=1,
+            faults=config,
+            fault_seed=2,
+            retry_policy=RetryPolicy(max_attempts=2, request_timeout=5.0),
+        )
+        plan = cluster.fault_plan
+        assert plan.slow_windows(0)
+        window = plan.slow_windows(0)[0]
+        client = cluster.new_client(
+            1, "d1", DeviceType.ANDROID,
+            network=ClientNetwork(rtt=0.1, bandwidth=2_000_000.0),
+        )
+        client.clock = window.start + 0.5
+        client.store_file("a.jpg", b"a", 512 * 1024)
+        timeouts = [
+            r for r in cluster.access_log()
+            if r.result is ResultCode.TIMEOUT
+        ]
+        assert timeouts
+        assert cluster.fault_stats.timeouts == len(timeouts)
+
+
+class TestDeterminism:
+    def faulty_cluster(self):
+        return ServiceCluster(
+            n_frontends=3,
+            faults=FaultConfig.at_rate(0.08),
+            fault_seed=17,
+            frontend_capacity=32,
+        )
+
+    def test_same_seed_same_plan_byte_identical_logs(self):
+        a, b = self.faulty_cluster(), self.faulty_cluster()
+        drive_workload(a)
+        drive_workload(b)
+        assert log_bytes(a) == log_bytes(b)
+        assert a.fault_stats.as_dict() == b.fault_stats.as_dict()
+
+    def test_byte_identical_across_processes(self):
+        """Same seed + same plan in a fresh interpreter with a different
+        hash salt: byte-identical logs (client seeding must not depend on
+        Python's per-process string hashing)."""
+        import hashlib
+        import os
+        import subprocess
+        import sys
+
+        snippet = (
+            "from tests.test_service_faults import "
+            "TestDeterminism, drive_workload, log_bytes\n"
+            "import hashlib\n"
+            "cluster = TestDeterminism().faulty_cluster()\n"
+            "drive_workload(cluster)\n"
+            "print(hashlib.md5(log_bytes(cluster).encode()).hexdigest())\n"
+        )
+        cluster = self.faulty_cluster()
+        drive_workload(cluster)
+        local = hashlib.md5(log_bytes(cluster).encode()).hexdigest()
+        env = dict(os.environ)
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            (os.path.join(repo, "src"), repo)
+        )
+        env["PYTHONHASHSEED"] = "12345"  # force a different string salt
+        remote = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, env=env, cwd=repo, check=True,
+        ).stdout.strip()
+        assert remote == local
+
+    def test_zero_overhead_when_off(self):
+        """No plan at all vs a disabled plan: record-identical logs."""
+        plain = ServiceCluster(n_frontends=2)
+        disabled = ServiceCluster(
+            n_frontends=2, faults=FaultConfig.at_rate(0.0)
+        )
+        assert disabled.fault_plan is not None
+        assert not disabled.fault_plan.enabled
+        drive_workload(plain)
+        drive_workload(disabled)
+        assert log_bytes(plain) == log_bytes(disabled)
+        assert disabled.fault_stats.total_faults == 0
+
+    def test_fault_free_logs_all_ok(self):
+        cluster = ServiceCluster(n_frontends=2)
+        reports = drive_workload(cluster)
+        assert all(r.completed and r.retries == 0 for r in reports)
+        assert all(r.is_ok for r in cluster.access_log())
+        assert cluster.requests_failed == 0
+        assert cluster.failure_rate == 0.0
+
+
+class TestProfileIsolation:
+    def test_each_cluster_owns_its_server_profile(self):
+        """Regression: deployments must not share one mutable profile."""
+        a = ServiceCluster(n_frontends=2)
+        b = ServiceCluster(n_frontends=2)
+        assert a.server_profile is not b.server_profile
+        for frontend in a.frontends:
+            assert frontend.profile is a.server_profile
+        from repro.service import FrontendServer
+
+        f1, f2 = FrontendServer(server_id=0), FrontendServer(server_id=1)
+        assert f1.profile is not f2.profile
+
+
+class TestZeroByteTransfers:
+    def test_store_zero_byte_file_is_metadata_only(self):
+        cluster = ServiceCluster(n_frontends=1)
+        client = cluster.new_client(
+            1, "d1", DeviceType.IOS,
+            network=ClientNetwork(rtt=0.1, bandwidth=1_000_000.0),
+        )
+        report = client.store_file("empty.txt", b"empty", 0)
+        assert report.completed
+        assert report.n_chunks == 0
+        kinds = [r.kind for r in cluster.access_log()]
+        assert RequestKind.CHUNK not in kinds
+        assert kinds.count(RequestKind.FILE_OP) == 1
+
+    def test_retrieve_zero_byte_file(self):
+        cluster = ServiceCluster(n_frontends=1)
+        client = cluster.new_client(
+            1, "d1", DeviceType.IOS,
+            network=ClientNetwork(rtt=0.1, bandwidth=1_000_000.0),
+        )
+        stored = client.store_file("empty.txt", b"empty", 0)
+        fetched = client.retrieve_url(stored.url)
+        assert fetched.completed
+        assert fetched.size == 0
+        chunk_records = [
+            r for r in cluster.access_log()
+            if r.kind is RequestKind.CHUNK
+        ]
+        assert chunk_records == []

@@ -48,9 +48,18 @@ class TestTransferModel:
     def test_validation(self):
         model = TransferModel()
         with pytest.raises(ValueError):
-            model.transfer_time(0, 0.1, 1e6, Direction.STORE)
+            model.transfer_time(-1, 0.1, 1e6, Direction.STORE)
         with pytest.raises(ValueError):
             model.transfer_time(100, 0.0, 1e6, Direction.STORE)
+
+    def test_zero_byte_transfer_is_free(self):
+        """Metadata-only / empty-file requests cost processing time only."""
+        model = TransferModel()
+        assert model.transfer_time(0, 0.1, 1e6, Direction.STORE) == 0.0
+        # The restart penalty applies to data transfers, not empty ones.
+        assert model.transfer_time(
+            0, 0.1, 1e6, Direction.RETRIEVE, restarted=True
+        ) == 0.0
 
 
 class TestFrontendServer:
@@ -60,7 +69,7 @@ class TestFrontendServer:
     def test_chunk_emits_log_record(self):
         server = self.make()
         rng = np.random.default_rng(0)
-        tchunk, tsrv = server.handle_chunk(
+        outcome = server.handle_chunk(
             timestamp=10.0,
             user_id=1,
             device_id="d1",
@@ -71,13 +80,16 @@ class TestFrontendServer:
             bandwidth=1e6,
             rng=rng,
         )
+        assert outcome.ok
         assert len(server.access_log) == 1
         record = server.access_log[0]
         assert record.kind is RequestKind.CHUNK
+        assert record.is_ok
         assert record.volume == 512 * 1024
-        assert record.processing_time == pytest.approx(tchunk)
-        assert record.server_time == pytest.approx(tsrv)
-        assert tchunk > tsrv > 0
+        assert record.processing_time == pytest.approx(outcome.tchunk)
+        assert record.server_time == pytest.approx(outcome.tsrv)
+        assert outcome.tchunk > outcome.tsrv > 0
+        assert outcome.elapsed == pytest.approx(outcome.tchunk)
 
     def test_file_op_emits_zero_volume_record(self):
         server = self.make()
@@ -123,17 +135,16 @@ class TestFrontendServer:
 
     def test_restart_lengthens_chunk(self):
         server = self.make()
-        rng = np.random.default_rng(0)
-        plain, _ = server.handle_chunk(
+        plain = server.handle_chunk(
             timestamp=0.0, user_id=1, device_id="d",
             device_type=DeviceType.IOS, direction=Direction.STORE,
             size=512 * 1024, rtt=0.1, bandwidth=1e6,
             restarted=False, rng=np.random.default_rng(5),
         )
-        restarted, _ = server.handle_chunk(
+        restarted = server.handle_chunk(
             timestamp=0.0, user_id=1, device_id="d",
             device_type=DeviceType.IOS, direction=Direction.STORE,
             size=512 * 1024, rtt=0.1, bandwidth=1e6,
             restarted=True, rng=np.random.default_rng(5),
         )
-        assert restarted > plain
+        assert restarted.tchunk > plain.tchunk
