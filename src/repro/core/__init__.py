@@ -41,14 +41,17 @@ from .session_size import (
 )
 from .sessions import (
     DEFAULT_TAU,
+    ColumnarSessions,
     IntervalModel,
     Session,
     SessionClassShares,
     SessionType,
     classify_sessions,
     file_operation_intervals,
+    file_operation_intervals_columnar,
     fit_interval_model,
     sessionize,
+    sessionize_columnar,
     sessionize_user,
 )
 from .usage import (
@@ -59,6 +62,7 @@ from .usage import (
     classify_user,
     device_group_of,
     profile_users,
+    profile_users_columnar,
     ratio_samples,
     table3,
 )
@@ -67,6 +71,7 @@ from .workload import WorkloadSeries, workload_series
 __all__ = [
     "ActivityFit",
     "BurstinessCurve",
+    "ColumnarSessions",
     "DEFAULT_TAU",
     "DeviceGap",
     "EngagementCurve",
@@ -96,6 +101,7 @@ __all__ = [
     "engagement_curves",
     "estimate_sending_windows",
     "file_operation_intervals",
+    "file_operation_intervals_columnar",
     "files_per_user",
     "fit_activity_model",
     "fit_file_size_model",
@@ -104,11 +110,13 @@ __all__ = [
     "normalized_operating_times",
     "ops_per_session",
     "profile_users",
+    "profile_users_columnar",
     "ratio_samples",
     "restart_fraction",
     "retrieval_return_curves",
     "rtt_samples",
     "sessionize",
+    "sessionize_columnar",
     "sessionize_user",
     "storage_slope_mb",
     "table3",

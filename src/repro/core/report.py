@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..logs.columnar import ColumnarTrace, as_columnar
 from ..logs.schema import Direction, LogRecord
 from ..workload.config import DeviceGroup
 from .activity import ActivityFit, fit_activity_model
@@ -22,8 +23,10 @@ from .sessions import (
     SessionClassShares,
     classify_sessions,
     file_operation_intervals,
+    file_operation_intervals_columnar,
     fit_interval_model,
     sessionize,
+    sessionize_columnar,
 )
 from .session_size import (
     FileSizeModelFit,
@@ -33,7 +36,7 @@ from .session_size import (
     volume_by_ops,
 )
 from .sessions import SessionType
-from .usage import UserProfile, profile_users
+from .usage import UserProfile, profile_users, profile_users_columnar
 
 
 @dataclass(frozen=True)
@@ -65,20 +68,58 @@ class FindingsReport:
 
 
 def analyze_trace(
-    records: list[LogRecord], *, fit_size_model: bool = True
+    records: list[LogRecord] | ColumnarTrace,
+    *,
+    fit_size_model: bool = True,
+    engine: str = "records",
 ) -> FindingsReport:
     """Run the full Section 3 pipeline over a trace.
+
+    ``engine`` selects the sessionization/profiling implementation:
+    ``"records"`` walks :class:`LogRecord` objects one at a time;
+    ``"columnar"`` converts the trace to a struct-of-arrays
+    :class:`~repro.logs.columnar.ColumnarTrace` (or takes one directly)
+    and runs the vectorized fast paths, which are equivalence-tested to
+    recover identical sessions, tallies and profiles.  The remaining
+    figure-level statistics are engine-independent.
 
     Raises ValueError when the trace is too small for some fit; callers
     running on tiny traces can disable the expensive size-model fit.
     """
-    if not records:
-        raise ValueError("empty trace")
-    mobile = [r for r in records if r.is_mobile]
-    intervals = file_operation_intervals(mobile)
-    interval_model = fit_interval_model(intervals)
-    sessions = sessionize(mobile, tau=interval_model.tau)
-    shares = classify_sessions(sessions)
+    if engine not in ("records", "columnar"):
+        raise ValueError(f"unknown analysis engine: {engine!r}")
+    if engine == "columnar":
+        trace = as_columnar(records)
+        if not len(trace):
+            raise ValueError("empty trace")
+        mobile_trace = trace.select(trace.mobile_mask)
+        mobile = mobile_trace.to_records()
+        interval_model = fit_interval_model(
+            file_operation_intervals_columnar(mobile_trace)
+        )
+        mobile_sessions = sessionize_columnar(
+            mobile_trace, tau=interval_model.tau
+        )
+        sessions = mobile_sessions.to_sessions()
+        shares = mobile_sessions.classify()
+        profiles = profile_users_columnar(trace)
+        all_sessions = sessionize_columnar(
+            trace, tau=interval_model.tau
+        ).to_sessions()
+    else:
+        if isinstance(records, ColumnarTrace):
+            records = records.to_records()
+        if not records:
+            raise ValueError("empty trace")
+        mobile = [r for r in records if r.is_mobile]
+        intervals = file_operation_intervals(mobile)
+        interval_model = fit_interval_model(intervals)
+        sessions = sessionize(mobile, tau=interval_model.tau)
+        shares = classify_sessions(sessions)
+        profiles = profile_users(records)
+        # Engagement counts sessions on every client platform: mobile&PC
+        # users sync their uploads mostly from the PC side.
+        all_sessions = sessionize(records, tau=interval_model.tau)
 
     bursty = normalized_operating_times(sessions, min_ops=1)
     burstiness_fraction = (
@@ -95,7 +136,6 @@ def analyze_trace(
         except ValueError:
             size_model = None
 
-    profiles = profile_users(records)
     mobile_profiles = [
         p
         for p in profiles
@@ -108,9 +148,6 @@ def analyze_trace(
         else 0.0
     )
 
-    # Engagement counts sessions on every client platform: mobile&PC
-    # users sync their uploads mostly from the PC side.
-    all_sessions = sessionize(records, tau=interval_model.tau)
     return_curves = retrieval_return_curves(all_sessions, profiles)
     mobile_curves = [
         c

@@ -25,6 +25,11 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..logs.columnar import (
+    FILE_OP_CODE,
+    STORE_CODE,
+    ColumnarTrace,
+)
 from ..logs.schema import Direction, DeviceType, LogRecord
 from ..logs.stream import group_by_user
 from ..stats.gmm import GaussianMixture, fit_gmm
@@ -149,6 +154,30 @@ def file_operation_intervals(records: Iterable[LogRecord]) -> np.ndarray:
     return np.asarray(intervals, dtype=float)
 
 
+def file_operation_intervals_columnar(trace: ColumnarTrace) -> np.ndarray:
+    """Vectorized :func:`file_operation_intervals` over a columnar trace.
+
+    One :func:`np.lexsort` groups file operations by user in time order,
+    one :func:`np.diff` yields all gaps, and a same-user mask keeps only
+    intra-user ones; zero gaps are clamped to one millisecond exactly like
+    the record path.  The output contains the identical interval multiset
+    (users appear in ascending ``user_id`` order rather than trace
+    first-appearance order, which no downstream fit cares about) and feeds
+    :func:`fit_interval_model` / :mod:`repro.stats.gmm` directly.
+    """
+    ops = trace.kind == FILE_OP_CODE
+    ts = trace.timestamp[ops]
+    uid = trace.user_id[ops]
+    if len(ts) < 2:
+        return np.empty(0, dtype=float)
+    order = np.lexsort((ts, uid))
+    ts = ts[order]
+    uid = uid[order]
+    gaps = np.diff(ts)
+    same_user = uid[1:] == uid[:-1]
+    return np.maximum(gaps[same_user], 1e-3)
+
+
 @dataclass(frozen=True)
 class IntervalModel:
     """The fitted Fig 3 model plus the derived session threshold."""
@@ -236,6 +265,230 @@ def sessionize(
     for user_records in group_by_user(records).values():
         sessions.extend(sessionize_user(user_records, tau))
     return sessions
+
+
+@dataclass(frozen=True)
+class ColumnarSessions:
+    """Vectorized sessionization result over a :class:`ColumnarTrace`.
+
+    Mirrors :func:`sessionize` exactly — same cut rule (a file operation
+    more than tau after the user's previous file operation starts a new
+    session), same attachment of chunks and leading records, same dropping
+    of op-free sessions — but holds the result as arrays: a per-record
+    session assignment plus per-session aggregate columns.  Sessions are
+    numbered ``0..n_sessions-1`` ordered by ``(user_id, start time)``;
+    the record path orders users by first trace appearance instead, so
+    comparisons should sort both sides (the *set* of sessions is
+    identical, as the equivalence tests assert).
+
+    ``order`` is the stable ``(user_id, timestamp)`` permutation of the
+    trace; ``session_of`` assigns each *sorted position* its session
+    number, ``-1`` for records of dropped op-free sessions.
+    """
+
+    trace: ColumnarTrace
+    order: np.ndarray
+    session_of: np.ndarray
+    user_id: np.ndarray
+    start: np.ndarray
+    end: np.ndarray
+    first_op: np.ndarray
+    last_op: np.ndarray
+    n_store_ops: np.ndarray
+    n_retrieve_ops: np.ndarray
+    store_volume: np.ndarray
+    retrieve_volume: np.ndarray
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.user_id)
+
+    @property
+    def n_ops(self) -> np.ndarray:
+        return self.n_store_ops + self.n_retrieve_ops
+
+    @property
+    def volume(self) -> np.ndarray:
+        return self.store_volume + self.retrieve_volume
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-session Fig 2 length (first record to last transfer end)."""
+        return self.end - self.start
+
+    @property
+    def operating_times(self) -> np.ndarray:
+        """Per-session time between first and last file operation (Fig 4)."""
+        return self.last_op - self.first_op
+
+    def session_types(self) -> list[SessionType]:
+        """Per-session class, matching :attr:`Session.session_type`."""
+        has_store = self.n_store_ops > 0
+        has_retrieve = self.n_retrieve_ops > 0
+        out = []
+        for store, retrieve in zip(has_store.tolist(), has_retrieve.tolist()):
+            if store and retrieve:
+                out.append(SessionType.MIXED)
+            elif store:
+                out.append(SessionType.STORE_ONLY)
+            else:
+                out.append(SessionType.RETRIEVE_ONLY)
+        return out
+
+    def classify(self) -> SessionClassShares:
+        """Vectorized :func:`classify_sessions` over the session table."""
+        if not self.n_sessions:
+            raise ValueError("no sessions to classify")
+        has_store = self.n_store_ops > 0
+        has_retrieve = self.n_retrieve_ops > 0
+        mixed = int(np.count_nonzero(has_store & has_retrieve))
+        store_only = int(np.count_nonzero(has_store & ~has_retrieve))
+        retrieve_only = int(np.count_nonzero(~has_store & has_retrieve))
+        total = self.n_sessions
+        return SessionClassShares(
+            store_only=store_only / total,
+            retrieve_only=retrieve_only / total,
+            mixed=mixed / total,
+            n_sessions=total,
+        )
+
+    def to_sessions(self) -> list[Session]:
+        """Materialize :class:`Session` objects (ascending session number).
+
+        This is the compatibility bridge for record-path consumers; the
+        vectorized aggregates above cover the common analyses without it.
+        """
+        if not self.n_sessions:
+            return []
+        buckets: list[list[LogRecord]] = [[] for _ in range(self.n_sessions)]
+        sorted_trace = self.trace.select(self.order)
+        assignment = self.session_of.tolist()
+        for position, record in enumerate(sorted_trace.iter_records()):
+            number = assignment[position]
+            if number >= 0:
+                buckets[number].append(record)
+        return [
+            Session(user_id=int(self.user_id[number]), records=bucket)
+            for number, bucket in enumerate(buckets)
+        ]
+
+
+def sessionize_columnar(
+    trace: ColumnarTrace, tau: float = DEFAULT_TAU
+) -> ColumnarSessions:
+    """Vectorized :func:`sessionize`: boolean-mask cuts, cumsum numbering.
+
+    One stable lexsort groups the trace by user in time order; a session
+    starts at every user's first record and at every file operation whose
+    gap from the user's previous file operation exceeds ``tau``
+    (``cumsum`` over the boolean start mask numbers the sessions); op-free
+    sessions are dropped and the rest renumbered densely.  Per-session
+    aggregates come from ``np.bincount`` / ``np.add.at`` /
+    ``np.maximum.at`` over the assignment — no per-record Python.
+    """
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    n = len(trace)
+    if not n:
+        return ColumnarSessions(
+            trace=trace,
+            order=np.empty(0, dtype=np.int64),
+            session_of=np.empty(0, dtype=np.int64),
+            user_id=np.empty(0, dtype=np.int64),
+            start=np.empty(0, dtype=float),
+            end=np.empty(0, dtype=float),
+            first_op=np.empty(0, dtype=float),
+            last_op=np.empty(0, dtype=float),
+            n_store_ops=np.empty(0, dtype=np.int64),
+            n_retrieve_ops=np.empty(0, dtype=np.int64),
+            store_volume=np.empty(0, dtype=np.int64),
+            retrieve_volume=np.empty(0, dtype=np.int64),
+        )
+    order = np.lexsort((trace.timestamp, trace.user_id))
+    uid = trace.user_id[order]
+    ts = trace.timestamp[order]
+    is_op = (trace.kind == FILE_OP_CODE)[order]
+    is_store = (trace.direction == STORE_CODE)[order]
+    volume = trace.volume[order]
+    processing = trace.processing_time[order]
+
+    new_user = np.empty(n, dtype=bool)
+    new_user[0] = True
+    new_user[1:] = uid[1:] != uid[:-1]
+
+    # Gap between consecutive file operations of the same user.
+    op_positions = np.flatnonzero(is_op)
+    starts = new_user.copy()
+    if len(op_positions):
+        op_uid = uid[op_positions]
+        op_ts = ts[op_positions]
+        first_op_of_user = np.empty(len(op_positions), dtype=bool)
+        first_op_of_user[0] = True
+        first_op_of_user[1:] = op_uid[1:] != op_uid[:-1]
+        gaps = np.empty(len(op_positions), dtype=float)
+        gaps[0] = 0.0
+        gaps[1:] = op_ts[1:] - op_ts[:-1]
+        cuts = ~first_op_of_user & (gaps > tau)
+        starts[op_positions[cuts]] = True
+
+    raw_session = np.cumsum(starts) - 1
+    n_raw = int(raw_session[-1]) + 1
+
+    # Drop sessions without a single file operation (the record path's
+    # trailing filter); only a user's leading chunk-only run can form one.
+    ops_per_session = np.bincount(raw_session[is_op], minlength=n_raw)
+    keep = ops_per_session > 0
+    dense = np.cumsum(keep) - 1  # raw number -> dense number (where kept)
+    session_of = np.where(keep[raw_session], dense[raw_session], -1)
+
+    kept = np.flatnonzero(keep)
+    n_sessions = len(kept)
+    assigned = session_of >= 0
+    group = session_of[assigned]
+
+    session_user = uid[starts][keep]
+    # First record of each kept session in sorted order = session start.
+    start_ts = np.full(n_sessions, np.inf)
+    np.minimum.at(start_ts, group, ts[assigned])
+    end_ts = np.full(n_sessions, -np.inf)
+    np.maximum.at(end_ts, group, (ts + processing)[assigned])
+
+    op_assigned = assigned & is_op
+    op_group = session_of[op_assigned]
+    first_op = np.full(n_sessions, np.inf)
+    np.minimum.at(first_op, op_group, ts[op_assigned])
+    last_op = np.full(n_sessions, -np.inf)
+    np.maximum.at(last_op, op_group, ts[op_assigned])
+
+    n_store_ops = np.bincount(
+        session_of[op_assigned & is_store], minlength=n_sessions
+    )
+    n_retrieve_ops = np.bincount(
+        session_of[op_assigned & ~is_store], minlength=n_sessions
+    )
+
+    chunk_assigned = assigned & ~is_op
+    store_volume = np.zeros(n_sessions, dtype=np.int64)
+    mask = chunk_assigned & is_store
+    np.add.at(store_volume, session_of[mask], volume[mask])
+    retrieve_volume = np.zeros(n_sessions, dtype=np.int64)
+    mask = chunk_assigned & ~is_store
+    np.add.at(retrieve_volume, session_of[mask], volume[mask])
+
+    return ColumnarSessions(
+        trace=trace,
+        order=order,
+        session_of=session_of,
+        user_id=session_user,
+        start=start_ts,
+        end=end_ts,
+        first_op=first_op,
+        last_op=last_op,
+        n_store_ops=n_store_ops.astype(np.int64),
+        n_retrieve_ops=n_retrieve_ops.astype(np.int64),
+        store_volume=store_volume,
+        retrieve_volume=retrieve_volume,
+    )
 
 
 @dataclass(frozen=True)

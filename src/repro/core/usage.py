@@ -14,8 +14,16 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from ..logs.columnar import ColumnarTrace
 from ..logs.schema import LogRecord
-from ..logs.stream import UserDevices, VolumeTally, devices_by_user, tally_by_user
+from ..logs.stream import (
+    UserDevices,
+    VolumeTally,
+    devices_by_user,
+    devices_by_user_columnar,
+    tally_by_user,
+    tally_by_user_columnar,
+)
 from ..workload.config import DeviceGroup, UserType
 
 MB = 1024 * 1024
@@ -81,7 +89,8 @@ class UserProfile:
 
 def profile_users(records: Iterable[LogRecord]) -> list[UserProfile]:
     """Classify every user in a trace (one streaming pass + join)."""
-    records = list(records)
+    if not isinstance(records, (list, tuple)):
+        records = list(records)
     tallies = tally_by_user(records)
     devices = devices_by_user(records)
     profiles = []
@@ -96,6 +105,29 @@ def profile_users(records: Iterable[LogRecord]) -> list[UserProfile]:
             )
         )
     return profiles
+
+
+def profile_users_columnar(trace: ColumnarTrace) -> list[UserProfile]:
+    """Vectorized :func:`profile_users` over a columnar trace.
+
+    Tallies and device inventories come from the ``np.bincount`` /
+    ``np.add.at`` fast paths in :mod:`repro.logs.stream`; classification
+    reuses :func:`classify_user` per user (thousands of users, not
+    millions of records).  Profiles are identical to the record path's,
+    ordered by ascending ``user_id`` instead of first trace appearance.
+    """
+    tallies = tally_by_user_columnar(trace)
+    devices = devices_by_user_columnar(trace)
+    return [
+        UserProfile(
+            user_id=user_id,
+            user_type=classify_user(tally),
+            group=device_group_of(devices[user_id]),
+            stored_bytes=tally.stored_bytes,
+            retrieved_bytes=tally.retrieved_bytes,
+        )
+        for user_id, tally in tallies.items()
+    ]
 
 
 def ratio_samples(

@@ -1,0 +1,477 @@
+"""Struct-of-arrays trace representation for vectorized analysis.
+
+The record-at-a-time analyses in :mod:`repro.core` walk Python
+:class:`~repro.logs.schema.LogRecord` objects one by one — fine for unit
+tests, hopeless for the paper's 349 M-request scale.  This module holds the
+same Table 1 trace as a **column-per-field** :class:`ColumnarTrace`:
+NumPy arrays for the numeric fields, small-integer code arrays for the
+enum fields (device type, request kind, direction, result), and a string
+pool for device ids (each record stores an index into the pool).
+
+One :class:`LogRecord` costs hundreds of bytes and a Python-level attribute
+lookup per field access; one columnar row costs ~60 bytes and every
+analysis over it is a NumPy kernel.  The vectorized fast paths built on top
+(:func:`repro.core.sessions.sessionize_columnar`,
+:func:`repro.core.usage.profile_users_columnar`,
+:func:`repro.logs.stream.tally_by_user_columnar`, …) are equivalence-tested
+against the record-path implementations: same session boundaries, same
+tallies, same profiles.
+
+Invariants
+----------
+* Row order is preserved exactly by :meth:`ColumnarTrace.from_records` /
+  :meth:`ColumnarTrace.to_records`; the round trip is the identity
+  (floats are stored as float64, never quantized).
+* Enum code tables are part of the schema: :data:`SCHEMA_VERSION` must be
+  bumped whenever the column layout *or* a code table changes, so on-disk
+  NPZ caches invalidate instead of decoding garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .schema import DeviceType, Direction, LogRecord, RequestKind, ResultCode
+
+#: Version of the on-disk/NPZ column layout and enum code tables.  Bump on
+#: any change to the columns, dtypes, or the code tables below; cached
+#: artifacts keyed by an older version are ignored.
+SCHEMA_VERSION = 1
+
+#: Enum code tables.  A field's code is its index in the tuple; the tables
+#: are append-only (append new members, never reorder) so codes stay stable.
+DEVICE_TYPES: tuple[DeviceType, ...] = (
+    DeviceType.ANDROID,
+    DeviceType.IOS,
+    DeviceType.PC,
+)
+REQUEST_KINDS: tuple[RequestKind, ...] = (RequestKind.FILE_OP, RequestKind.CHUNK)
+DIRECTIONS: tuple[Direction, ...] = (Direction.STORE, Direction.RETRIEVE)
+RESULT_CODES: tuple[ResultCode, ...] = (
+    ResultCode.OK,
+    ResultCode.SERVER_ERROR,
+    ResultCode.UNAVAILABLE,
+    ResultCode.TIMEOUT,
+    ResultCode.SHED,
+)
+
+DEVICE_CODE = {member: code for code, member in enumerate(DEVICE_TYPES)}
+KIND_CODE = {member: code for code, member in enumerate(REQUEST_KINDS)}
+DIRECTION_CODE = {member: code for code, member in enumerate(DIRECTIONS)}
+RESULT_CODE = {member: code for code, member in enumerate(RESULT_CODES)}
+
+#: Frequently tested codes, exported so analysis modules can build boolean
+#: masks without importing the code dicts.
+PC_CODE = DEVICE_CODE[DeviceType.PC]
+FILE_OP_CODE = KIND_CODE[RequestKind.FILE_OP]
+CHUNK_CODE = KIND_CODE[RequestKind.CHUNK]
+STORE_CODE = DIRECTION_CODE[Direction.STORE]
+RETRIEVE_CODE = DIRECTION_CODE[Direction.RETRIEVE]
+OK_CODE = RESULT_CODE[ResultCode.OK]
+
+#: Enum value -> code, keyed by the raw string (the bulk-parse lookup).
+#: Benchmarked against NumPy string-array comparisons: a plain dict list
+#: comprehension wins because building a ``U``-dtype array costs more
+#: than every lookup combined.
+DEVICE_CODE_BY_VALUE = {m.value: c for m, c in DEVICE_CODE.items()}
+KIND_CODE_BY_VALUE = {m.value: c for m, c in KIND_CODE.items()}
+DIRECTION_CODE_BY_VALUE = {m.value: c for m, c in DIRECTION_CODE.items()}
+RESULT_CODE_BY_VALUE = {m.value: c for m, c in RESULT_CODE.items()}
+
+
+def _map_enum_values(values: Sequence[str], by_value: dict) -> np.ndarray:
+    """Map a raw string column to enum codes (invalid values raise)."""
+    try:
+        return np.asarray([by_value[v] for v in values], dtype=np.uint8)
+    except KeyError as exc:
+        raise ValueError(f"unknown enum value: {exc.args[0]!r}") from None
+
+#: (column name, dtype) of every array column, in on-disk order.
+COLUMNS: tuple[tuple[str, str], ...] = (
+    ("timestamp", "float64"),
+    ("device_type", "uint8"),
+    ("device_code", "int64"),
+    ("user_id", "int64"),
+    ("kind", "uint8"),
+    ("direction", "uint8"),
+    ("volume", "int64"),
+    ("processing_time", "float64"),
+    ("server_time", "float64"),
+    ("rtt", "float64"),
+    ("proxied", "bool"),
+    ("result", "uint8"),
+    ("session_id", "int64"),
+)
+
+
+@dataclass(frozen=True)
+class ColumnarTrace:
+    """One trace as a struct of arrays (all the same length).
+
+    ``device_code`` indexes into ``device_pool``, the deduplicated tuple of
+    device-id strings; every other enum field stores its code-table index.
+    Instances are cheap to slice (:meth:`select`), concatenate
+    (:meth:`concatenate`) and persist (:meth:`to_npz`), and round-trip
+    loss-lessly to :class:`~repro.logs.schema.LogRecord` lists.
+    """
+
+    timestamp: np.ndarray
+    device_type: np.ndarray
+    device_code: np.ndarray
+    device_pool: tuple[str, ...]
+    user_id: np.ndarray
+    kind: np.ndarray
+    direction: np.ndarray
+    volume: np.ndarray
+    processing_time: np.ndarray
+    server_time: np.ndarray
+    rtt: np.ndarray
+    proxied: np.ndarray
+    result: np.ndarray
+    session_id: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.timestamp)
+        for name, _ in COLUMNS:
+            if len(getattr(self, name)) != n:
+                raise ValueError(
+                    f"column {name!r} has {len(getattr(self, name))} rows, "
+                    f"expected {n}"
+                )
+        if len(self.device_code) and self.device_code.max(initial=-1) >= len(
+            self.device_pool
+        ):
+            raise ValueError("device_code points past the device pool")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ColumnarTrace":
+        """A zero-row trace (identity for :meth:`concatenate`)."""
+        return cls._from_columns(
+            {name: np.empty(0, dtype=dtype) for name, dtype in COLUMNS},
+            device_pool=(),
+        )
+
+    @classmethod
+    def _from_columns(
+        cls, columns: dict[str, np.ndarray], device_pool: tuple[str, ...]
+    ) -> "ColumnarTrace":
+        return cls(device_pool=device_pool, **columns)
+
+    @classmethod
+    def from_records(cls, records: Iterable[LogRecord]) -> "ColumnarTrace":
+        """Build a columnar trace from any record iterable, order-preserving."""
+        timestamp: list[float] = []
+        device_type: list[int] = []
+        device_code: list[int] = []
+        user_id: list[int] = []
+        kind: list[int] = []
+        direction: list[int] = []
+        volume: list[int] = []
+        processing_time: list[float] = []
+        server_time: list[float] = []
+        rtt: list[float] = []
+        proxied: list[bool] = []
+        result: list[int] = []
+        session_id: list[int] = []
+        pool: dict[str, int] = {}
+        for r in records:
+            timestamp.append(r.timestamp)
+            device_type.append(DEVICE_CODE[r.device_type])
+            code = pool.setdefault(r.device_id, len(pool))
+            device_code.append(code)
+            user_id.append(r.user_id)
+            kind.append(KIND_CODE[r.kind])
+            direction.append(DIRECTION_CODE[r.direction])
+            volume.append(r.volume)
+            processing_time.append(r.processing_time)
+            server_time.append(r.server_time)
+            rtt.append(r.rtt)
+            proxied.append(r.proxied)
+            result.append(RESULT_CODE[r.result])
+            session_id.append(r.session_id)
+        columns = {
+            "timestamp": np.asarray(timestamp, dtype=np.float64),
+            "device_type": np.asarray(device_type, dtype=np.uint8),
+            "device_code": np.asarray(device_code, dtype=np.int64),
+            "user_id": np.asarray(user_id, dtype=np.int64),
+            "kind": np.asarray(kind, dtype=np.uint8),
+            "direction": np.asarray(direction, dtype=np.uint8),
+            "volume": np.asarray(volume, dtype=np.int64),
+            "processing_time": np.asarray(processing_time, dtype=np.float64),
+            "server_time": np.asarray(server_time, dtype=np.float64),
+            "rtt": np.asarray(rtt, dtype=np.float64),
+            "proxied": np.asarray(proxied, dtype=bool),
+            "result": np.asarray(result, dtype=np.uint8),
+            "session_id": np.asarray(session_id, dtype=np.int64),
+        }
+        return cls._from_columns(columns, device_pool=tuple(pool))
+
+    @classmethod
+    def from_string_columns(
+        cls,
+        *,
+        timestamp: Sequence[str] | np.ndarray,
+        device_type: Sequence[str],
+        device_id: Sequence[str],
+        user_id: Sequence[str] | np.ndarray,
+        kind: Sequence[str],
+        direction: Sequence[str],
+        volume: Sequence[str] | np.ndarray,
+        processing_time: Sequence[str] | np.ndarray,
+        server_time: Sequence[str] | np.ndarray,
+        rtt: Sequence[str] | np.ndarray,
+        proxied: Sequence[str],
+        result: Sequence[str],
+        session_id: Sequence[str] | np.ndarray,
+        device_pool: dict[str, int] | None = None,
+    ) -> "ColumnarTrace":
+        """Build one chunk from raw text columns (the bulk-parse fast path).
+
+        Numeric columns convert with one ``np.asarray`` call each; enum
+        columns map through their value tables.  ``device_pool`` lets the
+        caller thread one pool dict across chunks so codes stay global.
+        """
+        pool = device_pool if device_pool is not None else {}
+        columns = {
+            "timestamp": np.asarray(timestamp, dtype=np.float64),
+            "device_type": _map_enum_values(device_type, DEVICE_CODE_BY_VALUE),
+            "device_code": np.asarray(
+                [pool.setdefault(d, len(pool)) for d in device_id],
+                dtype=np.int64,
+            ),
+            "user_id": np.asarray(user_id, dtype=np.int64),
+            "kind": _map_enum_values(kind, KIND_CODE_BY_VALUE),
+            "direction": _map_enum_values(direction, DIRECTION_CODE_BY_VALUE),
+            "volume": np.asarray(volume, dtype=np.int64),
+            "processing_time": np.asarray(processing_time, dtype=np.float64),
+            "server_time": np.asarray(server_time, dtype=np.float64),
+            "rtt": np.asarray(rtt, dtype=np.float64),
+            "proxied": np.asarray(
+                [p == "1" or p == "true" for p in proxied], dtype=bool
+            ),
+            "result": _map_enum_values(result, RESULT_CODE_BY_VALUE),
+            "session_id": np.asarray(session_id, dtype=np.int64),
+        }
+        return cls._from_columns(columns, device_pool=tuple(pool))
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.timestamp)
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The array columns as a name -> array dict (no copy)."""
+        return {name: getattr(self, name) for name, _ in COLUMNS}
+
+    def record(self, i: int) -> LogRecord:
+        """Materialize row ``i`` as a :class:`LogRecord`."""
+        return LogRecord(
+            timestamp=float(self.timestamp[i]),
+            device_type=DEVICE_TYPES[self.device_type[i]],
+            device_id=self.device_pool[self.device_code[i]],
+            user_id=int(self.user_id[i]),
+            kind=REQUEST_KINDS[self.kind[i]],
+            direction=DIRECTIONS[self.direction[i]],
+            volume=int(self.volume[i]),
+            processing_time=float(self.processing_time[i]),
+            server_time=float(self.server_time[i]),
+            rtt=float(self.rtt[i]),
+            proxied=bool(self.proxied[i]),
+            result=RESULT_CODES[self.result[i]],
+            session_id=int(self.session_id[i]),
+        )
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return self.iter_records()
+
+    def iter_records(self) -> Iterator[LogRecord]:
+        """Yield rows as records one at a time (bounded memory)."""
+        # Pull the columns into locals once; .tolist() converts to native
+        # Python scalars in bulk, ~5x faster than per-element np indexing.
+        ts = self.timestamp.tolist()
+        dt = self.device_type.tolist()
+        dc = self.device_code.tolist()
+        uid = self.user_id.tolist()
+        kind = self.kind.tolist()
+        direction = self.direction.tolist()
+        vol = self.volume.tolist()
+        proc = self.processing_time.tolist()
+        srv = self.server_time.tolist()
+        rtt = self.rtt.tolist()
+        prox = self.proxied.tolist()
+        res = self.result.tolist()
+        sid = self.session_id.tolist()
+        pool = self.device_pool
+        for i in range(len(ts)):
+            yield LogRecord(
+                timestamp=ts[i],
+                device_type=DEVICE_TYPES[dt[i]],
+                device_id=pool[dc[i]],
+                user_id=uid[i],
+                kind=REQUEST_KINDS[kind[i]],
+                direction=DIRECTIONS[direction[i]],
+                volume=vol[i],
+                processing_time=proc[i],
+                server_time=srv[i],
+                rtt=rtt[i],
+                proxied=prox[i],
+                result=RESULT_CODES[res[i]],
+                session_id=sid[i],
+            )
+
+    def to_records(self) -> list[LogRecord]:
+        """Materialize the whole trace as a record list (row order kept)."""
+        return list(self.iter_records())
+
+    def device_ids(self) -> np.ndarray:
+        """Per-row device-id strings (decoded through the pool)."""
+        pool = np.asarray(self.device_pool, dtype=object)
+        if not len(self):
+            return pool[:0]
+        return pool[self.device_code]
+
+    # ------------------------------------------------------------------
+    # Masks
+    # ------------------------------------------------------------------
+
+    @property
+    def mobile_mask(self) -> np.ndarray:
+        return self.device_type != PC_CODE
+
+    @property
+    def file_op_mask(self) -> np.ndarray:
+        return self.kind == FILE_OP_CODE
+
+    @property
+    def chunk_mask(self) -> np.ndarray:
+        return self.kind == CHUNK_CODE
+
+    @property
+    def ok_mask(self) -> np.ndarray:
+        return self.result == OK_CODE
+
+    # ------------------------------------------------------------------
+    # Slicing, ordering, concatenation
+    # ------------------------------------------------------------------
+
+    def select(self, index: np.ndarray) -> "ColumnarTrace":
+        """Rows selected by a boolean mask or integer index array.
+
+        The device pool is shared (codes keep their meaning), so selection
+        never rewrites strings.
+        """
+        return self._from_columns(
+            {name: getattr(self, name)[index] for name, _ in COLUMNS},
+            device_pool=self.device_pool,
+        )
+
+    def sorted_by_user_time(self) -> "ColumnarTrace":
+        """Rows stably reordered by ``(user_id, timestamp)``.
+
+        This is the serial generator's emission order (users ascending,
+        each user time-sorted); ties keep their current row order because
+        :func:`np.lexsort` is stable.
+        """
+        return self.select(np.lexsort((self.timestamp, self.user_id)))
+
+    def sorted_by_time(self) -> "ColumnarTrace":
+        """Rows stably reordered by ``(timestamp, user_id)`` (merge order)."""
+        return self.select(np.lexsort((self.user_id, self.timestamp)))
+
+    @classmethod
+    def concatenate(cls, traces: Sequence["ColumnarTrace"]) -> "ColumnarTrace":
+        """Stack traces row-wise, merging device pools and remapping codes."""
+        traces = [t for t in traces if len(t)]
+        if not traces:
+            return cls.empty()
+        pool: dict[str, int] = {}
+        remapped_codes: list[np.ndarray] = []
+        for trace in traces:
+            lookup = np.asarray(
+                [pool.setdefault(d, len(pool)) for d in trace.device_pool],
+                dtype=np.int64,
+            )
+            remapped_codes.append(
+                lookup[trace.device_code]
+                if len(trace.device_pool)
+                else trace.device_code
+            )
+        columns = {
+            name: np.concatenate([getattr(t, name) for t in traces])
+            for name, _ in COLUMNS
+            if name != "device_code"
+        }
+        columns["device_code"] = np.concatenate(remapped_codes)
+        return cls._from_columns(columns, device_pool=tuple(pool))
+
+    # ------------------------------------------------------------------
+    # NPZ persistence
+    # ------------------------------------------------------------------
+
+    def to_npz_payload(self) -> dict[str, np.ndarray]:
+        """The ``np.savez``-ready mapping for this trace (plus metadata)."""
+        payload = dict(self.columns())
+        payload["device_pool"] = np.asarray(self.device_pool, dtype=np.str_)
+        payload["schema_version"] = np.asarray(SCHEMA_VERSION, dtype=np.int64)
+        return payload
+
+    def to_npz(self, path: str | Path) -> None:
+        """Persist the trace to ``path`` (compressed NPZ)."""
+        np.savez_compressed(path, **self.to_npz_payload())
+
+    @classmethod
+    def from_npz_payload(cls, data) -> "ColumnarTrace":
+        """Rebuild a trace from a loaded NPZ mapping.
+
+        Raises
+        ------
+        ValueError
+            If the payload was written under a different
+            :data:`SCHEMA_VERSION` (the caller should regenerate).
+        """
+        version = int(data["schema_version"])
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"columnar schema version mismatch: file={version}, "
+                f"library={SCHEMA_VERSION}"
+            )
+        columns = {
+            name: np.asarray(data[name], dtype=dtype) for name, dtype in COLUMNS
+        }
+        pool = tuple(str(s) for s in data["device_pool"])
+        return cls._from_columns(columns, device_pool=pool)
+
+    @classmethod
+    def from_npz(cls, path: str | Path) -> "ColumnarTrace":
+        """Load a trace persisted by :meth:`to_npz`."""
+        with np.load(path, allow_pickle=False) as data:
+            return cls.from_npz_payload(data)
+
+
+def as_columnar(records) -> ColumnarTrace:
+    """Coerce a record iterable (or pass through a trace) to columnar form."""
+    if isinstance(records, ColumnarTrace):
+        return records
+    return ColumnarTrace.from_records(records)
+
+
+# Defensive check: a LogRecord field addition without a columnar column is a
+# silent data-loss bug; fail at import time instead.
+_COLUMN_NAMES = {name for name, _ in COLUMNS}
+_RECORD_FIELDS = {f.name for f in fields(LogRecord)}
+_EXPECTED = (_RECORD_FIELDS - {"device_id"}) | {"device_code"}
+if _COLUMN_NAMES != _EXPECTED:  # pragma: no cover - import-time guard
+    raise RuntimeError(
+        "ColumnarTrace columns out of sync with LogRecord fields: "
+        f"{sorted(_COLUMN_NAMES.symmetric_difference(_EXPECTED))}"
+    )

@@ -8,17 +8,28 @@ Two interchangeable on-disk formats are supported:
   ad-hoc tooling.
 
 Both writers stream: they never hold more than one record in memory, so a
-multi-gigabyte trace can be produced or consumed on a laptop.
+multi-gigabyte trace can be produced or consumed on a laptop.  Readers are
+tolerant of CRLF line endings and trailing blank lines (files that visited
+a Windows editor or a ``printf``-happy shell still parse).
+
+For analysis workloads there is a second, much faster read path:
+:func:`read_tsv_columnar` / :func:`read_jsonl_columnar` /
+:func:`read_columnar` bulk-parse the file in line chunks straight into a
+:class:`~repro.logs.columnar.ColumnarTrace` — one ``np.asarray`` call per
+numeric column per chunk instead of one ``LogRecord`` per line — while
+preserving the legacy 12-column tolerance of the record readers.
 """
 
 from __future__ import annotations
 
 import gzip
 import io
+import itertools
 import json
 from pathlib import Path
 from typing import IO, Callable, Iterable, Iterator
 
+from .columnar import ColumnarTrace
 from .schema import Direction, DeviceType, LogRecord, RequestKind, ResultCode
 
 TSV_COLUMNS = (
@@ -77,15 +88,17 @@ def record_from_tsv(line: str) -> LogRecord:
     """Parse one TSV line into a :class:`LogRecord`.
 
     Accepts both the current column set and the legacy pre-``result``
-    layout (every legacy request was implicitly successful).
+    layout (every legacy request was implicitly successful), with or
+    without a trailing CR/LF (CRLF files parse unchanged).
 
     Raises
     ------
     ValueError
         If the line does not have exactly the expected number of columns or
-        a field fails to parse.
+        a field fails to parse.  Blank lines are malformed here; the file
+        readers skip them before calling this.
     """
-    parts = line.rstrip("\n").split("\t")
+    parts = line.rstrip("\r\n").split("\t")
     if len(parts) == _LEGACY_TSV_COLUMNS:
         result, session_id = ResultCode.OK, int(parts[11])
     elif len(parts) == len(TSV_COLUMNS):
@@ -188,18 +201,176 @@ def read_jsonl(path: str | Path) -> Iterator[LogRecord]:
             yield record_from_dict(json.loads(line))
 
 
+def _stem_suffix(path: str | Path) -> str:
+    suffixes = Path(path).suffixes
+    if suffixes and suffixes[-1] == ".gz":
+        return suffixes[-2] if len(suffixes) > 1 else ""
+    return suffixes[-1] if suffixes else ""
+
+
 def open_reader(path: str | Path) -> Iterator[LogRecord]:
     """Pick the reader by file extension (``.tsv``/``.jsonl``, plus ``.gz``)."""
-    suffixes = Path(path).suffixes
-    stem_suffix = suffixes[-2] if suffixes and suffixes[-1] == ".gz" else (
-        suffixes[-1] if suffixes else ""
-    )
     readers: dict[str, Callable[[str | Path], Iterator[LogRecord]]] = {
         ".tsv": read_tsv,
         ".jsonl": read_jsonl,
     }
     try:
-        reader = readers[stem_suffix]
+        reader = readers[_stem_suffix(path)]
+    except KeyError:
+        raise ValueError(f"unsupported log format: {path}") from None
+    return reader(path)
+
+
+# ----------------------------------------------------------------------
+# Columnar bulk readers
+# ----------------------------------------------------------------------
+
+#: Lines parsed per chunk by the columnar readers.  Each chunk becomes one
+#: set of Python lists sliced into columns, so memory stays bounded by the
+#: chunk while conversion amortizes to one ``np.asarray`` per column.
+COLUMNAR_CHUNK_LINES = 131_072
+
+
+def _data_lines(fh: IO[str]) -> Iterator[str]:
+    """Yield stripped data lines, skipping headers/comments and blanks."""
+    for line in fh:
+        line = line.rstrip("\r\n")
+        if not line or line.startswith("#"):
+            continue
+        yield line
+
+
+def _tsv_chunk_to_columnar(
+    lines: list[str], pool: dict[str, int]
+) -> ColumnarTrace:
+    # Fast path: when every line has the same column count, one join+split
+    # flattens the whole chunk in C and stride slices peel off the columns
+    # — no per-line split, no row tuples.  A chunk mixing layouts falls
+    # back to row-at-a-time (conversion errors surface either way).
+    n_rows = len(lines)
+    n_full = len(TSV_COLUMNS)
+    flat = "\t".join(lines).split("\t")
+    if len(flat) == n_rows * n_full:
+        columns = tuple(flat[i::n_full] for i in range(n_full))
+    elif len(flat) == n_rows * _LEGACY_TSV_COLUMNS:
+        # Legacy pre-``result`` layout: splice in the only value a legacy
+        # trace could carry, keeping the column slice uniform.
+        legacy = tuple(flat[i::_LEGACY_TSV_COLUMNS] for i in range(_LEGACY_TSV_COLUMNS))
+        columns = legacy[:11] + (["ok"] * n_rows,) + legacy[11:]
+    else:
+        rows = []
+        for line in lines:
+            parts = line.split("\t")
+            if len(parts) == _LEGACY_TSV_COLUMNS:
+                parts = parts[:11] + ["ok", parts[11]]
+            elif len(parts) != n_full:
+                raise ValueError(
+                    f"expected {n_full} columns, got {len(parts)}: "
+                    f"{line!r}"
+                )
+            rows.append(parts)
+        columns = tuple(zip(*rows))
+    return ColumnarTrace.from_string_columns(
+        timestamp=columns[0],
+        device_type=columns[1],
+        device_id=columns[2],
+        user_id=columns[3],
+        kind=columns[4],
+        direction=columns[5],
+        volume=columns[6],
+        processing_time=columns[7],
+        server_time=columns[8],
+        rtt=columns[9],
+        proxied=columns[10],
+        result=columns[11],
+        session_id=columns[12],
+        device_pool=pool,
+    )
+
+
+def read_tsv_columnar(
+    path: str | Path, *, chunk_lines: int = COLUMNAR_CHUNK_LINES
+) -> ColumnarTrace:
+    """Bulk-parse a TSV trace into a :class:`ColumnarTrace`.
+
+    Reads ``chunk_lines`` lines at a time and converts them column-sliced
+    (one ``np.asarray`` per numeric column per chunk) instead of building a
+    :class:`LogRecord` per line — the same rows :func:`read_tsv` yields, an
+    order of magnitude faster.  Tolerates the legacy 12-column layout,
+    CRLF line endings and trailing blank lines exactly like the record
+    reader.
+    """
+    if chunk_lines < 1:
+        raise ValueError("chunk_lines must be >= 1")
+    chunks: list[ColumnarTrace] = []
+    pool: dict[str, int] = {}
+    with _open(path, "r") as fh:
+        lines = _data_lines(fh)
+        while chunk := list(itertools.islice(lines, chunk_lines)):
+            chunks.append(_tsv_chunk_to_columnar(chunk, pool))
+    if not chunks:
+        return ColumnarTrace.empty()
+    # The chunks thread one device pool, so the concatenation remap is the
+    # identity — chunk codes survive unchanged.
+    return (
+        chunks[0] if len(chunks) == 1 else ColumnarTrace.concatenate(chunks)
+    )
+
+
+def read_jsonl_columnar(
+    path: str | Path, *, chunk_lines: int = COLUMNAR_CHUNK_LINES
+) -> ColumnarTrace:
+    """Bulk-parse a JSONL trace into a :class:`ColumnarTrace`.
+
+    Same chunked column-sliced conversion as :func:`read_tsv_columnar`;
+    missing optional fields take the :func:`record_from_dict` defaults.
+    """
+    if chunk_lines < 1:
+        raise ValueError("chunk_lines must be >= 1")
+    chunks: list[ColumnarTrace] = []
+    pool: dict[str, int] = {}
+    with _open(path, "r") as fh:
+        lines = _data_lines(fh)
+        while chunk := list(itertools.islice(lines, chunk_lines)):
+            dicts = [json.loads(line) for line in chunk]
+            chunks.append(
+                ColumnarTrace.from_string_columns(
+                    timestamp=[d["timestamp"] for d in dicts],
+                    device_type=[d["device_type"] for d in dicts],
+                    device_id=[str(d["device_id"]) for d in dicts],
+                    user_id=[d["user_id"] for d in dicts],
+                    kind=[d["kind"] for d in dicts],
+                    direction=[d["direction"] for d in dicts],
+                    volume=[d.get("volume", 0) for d in dicts],
+                    processing_time=[
+                        d.get("processing_time", 0.0) for d in dicts
+                    ],
+                    server_time=[d.get("server_time", 0.0) for d in dicts],
+                    rtt=[d.get("rtt", 0.0) for d in dicts],
+                    proxied=[
+                        "1" if d.get("proxied", False) else "0" for d in dicts
+                    ],
+                    result=[d.get("result", "ok") for d in dicts],
+                    session_id=[d.get("session_id", -1) for d in dicts],
+                    device_pool=pool,
+                )
+            )
+    if not chunks:
+        return ColumnarTrace.empty()
+    return (
+        chunks[0] if len(chunks) == 1 else ColumnarTrace.concatenate(chunks)
+    )
+
+
+def read_columnar(path: str | Path) -> ColumnarTrace:
+    """Columnar counterpart of :func:`open_reader`: pick by extension."""
+    readers: dict[str, Callable[[str | Path], ColumnarTrace]] = {
+        ".tsv": read_tsv_columnar,
+        ".jsonl": read_jsonl_columnar,
+        ".npz": ColumnarTrace.from_npz,
+    }
+    try:
+        reader = readers[_stem_suffix(path)]
     except KeyError:
         raise ValueError(f"unsupported log format: {path}") from None
     return reader(path)

@@ -19,6 +19,29 @@ def test_generate_and_analyze_roundtrip(tmp_path, capsys):
     assert "[Sessions]" in out
 
 
+def test_analyze_columnar_engine(tmp_path, capsys):
+    trace = tmp_path / "trace.tsv"
+    main(["generate", str(trace), "--users", "150",
+          "--max-chunks", "4", "--seed", "3"])
+    capsys.readouterr()
+
+    assert main(["analyze", str(trace), "--fast",
+                 "--engine", "columnar"]) == 0
+    columnar_out = capsys.readouterr().out
+    assert "sessions recovered" in columnar_out
+
+    assert main(["analyze", str(trace), "--fast"]) == 0
+    records_out = capsys.readouterr().out
+    # The engines print identical findings for the same trace.
+    assert columnar_out == records_out
+
+
+def test_analyze_columnar_empty_trace(tmp_path):
+    trace = tmp_path / "empty.tsv"
+    trace.write_text("#header\n")
+    assert main(["analyze", str(trace), "--engine", "columnar"]) == 1
+
+
 def test_generate_jsonl_gz(tmp_path, capsys):
     trace = tmp_path / "trace.jsonl.gz"
     assert main(["generate", str(trace), "--users", "50",

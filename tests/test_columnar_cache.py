@@ -1,0 +1,120 @@
+"""Tests for the on-disk prepared-trace cache (`experiments.common`)."""
+
+import numpy as np
+import pytest
+
+import repro.experiments.common as common
+from repro.experiments.common import PreparedTrace, prepared_trace
+from repro.logs.columnar import SCHEMA_VERSION
+
+SCALE = dict(n_users=120, n_pc_users=20, seed=9)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Each test starts without in-process memoization hits."""
+    prepared_trace.cache_clear()
+    yield
+    prepared_trace.cache_clear()
+
+
+def test_disabled_cache_touches_no_files(tmp_path, monkeypatch):
+    monkeypatch.delenv(common.CACHE_ENV, raising=False)
+    monkeypatch.setattr("tempfile.tempdir", str(tmp_path))
+    trace = prepared_trace(**SCALE)
+    assert isinstance(trace, PreparedTrace)
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_cold_run_writes_one_npz(tmp_path):
+    prepared_trace(**SCALE, cache_dir=tmp_path)
+    files = list(tmp_path.iterdir())
+    assert len(files) == 1
+    assert files[0].suffix == ".npz"
+    assert f"-v{SCHEMA_VERSION}-" in files[0].name
+
+
+def test_warm_run_skips_generation_and_matches_cold(tmp_path):
+    cold = prepared_trace(**SCALE, cache_dir=tmp_path)
+    calls = common.GENERATION_CALLS
+    prepared_trace.cache_clear()
+
+    warm = prepared_trace(**SCALE, cache_dir=tmp_path)
+    assert common.GENERATION_CALLS == calls, "warm hit ran generation"
+    assert warm.records == cold.records
+    assert warm.mobile_records == cold.mobile_records
+    assert warm.sessions == cold.sessions
+    assert warm.all_sessions == cold.all_sessions
+    assert warm.profiles == cold.profiles
+
+
+def test_env_var_opt_in(tmp_path, monkeypatch):
+    prepared_trace(**SCALE, cache_dir=tmp_path)
+    calls = common.GENERATION_CALLS
+    prepared_trace.cache_clear()
+
+    monkeypatch.setenv(common.CACHE_ENV, str(tmp_path))
+    prepared_trace(**SCALE)
+    assert common.GENERATION_CALLS == calls
+
+
+def test_cache_key_varies_with_inputs(tmp_path):
+    opts = common.GeneratorOptions(max_chunks_per_file=6)
+    names = {
+        common._cache_name(120, 20, 9, opts),
+        common._cache_name(121, 20, 9, opts),
+        common._cache_name(120, 21, 9, opts),
+        common._cache_name(120, 20, 10, opts),
+        common._cache_name(
+            120, 20, 9, common.GeneratorOptions(max_chunks_per_file=7)
+        ),
+    }
+    assert len(names) == 5, "some cache key collided"
+
+
+def test_different_options_do_not_hit_each_others_cache(tmp_path):
+    a = prepared_trace(**SCALE, max_chunks_per_file=2, cache_dir=tmp_path)
+    b = prepared_trace(**SCALE, max_chunks_per_file=6, cache_dir=tmp_path)
+    assert len(list(tmp_path.iterdir())) == 2
+    assert len(a.records) != len(b.records)
+
+
+def test_corrupt_cache_file_regenerates(tmp_path):
+    cold = prepared_trace(**SCALE, cache_dir=tmp_path)
+    [cache_file] = tmp_path.iterdir()
+    cache_file.write_bytes(b"not an npz file")
+    prepared_trace.cache_clear()
+
+    calls = common.GENERATION_CALLS
+    regenerated = prepared_trace(**SCALE, cache_dir=tmp_path)
+    assert common.GENERATION_CALLS == calls + 1
+    assert regenerated.records == cold.records
+
+
+def test_schema_version_mismatch_regenerates(tmp_path):
+    prepared_trace(**SCALE, cache_dir=tmp_path)
+    [cache_file] = tmp_path.iterdir()
+    with np.load(cache_file, allow_pickle=False) as data:
+        payload = {k: data[k] for k in data.files}
+    payload["schema_version"] = np.asarray(SCHEMA_VERSION + 1, dtype=np.int64)
+    np.savez_compressed(cache_file, **payload)
+    prepared_trace.cache_clear()
+
+    calls = common.GENERATION_CALLS
+    prepared_trace(**SCALE, cache_dir=tmp_path)
+    assert common.GENERATION_CALLS == calls + 1
+
+
+def test_memoization_returns_same_object(tmp_path):
+    first = prepared_trace(**SCALE, cache_dir=tmp_path)
+    assert prepared_trace(**SCALE, cache_dir=tmp_path) is first
+
+
+def test_mobile_records_precomputed():
+    trace = prepared_trace(**SCALE)
+    # A field now, not a rebuilt-per-access property.
+    assert isinstance(trace.mobile_records, tuple)
+    assert trace.mobile_records is trace.mobile_records
+    assert trace.mobile_records == tuple(
+        r for r in trace.records if r.is_mobile
+    )

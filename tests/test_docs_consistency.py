@@ -14,6 +14,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 INFRASTRUCTURE_BENCHMARKS = {
     "bench_parallel_generation.py",
     "bench_fault_overhead.py",
+    "bench_columnar_analysis.py",
 }
 
 

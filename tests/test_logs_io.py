@@ -95,6 +95,40 @@ def test_malformed_tsv_line_raises():
         record_from_tsv("too\tfew\tcolumns")
 
 
+def test_record_from_tsv_tolerates_crlf():
+    line = record_to_tsv(SAMPLE[1])
+    assert record_from_tsv(line + "\r\n") == SAMPLE[1]
+    assert record_from_tsv(line + "\n") == SAMPLE[1]
+
+
+def test_read_tsv_trailing_blank_lines_and_crlf(tmp_path):
+    """Hand-edited or Windows-written traces still parse."""
+    path = tmp_path / "trace.tsv"
+    write_tsv(SAMPLE, path)
+    text = path.read_text().replace("\n", "\r\n") + "\r\n\r\n"
+    path.write_bytes(text.encode())
+    assert list(read_tsv(path)) == SAMPLE
+
+
+def test_read_tsv_gz_trailing_blank_lines_and_crlf(tmp_path):
+    import gzip
+
+    plain = tmp_path / "trace.tsv"
+    write_tsv(SAMPLE, plain)
+    text = plain.read_text().replace("\n", "\r\n") + "\r\n\r\n"
+    path = tmp_path / "trace.tsv.gz"
+    with gzip.open(path, "wt", newline="") as fh:
+        fh.write(text)
+    assert list(read_tsv(path)) == SAMPLE
+
+
+def test_read_jsonl_trailing_blank_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(SAMPLE, path)
+    path.write_text(path.read_text() + "\n\n")
+    assert list(read_jsonl(path)) == SAMPLE
+
+
 def test_record_dict_roundtrip():
     for record in SAMPLE:
         assert record_from_dict(record_to_dict(record)) == record
