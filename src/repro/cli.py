@@ -14,6 +14,9 @@ Subcommands
 ``faults-demo``
     Chaos smoke test: replay a fixed workload through the fault-injected
     service cluster and fail unless every transfer eventually completes.
+``lint``
+    Run reprolint, the determinism/schema static-analysis pass, over the
+    given paths (see ``docs/STATIC_ANALYSIS.md``).
 
 All subcommands are deterministic given ``--seed``.
 """
@@ -227,6 +230,12 @@ def _cmd_faults_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.engine import lint_command
+
+    return lint_command(args.paths, json_out=args.json, baseline=args.baseline)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -302,6 +311,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--users", type=int, default=12)
     chaos.add_argument("--seed", type=int, default=0)
     chaos.set_defaults(func=_cmd_faults_demo)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint (determinism & schema-invariant static analysis)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint (default: src/repro)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable findings")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="JSON findings file whose entries are ignored")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -10,7 +10,6 @@ implication the paper draws from it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..logs.columnar import ColumnarTrace, as_columnar
 from ..logs.schema import Direction, LogRecord
@@ -31,12 +30,11 @@ from .sessions import (
 from .session_size import (
     FileSizeModelFit,
     fit_file_size_model,
-    ops_per_session,
     storage_slope_mb,
     volume_by_ops,
 )
 from .sessions import SessionType
-from .usage import UserProfile, profile_users, profile_users_columnar
+from .usage import profile_users, profile_users_columnar
 
 
 @dataclass(frozen=True)

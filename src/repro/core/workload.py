@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..logs.schema import Direction, LogRecord
+from ..logs.schema import LogRecord
 from ..logs.stream import tally_by_hour
 from ..workload.diurnal import SECONDS_PER_HOUR
 

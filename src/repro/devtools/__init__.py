@@ -1,0 +1,39 @@
+"""repro.devtools — static analysis for the reproduction's own invariants.
+
+``reprolint`` is a custom lint pass built on the stdlib :mod:`ast` module
+(zero runtime dependencies) that machine-checks the properties every
+result in this repository rests on: bit-reproducible RNG seeding, a
+Table 1 schema declared identically across its three homes, fork-safe
+process-pool usage and float-comparison hygiene.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalog and the suppression /
+baseline syntax, and ``repro lint --help`` for the CLI.
+
+Public API
+----------
+:func:`lint_paths`
+    Run every registered rule over files/directories, returning sorted
+    :class:`Finding` records.
+:class:`Finding` / :class:`Severity`
+    The typed diagnostic record.
+:data:`RULES`
+    The rule registry (populated on first lint, or via
+    :func:`load_builtin_rules`).
+"""
+
+from .engine import lint_command, lint_paths, load_baseline, render_json
+from .findings import Finding, Severity
+from .registry import RULES, Rule, file_rule, load_builtin_rules, project_rule
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "Severity",
+    "file_rule",
+    "lint_command",
+    "lint_paths",
+    "load_baseline",
+    "load_builtin_rules",
+    "project_rule",
+    "render_json",
+]

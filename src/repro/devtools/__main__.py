@@ -1,0 +1,32 @@
+"""``python -m repro.devtools`` — run reprolint without the full CLI.
+
+Mirrors ``repro lint``; useful in CI images that only have the lint
+dependencies installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .engine import lint_command
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools",
+        description="reprolint: determinism & schema-invariant static analysis",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint (default: src/repro)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable findings")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="JSON findings file whose entries are ignored")
+    args = parser.parse_args(argv)
+    return lint_command(args.paths, json_out=args.json, baseline=args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

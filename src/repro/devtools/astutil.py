@@ -1,0 +1,68 @@
+"""Small AST helpers shared by the rule modules (stdlib ``ast`` only)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module/attribute they were imported as.
+
+    ``import numpy as np``            -> ``{"np": "numpy"}``
+    ``import numpy.random``           -> ``{"numpy": "numpy"}``
+    ``from numpy.random import default_rng as rng``
+                                      -> ``{"rng": "numpy.random.default_rng"}``
+
+    Only module-level and nested imports are collected (anywhere in the
+    tree); later bindings win, which matches runtime shadowing closely
+    enough for linting.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # "import a.b" binds "a" to package a; "import a.b as c"
+                # binds "c" to the full dotted path.
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never alias the stdlib
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to a dotted path through import aliases.
+
+    ``np.random.seed`` with ``{"np": "numpy"}`` resolves to
+    ``"numpy.random.seed"``; a chain whose root is not an import alias
+    resolves through its literal root name.  Non-name roots (calls,
+    subscripts) resolve to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def walk_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def is_name_call(call: ast.Call, name: str) -> bool:
+    """Whether ``call`` invokes the bare name ``name`` (no attribute chain)."""
+    return isinstance(call.func, ast.Name) and call.func.id == name

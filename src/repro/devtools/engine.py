@@ -1,0 +1,193 @@
+"""The reprolint engine: file collection, rule execution, output, gating.
+
+Usage (programmatic)::
+
+    from repro.devtools import lint_paths
+    findings = lint_paths(["src/repro"])
+
+Usage (CLI)::
+
+    repro lint src/repro              # human output, exit 1 on findings
+    repro lint src/repro --json       # machine-readable, same exit code
+    repro lint src --baseline known.json   # ignore previously blessed findings
+
+Exit codes: 0 clean, 1 findings, 2 usage error (missing path, unreadable
+baseline).  Unparseable Python is not a crash but a finding (rule ``E0``)
+— a file that cannot be parsed cannot be certified deterministic either.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from .findings import Finding, Severity, sort_findings
+from .registry import RULES, load_builtin_rules
+from .source import SourceFile
+
+#: Output schema version of ``--json`` / baseline files.
+JSON_VERSION = 1
+
+#: Directory names never descended into by the walker.
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".ruff_cache"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[tuple[Path, str, bool]]:
+    """Yield ``(path, display_path, explicit)`` for every ``.py`` target.
+
+    Explicitly named files are yielded as-is (even without a ``.py``
+    suffix); directories are walked recursively in sorted order.
+
+    Raises
+    ------
+    FileNotFoundError
+        If a named path does not exist.
+    """
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            for path in sorted(root.rglob("*.py")):
+                relative = path.relative_to(root)
+                if any(part in _SKIP_DIR_NAMES for part in relative.parts):
+                    continue
+                yield path, str(Path(raw) / relative), False
+        elif root.exists():
+            yield root, str(raw), True
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Read a baseline file (the ``--json`` output, or just its findings list)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = data["findings"] if isinstance(data, dict) else data
+    return {Finding.from_dict(entry).baseline_key for entry in entries}
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    baseline: set[tuple[str, str, str]] | None = None,
+    rule_ids: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint ``paths`` and return the surviving findings, sorted for display.
+
+    ``baseline`` entries (see :func:`load_baseline`) and inline
+    ``# reprolint: disable=...`` comments are filtered out.  ``rule_ids``
+    restricts the run to a subset of rules.
+    """
+    load_builtin_rules()
+    selected = {
+        rid: rule
+        for rid, rule in RULES.items()
+        if rule_ids is None or rid in set(rule_ids)
+    }
+    if rule_ids is not None:
+        unknown = set(rule_ids) - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    findings: list[Finding] = []
+    sources: list[SourceFile] = []
+    for path, display, explicit in iter_python_files(paths):
+        try:
+            sources.append(
+                SourceFile.load(path, display_path=display, explicit=explicit)
+            )
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="E0",
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    severity=Severity.ERROR,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+
+    for rule in selected.values():
+        if rule.scope == "file":
+            for src in sources:
+                if not rule.applies_to(src):
+                    continue
+                for line, col, message in rule.check(src):
+                    if not src.is_suppressed(rule.rule_id, line):
+                        findings.append(
+                            Finding(
+                                rule=rule.rule_id,
+                                path=src.display_path,
+                                line=line,
+                                col=col,
+                                severity=rule.severity,
+                                message=message,
+                            )
+                        )
+        else:
+            for src, line, col, message in rule.check(sources):
+                if not src.is_suppressed(rule.rule_id, line):
+                    findings.append(
+                        Finding(
+                            rule=rule.rule_id,
+                            path=src.display_path,
+                            line=line,
+                            col=col,
+                            severity=rule.severity,
+                            message=message,
+                        )
+                    )
+
+    if baseline:
+        findings = [f for f in findings if f.baseline_key not in baseline]
+    return sort_findings(findings)
+
+
+def render_json(findings: list[Finding]) -> str:
+    return json.dumps(
+        {"version": JSON_VERSION, "findings": [f.to_dict() for f in findings]},
+        indent=2,
+    )
+
+
+def render_human(findings: list[Finding], n_rules: int) -> str:
+    lines = [f.render() for f in findings]
+    errors = sum(f.severity is Severity.ERROR for f in findings)
+    warnings = len(findings) - errors
+    lines.append(
+        f"reprolint: {errors} error(s), {warnings} warning(s) "
+        f"across {n_rules} rule(s)"
+        if findings
+        else f"reprolint: clean ({n_rules} rule(s))"
+    )
+    return "\n".join(lines)
+
+
+def lint_command(
+    paths: list[str],
+    *,
+    json_out: bool = False,
+    baseline: str | None = None,
+    out: IO[str] | None = None,
+) -> int:
+    """Back end of ``repro lint``; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    baseline_keys: set[tuple[str, str, str]] | None = None
+    if baseline is not None:
+        try:
+            baseline_keys = load_baseline(baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read baseline {baseline}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        findings = lint_paths(paths, baseline=baseline_keys)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    n_rules = len(load_builtin_rules())
+    if json_out:
+        print(render_json(findings), file=out)
+    else:
+        print(render_human(findings, n_rules), file=out)
+    return 1 if findings else 0

@@ -1,0 +1,78 @@
+"""Typed lint findings.
+
+A :class:`Finding` is one diagnostic produced by a reprolint rule: the rule
+id, the file it points at, a 1-based line and 0-based column, a severity and
+a human-readable message.  Findings serialize loss-lessly to plain dicts
+(the ``--json`` output and the baseline file format) and back.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Both severities gate CI — a warning is advice about risk (e.g. a float
+    equality that happens to be safe today), an error is a determinism or
+    schema invariant that is actually broken.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One diagnostic emitted by a lint rule."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    severity: Severity
+    message: str
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: RULE [sev] msg``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            severity=Severity(data["severity"]),
+            message=str(data["message"]),
+        )
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used by ``--baseline`` matching.
+
+        Deliberately excludes the line number so a baseline survives
+        unrelated edits that shift code up or down.
+        """
+        return (self.rule, self.path, self.message)
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable display order: by path, then line, then column, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -1,0 +1,124 @@
+"""Rule registry.
+
+A rule is a plain function registered under a stable id:
+
+* **file rules** run once per :class:`~repro.devtools.source.SourceFile`
+  and yield ``(line, col, message)`` tuples;
+* **project rules** run once per lint invocation over *all* scanned files
+  and yield ``(source, line, col, message)`` tuples — this is how
+  cross-file invariants (rule S1) are expressed.
+
+The engine wraps the tuples into :class:`~repro.devtools.findings.Finding`
+records, applies inline suppressions and baselines, and sorts the output.
+Registering is one decorator::
+
+    @file_rule("F9", severity=Severity.WARNING, title="no frobnication")
+    def check_frob(src: SourceFile):
+        for node in ast.walk(src.tree):
+            ...
+            yield node.lineno, node.col_offset, "don't frobnicate"
+
+Rules that should not apply to files *discovered by walking* certain
+directories (but still apply when such a file is named explicitly) declare
+``skip_walked_dirs`` — rule F1 uses this to exempt ``tests/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from .findings import Severity
+from .source import SourceFile
+
+#: ``(line, col, message)`` — a file rule's raw diagnostic.
+FileDiag = tuple[int, int, str]
+#: ``(source, line, col, message)`` — a project rule's raw diagnostic.
+ProjectDiag = tuple[SourceFile, int, int, str]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    scope: str  # "file" | "project"
+    check: Callable[..., Iterator]
+    #: Directory names whose *walked* files this rule skips (explicitly
+    #: named files are always checked).
+    skip_walked_dirs: tuple[str, ...] = ()
+
+    def applies_to(self, src: SourceFile) -> bool:
+        if src.explicit:
+            return True
+        return not any(src.in_directory(d) for d in self.skip_walked_dirs)
+
+
+#: Registry of every known rule, keyed by id, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def _register(rule: Rule) -> None:
+    if rule.rule_id in RULES:
+        raise ValueError(f"duplicate rule id: {rule.rule_id}")
+    RULES[rule.rule_id] = rule
+
+
+def file_rule(
+    rule_id: str,
+    *,
+    title: str,
+    severity: Severity = Severity.ERROR,
+    skip_walked_dirs: Iterable[str] = (),
+) -> Callable:
+    """Register a per-file rule (``check(src) -> Iterator[FileDiag]``)."""
+
+    def decorator(check: Callable[[SourceFile], Iterator[FileDiag]]):
+        _register(
+            Rule(
+                rule_id=rule_id,
+                title=title,
+                severity=severity,
+                scope="file",
+                check=check,
+                skip_walked_dirs=tuple(skip_walked_dirs),
+            )
+        )
+        return check
+
+    return decorator
+
+
+def project_rule(
+    rule_id: str,
+    *,
+    title: str,
+    severity: Severity = Severity.ERROR,
+) -> Callable:
+    """Register a whole-project rule (``check(sources) -> Iterator[ProjectDiag]``)."""
+
+    def decorator(check: Callable[[list[SourceFile]], Iterator[ProjectDiag]]):
+        _register(
+            Rule(
+                rule_id=rule_id,
+                title=title,
+                severity=severity,
+                scope="project",
+                check=check,
+            )
+        )
+        return check
+
+    return decorator
+
+
+def load_builtin_rules() -> dict[str, Rule]:
+    """Import the built-in rule modules (idempotent) and return the registry."""
+    from . import rules_concurrency  # noqa: F401  (registration side effect)
+    from . import rules_determinism  # noqa: F401
+    from . import rules_floats  # noqa: F401
+    from . import rules_schema  # noqa: F401
+
+    return RULES

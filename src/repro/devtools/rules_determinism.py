@@ -1,0 +1,265 @@
+"""Determinism rules: D1 (nondeterministic sources), D2 (RNG seed flow),
+D3 (builtin ``hash()`` feeding seeds/keys).
+
+The reproduction's contract is that every artifact is a pure function of
+the command line: traces, experiment tables and caches must be
+bit-identical across runs, processes and machines.  These rules ban the
+three ways that contract has historically been broken — reading ambient
+entropy (clocks, the global RNG), constructing RNGs from expressions with
+no seed provenance, and deriving persisted values from ``hash()`` (which
+is salted per process by ``PYTHONHASHSEED``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .astutil import dotted_name, import_aliases, is_name_call
+from .registry import file_rule
+from .source import SourceFile
+
+# ----------------------------------------------------------------------
+# D1 — nondeterministic sources
+# ----------------------------------------------------------------------
+
+#: Fully-qualified callables that read ambient entropy (wall clocks,
+#: process state, OS randomness).  Referencing one at all is a finding —
+#: passing ``time.time`` as a callback is as nondeterministic as calling it.
+_BANNED_REFS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "clock read",
+    "time.monotonic_ns": "clock read",
+    "time.perf_counter": "clock read",
+    "time.perf_counter_ns": "clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived id",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: Module prefixes whose *any* use is banned: the stdlib ``random`` module
+#: and the ``secrets`` module share one hidden global state / entropy pool.
+_BANNED_PREFIXES = ("random.", "secrets.")
+
+#: numpy legacy global-state RNG entry points (seeded or not, they act on
+#: shared module state, which parallel workers and test order can perturb).
+_NUMPY_GLOBAL_RNG = {
+    "numpy.random.seed",
+    "numpy.random.random",
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.randint",
+    "numpy.random.choice",
+    "numpy.random.shuffle",
+    "numpy.random.permutation",
+    "numpy.random.normal",
+    "numpy.random.uniform",
+    "numpy.random.get_state",
+    "numpy.random.set_state",
+}
+
+
+@file_rule(
+    "D1",
+    title="no nondeterministic sources in reproduction code",
+)
+def check_nondeterministic_sources(src: SourceFile):
+    aliases = import_aliases(src.tree)
+    seen: set[tuple[int, int]] = set()
+
+    def report(node: ast.AST, message: str):
+        key = (node.lineno, node.col_offset)
+        if key not in seen:
+            seen.add(key)
+            yield node.lineno, node.col_offset, message
+
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.ImportFrom) and not node.level and node.module:
+            # ``from random import randint`` — the binding itself is the bug.
+            root = node.module.split(".")[0]
+            if root in ("random", "secrets"):
+                yield from report(
+                    node,
+                    f"import from stdlib '{root}' (hidden global state); "
+                    "use a seeded numpy Generator instead",
+                )
+            continue
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node, aliases)
+        elif isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Store):
+            dotted = aliases.get(node.id)
+        else:
+            continue
+        if dotted is None:
+            continue
+        if dotted in _BANNED_REFS:
+            yield from report(
+                node,
+                f"use of {dotted} ({_BANNED_REFS[dotted]}); derive values "
+                "from the seed instead",
+            )
+        elif dotted.startswith(_BANNED_PREFIXES):
+            yield from report(
+                node,
+                f"use of stdlib {dotted} (process-global RNG state); "
+                "use a seeded numpy Generator instead",
+            )
+        elif dotted in _NUMPY_GLOBAL_RNG:
+            yield from report(
+                node,
+                f"use of legacy global-state {dotted}; construct an "
+                "explicit Generator with default_rng(seed)",
+            )
+
+    # Argless default_rng(): seeds from OS entropy, different every run.
+    for call in (n for n in ast.walk(src.tree) if isinstance(n, ast.Call)):
+        dotted = dotted_name(call.func, aliases)
+        if dotted and dotted.endswith("default_rng") and not call.args and not call.keywords:
+            yield from report(
+                call,
+                "default_rng() without a seed draws OS entropy; pass a "
+                "SeedSequence or an explicit seed",
+            )
+
+
+# ----------------------------------------------------------------------
+# D2 — RNG seed flow
+# ----------------------------------------------------------------------
+
+#: Identifiers with seed provenance by naming convention.  ``seq`` covers
+#: the SeedSequence spawning idiom (``crash_seqs[i]``, ``metadata_seq``).
+_SEEDISH_NAME = re.compile(r"(seed|seq|entropy)", re.IGNORECASE)
+
+
+def _constant_expr(node: ast.expr) -> bool:
+    """Whether an expression is built entirely from literals.
+
+    A fully-literal seed (``default_rng(42)``, ``default_rng(0x5EED + 1)``)
+    is reproducible by construction and therefore acceptable.
+    """
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.BinOp):
+        return _constant_expr(node.left) and _constant_expr(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _constant_expr(node.operand)
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return all(_constant_expr(elt) for elt in node.elts)
+    return False
+
+
+def _provenance(node: ast.expr, env: set[str]) -> bool:
+    """Whether an expression *contains* a term with seed provenance.
+
+    Literals contribute nothing here (``n * 3`` must not pass just because
+    of the ``3``); provenance comes from names/attributes/subscripts
+    matching the seed naming convention or assigned from a seedish value,
+    ``SeedSequence(...)`` construction, ``.spawn(...)`` children, and
+    calls to seed-deriving helpers (``client_seed(...)``).
+    """
+    if isinstance(node, ast.Name):
+        return node.id in env or bool(_SEEDISH_NAME.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_SEEDISH_NAME.search(node.attr)) or _provenance(node.value, env)
+    if isinstance(node, ast.Subscript):
+        return _provenance(node.value, env)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in ("SeedSequence", "spawn"):
+                return True
+            if _SEEDISH_NAME.search(func.attr):
+                return True
+        elif isinstance(func, ast.Name):
+            if func.id == "SeedSequence" or _SEEDISH_NAME.search(func.id):
+                return True
+        # int(seed), operator.xor(seed, k), ...: provenance flows through
+        # arguments of otherwise-neutral calls.
+        return any(_provenance(arg, env) for arg in node.args)
+    if isinstance(node, ast.BinOp):
+        return _provenance(node.left, env) or _provenance(node.right, env)
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return any(_provenance(elt, env) for elt in node.elts)
+    if isinstance(node, ast.UnaryOp):
+        return _provenance(node.operand, env)
+    if isinstance(node, ast.IfExp):
+        return _seedish(node.body, env) and _seedish(node.orelse, env)
+    return False
+
+
+def _seedish(node: ast.expr, env: set[str]) -> bool:
+    """Acceptable ``default_rng`` argument: fully literal, or seed-traced."""
+    return _constant_expr(node) or _provenance(node, env)
+
+
+def _collect_seedish_env(tree: ast.Module) -> set[str]:
+    """Names bound (anywhere in the file) to a seedish value.
+
+    Two sweeps propagate one level of chaining (``a = SeedSequence(...);
+    b = a``); deeper chains are rare enough to rename instead.
+    """
+    env: set[str] = set()
+    for _ in range(2):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and _provenance(node.value, env):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        env.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name) and _provenance(node.value, env):
+                    env.add(node.target.id)
+            elif isinstance(node, ast.For):
+                if isinstance(node.target, ast.Name) and _provenance(node.iter, env):
+                    env.add(node.target.id)
+            elif isinstance(node, ast.comprehension):
+                if isinstance(node.target, ast.Name) and _provenance(node.iter, env):
+                    env.add(node.target.id)
+    return env
+
+
+@file_rule(
+    "D2",
+    title="default_rng argument must trace to a seed",
+)
+def check_rng_seed_flow(src: SourceFile):
+    aliases = import_aliases(src.tree)
+    env = _collect_seedish_env(src.tree)
+    for call in (n for n in ast.walk(src.tree) if isinstance(n, ast.Call)):
+        dotted = dotted_name(call.func, aliases)
+        if not dotted or not dotted.endswith("default_rng") or not call.args:
+            continue
+        arg = call.args[0]
+        if not _seedish(arg, env):
+            yield (
+                call.lineno,
+                call.col_offset,
+                "default_rng() argument "
+                f"{ast.unparse(arg)!r} has no visible seed provenance; "
+                "pass a SeedSequence, a seed parameter, or a spawned child",
+            )
+
+
+# ----------------------------------------------------------------------
+# D3 — builtin hash()
+# ----------------------------------------------------------------------
+
+
+@file_rule(
+    "D3",
+    title="no builtin hash() for seeds or persisted keys",
+)
+def check_builtin_hash(src: SourceFile):
+    for call in (n for n in ast.walk(src.tree) if isinstance(n, ast.Call)):
+        if is_name_call(call, "hash"):
+            yield (
+                call.lineno,
+                call.col_offset,
+                "builtin hash() is salted per process (PYTHONHASHSEED); "
+                "use hashlib.blake2b for seeds and persisted cache keys",
+            )

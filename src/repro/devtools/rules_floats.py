@@ -1,0 +1,62 @@
+"""Rule F1 — no ``==`` / ``!=`` against float literals.
+
+Float equality is almost always a latent bug in simulation code: a value
+that is *computed* (accumulated clock, subtracted duration, scaled rate)
+compares unequal to the literal it "obviously" equals, and the branch
+silently flips.  Where the comparison is genuinely safe (a sentinel that
+is only ever assigned the literal), an inequality bound (``<= 0.0``) or
+``math.isclose`` states the intent without the trap.
+
+The rule exempts files discovered under ``tests/`` directories — test
+code legitimately asserts exact float round-trips — but still fires when
+such a file is named explicitly (that is how its own fixtures are tested).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Severity
+from .registry import file_rule
+from .source import SourceFile
+
+
+def _float_literal(node: ast.expr) -> float | None:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return node.value
+    # Negated literal: ``x == -1.0`` parses as UnaryOp(USub, Constant).
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and isinstance(node.operand, ast.Constant)
+        and type(node.operand.value) is float
+    ):
+        return -node.operand.value if isinstance(node.op, ast.USub) else node.operand.value
+    return None
+
+
+@file_rule(
+    "F1",
+    title="no equality comparison against float literals",
+    severity=Severity.WARNING,
+    skip_walked_dirs=("tests",),
+)
+def check_float_equality(src: SourceFile):
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (operands[i], operands[i + 1]):
+                literal = _float_literal(side)
+                if literal is not None:
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"{sym} against float literal {literal!r}; use an "
+                        "inequality bound or math.isclose",
+                    )
+                    break

@@ -1,0 +1,155 @@
+"""Rule S1 — cross-file schema drift.
+
+The Table 1 record layout is declared three times, deliberately close to
+the code that uses it:
+
+* ``logs/schema.py`` — the :class:`LogRecord` dataclass field order (the
+  in-memory truth);
+* ``logs/io.py`` — ``TSV_COLUMNS``, the on-disk TSV column order;
+* ``logs/columnar.py`` — ``COLUMNS``, the struct-of-arrays / NPZ layout
+  (``device_code`` standing in for the pooled ``device_id`` strings).
+
+Runtime guards (the NPZ ``SCHEMA_VERSION`` check) catch *stale artifacts*;
+this rule catches the *source drifting* — a column added to one
+declaration and not the others, or a silent reorder that would shear every
+existing trace.  The three literals are compared straight from the ASTs,
+so the check needs no imports and works on mutated fixture copies.
+
+Files that declare none of the three markers are ignored; candidates are
+grouped by directory so fixture trios under ``tests/data/lint`` are
+checked against each other, never against ``src/repro/logs``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .registry import project_rule
+from .source import SourceFile
+
+#: Columnar layout name -> schema field it encodes.
+_COLUMN_ALIASES = {"device_code": "device_id"}
+
+
+def _tuple_of_strings(node: ast.expr) -> list[str] | None:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        out.append(elt.value)
+    return out
+
+
+def _assigned_literal(tree: ast.Module, name: str) -> ast.expr | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets:
+                return node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return node.value
+    return None
+
+
+def _schema_fields(tree: ast.Module) -> tuple[list[str], int] | None:
+    """LogRecord dataclass field names in declaration order (+ class line)."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "LogRecord":
+            fields = [
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ]
+            return fields, node.lineno
+    return None
+
+
+def _tsv_columns(tree: ast.Module) -> tuple[list[str], int] | None:
+    value = _assigned_literal(tree, "TSV_COLUMNS")
+    if value is None:
+        return None
+    names = _tuple_of_strings(value)
+    return (names, value.lineno) if names is not None else None
+
+
+def _columnar_columns(tree: ast.Module) -> tuple[list[str], int] | None:
+    value = _assigned_literal(tree, "COLUMNS")
+    if value is None or not isinstance(value, (ast.Tuple, ast.List)):
+        return None
+    names = []
+    for elt in value.elts:
+        if not isinstance(elt, (ast.Tuple, ast.List)) or not elt.elts:
+            return None
+        first = elt.elts[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return None
+        names.append(_COLUMN_ALIASES.get(first.value, first.value))
+    return names, value.lineno
+
+
+def _mismatch(label: str, ref_label: str, got: list[str], want: list[str]) -> str:
+    extra = sorted(set(got) - set(want))
+    missing = sorted(set(want) - set(got))
+    if extra or missing:
+        detail = "; ".join(
+            part
+            for part in (
+                f"unknown: {', '.join(extra)}" if extra else "",
+                f"missing: {', '.join(missing)}" if missing else "",
+            )
+            if part
+        )
+    else:
+        first = next(i for i, (a, b) in enumerate(zip(got, want)) if a != b)
+        detail = (
+            f"first divergence at index {first}: "
+            f"{got[first]!r} vs {want[first]!r}"
+        )
+    return (
+        f"{label} disagrees with the {ref_label} ({detail}); "
+        "the Table 1 layout must change in schema.py, io.py and "
+        "columnar.py together (and SCHEMA_VERSION must be bumped)"
+    )
+
+
+@project_rule(
+    "S1",
+    title="Table 1 layout declared identically in schema/io/columnar",
+)
+def check_schema_drift(sources: list[SourceFile]) -> Iterator:
+    by_dir: dict = {}
+    for src in sources:
+        entry = by_dir.setdefault(src.path.parent, {})
+        schema = _schema_fields(src.tree)
+        if schema is not None:
+            entry["schema"] = (src, *schema)
+        tsv = _tsv_columns(src.tree)
+        if tsv is not None:
+            entry["tsv"] = (src, *tsv)
+        columnar = _columnar_columns(src.tree)
+        if columnar is not None:
+            entry["columnar"] = (src, *columnar)
+
+    for entry in by_dir.values():
+        if len(entry) < 2:
+            continue
+        # The dataclass is the reference when present, else the TSV layout.
+        ref_key = "schema" if "schema" in entry else "tsv"
+        _, want, _ = entry[ref_key]
+        labels = {
+            "tsv": "io.py TSV_COLUMNS",
+            "columnar": "columnar COLUMNS layout",
+            "schema": "LogRecord fields",
+        }
+        for key, (src, got, lineno) in entry.items():
+            if key == ref_key:
+                continue
+            if got != want:
+                yield src, lineno, 0, _mismatch(
+                    labels[key], labels[ref_key], got, want
+                )

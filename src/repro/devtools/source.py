@@ -1,0 +1,79 @@
+"""Parsed source files and inline suppressions.
+
+A :class:`SourceFile` bundles a file's text, its parsed ``ast`` tree and the
+per-line suppression sets extracted from ``# reprolint: disable=...``
+comments.  Rules receive SourceFiles so they never re-read or re-parse.
+
+Suppression syntax
+------------------
+Append a comment to the offending line::
+
+    delivered = self.loss_rate == 0.0  # reprolint: disable=F1
+    rng = default_rng()                # reprolint: disable=D1,D2
+    seed = hash(key)                   # reprolint: disable=all
+
+The suppression applies to findings reported *on that physical line*.
+``all`` mutes every rule for the line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> set of suppressed rule ids (or ``{"all"}``)."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = frozenset(
+                token.strip() for token in match.group(1).split(",") if token.strip()
+            )
+            if rules:
+                out[lineno] = rules
+    return out
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed Python file, ready for rules to inspect."""
+
+    path: Path
+    #: Path string used in findings (as the file was named on the command
+    #: line, so output and baselines are stable regardless of CWD layout).
+    display_path: str
+    text: str
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: Whether the file was named explicitly (vs. found by directory walk);
+    #: rules with directory exemptions still apply to explicit files.
+    explicit: bool = True
+
+    @classmethod
+    def load(cls, path: Path, *, display_path: str | None = None,
+             explicit: bool = True) -> "SourceFile":
+        """Read and parse ``path`` (raises ``SyntaxError`` on bad source)."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=path,
+            display_path=display_path if display_path is not None else str(path),
+            text=text,
+            tree=tree,
+            suppressions=parse_suppressions(text),
+            explicit=explicit,
+        )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return bool(rules) and ("all" in rules or rule_id in rules)
+
+    def in_directory(self, name: str) -> bool:
+        """Whether any path component equals ``name`` (e.g. ``"tests"``)."""
+        return name in self.path.parts

@@ -10,7 +10,7 @@ the restart-suppressing mitigations actually remove the restarts.
 from __future__ import annotations
 
 from ..logs.schema import CHUNK_SIZE, DeviceType, Direction
-from ..tcpsim.mitigations import MITIGATIONS, run_mitigation_sweep
+from ..tcpsim.mitigations import run_mitigation_sweep
 from .base import ExperimentResult
 
 

@@ -11,7 +11,6 @@ Also sweeps tau to show session counts are insensitive near the valley
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.sessions import (
     file_operation_intervals,

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import bisect
 import enum
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 

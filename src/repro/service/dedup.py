@@ -23,7 +23,7 @@ the wire for a stream of uploads.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .chunks import FileManifest
 

@@ -10,7 +10,7 @@ front-end server.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..faults import FaultPlan, MetadataUnavailableError
 from .chunks import FileManifest

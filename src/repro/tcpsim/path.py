@@ -114,7 +114,9 @@ class NetworkPath:
         if self.jitter > 0:
             delay = max(0.0, delay + float(self._rng.normal(0.0, self.jitter)))
         arrival = departure + delay
-        delivered = self.loss_rate == 0.0 or float(self._rng.uniform()) >= self.loss_rate
+        # Short-circuit on a lossless path *before* drawing from the RNG so
+        # enabling/disabling loss does not perturb the jitter stream.
+        delivered = self.loss_rate <= 0.0 or float(self._rng.uniform()) >= self.loss_rate
         return arrival, delivered
 
     def reset(self) -> None:

@@ -9,13 +9,13 @@ Fig 8) and per-user network conditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..logs.schema import DeviceType
 from .activity import assign_store_retrieve_counts
-from .config import MB, DeviceGroup, UserType, WorkloadConfig
+from .config import DeviceGroup, UserType, WorkloadConfig
 
 
 @dataclass(frozen=True)

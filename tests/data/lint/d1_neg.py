@@ -1,0 +1,11 @@
+"""Negative fixture for rule D1: explicit, seeded randomness only."""
+
+import numpy as np
+
+
+def sample(seed, n):
+    rng = np.random.default_rng(seed)
+    # Attribute names that merely *contain* banned words must not trip the
+    # rule: this is a record field, not a clock read.
+    arrival_time = float(rng.uniform()) * n
+    return rng.normal(loc=arrival_time)

@@ -1,0 +1,15 @@
+"""Positive fixture for rule D1: nondeterministic sources."""
+
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample(n):
+    started = time.time()
+    np.random.seed(7)
+    rng = default_rng()
+    jitter = random.random()
+    return started, rng, jitter, n

@@ -1,0 +1,22 @@
+"""Negative fixture for rule D2: every accepted seed-provenance form."""
+
+import numpy as np
+
+
+class Component:
+    def __init__(self, seed):
+        self.seed = seed
+        self.rng = np.random.default_rng(self.seed)
+
+
+def build(seed, user_id):
+    literal = np.random.default_rng(42)
+    from_param = np.random.default_rng(seed)
+    from_sequence = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(user_id,))
+    )
+    master = np.random.SeedSequence(seed)
+    children = master.spawn(4)
+    spawned = [np.random.default_rng(s) for s in children]
+    indexed = np.random.default_rng(children[0])
+    return literal, from_param, from_sequence, spawned, indexed

@@ -1,0 +1,9 @@
+"""Positive fixture for rule D2: RNG built from a non-seed expression."""
+
+import numpy as np
+
+
+def make_rng(worker_index, n_workers):
+    # Neither operand has seed provenance; two differently-sharded runs
+    # would silently draw different streams for the same logical worker.
+    return np.random.default_rng(worker_index * n_workers + 1)

@@ -1,0 +1,13 @@
+"""Negative fixture for rule D3: PYTHONHASHSEED-stable digest instead."""
+
+import hashlib
+
+import numpy as np
+
+
+def client_rng(user_id, device_id, seed):
+    digest = hashlib.blake2b(
+        f"{user_id}:{device_id}".encode(), digest_size=8
+    ).digest()
+    entropy = int.from_bytes(digest, "little")
+    return np.random.default_rng(np.random.SeedSequence([entropy, seed]))

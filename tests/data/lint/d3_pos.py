@@ -1,0 +1,8 @@
+"""Positive fixture for rule D3: builtin hash() feeding a seed."""
+
+import numpy as np
+
+
+def client_rng(user_id, device_id, seed):
+    derived = hash((user_id, device_id, seed))
+    return np.random.default_rng(derived % 2**32 + seed)

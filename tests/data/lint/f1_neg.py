@@ -1,0 +1,10 @@
+"""Negative fixture for rule F1: bounds, isclose and integer equality."""
+
+import math
+
+
+def classify(loss_rate, elapsed, count):
+    lossless = loss_rate <= 0.0
+    on_schedule = math.isclose(elapsed, 1.5, abs_tol=1e-9)
+    empty = count == 0
+    return lossless, on_schedule, empty

@@ -1,0 +1,8 @@
+"""Positive fixture for rule F1: equality against float literals."""
+
+
+def classify(loss_rate, elapsed):
+    lossless = loss_rate == 0.0
+    if elapsed != 1.5:
+        lossless = not lossless
+    return lossless or elapsed == -1.0

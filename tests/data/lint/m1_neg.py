@@ -1,0 +1,20 @@
+"""Negative fixture for rule M1: seeds travel as arguments, not closures."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def worker(child_seed, task):
+    rng = np.random.default_rng(child_seed)
+    return task + rng.normal()
+
+
+def simulate(seed, tasks):
+    children = np.random.SeedSequence(seed).spawn(len(tasks))
+    with ProcessPoolExecutor() as pool:
+        futures = [
+            pool.submit(worker, child, task)
+            for child, task in zip(children, tasks)
+        ]
+    return [f.result() for f in futures]

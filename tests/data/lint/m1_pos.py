@@ -1,0 +1,19 @@
+"""Positive fixture for rule M1: pool workers closing over RNG state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def simulate(seed, tasks):
+    rng = np.random.default_rng(seed)
+
+    def worker(task):
+        # Pickled with the closure: every worker process replays the SAME
+        # generator state, so the "independent" draws are clones.
+        return task + rng.normal()
+
+    with ProcessPoolExecutor() as pool:
+        mapped = list(pool.map(worker, tasks))
+        submitted = pool.submit(lambda t: rng.uniform() * t, tasks[0])
+    return mapped, submitted.result()

@@ -1,0 +1,8 @@
+"""S1 fixture: the columnar layout (consistent trio)."""
+
+COLUMNS = (
+    ("timestamp", "float64"),
+    ("device_code", "int64"),
+    ("user_id", "int64"),
+    ("volume", "int64"),
+)

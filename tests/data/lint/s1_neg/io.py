@@ -1,0 +1,8 @@
+"""S1 fixture: the TSV layout (consistent trio)."""
+
+TSV_COLUMNS = (
+    "timestamp",
+    "device_id",
+    "user_id",
+    "volume",
+)

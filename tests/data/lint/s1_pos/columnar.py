@@ -1,0 +1,7 @@
+"""S1 fixture: the columnar layout, missing a column the schema carries."""
+
+COLUMNS = (
+    ("timestamp", "float64"),
+    ("device_code", "int64"),
+    ("user_id", "int64"),
+)

@@ -1,0 +1,8 @@
+"""S1 fixture: the TSV layout, silently reordered against the schema."""
+
+TSV_COLUMNS = (
+    "timestamp",
+    "user_id",
+    "device_id",
+    "volume",
+)

@@ -1,0 +1,11 @@
+"""S1 fixture: the record schema (drifted trio — io.py is reordered)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    timestamp: float
+    device_id: str
+    user_id: int
+    volume: int = 0

@@ -1,0 +1,12 @@
+"""Fixture for inline suppressions: violations explicitly blessed."""
+
+import time
+
+import numpy as np
+
+
+def profile(loss_rate):
+    started = time.time()  # reprolint: disable=D1
+    rng = np.random.default_rng()  # reprolint: disable=all
+    exact = loss_rate == 0.0  # reprolint: disable=F1
+    return started, rng, exact

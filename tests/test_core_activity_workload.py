@@ -50,7 +50,6 @@ class TestFilesPerUser:
 
 class TestActivityFit:
     def test_fit_on_se_population(self):
-        rng = np.random.default_rng(0)
         n = 3000
         ranks = np.arange(1, n + 1)
         b = 0.448 * np.log(n) + 1.0

@@ -1,0 +1,228 @@
+"""Tests for reprolint (:mod:`repro.devtools`).
+
+Every rule is regression-tested against paired fixture snippets under
+``tests/data/lint/``: the positive fixture must fire with the right rule
+id, the negative fixture must stay completely silent.  The suite also
+covers the ``--json`` round trip, the baseline and suppression
+mechanisms, CLI exit codes, and — the acceptance-critical case — that the
+S1 cross-check fails on a *mutated copy* of the real ``logs/`` trio when
+a TSV column is reordered.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import Finding, Severity, lint_paths, load_builtin_rules
+
+DATA = Path(__file__).resolve().parent / "data" / "lint"
+REPO = Path(__file__).resolve().parent.parent
+SHIPPED = REPO / "src" / "repro"
+
+POSITIVE = [
+    ("d1_pos.py", "D1"),
+    ("d2_pos.py", "D2"),
+    ("d3_pos.py", "D3"),
+    ("f1_pos.py", "F1"),
+    ("m1_pos.py", "M1"),
+    ("s1_pos", "S1"),
+]
+NEGATIVE = ["d1_neg.py", "d2_neg.py", "d3_neg.py", "f1_neg.py", "m1_neg.py", "s1_neg"]
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+
+
+def test_all_six_rules_registered():
+    registry = load_builtin_rules()
+    assert set(registry) >= {"D1", "D2", "D3", "S1", "M1", "F1"}
+    assert registry["S1"].scope == "project"
+    assert registry["F1"].severity is Severity.WARNING
+
+
+# ----------------------------------------------------------------------
+# Paired fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fixture,rule", POSITIVE)
+def test_positive_fixture_fires(fixture, rule):
+    findings = lint_paths([DATA / fixture])
+    assert rule_ids(findings) == {rule}, [f.render() for f in findings]
+    assert all(f.line > 0 for f in findings)
+
+
+def test_d1_reports_each_source_once():
+    findings = lint_paths([DATA / "d1_pos.py"])
+    # time.time, np.random.seed, argless default_rng, random.random.
+    assert len(findings) == 4
+    assert len({(f.line, f.col) for f in findings}) == 4
+
+
+@pytest.mark.parametrize("fixture", NEGATIVE)
+def test_negative_fixture_silent(fixture):
+    findings = lint_paths([DATA / fixture])
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_shipped_tree_is_clean():
+    findings = lint_paths([SHIPPED])
+    assert findings == [], [f.render() for f in findings]
+
+
+# ----------------------------------------------------------------------
+# Suppressions, baselines, JSON round trip
+# ----------------------------------------------------------------------
+
+
+def test_inline_suppressions_mute_findings():
+    assert lint_paths([DATA / "suppressed.py"]) == []
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    victim = tmp_path / "wrong_rule.py"
+    victim.write_text(
+        "import time\n"
+        "NOW = time.time()  # reprolint: disable=F1\n"
+    )
+    findings = lint_paths([victim])
+    assert rule_ids(findings) == {"D1"}
+
+
+def test_baseline_filters_known_findings(tmp_path):
+    target = DATA / "f1_pos.py"
+    findings = lint_paths([target])
+    assert findings
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps([f.to_dict() for f in findings]))
+
+    assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+    # A fresh violation still gates even with the baseline loaded.
+    assert main(["lint", str(DATA / "d3_pos.py"),
+                 "--baseline", str(baseline)]) == 1
+
+
+def test_unreadable_baseline_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "bogus.json"
+    bad.write_text("not json")
+    assert main(["lint", str(DATA / "f1_neg.py"),
+                 "--baseline", str(bad)]) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_json_output_round_trips(capsys):
+    target = DATA / "d2_pos.py"
+    assert main(["lint", str(target), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    parsed = [Finding.from_dict(entry) for entry in payload["findings"]]
+    assert parsed == lint_paths([target])
+    assert [p.to_dict() for p in parsed] == payload["findings"]
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour
+# ----------------------------------------------------------------------
+
+
+def test_cli_clean_run_exits_zero(capsys):
+    assert main(["lint", str(SHIPPED)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_reports_rule_ids_on_positives(capsys):
+    assert main(["lint", str(DATA / "m1_pos.py")]) == 1
+    out = capsys.readouterr().out
+    assert "M1" in out and "error" in out
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope.py")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_unparseable_file_is_e0_finding(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    findings = lint_paths([broken])
+    assert rule_ids(findings) == {"E0"}
+    assert findings[0].severity is Severity.ERROR
+
+
+# ----------------------------------------------------------------------
+# S1 against the real logs/ trio
+# ----------------------------------------------------------------------
+
+
+def _copy_logs_trio(tmp_path):
+    for name in ("schema.py", "io.py", "columnar.py"):
+        shutil.copy(SHIPPED / "logs" / name, tmp_path / name)
+
+
+def test_s1_clean_on_faithful_copy(tmp_path):
+    _copy_logs_trio(tmp_path)
+    assert lint_paths([tmp_path]) == []
+
+
+def test_s1_fails_when_io_column_reordered(tmp_path):
+    _copy_logs_trio(tmp_path)
+    io_path = tmp_path / "io.py"
+    text = io_path.read_text()
+    block = '    "kind",\n    "direction",\n'
+    assert text.count(block) == 1, "TSV_COLUMNS layout changed; update test"
+    io_path.write_text(text.replace(block, '    "direction",\n    "kind",\n'))
+
+    findings = lint_paths([tmp_path])
+    assert rule_ids(findings) == {"S1"}
+    (finding,) = findings
+    assert finding.path.endswith("io.py")
+    assert "TSV_COLUMNS" in finding.message
+
+
+def test_s1_fails_when_columnar_drops_a_column(tmp_path):
+    _copy_logs_trio(tmp_path)
+    columnar_path = tmp_path / "columnar.py"
+    text = columnar_path.read_text()
+    line = '    ("proxied", "bool"),\n'
+    assert text.count(line) == 1, "COLUMNS layout changed; update test"
+    columnar_path.write_text(text.replace(line, ""))
+
+    findings = lint_paths([tmp_path])
+    assert rule_ids(findings) == {"S1"}
+    assert "missing: proxied" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Traversal semantics
+# ----------------------------------------------------------------------
+
+
+def test_f1_exempts_walked_tests_dirs_but_not_explicit_files(tmp_path):
+    tests_dir = tmp_path / "tests"
+    tests_dir.mkdir()
+    victim = tests_dir / "helper.py"
+    victim.write_text("def check(x):\n    return x == 0.5\n")
+
+    # Walked through a tests/ directory: F1 stands down.
+    assert lint_paths([tmp_path]) == []
+    # Named explicitly (how fixtures are linted): F1 fires.
+    assert rule_ids(lint_paths([victim])) == {"F1"}
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_paths([DATA / "f1_neg.py"], rule_ids={"F1", "ZZ9"})
+
+
+def test_rule_subset_selection():
+    findings = lint_paths([DATA / "d1_pos.py"], rule_ids={"D3"})
+    assert findings == []

@@ -80,6 +80,41 @@ def test_readme_experiment_count_current():
     )
 
 
+def test_table1_field_list_in_docs_matches_schema():
+    """Doc-level companion to lint rule S1.
+
+    The Table 1 field list spelled out in PAPER_MAP.md and README.md must
+    be exactly the LogRecord dataclass fields, in declaration order — a
+    column added to the schema without updating the prose (or vice versa)
+    fails here, the same way reordering a code literal fails S1.
+    """
+    from dataclasses import fields as dataclass_fields
+
+    from repro.logs.schema import LogRecord
+
+    expected = ", ".join(f"`{f.name}`" for f in dataclass_fields(LogRecord))
+    for doc in (REPO / "docs" / "PAPER_MAP.md", REPO / "README.md"):
+        text = re.sub(r"\s+", " ", doc.read_text())
+        assert expected in text, (
+            f"{doc.name} Table 1 field list out of sync with logs.schema; "
+            f"expected: {expected}"
+        )
+
+
+def test_static_analysis_doc_covers_every_rule():
+    """docs/STATIC_ANALYSIS.md is the rule catalog — it must name every
+    registered rule id and be linked from README and SCALING.md."""
+    from repro.devtools import load_builtin_rules
+
+    catalog = (REPO / "docs" / "STATIC_ANALYSIS.md").read_text()
+    missing = [rid for rid in load_builtin_rules() if f"`{rid}`" not in catalog]
+    assert not missing, f"STATIC_ANALYSIS.md missing rules: {missing}"
+    for doc in ("README.md", "docs/SCALING.md"):
+        assert "STATIC_ANALYSIS.md" in (REPO / doc).read_text(), (
+            f"{doc} does not link docs/STATIC_ANALYSIS.md"
+        )
+
+
 def test_experiment_modules_define_main():
     for module in ALL_EXPERIMENTS:
         source = pathlib.Path(module.__file__).read_text()

@@ -4,8 +4,6 @@ import pytest
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.validation import (
-    CheckRobustness,
-    ExperimentRobustness,
     pass_rate_summary,
     validate,
 )

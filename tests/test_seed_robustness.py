@@ -8,7 +8,7 @@ the calibration is structural, not a lucky draw.
 import numpy as np
 import pytest
 
-from repro.core import analyze_trace, classify_sessions, sessionize
+from repro.core import analyze_trace
 from repro.logs import Direction, DeviceType
 from repro.tcpsim import sample_flow_population
 from repro.workload import GeneratorOptions, generate_trace

@@ -12,8 +12,8 @@ Covers the three contracts of the fault subsystem:
 
 import pytest
 
-from repro.faults import FaultConfig, FaultPlan, RetryPolicy
-from repro.logs import Direction, DeviceType, RequestKind, ResultCode
+from repro.faults import FaultConfig, RetryPolicy
+from repro.logs import DeviceType, RequestKind, ResultCode
 from repro.logs.io import record_to_tsv
 from repro.service import ClientNetwork, MetadataUnavailableError, ServiceCluster
 

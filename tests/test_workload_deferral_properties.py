@@ -1,6 +1,5 @@
 """Property-based invariants of the deferral policy."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

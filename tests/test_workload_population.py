@@ -1,6 +1,5 @@
 """Tests for user population synthesis."""
 
-import numpy as np
 import pytest
 
 from repro.logs import DeviceType
