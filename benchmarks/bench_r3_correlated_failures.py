@@ -1,0 +1,7 @@
+"""Benchmark R3 — correlated failure domains and retry-storm feedback."""
+
+from repro.experiments import r3_correlated_failures
+
+
+def test_r3_correlated_failures(experiment):
+    experiment(r3_correlated_failures)

@@ -209,7 +209,16 @@ def _cmd_faults_demo(args: argparse.Namespace) -> int:
         print(f"--fault-rate must be >= 0, got {args.fault_rate}",
               file=sys.stderr)
         return 2
+    if args.zones < 0:
+        print(f"--zones must be >= 0, got {args.zones}", file=sys.stderr)
+        return 2
+    if args.zones and not 0.0 < args.zone_share < 1.0:
+        print(f"--zone-share must be in (0, 1), got {args.zone_share}",
+              file=sys.stderr)
+        return 2
     plan = _planned_workload(args.users, args.seed)
+    if args.zones:
+        return _faults_demo_correlated(plan, args)
     outcome = _replay(plan, args.fault_rate, args.seed)
     unrecovered = outcome.n_transfers - outcome.n_completed
     print(
@@ -222,6 +231,40 @@ def _cmd_faults_demo(args: argparse.Namespace) -> int:
         f"{outcome.retries} retries, {outcome.failovers} failovers, "
         f"{outcome.backoff_seconds:.1f}s spent backing off"
     )
+    if unrecovered:
+        print(f"FAIL: {unrecovered} transfers never completed",
+              file=sys.stderr)
+        return 1
+    print("all transfers eventually completed")
+    return 0
+
+
+def _faults_demo_correlated(plan: list, args: argparse.Namespace) -> int:
+    """Correlated arm of the chaos smoke test: zones + retry storms.
+
+    Prints the access-log digest so CI can assert that two invocations of
+    the same correlated plan are byte-identical across processes.
+    """
+    from .experiments.r3_correlated_failures import build_configs, replay
+
+    config = build_configs(
+        rate=args.fault_rate, zone_share=args.zone_share, n_zones=args.zones
+    )[1]
+    rep = replay(plan, config, args.seed, "correlated")
+    unrecovered = rep.n_transfers - rep.n_completed
+    print(
+        f"replayed {rep.n_transfers} transfers at fault rate "
+        f"{args.fault_rate:g} across {args.zones} failure zones "
+        f"(zone share {args.zone_share:g}): {rep.n_completed} completed, "
+        f"{unrecovered} unrecovered"
+    )
+    print(
+        f"  {rep.retries} retries, {rep.failovers} failovers, "
+        f"{rep.crash_rejections} crash rejections "
+        f"({rep.zone_crash_rejections} zone), {rep.shed_requests} sheds "
+        f"({rep.pressure_sheds} pressure, {rep.overload_sheds} overload)"
+    )
+    print(f"  access-log digest: {rep.log_digest}")
     if unrecovered:
         print(f"FAIL: {unrecovered} transfers never completed",
               file=sys.stderr)
@@ -310,6 +353,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault severity (see FaultConfig.at_rate)")
     chaos.add_argument("--users", type=int, default=12)
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--zones", type=int, default=0,
+                       help="partition the fleet into N correlated failure "
+                            "zones (0 = independent faults only)")
+    chaos.add_argument("--zone-share", type=float, default=0.6,
+                       help="fraction of the crash budget moved into the "
+                            "shared zone-level outage process")
     chaos.set_defaults(func=_cmd_faults_demo)
 
     lint = sub.add_parser(

@@ -33,6 +33,7 @@ from . import (
     fig15_swnd,
     fig16_idle,
     r2_fault_resilience,
+    r3_correlated_failures,
     recovery,
     s1_session_classes,
     table3_user_types,
@@ -70,6 +71,7 @@ ALL_EXPERIMENTS = (
     ablation_autoscaling,
     recovery,
     r2_fault_resilience,
+    r3_correlated_failures,
 )
 
 

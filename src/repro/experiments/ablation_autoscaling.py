@@ -7,6 +7,12 @@ volume three ways — static at the peak, a realistic reactive autoscaler,
 and the perfect-forecast oracle — and checks the economics: the reactive
 policy recovers most of the oracle's savings at a small under-provisioning
 risk.
+
+The reactive arm bootstraps hour 0 from the first hour's load *with
+headroom* (it used to peek at the raw current-hour load, an oracle
+privilege no reactive controller has); on this 169-hour profile that
+costs a few extra server-hours in hour 0 and leaves every check's margin
+intact.
 """
 
 from __future__ import annotations

@@ -14,6 +14,15 @@ supplies the failure side of the service simulator:
   idiom :mod:`repro.workload.parallel` uses for per-user streams), so a
   plan is byte-for-byte reproducible from ``(config, n_frontends, seed)``
   and one component's draws never perturb another's.
+* :class:`ZoneConfig` — the *correlation* knobs (all off by default):
+  front-ends grouped into seeded failure zones whose crash windows come
+  from one shared zone-level Poisson process (real incidents take a rack
+  or zone down at once, not one server), metadata outages that raise
+  effective front-end load during and shortly after each outage window,
+  and retry-storm feedback — shed/unavailable outcomes raise a
+  deterministic per-front-end pressure counter that increases shed
+  probability until the retries drain, so a burst of failovers can
+  cascade across the fleet.
 * :class:`RetryPolicy` — the client-side recovery policy: capped
   exponential backoff with deterministic jitter, a per-operation timeout,
   a bounded attempt budget and front-end failover.
@@ -42,10 +51,12 @@ class FaultKind(enum.Enum):
     """The fault classes a :class:`FaultPlan` can schedule."""
 
     CRASH = "crash"
+    ZONE_CRASH = "zone_crash"
     TRANSIENT_ERROR = "transient_error"
     SLOW_EPISODE = "slow_episode"
     METADATA_OUTAGE = "metadata_outage"
     OVERLOAD = "overload"
+    PRESSURE_SHED = "pressure_shed"
 
 
 class MetadataUnavailableError(RuntimeError):
@@ -69,6 +80,83 @@ class Window:
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ZoneConfig:
+    """Correlation knobs: failure zones, overload coupling, retry storms.
+
+    The default instance is fully benign (``enabled == False``); a
+    :class:`FaultConfig` carrying it (or ``zones=None``) reproduces the
+    independent per-component fault model exactly — same seed-stream
+    layout, same schedules, byte-identical access logs.
+
+    Attributes
+    ----------
+    n_zones:
+        Number of failure zones the front-end fleet is partitioned into
+        (0 disables zone grouping).  Assignment is a seeded permutation
+        dealt round-robin, so it is a pure function of the plan seed.
+    zone_crash_rate:
+        Zone-level crash events per zone-hour.  Every front-end in the
+        zone is down for the whole window — shared-fate outages on top of
+        the per-server residual ``crash_rate``.
+    zone_mean_downtime:
+        Mean seconds a zone-level crash window lasts.
+    overload_factor:
+        Fraction of each front-end's capacity consumed by phantom retry
+        load while the metadata server is down (clients that cannot reach
+        metadata hammer the data path).  Decays linearly to zero over
+        ``overload_recovery`` seconds after the outage lifts.
+    overload_recovery:
+        Seconds the post-outage overload takes to drain.
+    pressure_per_failure:
+        Retry-storm feedback: pressure added to a front-end's counter on
+        every shed/unavailable outcome it serves (0 disables feedback).
+    pressure_drain_rate:
+        Pressure units drained per second of quiet time.
+    pressure_shed_scale:
+        Half-saturation constant: at pressure ``P`` the extra shed
+        probability is ``P / (P + pressure_shed_scale)``.
+    """
+
+    n_zones: int = 0
+    zone_crash_rate: float = 0.0
+    zone_mean_downtime: float = 60.0
+    overload_factor: float = 0.0
+    overload_recovery: float = 60.0
+    pressure_per_failure: float = 0.0
+    pressure_drain_rate: float = 0.5
+    pressure_shed_scale: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.n_zones < 0:
+            raise ValueError("n_zones must be >= 0")
+        if self.zone_crash_rate < 0:
+            raise ValueError("zone_crash_rate must be >= 0")
+        if self.zone_crash_rate > 0 and self.n_zones < 1:
+            raise ValueError("zone_crash_rate needs n_zones >= 1")
+        if self.zone_mean_downtime <= 0:
+            raise ValueError("zone_mean_downtime must be positive")
+        if not 0.0 <= self.overload_factor <= 1.0:
+            raise ValueError("overload_factor must be in [0, 1]")
+        if self.overload_recovery < 0:
+            raise ValueError("overload_recovery must be >= 0")
+        if self.pressure_per_failure < 0:
+            raise ValueError("pressure_per_failure must be >= 0")
+        if self.pressure_drain_rate <= 0:
+            raise ValueError("pressure_drain_rate must be positive")
+        if self.pressure_shed_scale <= 0:
+            raise ValueError("pressure_shed_scale must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any correlation mechanism is armed."""
+        return (
+            (self.n_zones > 0 and self.zone_crash_rate > 0)
+            or self.overload_factor > 0
+            or self.pressure_per_failure > 0
+        )
 
 
 @dataclass(frozen=True)
@@ -100,6 +188,10 @@ class FaultConfig:
     #: Seconds of sim time the schedules cover.  Queries beyond the
     #: horizon are benign (no crash/slow/outage windows are planned there).
     horizon: float = 7 * 24 * 3600.0
+    #: Optional correlation layer (failure zones, overload coupling,
+    #: retry-storm feedback).  ``None`` — or a benign :class:`ZoneConfig`
+    #: — reproduces the independent model exactly.
+    zones: ZoneConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.error_rate < 1.0:
@@ -127,31 +219,57 @@ class FaultConfig:
             or self.crash_rate > 0
             or self.slow_rate > 0
             or self.metadata_outage_rate > 0
+            or self.correlated
         )
 
+    @property
+    def correlated(self) -> bool:
+        """Whether the correlation layer (zones/overload/pressure) is armed."""
+        return self.zones is not None and self.zones.enabled
+
     @classmethod
-    def at_rate(cls, rate: float, *, horizon: float = 7 * 24 * 3600.0) -> "FaultConfig":
-        """One-knob severity scaling used by experiment R2 and the CLI.
+    def at_rate(
+        cls,
+        rate: float,
+        *,
+        horizon: float = 7 * 24 * 3600.0,
+        zones: ZoneConfig | None = None,
+    ) -> "FaultConfig":
+        """One-knob severity scaling used by experiments R2/R3 and the CLI.
 
         ``rate`` is the per-request transient error probability; crash,
         slow-episode and metadata-outage frequencies scale linearly with
         it (calibrated so ``rate=0.05`` yields a few crash and outage
         windows per server-day).
         """
-        if rate < 0:
-            raise ValueError("rate must be >= 0")
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(
+                "rate must be in [0, 1) — it is the per-request transient "
+                f"error probability, got {rate!r}"
+            )
         return cls(
             error_rate=rate,
             crash_rate=rate * 2.0,
             slow_rate=rate * 4.0,
             metadata_outage_rate=rate * 1.0,
             horizon=horizon,
+            zones=zones,
         )
 
 
 @dataclass
 class FaultStats:
-    """Counters for injected faults and the recovery actions they forced."""
+    """Counters for injected faults and the recovery actions they forced.
+
+    ``crash_rejections`` and ``shed_requests`` are umbrella counters —
+    every rejection/shed counts there exactly once.  The correlation-layer
+    counters below them attribute subsets: ``zone_crash_rejections`` are
+    the crash rejections caused by a shared zone-level window,
+    ``overload_sheds`` the sheds where metadata-outage overload (not the
+    real in-flight queue) pushed the front-end over capacity, and
+    ``pressure_sheds`` the sheds triggered by retry-storm pressure.  They
+    are *not* added again by :attr:`total_faults`.
+    """
 
     injected_errors: int = 0
     crash_rejections: int = 0
@@ -163,6 +281,9 @@ class FaultStats:
     backoff_seconds: float = 0.0
     aborted_transfers: int = 0
     completed_transfers: int = 0
+    zone_crash_rejections: int = 0
+    overload_sheds: int = 0
+    pressure_sheds: int = 0
 
     @property
     def total_faults(self) -> int:
@@ -190,7 +311,10 @@ def _poisson_windows(
     Arrivals with exponential interarrival times at ``rate_per_hour``;
     each window lasts an exponential ``mean_duration``.  A window opening
     inside the previous one is pushed back to its end, preserving the
-    half-open, sorted, disjoint invariant binary search relies on.
+    half-open, sorted, disjoint invariant binary search relies on.  Every
+    emitted window satisfies ``start < end <= horizon``: a pushback that
+    lands at (or beyond) the horizon ends the schedule instead of
+    appending a degenerate zero-length window.
     """
     if rate_per_hour <= 0 or mean_duration <= 0:
         return ()
@@ -199,7 +323,14 @@ def _poisson_windows(
     while t < horizon:
         if windows and t < windows[-1].end:
             t = windows[-1].end
+            if t >= horizon:
+                break
         duration = float(rng.exponential(mean_duration))
+        if duration <= 0.0:
+            # Degenerate exponential draw: skip rather than emit an
+            # empty window (start == end) that contains no instant.
+            t += float(rng.exponential(3600.0 / rate_per_hour))
+            continue
         windows.append(Window(start=t, end=min(t + duration, horizon)))
         t += duration + float(rng.exponential(3600.0 / rate_per_hour))
     return tuple(windows)
@@ -228,12 +359,17 @@ class FaultPlan:
         slow-episode and transient-error streams, then the metadata
         stream — so adding front-ends never reshuffles existing ones,
         and the same ``(config, n_frontends, seed)`` always yields the
-        same schedule and the same per-request error draws.
+        same schedule and the same per-request error draws.  When the
+        correlation layer is armed, *additional* children are spawned
+        strictly after the independent block — one zone-assignment
+        stream, one crash stream per zone, one pressure stream per
+        front-end — so a correlated plan never reshuffles the schedules
+        an independent plan would draw from the same seed.
 
-    All window schedules are materialized at construction; only the
-    per-request transient-error draws consume RNG state at query time
-    (in the deterministic order the single-threaded simulator issues
-    requests).
+    All window schedules (including zone-level ones) are materialized at
+    construction; only the per-request transient-error and
+    pressure-shed draws consume RNG state at query time (in the
+    deterministic order the single-threaded simulator issues requests).
     """
 
     def __init__(self, config: FaultConfig, *, n_frontends: int = 1, seed: int = 0) -> None:
@@ -243,9 +379,18 @@ class FaultPlan:
         self.n_frontends = n_frontends
         self.seed = seed
         self.stats = FaultStats()
+        zones = config.zones if config.correlated else None
+        self.zone_config = zones
+        n_zones = zones.n_zones if zones is not None else 0
         master = np.random.SeedSequence(seed)
         # 3 streams per front-end + 1 metadata stream, in a fixed order.
-        children = master.spawn(3 * n_frontends + 1)
+        # The correlation layer's streams come strictly after, so the
+        # first 3n+1 children — and hence the independent schedules —
+        # are identical whether or not correlation is armed.
+        n_children = 3 * n_frontends + 1
+        if zones is not None:
+            n_children += 1 + n_zones + n_frontends
+        children = master.spawn(n_children)
         crash_seqs = children[0:n_frontends]
         slow_seqs = children[n_frontends : 2 * n_frontends]
         error_seqs = children[2 * n_frontends : 3 * n_frontends]
@@ -283,6 +428,46 @@ class FaultPlan:
         ]
         self._metadata_starts = tuple(w.start for w in self._metadata_windows)
         self._error_rngs = [np.random.default_rng(s) for s in error_seqs]
+        # ------------------------------------------------------------------
+        # Correlation layer: zone schedules, assignment, pressure state.
+        # ------------------------------------------------------------------
+        self._zone_of: tuple[int, ...] = ()
+        self._zone_windows: tuple[tuple[Window, ...], ...] = ()
+        self._zone_starts: tuple[tuple[float, ...], ...] = ()
+        self._pressure_rngs: list[np.random.Generator] = []
+        self._pressure = [0.0] * n_frontends
+        self._pressure_time = [0.0] * n_frontends
+        if zones is not None:
+            base = 3 * n_frontends + 1
+            assign_seq = children[base]
+            zone_seqs = children[base + 1 : base + 1 + n_zones]
+            pressure_seqs = children[base + 1 + n_zones :]
+            if n_zones > 0:
+                # Seeded zone assignment: a permutation of the fleet dealt
+                # round-robin, so zones are balanced but membership is a
+                # pure function of the plan seed.
+                order = np.random.default_rng(assign_seq).permutation(
+                    n_frontends
+                )
+                zone_of = [0] * n_frontends
+                for position, fid in enumerate(order.tolist()):
+                    zone_of[fid] = position % n_zones
+                self._zone_of = tuple(zone_of)
+                self._zone_windows = tuple(
+                    _poisson_windows(
+                        np.random.default_rng(zone_seq),
+                        zones.zone_crash_rate,
+                        zones.zone_mean_downtime,
+                        config.horizon,
+                    )
+                    for zone_seq in zone_seqs
+                )
+                self._zone_starts = tuple(
+                    tuple(w.start for w in ws) for ws in self._zone_windows
+                )
+            self._pressure_rngs = [
+                np.random.default_rng(s) for s in pressure_seqs
+            ]
 
     # ------------------------------------------------------------------
     # Queries (all deterministic; windows never consume RNG state)
@@ -292,23 +477,168 @@ class FaultPlan:
     def enabled(self) -> bool:
         return self.config.enabled
 
+    @property
+    def correlated(self) -> bool:
+        """Whether the correlation layer is armed on this plan."""
+        return self.zone_config is not None
+
     def frontend_down(self, frontend_id: int, t: float) -> bool:
-        """Whether front-end ``frontend_id`` is inside a crash window at ``t``."""
-        return (
+        """Whether ``frontend_id`` is inside a crash window at ``t``.
+
+        Covers both the per-server residual windows and the shared
+        zone-level windows of the front-end's failure zone.
+        """
+        if (
             _in_windows(
                 self._crash_windows[frontend_id],
                 self._crash_starts[frontend_id],
                 t,
             )
             is not None
-        )
+        ):
+            return True
+        return self.zone_down(frontend_id, t)
 
     def downtime_remaining(self, frontend_id: int, t: float) -> float:
-        """Seconds until the crash window containing ``t`` ends (0 if up)."""
+        """Seconds until every crash window containing ``t`` ends (0 if up)."""
+        remaining = 0.0
         window = _in_windows(
             self._crash_windows[frontend_id], self._crash_starts[frontend_id], t
         )
-        return window.end - t if window is not None else 0.0
+        if window is not None:
+            remaining = window.end - t
+        zone = self.zone_of(frontend_id)
+        if zone is not None:
+            zone_window = _in_windows(
+                self._zone_windows[zone], self._zone_starts[zone], t
+            )
+            if zone_window is not None:
+                remaining = max(remaining, zone_window.end - t)
+        return remaining
+
+    # -- failure zones --------------------------------------------------
+
+    def zone_of(self, frontend_id: int) -> int | None:
+        """The front-end's failure zone, or ``None`` without zone grouping."""
+        if not self._zone_of:
+            return None
+        return self._zone_of[frontend_id]
+
+    def zone_down(self, frontend_id: int, t: float) -> bool:
+        """Whether the front-end's *zone* is inside a shared crash window."""
+        zone = self.zone_of(frontend_id)
+        if zone is None:
+            return False
+        return (
+            _in_windows(self._zone_windows[zone], self._zone_starts[zone], t)
+            is not None
+        )
+
+    def zone_windows(self, zone: int) -> tuple[Window, ...]:
+        """The shared crash windows of one failure zone."""
+        return self._zone_windows[zone]
+
+    def effective_crash_windows(self, frontend_id: int) -> tuple[Window, ...]:
+        """Union of residual and zone-level crash windows, merged.
+
+        The result is sorted, disjoint and horizon-bounded — the actual
+        downtime intervals of the front-end, used by experiment R3 to
+        compute concurrent-down fractions.
+        """
+        combined = list(self._crash_windows[frontend_id])
+        zone = self.zone_of(frontend_id)
+        if zone is not None:
+            combined.extend(self._zone_windows[zone])
+        combined.sort(key=lambda w: (w.start, w.end))
+        merged: list[Window] = []
+        for window in combined:
+            if merged and window.start <= merged[-1].end:
+                if window.end > merged[-1].end:
+                    merged[-1] = Window(merged[-1].start, window.end)
+            else:
+                merged.append(window)
+        return tuple(merged)
+
+    # -- metadata-outage overload coupling ------------------------------
+
+    def overload_level(self, t: float) -> float:
+        """Fraction of front-end capacity consumed by phantom retry load.
+
+        1:1 with :attr:`ZoneConfig.overload_factor` while the metadata
+        server is down (clients that cannot reach metadata hammer the
+        data path with retries), decaying linearly to zero over
+        ``overload_recovery`` seconds after the outage lifts.  Pure
+        window arithmetic — no RNG state is consumed.
+        """
+        zones = self.zone_config
+        if zones is None or zones.overload_factor <= 0:
+            return 0.0
+        if _in_windows(self._metadata_windows, self._metadata_starts, t) is not None:
+            return zones.overload_factor
+        index = bisect.bisect_right(self._metadata_starts, t) - 1
+        if index >= 0 and zones.overload_recovery > 0:
+            end = self._metadata_windows[index].end
+            if end <= t < end + zones.overload_recovery:
+                return zones.overload_factor * (
+                    1.0 - (t - end) / zones.overload_recovery
+                )
+        return 0.0
+
+    # -- retry-storm pressure -------------------------------------------
+
+    def _drain_pressure(self, frontend_id: int, now: float) -> None:
+        zones = self.zone_config
+        last = self._pressure_time[frontend_id]
+        if now > last:
+            self._pressure[frontend_id] = max(
+                0.0,
+                self._pressure[frontend_id]
+                - (now - last) * zones.pressure_drain_rate,
+            )
+            self._pressure_time[frontend_id] = now
+
+    def note_failure_pressure(self, frontend_id: int, now: float) -> None:
+        """Record one shed/unavailable outcome on a front-end.
+
+        Raises the front-end's pressure counter by
+        ``pressure_per_failure`` (after draining elapsed quiet time), so
+        a burst of failovers makes subsequent sheds more likely — the
+        retry-storm feedback loop.  No-op when feedback is disabled.
+        """
+        zones = self.zone_config
+        if zones is None or zones.pressure_per_failure <= 0:
+            return
+        self._drain_pressure(frontend_id, now)
+        self._pressure[frontend_id] += zones.pressure_per_failure
+
+    def pressure_level(self, frontend_id: int, now: float) -> float:
+        """Current retry-storm pressure on a front-end (0 when disabled)."""
+        zones = self.zone_config
+        if zones is None or zones.pressure_per_failure <= 0:
+            return 0.0
+        self._drain_pressure(frontend_id, now)
+        return self._pressure[frontend_id]
+
+    def draw_pressure_shed(self, frontend_id: int, now: float) -> bool:
+        """One pressure-induced shed decision for a front-end.
+
+        At pressure ``P`` the shed probability is
+        ``P / (P + pressure_shed_scale)`` — saturating, so storms raise
+        the shed rate sharply but never to certainty.  Draws come from
+        the front-end's dedicated pressure stream, so the error-stream
+        draw sequence of the independent model is never perturbed.
+        """
+        zones = self.zone_config
+        if zones is None or zones.pressure_per_failure <= 0:
+            return False
+        self._drain_pressure(frontend_id, now)
+        pressure = self._pressure[frontend_id]
+        if pressure <= 0.0:
+            return False
+        probability = pressure / (pressure + zones.pressure_shed_scale)
+        return bool(
+            self._pressure_rngs[frontend_id].random() < probability
+        )
 
     def latency_multiplier(self, frontend_id: int, t: float) -> float:
         """Slow-episode multiplier on processing/transfer time (1.0 = healthy)."""
@@ -442,15 +772,27 @@ class RequestOutcome:
 
 
 def scaled_config(config: FaultConfig, scale: float) -> FaultConfig:
-    """Scale every rate in ``config`` by ``scale`` (durations unchanged)."""
+    """Scale every rate in ``config`` by ``scale`` (durations unchanged).
+
+    ``error_rate`` is a *probability*, not a frequency, so it is capped at
+    0.999 to stay inside the ``[0, 1)`` domain ``FaultConfig`` enforces —
+    scaling an already-severe config cannot push it past certain failure.
+    The window frequencies (``crash_rate``, ``slow_rate``,
+    ``metadata_outage_rate``, ``zone_crash_rate``) are true rates and
+    scale without a cap.
+    """
     if scale < 0:
         raise ValueError("scale must be >= 0")
+    zones = config.zones
+    if zones is not None and zones.zone_crash_rate > 0:
+        zones = replace(zones, zone_crash_rate=zones.zone_crash_rate * scale)
     return replace(
         config,
         error_rate=min(config.error_rate * scale, 0.999),
         crash_rate=config.crash_rate * scale,
         slow_rate=config.slow_rate * scale,
         metadata_outage_rate=config.metadata_outage_rate * scale,
+        zones=zones,
     )
 
 
@@ -463,5 +805,6 @@ __all__ = [
     "RequestOutcome",
     "RetryPolicy",
     "Window",
+    "ZoneConfig",
     "scaled_config",
 ]

@@ -14,6 +14,7 @@ from ..faults import (
     MetadataUnavailableError,
     RequestOutcome,
     RetryPolicy,
+    ZoneConfig,
 )
 
 from .autoscaler import (
@@ -57,6 +58,7 @@ __all__ = [
     "TransferModel",
     "TransferReport",
     "UploadAccounting",
+    "ZoneConfig",
     "build_manifest",
     "chunk_sizes",
     "compare_strategies",

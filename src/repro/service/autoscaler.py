@@ -122,12 +122,22 @@ def oracle_provisioning(
 def reactive_provisioning(
     profile: np.ndarray, policy: AutoscalerPolicy
 ) -> ProvisioningOutcome:
-    """Follow last hour's load with headroom and a scale-down cooldown."""
+    """Follow last hour's load with headroom and a scale-down cooldown.
+
+    Hour 0 has no "last hour" to follow, so the fleet bootstraps from
+    ``loads[0] * headroom`` — treating the first hour's load as the first
+    *observation*, exactly as every later hour is treated.  (Sizing hour 0
+    from the raw current-hour load, as this function once did, was an
+    oracle peek with no headroom: it contradicted the follow-the-last-
+    observation contract and understated the reactive fleet's cost.)
+    """
     loads = np.asarray(profile, dtype=float)
     if loads.size == 0:
         raise ValueError("empty profile")
     fleet = _servers_for(
-        float(loads[0]), policy.capacity_per_server, policy.min_servers
+        float(loads[0]) * policy.headroom,
+        policy.capacity_per_server,
+        policy.min_servers,
     )
     server_hours = 0
     violations = 0

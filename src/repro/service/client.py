@@ -18,9 +18,13 @@ a failed attempt advances the clock by the partial time it consumed plus a
 capped, jittered exponential backoff, UNAVAILABLE/SHED outcomes may fail
 over to an alternate front-end (content is replicated across the fleet;
 the metadata assignment is only the *preferred* server), and a transfer
-whose attempt budget runs out is reported with ``completed=False``.  Every
-attempt — including failed ones — emits a front-end log record, so retries
-are visible in the access log exactly as in the paper's dataset.
+whose attempt budget runs out is reported with ``completed=False``.  When
+the deployment's fault plan groups front-ends into failure zones, failover
+prefers a front-end *outside* the failed server's zone — retrying inside a
+zone that just suffered a shared-fate outage would walk straight into the
+same window.  Every attempt — including failed ones — emits a front-end
+log record, so retries are visible in the access log exactly as in the
+paper's dataset.
 """
 
 from __future__ import annotations
@@ -356,11 +360,34 @@ class StorageClient:
                 and policy.failover
                 and len(self.frontends) > 1
             ):
-                shift += 1
+                shift = self._failover_shift(preferred_id, shift)
                 tally.failovers += 1
                 if plan is not None:
                     plan.stats.failovers += 1
             self._backoff(failures)
+
+    def _failover_shift(self, preferred_id: int, shift: int) -> int:
+        """Next rotation offset after a failed attempt.
+
+        Without failure zones this is plain rotation (``shift + 1``, the
+        historical behaviour, byte-identical when zones are off).  With
+        zones, prefer the nearest front-end in rotation order that sits
+        *outside* the failed server's zone; fall back to plain rotation
+        when the whole fleet shares one zone.
+        """
+        n = len(self.frontends)
+        failed_id = (preferred_id + shift) % n
+        plan = self.fault_plan
+        if plan is None:
+            return shift + 1
+        failed_zone = plan.zone_of(failed_id)
+        if failed_zone is None:
+            return shift + 1
+        for step in range(1, n):
+            candidate = (preferred_id + shift + step) % n
+            if plan.zone_of(candidate) != failed_zone:
+                return shift + step
+        return shift + 1
 
     def _file_op(
         self, frontend_id: int, direction: Direction, tally: _AttemptTally

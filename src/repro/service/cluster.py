@@ -9,8 +9,13 @@ A cluster may be deployed with a :class:`~repro.faults.FaultConfig`: it
 then builds one :class:`~repro.faults.FaultPlan` (seeded off the cluster's
 ``fault_seed``), threads it through the metadata server and every
 front-end, hands each client the deployment's retry policy, and exposes
-failure/retry counters.  With no fault config (the default) the cluster is
-record-identical to the historical fault-free simulator.
+failure/retry counters.  A config carrying a
+:class:`~repro.faults.ZoneConfig` additionally partitions the fleet into
+seeded failure zones with shared crash windows, couples metadata outages
+into front-end overload, and arms the retry-storm pressure feedback —
+clients created by the cluster then fail over preferentially to
+out-of-zone front-ends.  With no fault config (the default) the cluster
+is record-identical to the historical fault-free simulator.
 """
 
 from __future__ import annotations
@@ -138,6 +143,27 @@ class ServiceCluster:
         if self.fault_plan is None:
             return FaultStats()
         return self.fault_plan.stats
+
+    @property
+    def zone_map(self) -> dict[int, int]:
+        """Front-end id -> failure zone (empty without zone grouping)."""
+        plan = self.fault_plan
+        if plan is None:
+            return {}
+        return {
+            fid: zone
+            for fid in range(self.n_frontends)
+            if (zone := plan.zone_of(fid)) is not None
+        }
+
+    def frontends_down(self, t: float) -> int:
+        """Number of front-ends inside a crash window (residual or zone) at ``t``."""
+        plan = self.fault_plan
+        if plan is None or not plan.enabled:
+            return 0
+        return sum(
+            plan.frontend_down(fid, t) for fid in range(self.n_frontends)
+        )
 
     @property
     def requests_ok(self) -> int:

@@ -155,15 +155,37 @@ class FrontendServer:
         Returns the failure code, or ``None`` when the request may
         proceed.  Only runs with an enabled fault plan, so the fault-free
         path never touches the in-flight queue.
+
+        With the correlation layer armed, three extra mechanisms apply —
+        shared zone-level crash windows (attributed to
+        ``zone_crash_rejections``), metadata-outage overload that inflates
+        the effective in-flight load against the capacity check, and
+        retry-storm pressure sheds.  Every rejection feeds the pressure
+        counter back, closing the cascade loop.  With correlation knobs
+        zero, all three collapse to the independent PR 2 behaviour.
         """
         plan = self._faults
         if plan is None:
             return None
         if plan.frontend_down(self.server_id, now):
             plan.stats.crash_rejections += 1
+            if plan.zone_down(self.server_id, now):
+                plan.stats.zone_crash_rejections += 1
+            plan.note_failure_pressure(self.server_id, now)
             return ResultCode.UNAVAILABLE
-        if self.capacity is not None and self.in_flight(now) >= self.capacity:
+        if self.capacity is not None:
+            in_flight = self.in_flight(now)
+            effective = in_flight + plan.overload_level(now) * self.capacity
+            if effective >= self.capacity:
+                plan.stats.shed_requests += 1
+                if in_flight < self.capacity:
+                    plan.stats.overload_sheds += 1
+                plan.note_failure_pressure(self.server_id, now)
+                return ResultCode.SHED
+        if plan.draw_pressure_shed(self.server_id, now):
             plan.stats.shed_requests += 1
+            plan.stats.pressure_sheds += 1
+            plan.note_failure_pressure(self.server_id, now)
             return ResultCode.SHED
         return None
 

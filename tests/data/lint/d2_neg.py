@@ -20,3 +20,17 @@ def build(seed, user_id):
     spawned = [np.random.default_rng(s) for s in children]
     indexed = np.random.default_rng(children[0])
     return literal, from_param, from_sequence, spawned, indexed
+
+
+def build_zoned(seed, n_frontends, n_zones):
+    # The correlated-fault idiom: one spawn, then named slices of the
+    # child block feed zone/pressure/assignment streams.
+    master = np.random.SeedSequence(seed)
+    children = master.spawn(1 + n_zones + n_frontends)
+    assign_seq = children[0]
+    zone_seqs = children[1 : 1 + n_zones]
+    pressure_seqs = children[1 + n_zones :]
+    assignment = np.random.default_rng(assign_seq).permutation(n_frontends)
+    zone_rngs = [np.random.default_rng(seq) for seq in zone_seqs]
+    pressure_rngs = [np.random.default_rng(seq) for seq in pressure_seqs]
+    return assignment, zone_rngs, pressure_rngs

@@ -1,0 +1,496 @@
+"""Tests for correlated failure domains, overload coupling and retry storms.
+
+Covers the ZoneConfig layer added on top of the independent fault model:
+seeded zone partitions with shared crash windows, metadata-outage ->
+front-end overload coupling, the retry-storm pressure feedback, the
+out-of-zone failover preference — and the PR 2 compatibility guarantees
+(schedule identity with all correlation knobs at zero, byte-identical
+logs across processes for correlated plans).
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FaultConfig,
+    FaultPlan,
+    Window,
+    ZoneConfig,
+    _poisson_windows,
+    scaled_config,
+)
+from tests.test_service_faults import drive_workload, log_bytes
+
+from repro.logs.schema import DeviceType
+from repro.service import ServiceCluster
+
+
+def correlated_config(rate=0.08, horizon=48 * 3600.0, **zone_overrides):
+    defaults = dict(
+        n_zones=2,
+        zone_crash_rate=0.3,
+        zone_mean_downtime=900.0,
+        overload_factor=0.5,
+        overload_recovery=60.0,
+        pressure_per_failure=2.0,
+        pressure_drain_rate=0.1,
+        pressure_shed_scale=4.0,
+    )
+    defaults.update(zone_overrides)
+    return FaultConfig.at_rate(
+        rate, horizon=horizon, zones=ZoneConfig(**defaults)
+    )
+
+
+class TestZoneConfig:
+    def test_default_is_benign(self):
+        zones = ZoneConfig()
+        assert not zones.enabled
+        assert not FaultConfig.at_rate(0.05, zones=zones).correlated
+
+    def test_enabled_by_any_channel(self):
+        assert ZoneConfig(n_zones=2, zone_crash_rate=0.1).enabled
+        assert ZoneConfig(overload_factor=0.3).enabled
+        assert ZoneConfig(pressure_per_failure=1.0).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZoneConfig(n_zones=-1)
+        with pytest.raises(ValueError):
+            ZoneConfig(n_zones=0, zone_crash_rate=0.1)
+        with pytest.raises(ValueError):
+            ZoneConfig(n_zones=1, zone_crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            ZoneConfig(n_zones=1, zone_mean_downtime=0.0)
+        with pytest.raises(ValueError):
+            ZoneConfig(overload_factor=1.5)
+        with pytest.raises(ValueError):
+            ZoneConfig(overload_recovery=-1.0)
+        with pytest.raises(ValueError):
+            ZoneConfig(pressure_per_failure=-0.5)
+        with pytest.raises(ValueError):
+            ZoneConfig(pressure_drain_rate=0.0)
+        with pytest.raises(ValueError):
+            ZoneConfig(pressure_shed_scale=0.0)
+
+    def test_scaled_config_scales_zone_rate(self):
+        base = correlated_config()
+        double = scaled_config(base, 2.0)
+        assert double.zones.zone_crash_rate == pytest.approx(
+            base.zones.zone_crash_rate * 2
+        )
+        assert double.zones.n_zones == base.zones.n_zones
+        assert double.zones.zone_mean_downtime == base.zones.zone_mean_downtime
+
+
+class TestAtRateValidation:
+    """Satellite bugfix: probabilities >= 1 fail fast with a clear message."""
+
+    def test_rate_of_one_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            FaultConfig.at_rate(1.0)
+
+    def test_rate_above_one_rejected(self):
+        with pytest.raises(ValueError, match="per-request"):
+            FaultConfig.at_rate(1.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig.at_rate(-0.01)
+
+    def test_rate_just_below_one_accepted(self):
+        assert FaultConfig.at_rate(0.999).enabled
+
+
+class _ScriptedRng:
+    """Stands in for a Generator; replays a fixed exponential tape."""
+
+    def __init__(self, draws):
+        self.draws = list(draws)
+
+    def exponential(self, scale):
+        return self.draws.pop(0)
+
+
+class TestPoissonWindowsRegression:
+    """Satellite bugfix: a pushback landing at the horizon must end the
+    schedule, not emit a degenerate ``Window(horizon, horizon)``."""
+
+    def test_pushback_at_horizon_ends_schedule(self):
+        # Arrival at 100, duration 950 clipped to the 1000s horizon, then
+        # a (scripted, impossible-for-real-exponentials) negative
+        # interarrival re-enters the clipped window: the pushback lands
+        # exactly on the horizon and must terminate the schedule.
+        rng = _ScriptedRng([100.0, 950.0, -850.0])
+        windows = _poisson_windows(rng, 1.0, 600.0, 1000.0)
+        assert windows == (Window(100.0, 1000.0),)
+
+    def test_degenerate_duration_skipped(self):
+        # A zero-length duration draw must not emit an empty window.
+        rng = _ScriptedRng([100.0, 0.0, 50.0, 10.0, 1e9])
+        windows = _poisson_windows(rng, 1.0, 600.0, 1000.0)
+        assert windows == (Window(150.0, 160.0),)
+
+    @given(
+        rate=st.floats(0.01, 50.0),
+        mean=st.floats(1.0, 5000.0),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_window_well_formed(self, rate, mean, seed):
+        horizon = 24 * 3600.0
+        windows = _poisson_windows(
+            np.random.default_rng(seed), rate, mean, horizon
+        )
+        for w in windows:
+            assert w.start < w.end <= horizon
+        for prev, nxt in zip(windows, windows[1:]):
+            assert prev.end <= nxt.start
+
+
+class TestCorrelatedPlan:
+    def make(self, seed=0, n_frontends=6, **zone_overrides):
+        return FaultPlan(
+            correlated_config(**zone_overrides),
+            n_frontends=n_frontends,
+            seed=seed,
+        )
+
+    def test_benign_zones_identical_to_no_zones(self):
+        """All correlation knobs zero -> schedule-identical to PR 2."""
+        base = FaultConfig.at_rate(0.08, horizon=48 * 3600.0)
+        with_benign = FaultConfig.at_rate(
+            0.08, horizon=48 * 3600.0, zones=ZoneConfig()
+        )
+        a = FaultPlan(base, n_frontends=4, seed=3)
+        b = FaultPlan(with_benign, n_frontends=4, seed=3)
+        assert not b.correlated
+        assert b.zone_config is None
+        for fid in range(4):
+            assert a.crash_windows(fid) == b.crash_windows(fid)
+            assert a.slow_windows(fid) == b.slow_windows(fid)
+            assert a.effective_crash_windows(fid) == b.effective_crash_windows(fid)
+        assert a.metadata_windows == b.metadata_windows
+        assert b.zone_of(0) is None
+        assert b.overload_level(100.0) == 0.0
+
+    def test_arming_zones_preserves_independent_schedules(self):
+        """Correlation streams spawn after the independent block, so the
+        residual/slow/metadata schedules never move."""
+        base = FaultPlan(
+            FaultConfig.at_rate(0.08, horizon=48 * 3600.0),
+            n_frontends=6,
+            seed=5,
+        )
+        armed = self.make(seed=5)
+        for fid in range(6):
+            assert base.crash_windows(fid) == armed.crash_windows(fid)
+            assert base.slow_windows(fid) == armed.slow_windows(fid)
+        assert base.metadata_windows == armed.metadata_windows
+
+    def test_zone_assignment_balanced_and_deterministic(self):
+        plan = self.make(seed=9, n_frontends=8)
+        zones = [plan.zone_of(fid) for fid in range(8)]
+        assert sorted(zones) == [0, 0, 0, 0, 1, 1, 1, 1]
+        again = self.make(seed=9, n_frontends=8)
+        assert zones == [again.zone_of(fid) for fid in range(8)]
+
+    def test_zone_window_downs_every_member(self):
+        plan = self.make(seed=2, n_frontends=8)
+        hit_any = False
+        for zone in range(2):
+            for window in plan.zone_windows(zone):
+                mid = (window.start + window.end) / 2.0
+                hit_any = True
+                for fid in range(8):
+                    if plan.zone_of(fid) == zone:
+                        assert plan.zone_down(fid, mid)
+                        assert plan.frontend_down(fid, mid)
+                        assert plan.downtime_remaining(fid, mid) >= (
+                            window.end - mid
+                        )
+        assert hit_any, "expected at least one zone window at this seed"
+
+    def test_effective_windows_cover_both_sources(self):
+        plan = self.make(seed=4, n_frontends=6)
+        for fid in range(6):
+            effective = plan.effective_crash_windows(fid)
+            for w in effective:
+                assert w.start < w.end
+            for prev, nxt in zip(effective, effective[1:]):
+                assert prev.end <= nxt.start
+            def covered(t):
+                return any(w.contains(t) for w in effective)
+            for w in plan.crash_windows(fid):
+                assert covered((w.start + w.end) / 2.0)
+            for w in plan.zone_windows(plan.zone_of(fid)):
+                assert covered((w.start + w.end) / 2.0)
+
+    def test_reconstructed_plan_byte_identical_schedule(self):
+        """Serial vs reconstructed: rebuilding the plan from the same
+        (config, n_frontends, seed) reproduces every schedule byte."""
+        a = self.make(seed=11, n_frontends=8)
+        b = self.make(seed=11, n_frontends=8)
+        blob_a = repr(
+            (
+                [a.effective_crash_windows(f) for f in range(8)],
+                [a.zone_windows(z) for z in range(2)],
+                [a.zone_of(f) for f in range(8)],
+                a.metadata_windows,
+            )
+        ).encode()
+        blob_b = repr(
+            (
+                [b.effective_crash_windows(f) for f in range(8)],
+                [b.zone_windows(z) for z in range(2)],
+                [b.zone_of(f) for f in range(8)],
+                b.metadata_windows,
+            )
+        ).encode()
+        assert hashlib.md5(blob_a).hexdigest() == hashlib.md5(blob_b).hexdigest()
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_frontends=st.integers(1, 9),
+        n_zones=st.integers(1, 4),
+        zone_rate=st.floats(0.05, 2.0),
+        rate=st.floats(0.0, 0.2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_plan_invariants_across_random_configs(
+        self, seed, n_frontends, n_zones, zone_rate, rate
+    ):
+        config = FaultConfig.at_rate(
+            rate,
+            horizon=24 * 3600.0,
+            zones=ZoneConfig(n_zones=n_zones, zone_crash_rate=zone_rate),
+        )
+        plan = FaultPlan(config, n_frontends=n_frontends, seed=seed)
+        horizon = config.horizon
+        zone_members = {z: [] for z in range(n_zones)}
+        for fid in range(n_frontends):
+            zone_members[plan.zone_of(fid)].append(fid)
+            for source in (
+                plan.crash_windows(fid),
+                plan.slow_windows(fid),
+                plan.effective_crash_windows(fid),
+            ):
+                for w in source:
+                    assert w.start < w.end <= horizon
+                for prev, nxt in zip(source, source[1:]):
+                    assert prev.end <= nxt.start
+        for zone in range(n_zones):
+            for w in plan.zone_windows(zone):
+                assert w.start < w.end <= horizon
+                mid = (w.start + w.end) / 2.0
+                for fid in zone_members[zone]:
+                    assert plan.frontend_down(fid, mid)
+
+
+class TestOverloadCoupling:
+    def plan(self):
+        config = FaultConfig(
+            metadata_outage_rate=2.0,
+            metadata_mean_downtime=120.0,
+            horizon=24 * 3600.0,
+            zones=ZoneConfig(overload_factor=0.5, overload_recovery=100.0),
+        )
+        return FaultPlan(config, n_frontends=2, seed=1)
+
+    def test_full_factor_during_outage(self):
+        plan = self.plan()
+        windows = plan.metadata_windows
+        assert windows, "expected metadata windows at this seed"
+        w = windows[0]
+        assert plan.overload_level((w.start + w.end) / 2.0) == 0.5
+
+    def test_linear_decay_after_outage(self):
+        plan = self.plan()
+        w = plan.metadata_windows[0]
+        quarter = plan.overload_level(w.end + 25.0)
+        mid = plan.overload_level(w.end + 50.0)
+        assert quarter == pytest.approx(0.5 * 0.75)
+        assert mid == pytest.approx(0.25)
+        assert plan.overload_level(w.end + 100.0) == 0.0
+
+    def test_zero_far_from_outages(self):
+        plan = self.plan()
+        first = plan.metadata_windows[0]
+        if first.start > 1.0:
+            assert plan.overload_level(first.start - 1.0) == 0.0
+
+
+class TestRetryStormPressure:
+    def plan(self):
+        config = FaultConfig(
+            horizon=24 * 3600.0,
+            zones=ZoneConfig(
+                pressure_per_failure=2.0,
+                pressure_drain_rate=0.1,
+                pressure_shed_scale=4.0,
+            ),
+        )
+        return FaultPlan(config, n_frontends=2, seed=0)
+
+    def test_pressure_accumulates_and_drains(self):
+        plan = self.plan()
+        for _ in range(3):
+            plan.note_failure_pressure(0, 100.0)
+        assert plan.pressure_level(0, 100.0) == pytest.approx(6.0)
+        assert plan.pressure_level(0, 130.0) == pytest.approx(3.0)
+        assert plan.pressure_level(0, 100.0 + 600.0) == 0.0
+        # Per-front-end state: front-end 1 is untouched.
+        assert plan.pressure_level(1, 100.0) == 0.0
+
+    def test_non_monotone_timestamps_never_rewind(self):
+        plan = self.plan()
+        plan.note_failure_pressure(0, 200.0)
+        before = plan.pressure_level(0, 200.0)
+        # An out-of-order earlier query must not resurrect pressure or
+        # crash; it observes the state at the latest drain point.
+        assert plan.pressure_level(0, 150.0) <= before
+
+    def test_no_draws_at_zero_pressure(self):
+        plan = self.plan()
+        states = [rng.bit_generator.state for rng in plan._pressure_rngs]
+        assert not plan.draw_pressure_shed(0, 50.0)
+        assert not plan.draw_pressure_shed(1, 50.0)
+        after = [rng.bit_generator.state for rng in plan._pressure_rngs]
+        assert states == after
+
+    def test_shed_probability_saturates_with_pressure(self):
+        plan = self.plan()
+        for _ in range(200):
+            plan.note_failure_pressure(0, 500.0)
+        sheds = sum(
+            plan.draw_pressure_shed(0, 500.0) for _ in range(200)
+        )
+        # P = p / (p + scale) = 400/404 here: nearly every draw sheds.
+        assert sheds > 150
+
+
+class TestOutOfZoneFailover:
+    def test_failover_prefers_other_zone(self):
+        cluster = ServiceCluster(
+            n_frontends=6,
+            faults=correlated_config(),
+            fault_seed=7,
+        )
+        client = cluster.new_client(1, "d1", DeviceType.ANDROID)
+        plan = cluster.fault_plan
+        for preferred in range(6):
+            zone = plan.zone_of(preferred)
+            shift = client._failover_shift(preferred, 0)
+            landed = (preferred + shift) % 6
+            assert plan.zone_of(landed) != zone
+
+    def test_failover_without_zones_is_next_neighbour(self):
+        cluster = ServiceCluster(
+            n_frontends=4, faults=FaultConfig.at_rate(0.05), fault_seed=7
+        )
+        client = cluster.new_client(1, "d1", DeviceType.ANDROID)
+        assert client._failover_shift(2, 0) == 1
+        assert client._failover_shift(2, 1) == 2
+
+
+class TestClusterIntegration:
+    def test_zone_map_exposed(self):
+        cluster = ServiceCluster(
+            n_frontends=4, faults=correlated_config(), fault_seed=1
+        )
+        assert sorted(cluster.zone_map.values()) == [0, 0, 1, 1]
+        plain = ServiceCluster(n_frontends=4)
+        assert plain.zone_map == {}
+        assert plain.frontends_down(100.0) == 0
+
+    def test_zero_knob_zones_byte_identical_logs(self):
+        """A deployed-but-benign ZoneConfig must not move a single byte."""
+        plain = ServiceCluster(
+            n_frontends=3, faults=FaultConfig.at_rate(0.08), fault_seed=17
+        )
+        benign = ServiceCluster(
+            n_frontends=3,
+            faults=FaultConfig.at_rate(0.08, zones=ZoneConfig()),
+            fault_seed=17,
+        )
+        drive_workload(plain)
+        drive_workload(benign)
+        assert log_bytes(plain) == log_bytes(benign)
+        assert plain.fault_stats.as_dict() == benign.fault_stats.as_dict()
+        assert benign.fault_stats.zone_crash_rejections == 0
+        assert benign.fault_stats.pressure_sheds == 0
+        assert benign.fault_stats.overload_sheds == 0
+
+    def correlated_cluster(self):
+        return ServiceCluster(
+            n_frontends=4,
+            faults=correlated_config(rate=0.06, zone_crash_rate=1.0),
+            fault_seed=23,
+            frontend_capacity=32,
+        )
+
+    def test_correlated_replay_deterministic_in_process(self):
+        a, b = self.correlated_cluster(), self.correlated_cluster()
+        drive_workload(a)
+        drive_workload(b)
+        assert log_bytes(a) == log_bytes(b)
+        assert a.fault_stats.as_dict() == b.fault_stats.as_dict()
+
+    def test_correlated_byte_identical_across_processes(self):
+        """Correlated plans inherit the cross-process determinism contract:
+        a fresh interpreter with a different hash salt reproduces the
+        access log byte for byte."""
+        snippet = (
+            "from tests.test_fault_zones import TestClusterIntegration\n"
+            "from tests.test_service_faults import drive_workload, log_bytes\n"
+            "import hashlib\n"
+            "cluster = TestClusterIntegration().correlated_cluster()\n"
+            "drive_workload(cluster)\n"
+            "print(hashlib.md5(log_bytes(cluster).encode()).hexdigest())\n"
+        )
+        cluster = self.correlated_cluster()
+        drive_workload(cluster)
+        local = hashlib.md5(log_bytes(cluster).encode()).hexdigest()
+        env = dict(os.environ)
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join((os.path.join(repo, "src"), repo))
+        env["PYTHONHASHSEED"] = "999"  # force a different string salt
+        remote = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, env=env, cwd=repo, check=True,
+        ).stdout.strip()
+        assert remote == local
+
+
+class TestR3Configs:
+    def test_equal_aggregate_crash_budget(self):
+        from repro.experiments.r3_correlated_failures import (
+            build_configs,
+            crash_budget,
+        )
+
+        independent, correlated = build_configs()
+        assert crash_budget(correlated) == pytest.approx(
+            crash_budget(independent)
+        )
+        assert not independent.correlated
+        assert correlated.correlated
+
+    def test_peak_down_fraction_counts_overlap(self):
+        from repro.experiments.r3_correlated_failures import (
+            build_configs,
+            peak_down_fraction,
+        )
+
+        plan = FaultPlan(build_configs()[1], n_frontends=8, seed=0)
+        peak = peak_down_fraction(plan)
+        assert 0.0 <= peak <= 1.0
+        if any(plan.zone_windows(z) for z in range(2)):
+            assert peak >= 0.5  # a zone window downs half the fleet

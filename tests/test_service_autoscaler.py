@@ -97,3 +97,21 @@ class TestReactive:
         policy = AutoscalerPolicy(capacity_per_server=100.0, min_servers=5)
         outcome = reactive_provisioning(np.full(10, 1.0), policy)
         assert outcome.server_hours == 50
+
+
+class TestReactiveBootstrap:
+    """Hour 0 must be sized like every later hour: from the first
+    *observation* with headroom, not an oracle peek at the raw load."""
+
+    def test_hour_zero_gets_headroom(self):
+        policy = AutoscalerPolicy(capacity_per_server=100.0, headroom=1.3)
+        outcome = reactive_provisioning(np.array([1000.0]), policy)
+        # ceil(1000 * 1.3 / 100) = 13 servers, not the peeked ceil(10).
+        assert outcome.server_hours == 13
+        assert outcome.underprovisioned_hours == 0
+
+    def test_flat_profile_hour_zero_matches_steady_state(self):
+        policy = AutoscalerPolicy(capacity_per_server=100.0, headroom=1.3)
+        outcome = reactive_provisioning(np.full(5, 1000.0), policy)
+        # Steady state is 13 servers/hour; hour 0 must agree exactly.
+        assert outcome.server_hours == 13 * 5
