@@ -1,0 +1,7 @@
+"""Benchmark R4 — open-loop offered-rate sweep and overload knee."""
+
+from repro.experiments import r4_open_loop
+
+
+def test_r4_open_loop(experiment):
+    experiment(r4_open_loop)

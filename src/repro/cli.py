@@ -14,6 +14,10 @@ Subcommands
 ``faults-demo``
     Chaos smoke test: replay a fixed workload through the fault-injected
     service cluster and fail unless every transfer eventually completes.
+``replay``
+    Open-loop traffic replay: fire a synthetic trace at the cluster on a
+    speed-multiplied or rate-targeted schedule and print the latency/
+    shed-rate telemetry dashboard (see ``docs/TELEMETRY.md``).
 ``lint``
     Run reprolint, the determinism/schema static-analysis pass, over the
     given paths (see ``docs/STATIC_ANALYSIS.md``).
@@ -273,6 +277,67 @@ def _faults_demo_correlated(plan: list, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .experiments.r4_open_loop import R4_RETRY_POLICY, correlated_config
+    from .service.cluster import ServiceCluster
+    from .service.replay import replay_trace, synthetic_replay_trace
+    from .service.telemetry import SloPolicy
+
+    if args.users < 1:
+        print(f"--users must be >= 1, got {args.users}", file=sys.stderr)
+        return 2
+    if args.speedup <= 0:
+        print(f"--speedup must be > 0, got {args.speedup}", file=sys.stderr)
+        return 2
+    if args.rate is not None and args.rate <= 0:
+        print(f"--rate must be > 0, got {args.rate}", file=sys.stderr)
+        return 2
+    if args.window <= 0:
+        print(f"--window must be > 0, got {args.window}", file=sys.stderr)
+        return 2
+    slo = None
+    if args.slo:
+        try:
+            slo = SloPolicy.parse(args.slo)
+        except ValueError as exc:
+            print(f"bad --slo: {exc}", file=sys.stderr)
+            return 2
+    trace = synthetic_replay_trace(args.users, args.seed)
+    cluster = ServiceCluster(
+        n_frontends=args.frontends,
+        faults=correlated_config() if args.faults else None,
+        fault_seed=args.fault_seed,
+        frontend_capacity=args.capacity,
+        retry_policy=R4_RETRY_POLICY,
+    )
+    result = replay_trace(
+        trace,
+        cluster,
+        speedup=args.speedup,
+        rate=args.rate,
+        mode=args.mode,
+        seed=args.seed,
+        window_seconds=args.window,
+    )
+    snap = result.snapshot(slo)
+    if args.json:
+        print(snap.to_json())
+    else:
+        print(
+            f"replayed {result.ops_total} ops ({result.mode} loop, "
+            f"speedup {result.speedup:g}x, offered rate "
+            f"{result.offered_rate:.3f} ops/s): "
+            f"{result.ops_completed} completed, {result.ops_aborted} aborted, "
+            f"{result.ops_skipped} skipped"
+        )
+        print(snap.render())
+    print(f"  access-log digest: {result.log_digest()}")
+    if slo is not None and not snap.slo_ok:
+        print("FAIL: SLO violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .devtools.engine import lint_command
 
@@ -360,6 +425,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fraction of the crash budget moved into the "
                             "shared zone-level outage process")
     chaos.set_defaults(func=_cmd_faults_demo)
+
+    rep = sub.add_parser(
+        "replay",
+        help="open-loop traffic replay with latency/shed telemetry",
+    )
+    rep.add_argument("--users", type=int, default=16,
+                     help="users in the synthetic replay trace")
+    rep.add_argument("--seed", type=int, default=0,
+                     help="trace + client seed (replay is deterministic)")
+    rep.add_argument("--speedup", type=float, default=1.0,
+                     help="divide every arrival timestamp by this factor")
+    rep.add_argument("--rate", type=float, default=None,
+                     help="target mean offered rate in ops/s "
+                          "(overrides --speedup)")
+    rep.add_argument("--mode", choices=("open", "closed"), default="open",
+                     help="open: client clocks jump to scheduled arrivals; "
+                          "closed: historical wait-for-completion semantics")
+    rep.add_argument("--frontends", type=int, default=2)
+    rep.add_argument("--capacity", type=int, default=8,
+                     help="per-front-end in-flight admission limit")
+    rep.add_argument("--faults", action="store_true",
+                     help="arm the R4 correlated fault plan")
+    rep.add_argument("--fault-seed", type=int, default=7)
+    rep.add_argument("--slo", default=None,
+                     help="SLO policy, e.g. 'p99=30,shed=0.01,fail=0.05' "
+                          "(exit 1 on violation)")
+    rep.add_argument("--window", type=float, default=60.0,
+                     help="telemetry window length, virtual seconds")
+    rep.add_argument("--json", action="store_true",
+                     help="emit the telemetry snapshot as JSON")
+    rep.set_defaults(func=_cmd_replay)
 
     lint = sub.add_parser(
         "lint",

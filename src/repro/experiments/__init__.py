@@ -34,6 +34,7 @@ from . import (
     fig16_idle,
     r2_fault_resilience,
     r3_correlated_failures,
+    r4_open_loop,
     recovery,
     s1_session_classes,
     table3_user_types,
@@ -72,6 +73,7 @@ ALL_EXPERIMENTS = (
     recovery,
     r2_fault_resilience,
     r3_correlated_failures,
+    r4_open_loop,
 )
 
 

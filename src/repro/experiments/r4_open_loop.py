@@ -1,0 +1,238 @@
+"""Experiment R4 — open-loop offered-rate sweep: the overload knee.
+
+Every earlier experiment drove the cluster *closed-loop*: clients wait
+for each operation to finish before issuing the next, so offered load
+can never exceed service capacity and overload is structurally
+invisible.  The paper's Section 5 traffic findings (diurnal peaks,
+burst sessions, retry behaviour under load) presume an **open-loop**
+arrival process — requests show up when the trace says they do, whether
+or not the service has caught up.
+
+R4 fires one fixed synthetic trace at a small two-front-end deployment
+across a sweep of offered rates, once against a fault-free cluster and
+once against an R3-style correlated fault plan (zone crashes, overload
+coupling, retry-storm pressure feedback).  Three findings must hold for
+the replay harness and telemetry to be doing their jobs:
+
+1. **Fault-free flatness** — without a fault plan the front-ends have
+   no admission control, so the fault-free arm never sheds and its p99
+   sojourn time is the same at every offered rate: latency there is a
+   property of the service path, not the arrival process.
+2. **The knee** — under the correlated plan, rates the cluster can
+   absorb look identical to the fault-free arm, but above capacity the
+   in-flight limit trips, sheds begin, pressure feedback amplifies
+   them, and p99 diverges by well over the 2x acceptance floor.
+3. **Exact reconciliation** — at every swept point the telemetry's
+   result-code counters must equal the cluster's ``FaultStats``
+   umbrella counters exactly, and the attribution counters
+   (``overload_sheds + pressure_sheds <= shed_requests``,
+   ``zone_crash_rejections <= crash_rejections``) must be consistent:
+   the dashboard and the fault model are two views of one ledger.
+
+Everything is deterministic from ``(n_users, seed)``: the experiment
+replays the top-rate correlated point twice and checks the access logs
+*and* the telemetry JSON are byte-identical (the cross-process variant
+lives in ``tests/test_replay.py`` and CI's replay-smoke job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults import FaultConfig, RetryPolicy, ZoneConfig
+from ..service.cluster import ServiceCluster
+from ..service.replay import replay_trace, synthetic_replay_trace
+from .base import ExperimentResult
+
+N_FRONTENDS = 2
+#: In-flight admission limit per front-end; the knee sits where the
+#: offered rate pushes concurrency past ``N_FRONTENDS * CAPACITY``.
+FRONTEND_CAPACITY = 8
+#: Offered rates swept (operations/second).  The trace's natural rate is
+#: ~0.003 ops/s, so the low rates are far below capacity and the top
+#: rates compress ~26 h of traffic into seconds.
+SWEEP_RATES = (0.05, 0.5, 2.0, 8.0, 32.0)
+#: Highest rate that stays below the knee (used as the p99 baseline).
+BELOW_CAPACITY_RATE = 0.5
+FAULT_SEED = 7
+REPLAY_SEED = 3
+
+DEFAULT_USERS = 24
+DEFAULT_SEED = 20160814
+
+#: Chaos-tolerant recovery policy (R3-style budget): storms outlast the
+#: default R2 budget and the sweep compares latency distributions, which
+#: requires retries to run to resolution rather than abort early.
+R4_RETRY_POLICY = RetryPolicy(
+    max_attempts=8, base_delay=0.5, max_delay=20.0, multiplier=2.0
+)
+
+
+def correlated_config(horizon: float = 40 * 3600.0) -> FaultConfig:
+    """The R3-style correlated plan the sweep replays against.
+
+    Rates are mild (the point is the *arrival process*, not the fault
+    budget): light transient errors and residual crashes, short metadata
+    outages, two shared-fate zones with overload coupling and a softened
+    pressure loop so the shed response is graded rather than binary.
+    Slow episodes are deliberately absent — they inflate the
+    below-capacity p99 without any overload, which would mask the knee.
+    """
+    return FaultConfig(
+        error_rate=0.01,
+        crash_rate=0.01,
+        crash_mean_downtime=120.0,
+        metadata_outage_rate=0.02,
+        metadata_mean_downtime=20.0,
+        horizon=horizon,
+        zones=ZoneConfig(
+            n_zones=2,
+            zone_crash_rate=0.02,
+            zone_mean_downtime=240.0,
+            overload_factor=0.4,
+            overload_recovery=45.0,
+            pressure_per_failure=1.0,
+            pressure_drain_rate=0.5,
+            pressure_shed_scale=12.0,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (offered rate, arm) replay of the fixed trace."""
+
+    arm: str
+    rate: float
+    p50: float
+    p99: float
+    shed_rate: float
+    shed_requests: int
+    overload_sheds: int
+    pressure_sheds: int
+    completion: float
+    reconciled: bool
+    log_digest: str
+    telemetry_json: str
+
+
+def _build_cluster(faults: FaultConfig | None) -> ServiceCluster:
+    return ServiceCluster(
+        n_frontends=N_FRONTENDS,
+        faults=faults,
+        fault_seed=FAULT_SEED,
+        frontend_capacity=FRONTEND_CAPACITY,
+        retry_policy=R4_RETRY_POLICY,
+    )
+
+
+def sweep_point(trace, rate: float, arm: str) -> SweepPoint:
+    """Replay ``trace`` at ``rate`` against one arm, with reconciliation."""
+    faults = correlated_config() if arm == "correlated" else None
+    cluster = _build_cluster(faults)
+    result = replay_trace(trace, cluster, rate=rate, seed=REPLAY_SEED)
+    snap = result.snapshot()
+    store = next(o for o in snap.operations if o["label"] == "store")
+    stats = cluster.fault_stats
+    reconciliation = result.telemetry.reconcile(stats)
+    return SweepPoint(
+        arm=arm,
+        rate=rate,
+        p50=store["p50"],
+        p99=store["p99"],
+        shed_rate=result.telemetry.shed_rate,
+        shed_requests=stats.shed_requests,
+        overload_sheds=stats.overload_sheds,
+        pressure_sheds=stats.pressure_sheds,
+        completion=(
+            result.ops_completed / result.ops_total if result.ops_total else 1.0
+        ),
+        reconciled=bool(reconciliation["matched"]),
+        log_digest=result.log_digest(),
+        telemetry_json=snap.to_json(),
+    )
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = synthetic_replay_trace(n_users, seed)
+    points: list[SweepPoint] = []
+    for rate in SWEEP_RATES:
+        for arm in ("fault-free", "correlated"):
+            points.append(sweep_point(trace, rate, arm))
+    free = [p for p in points if p.arm == "fault-free"]
+    corr = [p for p in points if p.arm == "correlated"]
+    baseline = next(p for p in corr if p.rate == BELOW_CAPACITY_RATE)
+    top = corr[-1]
+    top_again = sweep_point(trace, top.rate, "correlated")
+
+    result = ExperimentResult(
+        experiment="R4",
+        title="Open-loop offered-rate sweep: shed/latency knee under faults",
+    )
+    result.add_row(
+        f"  trace: {len(trace)} ops from {n_users} users "
+        f"(natural rate ~{(len(trace) - 1) / max(op.arrival for op in trace):.4f} ops/s); "
+        f"fleet: {N_FRONTENDS} front-ends, capacity {FRONTEND_CAPACITY}"
+    )
+    for point in points:
+        result.add_row(
+            f"  rate={point.rate:6.2f} {point.arm:<10s} "
+            f"p50={point.p50:7.2f}s p99={point.p99:7.2f}s "
+            f"shed-rate={point.shed_rate:5.3f} "
+            f"({point.shed_requests} sheds: {point.overload_sheds} overload, "
+            f"{point.pressure_sheds} pressure) "
+            f"completion={point.completion:6.1%}"
+        )
+
+    result.add_check(
+        "fault-free arm never sheds at any offered rate",
+        paper=0.0,
+        measured=float(sum(p.shed_requests for p in free)),
+        tolerance=0.0,
+    )
+    result.add_check(
+        "fault-free p99 flat across the sweep (max/min)",
+        paper=1.0,
+        measured=max(p.p99 for p in free) / min(p.p99 for p in free),
+        tolerance=1e-9,
+    )
+    result.add_check(
+        "correlated arm below capacity does not shed",
+        paper=0.0,
+        measured=float(baseline.shed_requests),
+        tolerance=0.0,
+    )
+    result.add_check(
+        f"shed-rate at top rate ({top.rate:g} ops/s) exceeds zero",
+        paper=0.0,
+        measured=top.shed_rate,
+        kind="greater",
+    )
+    result.add_check(
+        "p99 knee: top-rate p99 / below-capacity p99 >= 2x",
+        paper=2.0,
+        measured=top.p99 / baseline.p99,
+        kind="greater",
+    )
+    result.add_check(
+        "telemetry reconciles exactly with FaultStats at every point",
+        paper=1.0,
+        measured=float(all(p.reconciled for p in points)),
+        tolerance=0.0,
+    )
+    result.add_check(
+        "top-rate replay deterministic (byte-identical log + telemetry)",
+        paper=1.0,
+        measured=float(
+            top.log_digest == top_again.log_digest
+            and top.telemetry_json == top_again.telemetry_json
+        ),
+        tolerance=0.0,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -32,6 +32,23 @@ from .cluster import ServiceCluster
 from .dedup import RedundancyEliminator, Strategy, UploadAccounting
 from .frontend import FrontendServer, TransferModel
 from .metadata import DedupDecision, MetadataServer, StoredFile
+from .replay import (
+    ReplayOp,
+    ReplayResult,
+    natural_rate,
+    replay_trace,
+    resolve_speedup,
+    schedule_arrivals,
+    synthetic_replay_trace,
+)
+from .telemetry import (
+    LatencySeries,
+    P2Quantile,
+    SloPolicy,
+    SloThreshold,
+    TelemetryCollector,
+    TelemetrySnapshot,
+)
 
 __all__ = [
     "AutoscalerPolicy",
@@ -43,18 +60,26 @@ __all__ = [
     "FaultStats",
     "FileManifest",
     "FrontendServer",
+    "LatencySeries",
     "LfuCache",
     "LruCache",
     "MetadataServer",
     "MetadataUnavailableError",
+    "P2Quantile",
     "ProvisioningOutcome",
+    "ReplayOp",
+    "ReplayResult",
     "RequestOutcome",
     "RetryPolicy",
     "RedundancyEliminator",
     "ServiceCluster",
+    "SloPolicy",
+    "SloThreshold",
     "StorageClient",
     "Strategy",
     "StoredFile",
+    "TelemetryCollector",
+    "TelemetrySnapshot",
     "TransferModel",
     "TransferReport",
     "UploadAccounting",
@@ -63,7 +88,12 @@ __all__ = [
     "chunk_sizes",
     "compare_strategies",
     "content_md5",
+    "natural_rate",
     "oracle_provisioning",
     "reactive_provisioning",
+    "replay_trace",
+    "resolve_speedup",
+    "schedule_arrivals",
     "static_provisioning",
+    "synthetic_replay_trace",
 ]

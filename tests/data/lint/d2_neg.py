@@ -22,6 +22,16 @@ def build(seed, user_id):
     return literal, from_param, from_sequence, spawned, indexed
 
 
+def build_replay_trace(n_users, seed):
+    # The replay-scheduler idiom: per-user trace streams spawned from one
+    # dedicated SeedSequence child block keyed by (seed, module constant),
+    # so the trace is a pure function of (n_users, seed) and adding users
+    # never perturbs existing ones.
+    master = np.random.SeedSequence([seed, 0x4E97A1])
+    user_seqs = master.spawn(n_users)
+    return [np.random.default_rng(user_seqs[index]) for index in range(n_users)]
+
+
 def build_zoned(seed, n_frontends, n_zones):
     # The correlated-fault idiom: one spawn, then named slices of the
     # child block feed zone/pressure/assignment streams.

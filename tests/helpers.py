@@ -21,6 +21,7 @@ asserts are record-for-record string comparisons:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable
 
 from repro.logs.io import record_to_tsv
@@ -37,6 +38,24 @@ def canonical_lines(records: Iterable[LogRecord]) -> list[str]:
 def _line_key(line: str) -> tuple[float, int]:
     parts = line.split("\t")
     return (float(parts[0]), int(parts[3]))
+
+
+def replay_fingerprint(result) -> dict[str, str]:
+    """Byte-level identity of one replay: canonical log + telemetry MD5s.
+
+    ``log`` digests the *canonicalized* access log (same canonical form
+    as :func:`canonical_lines`, so it is representation-independent);
+    ``telemetry`` digests the snapshot's canonical JSON.  Two replays are
+    "byte-identical" exactly when these fingerprints are equal — the
+    determinism tests and the golden fixture both pin this dict.
+    """
+    log_digest = hashlib.md5(
+        "\n".join(canonical_lines(result.records)).encode()
+    ).hexdigest()
+    telemetry_digest = hashlib.md5(
+        result.snapshot().to_json().encode()
+    ).hexdigest()
+    return {"log": log_digest, "telemetry": telemetry_digest}
 
 
 def assert_traces_equivalent(

@@ -95,3 +95,43 @@ def test_experiments_json_output(capsys):
     assert data[0]["experiment"] == "A4"
     assert data[0]["pass"] is True
     assert all("measured" in c for c in data[0]["checks"])
+
+
+def test_replay_dashboard_and_determinism(capsys):
+    args = ["replay", "--users", "6", "--seed", "3", "--speedup", "2"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "== telemetry" in first
+    assert "access-log digest:" in first
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    # Same seed + schedule => the whole dashboard, digest included, is
+    # byte-identical (the CI replay-smoke job cmp's the two digests).
+    assert first == second
+
+
+def test_replay_json_snapshot(capsys):
+    import json
+
+    assert main(["replay", "--users", "4", "--rate", "2", "--json"]) == 0
+    out = capsys.readouterr().out
+    body, digest_line = out.rsplit("\n", 2)[0], out.rstrip().rsplit("\n", 1)[1]
+    snapshot = json.loads(body)
+    assert snapshot["schema_version"] == 1
+    assert "access-log digest:" in digest_line
+
+
+def test_replay_slo_violation_exits_nonzero(capsys):
+    assert main(["replay", "--users", "6", "--rate", "8", "--faults",
+                 "--slo", "p99=0.001"]) == 1
+    out = capsys.readouterr()
+    assert "VIOLATED" in out.out
+    assert "SLO violated" in out.err
+
+
+def test_replay_rejects_bad_arguments(capsys):
+    assert main(["replay", "--users", "0"]) == 2
+    assert main(["replay", "--speedup", "0"]) == 2
+    assert main(["replay", "--rate", "-1"]) == 2
+    assert main(["replay", "--slo", "p42=1"]) == 2
+    capsys.readouterr()

@@ -15,6 +15,7 @@ INFRASTRUCTURE_BENCHMARKS = {
     "bench_parallel_generation.py",
     "bench_fault_overhead.py",
     "bench_columnar_analysis.py",
+    "bench_replay_openloop.py",
 }
 
 
@@ -98,6 +99,30 @@ def test_table1_field_list_in_docs_matches_schema():
         assert expected in text, (
             f"{doc.name} Table 1 field list out of sync with logs.schema; "
             f"expected: {expected}"
+        )
+
+
+def test_telemetry_field_list_in_docs_matches_schema():
+    """TELEMETRY.md's snapshot field list is pinned to the dataclass,
+    exactly like the Table 1 prose is pinned to LogRecord above."""
+    from dataclasses import fields as dataclass_fields
+
+    from repro.service.telemetry import TelemetrySnapshot
+
+    expected = ", ".join(
+        f"`{f.name}`" for f in dataclass_fields(TelemetrySnapshot)
+    )
+    text = re.sub(r"\s+", " ", (REPO / "docs" / "TELEMETRY.md").read_text())
+    assert expected in text, (
+        "TELEMETRY.md snapshot field list out of sync with "
+        f"service.telemetry; expected: {expected}"
+    )
+
+
+def test_telemetry_doc_is_cross_linked():
+    for doc in ("README.md", "docs/ROBUSTNESS.md", "docs/SCALING.md"):
+        assert "TELEMETRY.md" in (REPO / doc).read_text(), (
+            f"{doc} does not link docs/TELEMETRY.md"
         )
 
 

@@ -1,0 +1,90 @@
+"""Golden replay fixture: a pinned end-to-end service-path snapshot.
+
+``tests/data/golden_replay.json`` freezes the byte-level fingerprint
+(canonical access-log MD5 + telemetry-JSON MD5) and the headline counts
+of one small open-loop replay with the R4 correlated fault plan armed.
+Any service-path refactor that changes what requests hit the cluster, in
+what order, or what the telemetry reports will trip this test — which is
+the point: if the change is intentional, regenerate the fixture and let
+the diff document the behaviour change:
+
+    PYTHONPATH=src:. python tests/test_golden_replay.py --regenerate
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.logs.schema import ResultCode
+from repro.service.replay import replay_trace, synthetic_replay_trace
+from tests.helpers import replay_fingerprint
+from tests.test_replay import faulted_cluster, r4_config
+
+FIXTURE = pathlib.Path(__file__).parent / "data" / "golden_replay.json"
+
+
+def run_golden_replay(fixture: dict):
+    trace = synthetic_replay_trace(
+        fixture["trace"]["n_users"], fixture["trace"]["seed"]
+    )
+    cluster = faulted_cluster(r4_config())
+    result = replay_trace(
+        trace,
+        cluster,
+        rate=fixture["replay"]["rate"],
+        seed=fixture["replay"]["seed"],
+    )
+    return result
+
+
+def measured_state(result) -> dict:
+    return {
+        "fingerprint": replay_fingerprint(result),
+        "counts": {
+            "ops_total": result.ops_total,
+            "ops_completed": result.ops_completed,
+            "ops_skipped": result.ops_skipped,
+            "records": len(result.records),
+            "requests_total": result.telemetry.total_requests,
+            "shed": result.telemetry.result_count(ResultCode.SHED),
+            "unavailable": result.telemetry.result_count(
+                ResultCode.UNAVAILABLE
+            ),
+            "server_error": result.telemetry.result_count(
+                ResultCode.SERVER_ERROR
+            ),
+        },
+    }
+
+
+def test_replay_matches_golden_fixture():
+    fixture = json.loads(FIXTURE.read_text())
+    state = measured_state(run_golden_replay(fixture))
+    assert state["counts"] == fixture["counts"]
+    assert state["fingerprint"] == fixture["fingerprint"], (
+        "service-path behaviour changed; if intentional, regenerate via "
+        "PYTHONPATH=src:. python tests/test_golden_replay.py --regenerate"
+    )
+
+
+def test_fixture_exercises_the_shed_path():
+    """The fixture must stay adversarial: a config that never sheds
+    would silently stop covering the admission-control path."""
+    fixture = json.loads(FIXTURE.read_text())
+    assert fixture["counts"]["shed"] > 0
+
+
+def _regenerate() -> None:
+    fixture = json.loads(FIXTURE.read_text())
+    fixture.update(measured_state(run_golden_replay(fixture)))
+    FIXTURE.write_text(
+        json.dumps(fixture, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"rewrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

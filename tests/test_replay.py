@@ -1,0 +1,391 @@
+"""Replay battery: scheduler properties, determinism, reconciliation.
+
+Three layers, mirroring the ISSUE 6 satellite list:
+
+* **Scheduler properties** (Hypothesis) — inter-arrival times scale
+  exactly by ``1/speedup`` for power-of-two speedups (to one ulp for
+  arbitrary ones), and arrival order is the *stable* sort of the trace.
+* **Determinism** — same ``(trace, config, seed)`` yields byte-identical
+  access logs and telemetry JSON, in-process and across interpreters
+  with different hash salts (the CI replay-smoke job re-checks the CLI
+  path).
+* **Reconciliation** — replays under R2-style independent and R3-style
+  correlated fault plans must tie the telemetry's result-code tallies to
+  ``ServiceCluster.fault_stats`` exactly, attribution counters included;
+  and at offered rates the cluster can absorb, open- and closed-loop
+  replays are request-identical.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultConfig, RetryPolicy
+from repro.logs.schema import Direction, DeviceType, ResultCode
+from repro.service.cluster import ServiceCluster
+from repro.service.replay import (
+    ReplayOp,
+    natural_rate,
+    replay_trace,
+    resolve_speedup,
+    schedule_arrivals,
+    synthetic_replay_trace,
+)
+from tests.helpers import replay_fingerprint
+
+TRACE_SEED = 20160814
+
+
+def small_trace(n_users: int = 6) -> tuple[ReplayOp, ...]:
+    return synthetic_replay_trace(n_users, TRACE_SEED)
+
+
+def arrivals(trace) -> np.ndarray:
+    return np.array([op.arrival for op in trace])
+
+
+class TestReplayOp:
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            ReplayOp(
+                arrival=-1.0,
+                user_id=1,
+                device_id="m1",
+                device_type=DeviceType.ANDROID,
+                direction=Direction.RETRIEVE,
+                name="a",
+            )
+
+    def test_rejects_store_without_size(self):
+        with pytest.raises(ValueError):
+            ReplayOp(
+                arrival=0.0,
+                user_id=1,
+                device_id="m1",
+                device_type=DeviceType.ANDROID,
+                direction=Direction.STORE,
+                name="a",
+            )
+
+
+class TestSyntheticTrace:
+    def test_pure_function_of_inputs(self):
+        assert small_trace() == small_trace()
+
+    def test_sorted_and_mixed(self):
+        trace = small_trace()
+        times = arrivals(trace)
+        assert (np.diff(times) >= 0).all()
+        directions = {op.direction for op in trace}
+        assert directions == {Direction.STORE, Direction.RETRIEVE}
+
+    def test_adding_users_never_perturbs_existing_ones(self):
+        """Per-user streams come from one spawned child block, so the
+        ops of users 1..4 are identical whether 4 or 12 users exist."""
+        few = [op for op in synthetic_replay_trace(4, TRACE_SEED)]
+        many = [
+            op
+            for op in synthetic_replay_trace(12, TRACE_SEED)
+            if op.user_id <= 4
+        ]
+        assert few == many
+
+    def test_retrieves_reference_earlier_stores(self):
+        trace = small_trace(12)
+        stored: set[tuple[int, str]] = set()
+        for op in trace:
+            if op.direction is Direction.STORE:
+                stored.add((op.user_id, op.name))
+            else:
+                assert (op.user_id, op.name) in stored
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_replay_trace(0, 1)
+        with pytest.raises(ValueError):
+            synthetic_replay_trace(2, 1, retrieve_fraction=1.0)
+
+
+class TestScheduler:
+    @given(
+        times=st.lists(
+            st.floats(0.0, 1e6, allow_nan=False), min_size=2, max_size=50
+        ),
+        exponent=st.integers(-3, 8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_power_of_two_speedup_scales_gaps_exactly(self, times, exponent):
+        """IEEE scaling by 2**k is lossless, so inter-arrival times obey
+        ``diff(scheduled) == diff(trace) / speedup`` bit for bit."""
+        speedup = float(2.0**exponent)
+        trace = tuple(
+            ReplayOp(
+                arrival=t,
+                user_id=1,
+                device_id="m1",
+                device_type=DeviceType.ANDROID,
+                direction=Direction.RETRIEVE,
+                name="a",
+            )
+            for t in sorted(times)
+        )
+        scheduled = schedule_arrivals(trace, speedup=speedup)
+        got = np.diff(arrivals(scheduled))
+        want = np.diff(arrivals(trace)) / speedup
+        assert np.array_equal(got, want)
+
+    @given(
+        times=st.lists(
+            st.floats(0.0, 1e6, allow_nan=False), min_size=2, max_size=50
+        ),
+        speedup=st.floats(0.01, 1000.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_speedup_scales_gaps_to_float_tolerance(
+        self, times, speedup
+    ):
+        trace = tuple(
+            ReplayOp(
+                arrival=t,
+                user_id=1,
+                device_id="m1",
+                device_type=DeviceType.ANDROID,
+                direction=Direction.RETRIEVE,
+                name="a",
+            )
+            for t in sorted(times)
+        )
+        scheduled = schedule_arrivals(trace, speedup=speedup)
+        got = np.diff(arrivals(scheduled))
+        want = np.diff(arrivals(trace)) / speedup
+        assert np.allclose(got, want, rtol=1e-12, atol=1e-9)
+
+    @given(
+        arrival_ranks=st.lists(st.integers(0, 3), min_size=1, max_size=30)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_order_is_stable_sort_of_trace_timestamps(self, arrival_ranks):
+        """Equal arrivals keep their trace order (user_id encodes it)."""
+        trace = tuple(
+            ReplayOp(
+                arrival=float(rank),
+                user_id=index,
+                device_id=f"m{index}",
+                device_type=DeviceType.ANDROID,
+                direction=Direction.RETRIEVE,
+                name="a",
+            )
+            for index, rank in enumerate(arrival_ranks)
+        )
+        scheduled = schedule_arrivals(trace, speedup=2.0)
+        expected = sorted(
+            range(len(trace)), key=lambda i: trace[i].arrival
+        )
+        assert [op.user_id for op in scheduled] == expected
+
+    def test_rate_targets_mean_offered_rate(self):
+        trace = small_trace()
+        scheduled = schedule_arrivals(trace, rate=4.0)
+        assert natural_rate(scheduled) == pytest.approx(4.0)
+        assert resolve_speedup(trace, rate=4.0) == pytest.approx(
+            4.0 / natural_rate(trace)
+        )
+
+    def test_validation(self):
+        trace = small_trace()
+        with pytest.raises(ValueError):
+            schedule_arrivals(trace, speedup=0.0)
+        with pytest.raises(ValueError):
+            schedule_arrivals(trace, rate=-1.0)
+        with pytest.raises(ValueError):
+            resolve_speedup((), rate=1.0)  # no span to target
+
+    def test_degenerate_traces(self):
+        assert natural_rate(()) == 0.0
+        assert natural_rate(small_trace()[:1]) == 0.0
+
+
+def fault_free_cluster() -> ServiceCluster:
+    return ServiceCluster(n_frontends=2, frontend_capacity=8)
+
+
+def faulted_cluster(config: FaultConfig) -> ServiceCluster:
+    return ServiceCluster(
+        n_frontends=2,
+        faults=config,
+        fault_seed=7,
+        frontend_capacity=8,
+        retry_policy=RetryPolicy(
+            max_attempts=8, base_delay=0.5, max_delay=20.0, multiplier=2.0
+        ),
+    )
+
+
+def r4_config() -> FaultConfig:
+    from repro.experiments.r4_open_loop import correlated_config
+
+    return correlated_config()
+
+
+class TestReplayDeterminism:
+    def test_same_seed_byte_identical(self):
+        trace = small_trace()
+        first = replay_trace(
+            trace, faulted_cluster(r4_config()), rate=8.0, seed=3
+        )
+        second = replay_trace(
+            trace, faulted_cluster(r4_config()), rate=8.0, seed=3
+        )
+        assert replay_fingerprint(first) == replay_fingerprint(second)
+        assert first.snapshot().to_json() == second.snapshot().to_json()
+
+    def test_different_seed_diverges(self):
+        trace = small_trace()
+        first = replay_trace(trace, fault_free_cluster(), speedup=2.0, seed=1)
+        second = replay_trace(trace, fault_free_cluster(), speedup=2.0, seed=2)
+        assert (
+            replay_fingerprint(first)["log"]
+            != replay_fingerprint(second)["log"]
+        )
+
+    def test_byte_identical_across_processes(self):
+        """A fresh interpreter with a different hash salt reproduces both
+        the access log and the telemetry JSON byte for byte."""
+        snippet = (
+            "from tests.test_replay import (small_trace, faulted_cluster,"
+            " r4_config)\n"
+            "from tests.helpers import replay_fingerprint\n"
+            "from repro.service.replay import replay_trace\n"
+            "result = replay_trace(small_trace(), faulted_cluster("
+            "r4_config()), rate=8.0, seed=3)\n"
+            "fp = replay_fingerprint(result)\n"
+            "print(fp['log'], fp['telemetry'])\n"
+        )
+        local = replay_trace(
+            small_trace(), faulted_cluster(r4_config()), rate=8.0, seed=3
+        )
+        fp = replay_fingerprint(local)
+        env = dict(os.environ)
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join((os.path.join(repo, "src"), repo))
+        env["PYTHONHASHSEED"] = "999"  # force a different string salt
+        remote = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, env=env, cwd=repo, check=True,
+        ).stdout.split()
+        assert remote == [fp["log"], fp["telemetry"]]
+
+
+class TestReplayMechanics:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            replay_trace(small_trace(), fault_free_cluster(), mode="batch")
+
+    def test_empty_trace(self):
+        result = replay_trace((), fault_free_cluster())
+        assert result.ops_total == 0
+        assert result.records == ()
+        assert result.snapshot().requests["total"] == 0
+
+    def test_unresolvable_retrieve_skipped(self):
+        trace = (
+            ReplayOp(
+                arrival=0.0,
+                user_id=1,
+                device_id="m1",
+                device_type=DeviceType.ANDROID,
+                direction=Direction.RETRIEVE,
+                name="never-stored",
+            ),
+        )
+        result = replay_trace(trace, fault_free_cluster())
+        assert result.ops_total == 0
+        assert result.ops_skipped == 1
+
+    def test_all_ops_complete_fault_free(self):
+        trace = small_trace()
+        result = replay_trace(trace, fault_free_cluster(), speedup=2.0)
+        assert result.ops_aborted == 0
+        assert result.ops_completed == result.ops_total
+        labels = {op["label"] for op in result.snapshot().operations}
+        assert labels == {"store", "retrieve"}
+
+    def test_open_and_closed_loop_match_below_capacity(self):
+        """At offered rates the cluster absorbs, open-loop scheduling is
+        request-identical to the historical closed-loop semantics.
+
+        Slowed to 0.25x so every inter-arrival gap (>= 80s) strictly
+        exceeds the longest fault-free operation: then ``clock =
+        arrival`` and ``clock = max(clock, arrival)`` coincide at every
+        step and the two modes must agree byte for byte.
+        """
+        trace = small_trace()
+        open_run = replay_trace(
+            trace, fault_free_cluster(), speedup=0.25, mode="open", seed=3
+        )
+        closed_run = replay_trace(
+            trace, fault_free_cluster(), speedup=0.25, mode="closed", seed=3
+        )
+        assert replay_fingerprint(open_run) == replay_fingerprint(closed_run)
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize(
+        "plan",
+        ["r2-independent", "r3-correlated"],
+    )
+    def test_counters_reconcile_exactly(self, plan):
+        if plan == "r2-independent":
+            config = FaultConfig.at_rate(0.05, horizon=40 * 3600.0)
+        else:
+            config = r4_config()
+        cluster = faulted_cluster(config)
+        result = replay_trace(
+            small_trace(12), cluster, rate=8.0, seed=3
+        )
+        stats = cluster.fault_stats
+        report = result.telemetry.reconcile(stats)
+        assert report["matched"], report
+        # The umbrella equalities, spelled out.
+        telemetry = result.telemetry
+        assert telemetry.result_count(ResultCode.SHED) == stats.shed_requests
+        assert (
+            telemetry.result_count(ResultCode.UNAVAILABLE)
+            == stats.crash_rejections
+        )
+        assert (
+            telemetry.result_count(ResultCode.SERVER_ERROR)
+            == stats.injected_errors
+        )
+        assert telemetry.result_count(ResultCode.TIMEOUT) == stats.timeouts
+        # Attribution counters never exceed their umbrellas.
+        assert (
+            stats.overload_sheds + stats.pressure_sheds
+            <= stats.shed_requests
+        )
+        assert stats.zone_crash_rejections <= stats.crash_rejections
+
+    def test_correlated_overload_sheds_are_observed(self):
+        """The R3-style plan at high offered rate actually sheds, so the
+        reconciliation above is not vacuous."""
+        cluster = faulted_cluster(r4_config())
+        result = replay_trace(small_trace(12), cluster, rate=8.0, seed=3)
+        assert result.telemetry.result_count(ResultCode.SHED) > 0
+        assert result.telemetry.shed_rate > 0.0
+
+    def test_log_digest_matches_r3_idiom(self):
+        """ReplayResult.log_digest is the same md5-over-TSV digest the R3
+        experiment and the CLI print, so CI can cmp the two paths."""
+        from repro.logs.io import record_to_tsv
+
+        result = replay_trace(small_trace(), fault_free_cluster(), seed=1)
+        want = hashlib.md5(
+            "\n".join(record_to_tsv(r) for r in result.records).encode()
+        ).hexdigest()
+        assert result.log_digest() == want
