@@ -1,0 +1,7 @@
+"""Benchmark R5 — sharded metadata partial unavailability, quorum vs primary."""
+
+from repro.experiments import r5_partial_unavailability
+
+
+def test_r5_partial_unavailability(experiment):
+    experiment(r5_partial_unavailability)

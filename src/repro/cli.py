@@ -220,6 +220,12 @@ def _cmd_faults_demo(args: argparse.Namespace) -> int:
         print(f"--zone-share must be in (0, 1), got {args.zone_share}",
               file=sys.stderr)
         return 2
+    if args.metadata_shards < 1 or args.metadata_replicas < 0:
+        print("--metadata-shards must be >= 1 and --metadata-replicas >= 0",
+              file=sys.stderr)
+        return 2
+    if (args.metadata_shards, args.metadata_replicas) != (1, 0):
+        return _faults_demo_metatier(args)
     plan = _planned_workload(args.users, args.seed)
     if args.zones:
         return _faults_demo_correlated(plan, args)
@@ -277,6 +283,60 @@ def _faults_demo_correlated(plan: list, args: argparse.Namespace) -> int:
     return 0
 
 
+def _faults_demo_metatier(args: argparse.Namespace) -> int:
+    """Replicated chaos arm: per-shard metadata outages, quorum reads.
+
+    Replays a compressed synthetic trace against a sharded tier whose
+    per-node outage schedule is aggressive enough to intersect the
+    replayed span, then prints per-shard rejections and the access-log
+    digest so CI can ``cmp`` two invocations (metatier-smoke job).
+    """
+    from .experiments.r4_open_loop import R4_RETRY_POLICY
+    from .faults import FaultConfig
+    from .service.cluster import ServiceCluster
+    from .service.replay import replay_trace, synthetic_replay_trace
+
+    trace = synthetic_replay_trace(args.users, args.seed)
+    config = FaultConfig(
+        error_rate=args.fault_rate,
+        metadata_outage_rate=90.0,
+        metadata_mean_downtime=10.0,
+    )
+    cluster = ServiceCluster(
+        n_frontends=2,
+        faults=config,
+        fault_seed=args.seed,
+        retry_policy=R4_RETRY_POLICY,
+        metadata_shards=args.metadata_shards,
+        metadata_replicas=args.metadata_replicas,
+        read_policy=args.read_policy,
+    )
+    result = replay_trace(trace, cluster, rate=2.0, seed=args.seed)
+    avail = cluster.metadata_availability()
+    stats = cluster.fault_stats
+    print(
+        f"replayed {result.ops_total} ops against "
+        f"{args.metadata_shards} metadata shard(s) x "
+        f"{1 + args.metadata_replicas} node(s) ({args.read_policy}): "
+        f"{result.ops_completed} completed, {result.ops_aborted} aborted"
+    )
+    print(
+        f"  shard rejections {avail['shard_rejections']} "
+        f"({stats.shard_rejections} total), "
+        f"{avail['blocked_users']} users ever blocked; "
+        f"replica reads {stats.replica_reads} "
+        f"({stats.failover_reads} failover, "
+        f"{stats.stale_reads_avoided} stale avoided)"
+    )
+    print(f"  access-log digest: {result.log_digest()}")
+    if result.ops_aborted:
+        print(f"FAIL: {result.ops_aborted} operations never completed",
+              file=sys.stderr)
+        return 1
+    print("all operations eventually completed")
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .experiments.r4_open_loop import R4_RETRY_POLICY, correlated_config
     from .service.cluster import ServiceCluster
@@ -285,6 +345,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     if args.users < 1:
         print(f"--users must be >= 1, got {args.users}", file=sys.stderr)
+        return 2
+    if args.metadata_shards < 1:
+        print(f"--metadata-shards must be >= 1, got {args.metadata_shards}",
+              file=sys.stderr)
+        return 2
+    if args.metadata_replicas < 0:
+        print(f"--metadata-replicas must be >= 0, got {args.metadata_replicas}",
+              file=sys.stderr)
         return 2
     if args.speedup <= 0:
         print(f"--speedup must be > 0, got {args.speedup}", file=sys.stderr)
@@ -309,6 +377,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         frontend_capacity=args.capacity,
         retry_policy=R4_RETRY_POLICY,
+        metadata_shards=args.metadata_shards,
+        metadata_replicas=args.metadata_replicas,
+        read_policy=args.read_policy,
     )
     result = replay_trace(
         trace,
@@ -424,6 +495,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--zone-share", type=float, default=0.6,
                        help="fraction of the crash budget moved into the "
                             "shared zone-level outage process")
+    chaos.add_argument("--metadata-shards", type=int, default=1,
+                       help="run the replicated metadata chaos arm with N "
+                            "namespace shards (1 = historical demos)")
+    chaos.add_argument("--metadata-replicas", type=int, default=0,
+                       help="replicas per metadata shard")
+    chaos.add_argument("--read-policy",
+                       choices=("primary-only", "quorum", "any-replica"),
+                       default="quorum",
+                       help="metadata read policy for the replicated arm")
     chaos.set_defaults(func=_cmd_faults_demo)
 
     rep = sub.add_parser(
@@ -448,6 +528,15 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--faults", action="store_true",
                      help="arm the R4 correlated fault plan")
     rep.add_argument("--fault-seed", type=int, default=7)
+    rep.add_argument("--metadata-shards", type=int, default=1,
+                     help="metadata namespace shards (1 = historical "
+                          "single server)")
+    rep.add_argument("--metadata-replicas", type=int, default=0,
+                     help="replicas per metadata shard")
+    rep.add_argument("--read-policy",
+                     choices=("primary-only", "quorum", "any-replica"),
+                     default="primary-only",
+                     help="metadata read policy for the sharded tier")
     rep.add_argument("--slo", default=None,
                      help="SLO policy, e.g. 'p99=30,shed=0.01,fail=0.05' "
                           "(exit 1 on violation)")

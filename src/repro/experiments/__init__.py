@@ -35,6 +35,7 @@ from . import (
     r2_fault_resilience,
     r3_correlated_failures,
     r4_open_loop,
+    r5_partial_unavailability,
     recovery,
     s1_session_classes,
     table3_user_types,
@@ -74,6 +75,7 @@ ALL_EXPERIMENTS = (
     r2_fault_resilience,
     r3_correlated_failures,
     r4_open_loop,
+    r5_partial_unavailability,
 )
 
 

@@ -1,0 +1,273 @@
+"""Experiment R5 — partial unavailability under a sharded metadata tier.
+
+PR 2's single metadata server makes every outage window a *global*
+event: all users block at once, so "availability" is a cluster-wide
+boolean.  Real metadata tiers shard the namespace and replicate each
+shard — failure impact becomes a per-shard phenomenon, exactly the
+imbalance the Alibaba block-storage analysis (arXiv 2203.10766)
+measures in production.  R5 quantifies what replication buys at **equal
+aggregate outage budget**:
+
+* **Unreplicated arm** — ``S`` shards, no replicas, ``primary-only``
+  reads; each shard primary draws outage windows at rate ρ.
+* **Replicated arm** — the same ``S`` shards with ``R`` replicas each
+  and ``quorum`` reads; every node draws windows at rate ρ/(R+1), so
+  the *expected node-downtime-seconds across the tier* — S·(R+1)·
+  (ρ/(R+1))·D = S·ρ·D — is identical to the unreplicated arm's budget.
+  Replication redistributes the same amount of downtime across more
+  machines; it does not buy healthier hardware.
+
+Both arms fire the same open-loop trace (R4 harness) at the same
+compressed rate against the same fault seed.  Findings that must hold:
+
+1. **Partial, not global** — in both arms some users are rejected while
+   others proceed untouched; the fraction of users *ever* blocked in
+   the replicated arm is **strictly below** the unreplicated arm.  A
+   quorum read rides over a down primary via a fresh replica, so only
+   multi-node shard failures (or catch-up gaps) surface to users.
+2. **Full recovery** — with the chaos retry budget every operation
+   eventually completes in both arms (100% completion).
+3. **Exact reconciliation** — per-shard rejection tallies sum to the
+   ``FaultStats`` umbrellas with no slack, and ``failover_reads``
+   never exceeds ``replica_reads``.
+4. **Determinism** — replaying the replicated arm twice yields
+   byte-identical access logs and telemetry JSON (the cross-process
+   variant lives in CI's metatier-smoke job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults import FaultConfig, RetryPolicy
+from ..service.cluster import ServiceCluster
+from ..service.replay import replay_trace, synthetic_replay_trace
+from .base import ExperimentResult
+
+N_FRONTENDS = 2
+N_SHARDS = 4
+N_REPLICAS = 2
+#: Per-node outage windows per hour in the *unreplicated* arm; the
+#: replicated arm runs each node at this over (1 + N_REPLICAS) so the
+#: aggregate budget S·ρ·D matches exactly.
+OUTAGE_RATE = 120.0
+MEAN_DOWNTIME = 12.0
+#: Offered rate (ops/s): compresses the ~26 h trace into a span long
+#: enough to intersect many outage windows per shard.
+REPLAY_RATE = 0.5
+FAULT_SEED = 7
+REPLAY_SEED = 3
+
+DEFAULT_USERS = 24
+DEFAULT_SEED = 20160814
+
+#: Outage-riding retry budget: cumulative metadata backoff (~105 s)
+#: comfortably outlasts all but vanishingly rare outage windows, so
+#: both arms recover fully and the comparison is about *who got
+#: blocked*, not who gave up.
+R5_RETRY_POLICY = RetryPolicy(
+    max_attempts=10, base_delay=0.5, max_delay=25.0, multiplier=2.0
+)
+
+
+def build_configs() -> tuple[FaultConfig, FaultConfig]:
+    """(unreplicated, replicated) fault configs at equal outage budget."""
+    unreplicated = FaultConfig(
+        metadata_outage_rate=OUTAGE_RATE,
+        metadata_mean_downtime=MEAN_DOWNTIME,
+    )
+    replicated = FaultConfig(
+        metadata_outage_rate=OUTAGE_RATE / (1 + N_REPLICAS),
+        metadata_mean_downtime=MEAN_DOWNTIME,
+    )
+    return unreplicated, replicated
+
+
+def aggregate_budget(config: FaultConfig, n_nodes_per_shard: int) -> float:
+    """Expected node-downtime seconds per hour across the whole tier."""
+    return (
+        N_SHARDS
+        * n_nodes_per_shard
+        * config.metadata_outage_rate
+        * config.metadata_mean_downtime
+    )
+
+
+@dataclass(frozen=True)
+class ArmOutcome:
+    """One arm's replay of the fixed trace."""
+
+    arm: str
+    replicas: int
+    read_policy: str
+    blocked_fraction: float
+    completion: float
+    p99: float
+    shard_rejections: tuple[int, ...]
+    primary_availability: tuple[float, ...]
+    replica_reads: int
+    failover_reads: int
+    stale_reads_avoided: int
+    reconciled: bool
+    log_digest: str
+    telemetry_json: str
+
+
+def _primary_availability(cluster: ServiceCluster, span: float) -> tuple[float, ...]:
+    """Per-shard fraction of the replayed span the primary was up."""
+    plan = cluster.fault_plan
+    if span <= 0:
+        return tuple(1.0 for _ in range(N_SHARDS))
+    fractions = []
+    for shard in range(N_SHARDS):
+        down = sum(
+            min(w.end, span) - w.start
+            for w in plan.metadata_node_windows(shard, 0)
+            if w.start < span
+        )
+        fractions.append(1.0 - down / span)
+    return tuple(fractions)
+
+
+def run_arm(trace, arm: str, n_users: int) -> ArmOutcome:
+    """Replay the trace against one arm, with full reconciliation."""
+    unreplicated, replicated = build_configs()
+    config = replicated if arm == "replicated" else unreplicated
+    replicas = N_REPLICAS if arm == "replicated" else 0
+    policy = "quorum" if arm == "replicated" else "primary-only"
+    cluster = ServiceCluster(
+        n_frontends=N_FRONTENDS,
+        faults=config,
+        fault_seed=FAULT_SEED,
+        retry_policy=R5_RETRY_POLICY,
+        metadata_shards=N_SHARDS,
+        metadata_replicas=replicas,
+        read_policy=policy,
+    )
+    result = replay_trace(trace, cluster, rate=REPLAY_RATE, seed=REPLAY_SEED)
+    snap = result.snapshot()
+    store = next(o for o in snap.operations if o["label"] == "store")
+    stats = cluster.fault_stats
+    reconciliation = result.telemetry.reconcile(stats)
+    tier = cluster.metadata
+    return ArmOutcome(
+        arm=arm,
+        replicas=replicas,
+        read_policy=policy,
+        blocked_fraction=len(tier.blocked_users) / n_users,
+        completion=(
+            result.ops_completed / result.ops_total if result.ops_total else 1.0
+        ),
+        p99=store["p99"],
+        shard_rejections=tuple(tier.per_shard_rejections),
+        primary_availability=_primary_availability(cluster, snap.horizon),
+        replica_reads=stats.replica_reads,
+        failover_reads=stats.failover_reads,
+        stale_reads_avoided=stats.stale_reads_avoided,
+        reconciled=bool(reconciliation["matched"]),
+        log_digest=result.log_digest(),
+        telemetry_json=snap.to_json(),
+    )
+
+
+def run(
+    n_users: int = DEFAULT_USERS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    trace = synthetic_replay_trace(n_users, seed)
+    trace_users = len({op.user_id for op in trace})
+    unrep = run_arm(trace, "unreplicated", trace_users)
+    rep = run_arm(trace, "replicated", trace_users)
+    rep_again = run_arm(trace, "replicated", trace_users)
+    unreplicated_cfg, replicated_cfg = build_configs()
+    budget_unrep = aggregate_budget(unreplicated_cfg, 1)
+    budget_rep = aggregate_budget(replicated_cfg, 1 + N_REPLICAS)
+
+    result = ExperimentResult(
+        experiment="R5",
+        title="Partial unavailability: sharded metadata, quorum vs primary-only",
+    )
+    result.add_row(
+        f"  trace: {len(trace)} ops from {trace_users} users at "
+        f"{REPLAY_RATE:g} ops/s; tier: {N_SHARDS} shards, fault seed "
+        f"{FAULT_SEED}; equal budget {budget_unrep:.0f} "
+        f"node-downtime-s/h per arm"
+    )
+    for arm in (unrep, rep):
+        availability = ", ".join(
+            f"{a:.3f}" for a in arm.primary_availability
+        )
+        result.add_row(
+            f"  {arm.arm:<12s} ({arm.read_policy}, R={arm.replicas}): "
+            f"blocked {arm.blocked_fraction:6.1%} of users, "
+            f"completion {arm.completion:6.1%}, p99={arm.p99:7.2f}s"
+        )
+        result.add_row(
+            f"    shard rejections {list(arm.shard_rejections)} "
+            f"(primary availability [{availability}]); "
+            f"replica reads {arm.replica_reads} "
+            f"({arm.failover_reads} failover, "
+            f"{arm.stale_reads_avoided} stale avoided)"
+        )
+
+    result.add_check(
+        "aggregate outage budget identical across arms (ratio)",
+        paper=1.0,
+        measured=budget_rep / budget_unrep,
+        tolerance=1e-9,
+    )
+    result.add_check(
+        "unreplicated arm blocks a nonzero fraction of users",
+        paper=0.0,
+        measured=unrep.blocked_fraction,
+        kind="greater",
+    )
+    result.add_check(
+        "unavailability is partial, never global (unreplicated arm)",
+        paper=1.0,
+        measured=unrep.blocked_fraction,
+        kind="less",
+    )
+    result.add_check(
+        "replicated arm blocks strictly fewer users at equal budget",
+        paper=unrep.blocked_fraction,
+        measured=rep.blocked_fraction,
+        kind="less",
+    )
+    result.add_check(
+        "quorum reads failed over to replicas (replicated arm)",
+        paper=0.0,
+        measured=float(rep.failover_reads),
+        kind="greater",
+    )
+    result.add_check(
+        "100% eventual completion in both arms",
+        paper=1.0,
+        measured=min(unrep.completion, rep.completion),
+        tolerance=0.0,
+    )
+    result.add_check(
+        "telemetry reconciles exactly with FaultStats in both arms",
+        paper=1.0,
+        measured=float(unrep.reconciled and rep.reconciled),
+        tolerance=0.0,
+    )
+    result.add_check(
+        "replicated replay deterministic (byte-identical log + telemetry)",
+        paper=1.0,
+        measured=float(
+            rep.log_digest == rep_again.log_digest
+            and rep.telemetry_json == rep_again.telemetry_json
+        ),
+        tolerance=0.0,
+    )
+    result.add_check(
+        "p99 store sojourn, replicated arm (seconds)",
+        paper=0.0,
+        measured=rep.p99,
+        kind="info",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

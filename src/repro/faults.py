@@ -269,6 +269,15 @@ class FaultStats:
     real in-flight queue) pushed the front-end over capacity, and
     ``pressure_sheds`` the sheds triggered by retry-storm pressure.  They
     are *not* added again by :attr:`total_faults`.
+
+    The metadata-tier counters follow the same pattern under the
+    ``metadata_rejections`` umbrella: ``shard_rejections`` are the
+    rejections issued by a sharded tier (equal to the umbrella when the
+    tier is armed — the single-server path never touches it), and the
+    read-path attribution counters count successful reads a replica
+    served (``replica_reads``), the subset served by a replica *because*
+    the primary was down (``failover_reads``), and quorum reads where an
+    up-but-catching-up replica was skipped (``stale_reads_avoided``).
     """
 
     injected_errors: int = 0
@@ -284,6 +293,10 @@ class FaultStats:
     zone_crash_rejections: int = 0
     overload_sheds: int = 0
     pressure_sheds: int = 0
+    shard_rejections: int = 0
+    replica_reads: int = 0
+    stale_reads_avoided: int = 0
+    failover_reads: int = 0
 
     @property
     def total_faults(self) -> int:
@@ -365,19 +378,47 @@ class FaultPlan:
         stream, one crash stream per zone, one pressure stream per
         front-end — so a correlated plan never reshuffles the schedules
         an independent plan would draw from the same seed.
+    n_metadata_shards, n_metadata_replicas:
+        Sharded metadata tier shape.  At the default ``(1, 0)`` the plan
+        keeps the single metadata-server schedule untouched (zero-knob
+        identity with the historical model).  Otherwise each shard gets
+        a child block spawned *from the metadata SeedSequence stream*
+        (``metadata_seq.spawn``), and each shard child spawns one
+        sub-child per node (primary + replicas).  Spawning children off
+        a SeedSequence never changes the state it generates, so the
+        single-server windows — and every other independent schedule —
+        are byte-identical whether or not the tier is armed; and because
+        shard ``s``/node ``r`` keep their spawn keys as shards or
+        replicas are added, growing the tier never reshuffles existing
+        node schedules.
 
-    All window schedules (including zone-level ones) are materialized at
-    construction; only the per-request transient-error and
-    pressure-shed draws consume RNG state at query time (in the
-    deterministic order the single-threaded simulator issues requests).
+    All window schedules (including zone-level and per-node metadata
+    ones) are materialized at construction; only the per-request
+    transient-error and pressure-shed draws consume RNG state at query
+    time (in the deterministic order the single-threaded simulator
+    issues requests).
     """
 
-    def __init__(self, config: FaultConfig, *, n_frontends: int = 1, seed: int = 0) -> None:
+    def __init__(
+        self,
+        config: FaultConfig,
+        *,
+        n_frontends: int = 1,
+        seed: int = 0,
+        n_metadata_shards: int = 1,
+        n_metadata_replicas: int = 0,
+    ) -> None:
         if n_frontends < 1:
             raise ValueError("need at least one front-end")
+        if n_metadata_shards < 1:
+            raise ValueError("need at least one metadata shard")
+        if n_metadata_replicas < 0:
+            raise ValueError("n_metadata_replicas must be >= 0")
         self.config = config
         self.n_frontends = n_frontends
         self.seed = seed
+        self.n_metadata_shards = n_metadata_shards
+        self.n_metadata_replicas = n_metadata_replicas
         self.stats = FaultStats()
         zones = config.zones if config.correlated else None
         self.zone_config = zones
@@ -428,6 +469,37 @@ class FaultPlan:
         ]
         self._metadata_starts = tuple(w.start for w in self._metadata_windows)
         self._error_rngs = [np.random.default_rng(s) for s in error_seqs]
+        # ------------------------------------------------------------------
+        # Sharded metadata tier: per-node outage schedules.
+        # ------------------------------------------------------------------
+        self._metatier_windows: tuple[tuple[tuple[Window, ...], ...], ...] = ()
+        self._metatier_starts: tuple[tuple[tuple[float, ...], ...], ...] = ()
+        if (n_metadata_shards, n_metadata_replicas) != (1, 0):
+            # Child blocks spawned *from* the metadata stream: spawning
+            # children never perturbs the generator state that
+            # ``default_rng(metadata_seq)`` above already drew from, so
+            # arming the tier leaves the single-server windows — and every
+            # other independent schedule — byte-identical.
+            shard_seqs = metadata_seq.spawn(n_metadata_shards)
+            tier_windows = []
+            for shard in range(n_metadata_shards):
+                node_seqs = shard_seqs[shard].spawn(1 + n_metadata_replicas)
+                tier_windows.append(
+                    tuple(
+                        _poisson_windows(
+                            np.random.default_rng(node_seqs[node]),
+                            config.metadata_outage_rate,
+                            config.metadata_mean_downtime,
+                            config.horizon,
+                        )
+                        for node in range(1 + n_metadata_replicas)
+                    )
+                )
+            self._metatier_windows = tuple(tier_windows)
+            self._metatier_starts = tuple(
+                tuple(tuple(w.start for w in ws) for ws in per_shard)
+                for per_shard in self._metatier_windows
+            )
         # ------------------------------------------------------------------
         # Correlation layer: zone schedules, assignment, pressure state.
         # ------------------------------------------------------------------
@@ -573,6 +645,18 @@ class FaultPlan:
         zones = self.zone_config
         if zones is None or zones.overload_factor <= 0:
             return 0.0
+        if self.metatier_armed:
+            # With the sharded tier armed, "metadata down" is a per-shard
+            # condition: phantom retry load scales with the fraction of
+            # shard primaries currently down (a shard whose primary is up
+            # answers its users; its replicas' health does not drive
+            # data-path retries).  Still pure window arithmetic.
+            down = sum(
+                1
+                for shard in range(self.n_metadata_shards)
+                if self.metadata_node_down(shard, 0, t)
+            )
+            return zones.overload_factor * (down / self.n_metadata_shards)
         if _in_windows(self._metadata_windows, self._metadata_starts, t) is not None:
             return zones.overload_factor
         index = bisect.bisect_right(self._metadata_starts, t) - 1
@@ -648,8 +732,83 @@ class FaultPlan:
         return self.config.slow_multiplier if window is not None else 1.0
 
     def metadata_down(self, t: float) -> bool:
-        """Whether the metadata server is inside an outage window at ``t``."""
+        """Whether the *single* metadata server is inside an outage window.
+
+        Only meaningful for the unsharded model; a sharded tier queries
+        :meth:`metadata_node_down` per shard/node instead.
+        """
         return _in_windows(self._metadata_windows, self._metadata_starts, t) is not None
+
+    # -- sharded metadata tier ------------------------------------------
+
+    @property
+    def metatier_armed(self) -> bool:
+        """Whether per-shard/node metadata schedules were materialized."""
+        return bool(self._metatier_windows)
+
+    @property
+    def n_metadata_nodes(self) -> int:
+        """Nodes per shard: one primary plus the replicas."""
+        return 1 + self.n_metadata_replicas
+
+    def metadata_node_windows(self, shard: int, node: int) -> tuple[Window, ...]:
+        """The outage windows of one shard node (node 0 is the primary)."""
+        return self._metatier_windows[shard][node]
+
+    def metadata_node_zone(self, shard: int, node: int) -> int | None:
+        """The failure zone a shard node is placed in (zone-spread).
+
+        Nodes of one shard are dealt across zones with a stride of one —
+        ``(shard + node) % n_zones`` — so no two nodes of the same shard
+        share a zone as long as the replication factor stays below the
+        zone count.  ``None`` when zone grouping is off.
+        """
+        if not self._zone_windows:
+            return None
+        return (shard + node) % len(self._zone_windows)
+
+    def metadata_node_down(self, shard: int, node: int, t: float) -> bool:
+        """Whether a shard node is down at ``t``.
+
+        Covers both the node's own outage windows and the shared crash
+        window of the failure zone the node is placed in — a zone event
+        takes its metadata nodes down along with its front-ends.
+        """
+        if (
+            _in_windows(
+                self._metatier_windows[shard][node],
+                self._metatier_starts[shard][node],
+                t,
+            )
+            is not None
+        ):
+            return True
+        zone = self.metadata_node_zone(shard, node)
+        if zone is None:
+            return False
+        return (
+            _in_windows(self._zone_windows[zone], self._zone_starts[zone], t)
+            is not None
+        )
+
+    def metadata_node_stale(self, shard: int, node: int, t: float) -> bool:
+        """Whether a shard node is up but still catching up on the log.
+
+        A node that just exited one of its *own* outage windows replays
+        the primary's write log for ``metadata_mean_downtime`` seconds
+        before it is quorum-fresh; a quorum read skips it during that
+        catch-up (counted as ``stale_reads_avoided``).  Zone windows do
+        not contribute staleness: a zone event severs the network, it
+        does not lose local state.  ``False`` while the node is down.
+        """
+        if self.metadata_node_down(shard, node, t):
+            return False
+        starts = self._metatier_starts[shard][node]
+        index = bisect.bisect_right(starts, t) - 1
+        if index < 0:
+            return False
+        end = self._metatier_windows[shard][node][index].end
+        return end <= t < end + self.config.metadata_mean_downtime
 
     def draw_transient_error(self, frontend_id: int) -> bool:
         """One per-request transient-error Bernoulli draw.

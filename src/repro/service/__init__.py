@@ -32,6 +32,8 @@ from .cluster import ServiceCluster
 from .dedup import RedundancyEliminator, Strategy, UploadAccounting
 from .frontend import FrontendServer, TransferModel
 from .metadata import DedupDecision, MetadataServer, StoredFile
+from .metatier import READ_POLICIES, ShardedMetadataTier
+from .placement import frontend_for, shard_for, stable_placement
 from .replay import (
     ReplayOp,
     ReplayResult,
@@ -67,12 +69,14 @@ __all__ = [
     "MetadataUnavailableError",
     "P2Quantile",
     "ProvisioningOutcome",
+    "READ_POLICIES",
     "ReplayOp",
     "ReplayResult",
     "RequestOutcome",
     "RetryPolicy",
     "RedundancyEliminator",
     "ServiceCluster",
+    "ShardedMetadataTier",
     "SloPolicy",
     "SloThreshold",
     "StorageClient",
@@ -88,12 +92,15 @@ __all__ = [
     "chunk_sizes",
     "compare_strategies",
     "content_md5",
+    "frontend_for",
     "natural_rate",
     "oracle_provisioning",
     "reactive_provisioning",
     "replay_trace",
     "resolve_speedup",
     "schedule_arrivals",
+    "shard_for",
+    "stable_placement",
     "static_provisioning",
     "synthetic_replay_trace",
 ]

@@ -138,6 +138,9 @@ class StorageClient:
     user_id: int
     device_id: str
     device_type: DeviceType
+    #: Metadata service — a single ``MetadataServer`` or the duck-typed
+    #: :class:`~repro.service.metatier.ShardedMetadataTier`; the client
+    #: drives both through the same four-method protocol.
     metadata: MetadataServer
     frontends: list[FrontendServer]
     network: ClientNetwork = field(default_factory=ClientNetwork)
@@ -308,6 +311,12 @@ class StorageClient:
             try:
                 value = call()
             except MetadataUnavailableError:
+                # A sharded tier cannot attribute URL resolutions to the
+                # requesting user itself; tell it who got blocked (set
+                # semantics — double attribution is harmless).
+                note = getattr(self.metadata, "note_blocked_user", None)
+                if note is not None:
+                    note(self.user_id)
                 self.clock += self.network.rtt
                 failures += 1
                 if failures >= policy.max_attempts:

@@ -28,6 +28,7 @@ from ..tcpsim.devices import ServerProfile
 from .client import ClientNetwork, StorageClient
 from .frontend import FrontendServer, TransferModel
 from .metadata import MetadataServer
+from .metatier import READ_POLICIES, ShardedMetadataTier
 
 
 @dataclass
@@ -55,6 +56,12 @@ class ServiceCluster:
         Degraded-mode knob: per-front-end in-flight request limit before
         load shedding kicks in (``None`` disables shedding).  Only active
         when a fault plan is deployed.
+    metadata_shards, metadata_replicas, read_policy:
+        Sharded metadata tier shape and read semantics (see
+        :mod:`repro.service.metatier`).  At the default ``(1, 0)`` the
+        cluster builds the exact historical single
+        :class:`~repro.service.metadata.MetadataServer` — the zero-knob
+        path is byte-identical to a build that predates the tier.
     """
 
     n_frontends: int = 4
@@ -64,20 +71,40 @@ class ServiceCluster:
     fault_seed: int = 0
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     frontend_capacity: int | None = None
-    metadata: MetadataServer = field(init=False)
+    metadata_shards: int = 1
+    metadata_replicas: int = 0
+    read_policy: str = "primary-only"
+    metadata: MetadataServer | ShardedMetadataTier = field(init=False)
     frontends: list[FrontendServer] = field(init=False)
     fault_plan: FaultPlan | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
+        if self.read_policy not in READ_POLICIES:
+            raise ValueError(
+                f"read_policy must be one of {READ_POLICIES}, "
+                f"got {self.read_policy!r}"
+            )
+        sharded = (self.metadata_shards, self.metadata_replicas) != (1, 0)
         if self.faults is not None:
             self.fault_plan = FaultPlan(
                 self.faults,
                 n_frontends=self.n_frontends,
                 seed=self.fault_seed,
+                n_metadata_shards=self.metadata_shards,
+                n_metadata_replicas=self.metadata_replicas,
             )
-        self.metadata = MetadataServer(
-            n_frontends=self.n_frontends, fault_plan=self.fault_plan
-        )
+        if sharded:
+            self.metadata = ShardedMetadataTier(
+                n_frontends=self.n_frontends,
+                n_shards=self.metadata_shards,
+                n_replicas=self.metadata_replicas,
+                read_policy=self.read_policy,
+                fault_plan=self.fault_plan,
+            )
+        else:
+            self.metadata = MetadataServer(
+                n_frontends=self.n_frontends, fault_plan=self.fault_plan
+            )
         self.frontends = [
             FrontendServer(
                 server_id=i,
@@ -178,3 +205,33 @@ class ServiceCluster:
         """Fraction of front-end request attempts that failed."""
         total = self.requests_ok + self.requests_failed
         return self.requests_failed / total if total else 0.0
+
+    def metadata_availability(self) -> dict:
+        """Metadata-tier availability summary for telemetry snapshots.
+
+        Always JSON-serializable; on the unsharded path the per-shard
+        list collapses to the single server's rejection tally, so the
+        dashboard line renders uniformly for both deployments.
+        """
+        meta = self.metadata
+        if isinstance(meta, ShardedMetadataTier):
+            return {
+                "shards": meta.n_shards,
+                "replicas": meta.n_replicas,
+                "read_policy": meta.read_policy,
+                "shard_rejections": list(meta.per_shard_rejections),
+                "blocked_users": len(meta.blocked_users),
+                "replica_reads": self.fault_stats.replica_reads,
+                "failover_reads": self.fault_stats.failover_reads,
+                "stale_reads_avoided": self.fault_stats.stale_reads_avoided,
+            }
+        return {
+            "shards": 1,
+            "replicas": 0,
+            "read_policy": "primary-only",
+            "shard_rejections": [meta.rejected_requests],
+            "blocked_users": 0,
+            "replica_reads": 0,
+            "failover_reads": 0,
+            "stale_reads_avoided": 0,
+        }

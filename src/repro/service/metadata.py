@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..faults import FaultPlan, MetadataUnavailableError
 from .chunks import FileManifest
+from .placement import frontend_for
 
 
 @dataclass(frozen=True)
@@ -27,9 +28,13 @@ class StoredFile:
     url: str
 
 
-@dataclass
+@dataclass(frozen=True)
 class DedupDecision:
-    """Outcome of a storage operation request at the metadata server."""
+    """Outcome of a storage operation request at the metadata server.
+
+    An outcome record like :class:`StoredFile` — frozen so a decision
+    handed to a client cannot drift after the fact.
+    """
 
     duplicate: bool
     frontend_id: int | None
@@ -77,7 +82,10 @@ class MetadataServer:
             )
 
     def _frontend_for(self, user_id: int) -> int:
-        return user_id % self.n_frontends
+        # Keyed-digest placement shared with the shard router: stable
+        # across PYTHONHASHSEED, well-mixed, and survives resharding
+        # (``user_id % n`` remapped every user whenever ``n`` changed).
+        return frontend_for(user_id, self.n_frontends)
 
     def _new_url(self, file_md5: str) -> str:
         self._url_counter += 1
@@ -170,8 +178,15 @@ class MetadataServer:
     # Introspection
     # ------------------------------------------------------------------
 
-    def user_files(self, user_id: int) -> list[StoredFile]:
-        """All files in a user's space (insertion order)."""
+    def user_files(self, user_id: int, *, now: float = 0.0) -> list[StoredFile]:
+        """All files in a user's space (insertion order).
+
+        Listing a namespace is a metadata read like :meth:`resolve_url`:
+        during a scheduled outage window it raises
+        :class:`~repro.faults.MetadataUnavailableError` (and counts one
+        rejection), rather than serving from a server that is down.
+        """
+        self._check_available(now)
         return list(self._spaces.get(user_id, {}).values())
 
     @property

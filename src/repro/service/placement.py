@@ -1,0 +1,49 @@
+"""Stable, hash-salt-independent placement for the metadata tier.
+
+Both the metadata front-end assignment and the shard router need a
+placement that is (a) a pure function of the user id, (b) independent of
+``PYTHONHASHSEED`` (reprolint rule D3 bans builtin ``hash()`` for exactly
+this reason), and (c) well-mixed — ``user_id % n`` clusters sequential
+user populations onto the low buckets and silently re-maps *every* user
+when ``n`` changes parity with the population.  A keyed BLAKE2 digest
+(the same idiom :func:`repro.service.client.client_seed` uses for client
+RNG streams) gives all three: placement survives resharding debates,
+reproduces across processes, and spreads any user-id distribution.
+
+The two call sites draw from *distinct* key domains (``frontend/`` vs
+``shard/``), so a user's storage front-end and metadata shard are
+independent placements — co-locating them would couple the data-path
+and metadata-path failure domains for no reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_placement(domain: str, key: int, n_buckets: int) -> int:
+    """Deterministically place ``key`` into one of ``n_buckets``.
+
+    ``domain`` namespaces the digest so different placement decisions
+    (front-end assignment, shard routing) are statistically independent
+    even for the same key.
+    """
+    if n_buckets < 1:
+        raise ValueError("need at least one bucket")
+    digest = hashlib.blake2b(
+        f"{domain}/{key}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") % n_buckets
+
+
+def frontend_for(user_id: int, n_frontends: int) -> int:
+    """The user's preferred storage front-end (Section 2.1 "closest")."""
+    return stable_placement("frontend", user_id, n_frontends)
+
+
+def shard_for(user_id: int, n_shards: int) -> int:
+    """The metadata shard owning the user's namespace."""
+    return stable_placement("shard", user_id, n_shards)
+
+
+__all__ = ["frontend_for", "shard_for", "stable_placement"]

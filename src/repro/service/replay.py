@@ -331,6 +331,7 @@ def replay_trace(
         )
     result.records = tuple(cluster.access_log())
     result.telemetry.observe_log(result.records)
+    result.telemetry.set_metadata_availability(cluster.metadata_availability())
     return result
 
 

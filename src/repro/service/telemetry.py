@@ -48,7 +48,21 @@ from ..faults import FaultStats
 from ..logs.schema import LogRecord, ResultCode
 
 #: Version tag embedded in every snapshot; bump when the schema changes.
-TELEMETRY_SCHEMA_VERSION = 1
+#: v2 added the ``metadata`` availability section (sharded tier).
+TELEMETRY_SCHEMA_VERSION = 2
+
+#: The ``metadata`` section a snapshot carries when no deployment fed
+#: availability info — the shape of an unsharded, rejection-free run.
+DEFAULT_METADATA_AVAILABILITY = {
+    "shards": 1,
+    "replicas": 0,
+    "read_policy": "primary-only",
+    "shard_rejections": [0],
+    "blocked_users": 0,
+    "replica_reads": 0,
+    "failover_reads": 0,
+    "stale_reads_avoided": 0,
+}
 
 #: The tracked latency quantiles, as fractions.
 TRACKED_QUANTILES = (0.50, 0.95, 0.99, 0.999)
@@ -292,6 +306,10 @@ class TelemetrySnapshot:
     operations: tuple[dict, ...]
     #: Request-attempt tallies by Table 1 result code, plus totals.
     requests: dict
+    #: Metadata-tier availability: shards, replicas, read_policy,
+    #: per-shard rejection tallies, blocked-user count and the
+    #: replica/failover/stale read counters.
+    metadata: dict
     #: Per-window counters: start, requests, ok, failed, shed, bytes and
     #: the derived throughput/failure/shed rates (zero-safe).
     windows: tuple[dict, ...]
@@ -333,6 +351,17 @@ class TelemetrySnapshot:
             f"{req['server_error']} error, {req['unavailable']} unavailable, "
             f"{req['timeout']} timeout, {req['shed']} shed "
             f"(failure rate {_rate(req['total'] - req['ok'], req['total']):.2%})"
+        )
+        meta = self.metadata
+        rejections = meta["shard_rejections"]
+        lines.append(
+            f"  metadata: {meta['shards']} shard(s) x "
+            f"{1 + meta['replicas']} node(s) ({meta['read_policy']}); "
+            f"rejections {rejections} ({sum(rejections)} total), "
+            f"{meta['blocked_users']} users blocked; "
+            f"replica reads {meta['replica_reads']} "
+            f"({meta['failover_reads']} failover, "
+            f"{meta['stale_reads_avoided']} stale avoided)"
         )
         if self.windows:
             busiest = max(self.windows, key=lambda w: w["requests"])
@@ -402,6 +431,7 @@ class TelemetryCollector:
         self._result_counts = {code: 0 for code in ResultCode}
         self._windows: dict[int, _WindowCounters] = {}
         self._horizon = 0.0
+        self._metadata: dict | None = None
 
     # -- operation-level latencies --------------------------------------
 
@@ -444,6 +474,18 @@ class TelemetryCollector:
         for record in records:
             self.observe_record(record)
 
+    def set_metadata_availability(self, info: dict) -> None:
+        """Attach the deployment's metadata-tier availability summary.
+
+        The replay harness feeds
+        :meth:`~repro.service.cluster.ServiceCluster.metadata_availability`
+        here so snapshots carry the per-shard rejection tallies and
+        :meth:`reconcile` can pin them against the fault ledger.  Until
+        fed, snapshots carry :data:`DEFAULT_METADATA_AVAILABILITY` and
+        the metadata reconciliation clause is vacuously true.
+        """
+        self._metadata = dict(info)
+
     # -- views ----------------------------------------------------------
 
     @property
@@ -475,7 +517,14 @@ class TelemetryCollector:
         ``injected_errors`` and TIMEOUT vs ``timeouts``.  The correlation
         attribution counters (``overload_sheds`` + ``pressure_sheds``,
         ``zone_crash_rejections``) must never exceed their umbrellas.
-        Returns a report dict with per-counter pairs and ``matched``.
+
+        When :meth:`set_metadata_availability` was fed, the metadata
+        clause is exact too: the per-shard rejection tallies must sum to
+        ``metadata_rejections``, a sharded tier's ``shard_rejections``
+        must *equal* that umbrella (the single-server path never touches
+        it, so it must be zero there), and ``failover_reads`` can never
+        exceed ``replica_reads``.  Returns a report dict with
+        per-counter pairs, ``metadata_ok`` and ``matched``.
         """
         pairs = {
             "shed": (
@@ -497,9 +546,30 @@ class TelemetryCollector:
             stats.overload_sheds + stats.pressure_sheds
             <= stats.shed_requests
             and stats.zone_crash_rejections <= stats.crash_rejections
+            and stats.shard_rejections <= stats.metadata_rejections
+            and stats.failover_reads <= stats.replica_reads
         )
-        matched = attribution_ok and all(
-            telemetry == ledger for telemetry, ledger in pairs.values()
+        metadata_ok = True
+        meta = self._metadata
+        if meta is not None:
+            shard_sum = sum(meta["shard_rejections"])
+            tier_armed = (meta["shards"], meta["replicas"]) != (1, 0)
+            pairs["metadata_rejections"] = (
+                shard_sum, stats.metadata_rejections
+            )
+            # No slack: a sharded tier books every rejection under both
+            # counters; the single-server path books the umbrella only.
+            metadata_ok = (
+                stats.shard_rejections == stats.metadata_rejections
+                if tier_armed
+                else stats.shard_rejections == 0
+            )
+        matched = (
+            attribution_ok
+            and metadata_ok
+            and all(
+                telemetry == ledger for telemetry, ledger in pairs.values()
+            )
         )
         return {
             "counters": {
@@ -507,6 +577,7 @@ class TelemetryCollector:
                 for name, (telemetry, ledger) in pairs.items()
             },
             "attribution_ok": attribution_ok,
+            "metadata_ok": metadata_ok,
             "matched": matched,
         }
 
@@ -549,6 +620,11 @@ class TelemetryCollector:
                     "shed_rate": _rate(w.shed, w.requests),
                 }
             )
+        metadata = (
+            dict(self._metadata)
+            if self._metadata is not None
+            else dict(DEFAULT_METADATA_AVAILABILITY)
+        )
         return TelemetrySnapshot(
             schema_version=TELEMETRY_SCHEMA_VERSION,
             estimator="exact" if self.keep_samples else "p2",
@@ -556,6 +632,7 @@ class TelemetryCollector:
             window_seconds=self.window_seconds,
             operations=tuple(operations),
             requests=requests,
+            metadata=metadata,
             windows=tuple(windows),
             slo=tuple(self._evaluate_slo(slo, operations)),
         )
@@ -610,6 +687,7 @@ def _json_float(value: float) -> float | None:
 
 
 __all__ = [
+    "DEFAULT_METADATA_AVAILABILITY",
     "LatencySeries",
     "P2Quantile",
     "QUANTILE_LABELS",

@@ -32,6 +32,19 @@ def build_replay_trace(n_users, seed):
     return [np.random.default_rng(user_seqs[index]) for index in range(n_users)]
 
 
+def build_metatier(seed, n_shards, n_replicas):
+    # The sharded-metadata idiom: per-node streams are grandchildren of
+    # the metadata stream (spawn per shard, then spawn per node), so
+    # growing the tier never reshuffles existing node schedules.
+    metadata_seq = np.random.SeedSequence(seed)
+    shard_seqs = metadata_seq.spawn(n_shards)
+    node_rngs = []
+    for shard in range(n_shards):
+        node_seqs = shard_seqs[shard].spawn(1 + n_replicas)
+        node_rngs.append([np.random.default_rng(s) for s in node_seqs])
+    return node_rngs
+
+
 def build_zoned(seed, n_frontends, n_zones):
     # The correlated-fault idiom: one spawn, then named slices of the
     # child block feed zone/pressure/assignment streams.

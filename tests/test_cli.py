@@ -117,7 +117,7 @@ def test_replay_json_snapshot(capsys):
     out = capsys.readouterr().out
     body, digest_line = out.rsplit("\n", 2)[0], out.rstrip().rsplit("\n", 1)[1]
     snapshot = json.loads(body)
-    assert snapshot["schema_version"] == 1
+    assert snapshot["schema_version"] == 2
     assert "access-log digest:" in digest_line
 
 

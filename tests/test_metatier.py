@@ -1,0 +1,490 @@
+"""Sharded metadata tier battery: identity, policies, reconciliation.
+
+Four layers, mirroring the ISSUE 7 acceptance criteria:
+
+* **Zero-knob identity** — a cluster built with the default
+  ``metadata_shards=1, metadata_replicas=0`` is the exact historical
+  deployment: same ``MetadataServer`` type, byte-identical fault
+  schedules, access logs and ``FaultStats``, in-process and across
+  interpreters with different hash salts.
+* **Stream invariance** — arming the tier never perturbs the
+  independent schedules, and growing the tier (more shards, more
+  replicas) never reshuffles existing node schedules.
+* **Read policies** — primary-only / any-replica / quorum semantics,
+  including staleness skips and the replica/failover attribution
+  counters, pinned against a controllable fake plan.
+* **Partial unavailability + reconciliation** — some users block while
+  others proceed; per-shard tallies sum to the ``FaultStats`` umbrellas
+  with no slack, and ``telemetry.reconcile`` enforces it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.faults import (
+    FaultConfig,
+    FaultPlan,
+    FaultStats,
+    MetadataUnavailableError,
+    RetryPolicy,
+    ZoneConfig,
+)
+from repro.logs.io import record_to_tsv
+from repro.logs.schema import DeviceType
+from repro.service import (
+    ClientNetwork,
+    MetadataServer,
+    ServiceCluster,
+    ShardedMetadataTier,
+    build_manifest,
+    frontend_for,
+    shard_for,
+    stable_placement,
+)
+from repro.service.replay import replay_trace, synthetic_replay_trace
+
+CHAOS_POLICY = RetryPolicy(
+    max_attempts=10, base_delay=0.5, max_delay=25.0, multiplier=2.0
+)
+
+
+def outage_config(rate=120.0, downtime=12.0):
+    return FaultConfig(
+        metadata_outage_rate=rate, metadata_mean_downtime=downtime
+    )
+
+
+def sharded_cluster(policy="quorum", replicas=2, shards=4, config=None):
+    return ServiceCluster(
+        n_frontends=2,
+        faults=config or outage_config(),
+        fault_seed=7,
+        retry_policy=CHAOS_POLICY,
+        metadata_shards=shards,
+        metadata_replicas=replicas,
+        read_policy=policy,
+    )
+
+
+def log_bytes(cluster):
+    return "\n".join(record_to_tsv(r) for r in cluster.access_log())
+
+
+def drive_workload(cluster, n_users=6, files_per_user=3, seed=11):
+    reports = []
+    for user in range(1, n_users + 1):
+        client = cluster.new_client(
+            user, f"dev{user}", DeviceType.ANDROID,
+            network=ClientNetwork(rtt=0.1, bandwidth=2_000_000.0),
+            seed=seed,
+        )
+        client.clock = 40.0 * user
+        for f in range(files_per_user):
+            reports.append(
+                client.store_file(
+                    f"u{user}f{f}.jpg", f"u{user}/f{f}".encode(),
+                    500_000 + 10_000 * f,
+                )
+            )
+    return reports
+
+
+# ----------------------------------------------------------------------
+# Placement helpers
+# ----------------------------------------------------------------------
+
+
+class TestPlacement:
+    def test_rejects_empty_bucket_set(self):
+        with pytest.raises(ValueError):
+            stable_placement("x", 1, 0)
+
+    def test_placement_in_range_and_deterministic(self):
+        for uid in range(200):
+            b = stable_placement("shard", uid, 7)
+            assert 0 <= b < 7
+            assert b == stable_placement("shard", uid, 7)
+
+    def test_domains_are_independent(self):
+        # Identical keys land differently across domains for *some* user
+        # — the digests are keyed by the domain prefix.
+        assert any(
+            frontend_for(uid, 8) != shard_for(uid, 8) for uid in range(64)
+        )
+
+    def test_spreads_sequential_users(self):
+        buckets = {shard_for(uid, 4) for uid in range(40)}
+        assert buckets == {0, 1, 2, 3}
+
+    def test_pinned_values_for_cross_process_stability(self):
+        # blake2b is salt-free: these literals must never drift.
+        assert frontend_for(0, 4) == stable_placement("frontend", 0, 4)
+        assert [shard_for(u, 4) for u in range(6)] == [
+            stable_placement("shard", u, 4) for u in range(6)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Zero-knob identity
+# ----------------------------------------------------------------------
+
+
+class TestZeroKnobIdentity:
+    def test_default_knobs_build_plain_metadata_server(self):
+        cluster = ServiceCluster(n_frontends=2, faults=outage_config())
+        assert type(cluster.metadata) is MetadataServer
+
+    def test_logs_and_stats_identical_with_explicit_defaults(self):
+        config = FaultConfig.at_rate(0.05)
+        base = ServiceCluster(
+            n_frontends=2, faults=config, fault_seed=7,
+            retry_policy=CHAOS_POLICY,
+        )
+        explicit = ServiceCluster(
+            n_frontends=2, faults=config, fault_seed=7,
+            retry_policy=CHAOS_POLICY,
+            metadata_shards=1, metadata_replicas=0,
+            read_policy="primary-only",
+        )
+        drive_workload(base)
+        drive_workload(explicit)
+        assert log_bytes(base) == log_bytes(explicit)
+        assert base.fault_stats.as_dict() == explicit.fault_stats.as_dict()
+        assert base.fault_stats.shard_rejections == 0
+
+    def test_plan_schedules_unchanged_by_arming_the_tier(self):
+        config = FaultConfig.at_rate(0.05)
+        plain = FaultPlan(config, n_frontends=3, seed=9)
+        armed = FaultPlan(
+            config, n_frontends=3, seed=9,
+            n_metadata_shards=4, n_metadata_replicas=2,
+        )
+        assert plain.metadata_windows == armed.metadata_windows
+        for fid in range(3):
+            assert plain.crash_windows(fid) == armed.crash_windows(fid)
+            assert plain.slow_windows(fid) == armed.slow_windows(fid)
+        assert not plain.metatier_armed
+        assert armed.metatier_armed
+
+    def test_byte_identical_across_processes(self):
+        """A fresh interpreter with a different hash salt reproduces the
+        default-knob access log byte for byte."""
+        snippet = (
+            "from tests.test_metatier import (sharded_cluster, log_bytes,"
+            " drive_workload, outage_config)\n"
+            "import hashlib\n"
+            "cluster = sharded_cluster()\n"
+            "drive_workload(cluster)\n"
+            "print(hashlib.md5(log_bytes(cluster).encode()).hexdigest())\n"
+        )
+        import hashlib
+
+        local = sharded_cluster()
+        drive_workload(local)
+        digest = hashlib.md5(log_bytes(local).encode()).hexdigest()
+        env = dict(os.environ)
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join((os.path.join(repo, "src"), repo))
+        env["PYTHONHASHSEED"] = "999"
+        remote = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, env=env, cwd=repo, check=True,
+        ).stdout.strip()
+        assert remote == digest
+
+
+# ----------------------------------------------------------------------
+# Stream invariance (growth never reshuffles)
+# ----------------------------------------------------------------------
+
+
+class TestStreamInvariance:
+    def test_adding_replicas_keeps_existing_node_schedules(self):
+        config = outage_config()
+        small = FaultPlan(
+            config, seed=7, n_metadata_shards=4, n_metadata_replicas=1
+        )
+        grown = FaultPlan(
+            config, seed=7, n_metadata_shards=4, n_metadata_replicas=3
+        )
+        for shard in range(4):
+            for node in range(2):
+                assert small.metadata_node_windows(
+                    shard, node
+                ) == grown.metadata_node_windows(shard, node)
+
+    def test_adding_shards_keeps_existing_shard_schedules(self):
+        config = outage_config()
+        small = FaultPlan(
+            config, seed=7, n_metadata_shards=4, n_metadata_replicas=2
+        )
+        grown = FaultPlan(
+            config, seed=7, n_metadata_shards=6, n_metadata_replicas=2
+        )
+        for shard in range(4):
+            for node in range(3):
+                assert small.metadata_node_windows(
+                    shard, node
+                ) == grown.metadata_node_windows(shard, node)
+
+    def test_zone_spread_never_colocates_shard_nodes(self):
+        config = FaultConfig(
+            metadata_outage_rate=10.0,
+            zones=ZoneConfig(n_zones=3, zone_crash_rate=0.5),
+        )
+        plan = FaultPlan(
+            config, n_frontends=3, seed=1,
+            n_metadata_shards=4, n_metadata_replicas=2,
+        )
+        for shard in range(4):
+            zones = [plan.metadata_node_zone(shard, n) for n in range(3)]
+            assert len(set(zones)) == 3
+
+
+# ----------------------------------------------------------------------
+# Read policies, pinned against a controllable plan
+# ----------------------------------------------------------------------
+
+
+class FakePlan:
+    """A plan stub whose down/stale sets the test controls directly."""
+
+    def __init__(self, n_shards, n_replicas):
+        self.n_metadata_shards = n_shards
+        self.n_metadata_replicas = n_replicas
+        self.stats = FaultStats()
+        self.enabled = True
+        self.metatier_armed = True
+        self.down = set()   # (shard, node)
+        self.stale = set()  # (shard, node)
+
+    def metadata_node_down(self, shard, node, t):
+        return (shard, node) in self.down
+
+    def metadata_node_stale(self, shard, node, t):
+        return (shard, node) in self.stale
+
+
+def tier_with(plan, policy):
+    return ShardedMetadataTier(
+        n_frontends=2,
+        n_shards=plan.n_metadata_shards,
+        n_replicas=plan.n_metadata_replicas,
+        read_policy=policy,
+        fault_plan=plan,
+    )
+
+
+def seed_file(tier, user):
+    m = build_manifest(f"u{user}.jpg", f"u{user}".encode(), 400_000)
+    decision = tier.request_store(user, m, now=0.0)
+    return tier.commit_store(user, m, decision.frontend_id, now=0.0)
+
+
+class TestReadPolicies:
+    def test_rejects_unknown_policy_and_mismatched_plan(self):
+        with pytest.raises(ValueError):
+            ShardedMetadataTier(n_shards=2, read_policy="gossip")
+        plan = FakePlan(4, 2)
+        with pytest.raises(ValueError):
+            ShardedMetadataTier(n_shards=2, n_replicas=1, fault_plan=plan)
+
+    def test_primary_only_ignores_healthy_replicas(self):
+        plan = FakePlan(2, 2)
+        tier = tier_with(plan, "primary-only")
+        user = next(u for u in range(50) if tier.shard_of(u) == 0)
+        seed_file(tier, user)
+        plan.down = {(0, 0)}  # replicas both up
+        with pytest.raises(MetadataUnavailableError):
+            tier.user_files(user, now=5.0)
+        assert tier.per_shard_rejections[0] == 1
+        assert plan.stats.shard_rejections == 1
+        assert plan.stats.metadata_rejections == 1
+        assert plan.stats.replica_reads == 0
+
+    def test_any_replica_serves_through_primary_outage(self):
+        plan = FakePlan(2, 2)
+        tier = tier_with(plan, "any-replica")
+        user = next(u for u in range(50) if tier.shard_of(u) == 0)
+        seed_file(tier, user)
+        plan.down = {(0, 0)}
+        assert len(tier.user_files(user, now=5.0)) == 1
+        assert plan.stats.replica_reads == 1
+        assert plan.stats.failover_reads == 1
+        # All nodes down: even any-replica rejects.
+        plan.down = {(0, 0), (0, 1), (0, 2)}
+        with pytest.raises(MetadataUnavailableError):
+            tier.user_files(user, now=6.0)
+
+    def test_any_replica_round_robin_counts_replica_reads(self):
+        plan = FakePlan(1, 2)
+        tier = tier_with(plan, "any-replica")
+        user = 1
+        seed_file(tier, user)
+        for _ in range(6):  # all nodes up: rotation 0,1,2,0,1,2
+            tier.user_files(user, now=1.0)
+        assert plan.stats.replica_reads == 4
+        assert plan.stats.failover_reads == 0  # primary was never down
+
+    def test_quorum_needs_majority(self):
+        plan = FakePlan(2, 2)
+        tier = tier_with(plan, "quorum")
+        user = next(u for u in range(50) if tier.shard_of(u) == 0)
+        seed_file(tier, user)
+        plan.down = {(0, 0), (0, 2)}  # 1 of 3 up: no majority
+        with pytest.raises(MetadataUnavailableError):
+            tier.user_files(user, now=5.0)
+        plan.down = {(0, 0)}  # 2 of 3 up: replica serves
+        assert len(tier.user_files(user, now=6.0)) == 1
+        assert plan.stats.replica_reads == 1
+        assert plan.stats.failover_reads == 1
+
+    def test_quorum_skips_stale_replica(self):
+        plan = FakePlan(1, 2)
+        tier = tier_with(plan, "quorum")
+        seed_file(tier, 1)
+        plan.down = {(0, 0)}
+        plan.stale = {(0, 1)}  # first replica catching up
+        assert len(tier.user_files(1, now=5.0)) == 1
+        assert plan.stats.stale_reads_avoided == 1
+        assert plan.stats.replica_reads == 1
+        # Both replicas stale: consistency wins, read rejected.
+        plan.stale = {(0, 1), (0, 2)}
+        with pytest.raises(MetadataUnavailableError):
+            tier.user_files(1, now=6.0)
+
+    def test_quorum_primary_serves_without_counters(self):
+        plan = FakePlan(1, 2)
+        tier = tier_with(plan, "quorum")
+        seed_file(tier, 1)
+        plan.down = {(0, 1)}  # a replica down, primary fine
+        assert len(tier.user_files(1, now=5.0)) == 1
+        assert plan.stats.replica_reads == 0
+
+    def test_writes_are_primary_first_under_every_policy(self):
+        for policy in ("primary-only", "quorum", "any-replica"):
+            plan = FakePlan(1, 2)
+            tier = tier_with(plan, policy)
+            plan.down = {(0, 0)}
+            m = build_manifest("f.jpg", b"x", 400_000)
+            with pytest.raises(MetadataUnavailableError):
+                tier.request_store(1, m, now=5.0)
+
+    def test_commit_accepted_during_primary_outage(self):
+        plan = FakePlan(1, 2)
+        tier = tier_with(plan, "quorum")
+        m = build_manifest("f.jpg", b"x", 400_000)
+        decision = tier.request_store(1, m, now=0.0)
+        plan.down = {(0, 0), (0, 1), (0, 2)}
+        url = tier.commit_store(1, m, decision.frontend_id, now=5.0)
+        assert url
+        plan.down = set()
+        record, _ = tier.resolve_url(url, now=10.0)
+        assert record.owner == 1
+
+    def test_unknown_url_raises_key_error(self):
+        tier = ShardedMetadataTier(n_shards=2)
+        with pytest.raises(KeyError):
+            tier.resolve_url("https://nope")
+
+    def test_blocked_users_tracks_rejected_user_ids(self):
+        plan = FakePlan(2, 0)
+        tier = tier_with(plan, "primary-only")
+        u0 = next(u for u in range(50) if tier.shard_of(u) == 0)
+        u1 = next(u for u in range(50) if tier.shard_of(u) == 1)
+        plan.down = {(0, 0)}
+        with pytest.raises(MetadataUnavailableError):
+            tier.user_files(u0, now=5.0)
+        assert tier.user_files(u1, now=5.0) == []
+        assert tier.blocked_users == {u0}
+
+
+# ----------------------------------------------------------------------
+# Dedup semantics across shards
+# ----------------------------------------------------------------------
+
+
+class TestShardedNamespace:
+    def test_same_shard_users_dedup_cross_shard_users_do_not(self):
+        tier = ShardedMetadataTier(n_shards=4)
+        users = list(range(200))
+        s0 = [u for u in users if tier.shard_of(u) == 0]
+        s1 = [u for u in users if tier.shard_of(u) == 1]
+        m = build_manifest("f.jpg", b"shared", 400_000)
+        decision = tier.request_store(s0[0], m)
+        tier.commit_store(s0[0], m, decision.frontend_id)
+        assert tier.request_store(s0[1], m).duplicate
+        assert not tier.request_store(s1[0], m).duplicate
+        assert tier.store_requests == 3
+        assert tier.dedup_hits == 1
+
+    def test_shard_routing_is_stable(self):
+        tier = ShardedMetadataTier(n_shards=4)
+        for user in range(64):
+            assert tier.shard_of(user) == shard_for(user, 4)
+
+
+# ----------------------------------------------------------------------
+# Partial unavailability + exact reconciliation (full replay)
+# ----------------------------------------------------------------------
+
+
+class TestPartialUnavailability:
+    def _replay(self, policy, replicas):
+        cluster = sharded_cluster(policy=policy, replicas=replicas)
+        trace = synthetic_replay_trace(16, 20160814)
+        result = replay_trace(trace, cluster, rate=0.5, seed=3)
+        return cluster, result
+
+    def test_some_users_blocked_others_untouched(self):
+        cluster, result = self._replay("primary-only", 0)
+        tier = cluster.metadata
+        trace_users = {op.user_id for op in synthetic_replay_trace(16, 20160814)}
+        assert tier.blocked_users, "outages must block someone"
+        assert tier.blocked_users < trace_users, "but never everyone"
+        assert sum(tier.per_shard_rejections) > 0
+        assert 0 in tier.per_shard_rejections or min(
+            tier.per_shard_rejections
+        ) < max(tier.per_shard_rejections), "impact must be imbalanced"
+
+    def test_reconciliation_exact_no_slack(self):
+        cluster, result = self._replay("quorum", 2)
+        stats = cluster.fault_stats
+        tier = cluster.metadata
+        assert sum(tier.per_shard_rejections) == stats.shard_rejections
+        assert stats.shard_rejections == stats.metadata_rejections
+        assert stats.failover_reads <= stats.replica_reads
+        report = result.telemetry.reconcile(stats)
+        assert report["metadata_ok"]
+        assert report["matched"]
+        pair = report["counters"]["metadata_rejections"]
+        assert pair["telemetry"] == pair["fault_stats"]
+
+    def test_reconciliation_catches_tampering(self):
+        cluster, result = self._replay("quorum", 2)
+        stats = cluster.fault_stats
+        stats.shard_rejections += 1
+        assert not result.telemetry.reconcile(stats)["matched"]
+
+    def test_snapshot_carries_metadata_section(self):
+        cluster, result = self._replay("quorum", 2)
+        snap = result.snapshot()
+        meta = snap.metadata
+        assert meta["shards"] == 4
+        assert meta["replicas"] == 2
+        assert meta["read_policy"] == "quorum"
+        assert meta["shard_rejections"] == list(
+            cluster.metadata.per_shard_rejections
+        )
+        assert "metadata" in snap.to_json()
+        assert "metadata:" in snap.render()
+
+    def test_unsharded_availability_summary(self):
+        cluster = ServiceCluster(n_frontends=2)
+        avail = cluster.metadata_availability()
+        assert avail["shards"] == 1
+        assert avail["replicas"] == 0
+        assert avail["shard_rejections"] == [0]

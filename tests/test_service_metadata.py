@@ -1,9 +1,12 @@
 """Tests for the metadata server (namespaces + dedup)."""
 
+import dataclasses
+
 import pytest
 
+from repro.faults import FaultConfig, FaultPlan, MetadataUnavailableError
 from repro.logs import CHUNK_SIZE
-from repro.service import MetadataServer, build_manifest
+from repro.service import MetadataServer, build_manifest, frontend_for
 
 
 def manifest(seed=b"content", size=CHUNK_SIZE, name="f.jpg"):
@@ -94,3 +97,68 @@ class TestRetrievalPath:
 def test_needs_at_least_one_frontend():
     with pytest.raises(ValueError):
         MetadataServer(n_frontends=0)
+
+
+def test_dedup_decision_is_frozen():
+    server = MetadataServer()
+    decision = server.request_store(1, manifest())
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        decision.duplicate = True
+
+
+def test_frontend_assignment_uses_stable_placement():
+    server = MetadataServer(n_frontends=4)
+    decision = server.request_store(123, manifest())
+    assert decision.frontend_id == frontend_for(123, 4)
+
+
+class TestOutageWindowReads:
+    """resolve_url and user_files must reject during an outage window,
+    counting exactly one rejection per call on both ledgers."""
+
+    def _server_inside_outage(self):
+        config = FaultConfig(
+            metadata_outage_rate=3.0, metadata_mean_downtime=120.0
+        )
+        plan = FaultPlan(config, n_frontends=2, seed=5)
+        assert plan.metadata_windows, "seed must schedule an outage"
+        window = plan.metadata_windows[0]
+        inside = (window.start + window.end) / 2.0
+        server = MetadataServer(n_frontends=2, fault_plan=plan)
+        assert window.start > 0.0  # t=0 is safely outside
+        return server, plan, inside
+
+    def test_resolve_url_rejects_and_counts_exactly_once(self):
+        server, plan, inside = self._server_inside_outage()
+        m = manifest()
+        decision = server.request_store(1, m, now=0.0)
+        url = server.commit_store(1, m, decision.frontend_id, now=0.0)
+        with pytest.raises(MetadataUnavailableError):
+            server.resolve_url(url, now=inside)
+        assert server.rejected_requests == 1
+        assert plan.stats.metadata_rejections == 1
+        with pytest.raises(MetadataUnavailableError):
+            server.resolve_url(url, now=inside)
+        assert server.rejected_requests == 2
+        assert plan.stats.metadata_rejections == 2
+        # Outside the window the same URL resolves fine, no new tallies.
+        record, _ = server.resolve_url(url, now=0.0)
+        assert record.file_md5 == m.file_md5
+        assert server.rejected_requests == 2
+        assert plan.stats.metadata_rejections == 2
+
+    def test_user_files_rejects_and_counts_exactly_once(self):
+        server, plan, inside = self._server_inside_outage()
+        m = manifest()
+        decision = server.request_store(1, m, now=0.0)
+        server.commit_store(1, m, decision.frontend_id, now=0.0)
+        with pytest.raises(MetadataUnavailableError):
+            server.user_files(1, now=inside)
+        assert server.rejected_requests == 1
+        assert plan.stats.metadata_rejections == 1
+        with pytest.raises(MetadataUnavailableError):
+            server.user_files(1, now=inside)
+        assert server.rejected_requests == 2
+        assert plan.stats.metadata_rejections == 2
+        assert len(server.user_files(1, now=0.0)) == 1
+        assert server.rejected_requests == 2

@@ -242,7 +242,7 @@ class TestTelemetryCollector:
         second = collector.snapshot().to_json()
         assert first == second
         payload = json.loads(first)  # NaN would fail strict JSON parsers
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["operations"][0]["label"] == "store"
 
     def test_streaming_snapshot_labels_estimator(self):
