@@ -409,6 +409,94 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_paper_scale(args: argparse.Namespace) -> int:
+    """Streaming columnar pipeline: generate → merge → analyze, bounded RAM.
+
+    Prints the analysis digest so CI can assert that two invocations are
+    byte-identical (paper-scale-smoke job), plus peak RSS so the memory
+    bound is observable.  ``--check`` additionally runs the in-memory
+    columnar engine on the concatenated parts and asserts digest
+    equality — only viable at scales that fit in RAM.
+    """
+    import json
+    import resource
+    import tempfile
+
+    from .core.streaming import analyze_stream, report_from_columnar
+    from .logs.columnar import ColumnarTrace
+    from .workload.generator import GeneratorOptions
+    from .workload.parallel import generate_columnar_sharded
+
+    if args.users < 1:
+        print(f"--users must be >= 1, got {args.users}", file=sys.stderr)
+        return 2
+    if args.block_rows < 1:
+        print(f"--block-rows must be >= 1, got {args.block_rows}",
+              file=sys.stderr)
+        return 2
+    options = GeneratorOptions(max_chunks_per_file=args.max_chunks)
+    with tempfile.TemporaryDirectory(dir=args.parts_dir) as scratch:
+        sharded = generate_columnar_sharded(
+            args.users,
+            n_pc_only_users=args.pc_users,
+            options=options,
+            seed=args.seed,
+            n_shards=args.shards,
+            n_workers=args.workers or None,
+            part_dir=scratch,
+            batch_records=args.batch_records,
+        )
+        report = analyze_stream(
+            sharded.merged_blocks(block_rows=args.block_rows), tau=args.tau
+        )
+        check_ok = None
+        if args.check:
+            reference = report_from_columnar(
+                ColumnarTrace.concatenate(
+                    sharded.open_parts()
+                ).sorted_by_user_time(),
+                tau=args.tau,
+            )
+            check_ok = reference.digest() == report.digest()
+    # Linux reports ru_maxrss in KiB (macOS in bytes).
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_mb = peak / 1024 if sys.platform != "darwin" else peak / (1024 * 1024)
+    summary = {
+        "users": args.users + args.pc_users,
+        "records": report.n_records,
+        "shards": args.shards,
+        "block_rows": args.block_rows,
+        "sessions": report.sessions.n_sessions,
+        "profiled_users": report.users.n_users,
+        "intervals": report.intervals.n_intervals,
+        "digest": report.digest(),
+        "peak_rss_mb": round(peak_mb, 1),
+    }
+    if args.json:
+        # Pure JSON on stdout (the digest is a summary field there).
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"paper-scale: {summary['records']} records from "
+            f"{summary['users']} users across {args.shards} shards "
+            f"(block {args.block_rows} rows)"
+        )
+        print(
+            f"  sessions: {summary['sessions']}  users profiled: "
+            f"{summary['profiled_users']}  intervals: {summary['intervals']}"
+        )
+        print(f"  peak RSS: {summary['peak_rss_mb']} MB")
+        print(f"  analysis digest: {summary['digest']}")
+    if check_ok is not None:
+        if not check_ok:
+            print("FAIL: streaming digest != in-memory digest",
+                  file=sys.stderr)
+            return 1
+        if not args.json:
+            print("  check: streaming == in-memory engine")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .devtools.engine import lint_command
 
@@ -545,6 +633,42 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--json", action="store_true",
                      help="emit the telemetry snapshot as JSON")
     rep.set_defaults(func=_cmd_replay)
+
+    paper = sub.add_parser(
+        "paper-scale",
+        help="streaming columnar pipeline: generate, merge and analyze "
+             "in bounded memory",
+    )
+    paper.add_argument("--users", type=int, default=50_000,
+                       help="mobile users to generate")
+    paper.add_argument("--pc-users", type=int, default=0,
+                       help="PC-only users to generate")
+    paper.add_argument("--max-chunks", type=int, default=8,
+                       help="chunk records per file cap")
+    paper.add_argument("--seed", type=int, default=0)
+    paper.add_argument("--shards", type=int, default=8,
+                       help="columnar shard parts (output identical for "
+                            "any value)")
+    paper.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = one per core, capped "
+                            "at --shards)")
+    paper.add_argument("--block-rows", type=int, default=1 << 20,
+                       help="merge window per shard; peak RSS scales with "
+                            "block-rows x shards, not with records")
+    paper.add_argument("--batch-records", type=int, default=65_536,
+                       help="records a worker buffers before appending to "
+                            "its part files")
+    paper.add_argument("--tau", type=float, default=3600.0,
+                       help="session cut threshold, seconds")
+    paper.add_argument("--parts-dir", default=None,
+                       help="directory for the scratch part files "
+                            "(default: system temp; always cleaned up)")
+    paper.add_argument("--check", action="store_true",
+                       help="also run the in-memory engine and assert "
+                            "digest equality (loads the whole trace)")
+    paper.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON")
+    paper.set_defaults(func=_cmd_paper_scale)
 
     lint = sub.add_parser(
         "lint",

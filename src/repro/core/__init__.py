@@ -66,6 +66,12 @@ from .usage import (
     ratio_samples,
     table3,
 )
+from .streaming import (
+    StreamingAnalyzer,
+    StreamingReport,
+    analyze_stream,
+    report_from_columnar,
+)
 from .workload import WorkloadSeries, workload_series
 
 __all__ = [
@@ -85,11 +91,14 @@ __all__ = [
     "Session",
     "SessionClassShares",
     "SessionType",
+    "StreamingAnalyzer",
+    "StreamingReport",
     "UsageBreakdown",
     "UserProfile",
     "VolumeBin",
     "WindowConcentration",
     "WorkloadSeries",
+    "analyze_stream",
     "analyze_trace",
     "average_file_sizes_mb",
     "burstiness_curves",
@@ -112,6 +121,7 @@ __all__ = [
     "profile_users",
     "profile_users_columnar",
     "ratio_samples",
+    "report_from_columnar",
     "restart_fraction",
     "retrieval_return_curves",
     "rtt_samples",

@@ -8,9 +8,10 @@ benchmark suite does not regenerate identical traces a dozen times.
 On top of the in-process memoization sits an **opt-in on-disk cache**:
 point ``cache_dir=`` (or the :data:`REPRO_CACHE_DIR <CACHE_ENV>`
 environment variable) at a directory and each prepared trace is persisted
-as one compressed NPZ holding the columnar trace plus the per-record
+as one uncompressed NPZ holding the columnar trace plus the per-record
 session assignments.  A warm run then skips both generation and
-sessionization — it loads the arrays, rebuilds the records and buckets
+sessionization — it memory-maps the arrays in place
+(:func:`repro.logs.npz.load_npz`), rebuilds the records and buckets
 them into the stored sessions, which is exactly the cold result (float
 columns round-trip at full precision; no text quantization is involved).
 Cache files are keyed by the columnar schema version, the seed, the
@@ -35,6 +36,7 @@ import numpy as np
 from ..core.sessions import Session, sessionize
 from ..core.usage import UserProfile, profile_users
 from ..logs.columnar import SCHEMA_VERSION, ColumnarTrace
+from ..logs.npz import load_npz
 from ..logs.schema import LogRecord
 from ..workload.generator import GeneratorOptions, TraceGenerator
 from ..workload.parallel import generate_trace_parallel
@@ -269,7 +271,10 @@ def _store_cache(
         )
         try:
             with os.fdopen(fd, "wb") as fh:
-                np.savez_compressed(fh, **payload)
+                # Uncompressed on purpose: stored (not deflated) members
+                # let warm loads memory-map the arrays in place instead
+                # of paying a full decompress-and-copy per column.
+                np.savez(fh, **payload)
             os.replace(tmp, path)
         except BaseException:
             os.unlink(tmp)
@@ -282,14 +287,17 @@ def _store_cache(
 def _load_cache(path: Path) -> PreparedTrace | None:
     """Load a cache file; ``None`` (regenerate) on any stale/corrupt file."""
     try:
-        with np.load(path, allow_pickle=False) as data:
-            trace = ColumnarTrace.from_npz_payload(data)
-            mobile_assignment = np.asarray(
-                data["prepared_mobile_session"], dtype=np.int64
-            )
-            all_assignment = np.asarray(
-                data["prepared_all_session"], dtype=np.int64
-            )
+        # Members of an uncompressed cache come back memory-mapped (zero
+        # copy); legacy compressed caches and scalar members fall back to
+        # regular reads inside load_npz.
+        data = load_npz(path, mmap=True)
+        trace = ColumnarTrace.from_npz_payload(data)
+        mobile_assignment = np.asarray(
+            data["prepared_mobile_session"], dtype=np.int64
+        )
+        all_assignment = np.asarray(
+            data["prepared_all_session"], dtype=np.int64
+        )
     except (OSError, ValueError, KeyError):
         return None
     if len(mobile_assignment) != len(trace) or len(all_assignment) != len(

@@ -458,6 +458,161 @@ class ColumnarTrace:
             return cls.from_npz_payload(data)
 
 
+#: Default rows buffered per source by :func:`merge_columnar_sorted` —
+#: ~64 MB of scratch per 8 sources at ~60 bytes/row, far below any
+#: whole-trace materialization.
+DEFAULT_MERGE_BLOCK_ROWS = 1 << 20
+
+
+def iter_columnar_blocks(
+    trace: ColumnarTrace, block_rows: int
+) -> Iterator[ColumnarTrace]:
+    """Yield ``trace`` as consecutive row slices of at most ``block_rows``.
+
+    Slices are NumPy views (zero copy); on a memory-mapped trace each
+    yielded block touches only its own pages.
+    """
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    for lo in range(0, len(trace), block_rows):
+        yield ColumnarTrace._from_columns(
+            {
+                name: getattr(trace, name)[lo : lo + block_rows]
+                for name, _ in COLUMNS
+            },
+            device_pool=trace.device_pool,
+        )
+
+
+def merge_columnar_sorted(
+    sources: Sequence[ColumnarTrace],
+    *,
+    block_rows: int = DEFAULT_MERGE_BLOCK_ROWS,
+    order: str = "user_time",
+) -> Iterator[ColumnarTrace]:
+    """Memory-bounded k-way merge of sorted columnar sources.
+
+    Each source must already be sorted by the requested ``order`` —
+    ``"user_time"`` for ``(user_id, timestamp)`` (what
+    :meth:`ColumnarTrace.sorted_by_user_time` produces and the sharded
+    generator writes) or ``"time"`` for ``(timestamp, user_id)``.  The
+    concatenation of the yielded blocks is **byte-identical** to
+    ``ColumnarTrace.concatenate(sources).sorted_by_user_time()`` (resp.
+    ``.sorted_by_time()``): same rows, same order, same device pool —
+    ties across sources resolve in source order exactly as a stable
+    lexsort over the concatenation would.
+
+    Peak scratch is ``O(block_rows × len(sources))`` rows: the merge
+    buffers one window of at most ``block_rows`` rows per source (a
+    zero-copy slice when sources are memory-mapped) and emits the rows
+    that are provably complete — those whose key is below the smallest
+    *last buffered* key of any source with unread data.  Emitted blocks
+    therefore vary in size but never exceed ``block_rows × len(sources)``
+    rows.
+    """
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    if order == "user_time":
+        primary_name, secondary_name = "user_id", "timestamp"
+    elif order == "time":
+        primary_name, secondary_name = "timestamp", "user_id"
+    else:
+        raise ValueError(f"unknown merge order: {order!r}")
+    live = [t for t in sources if len(t)]
+
+    # One part-wide device pool, first-appearance order across sources —
+    # identical to what concatenate() would build (it also skips empties).
+    pool: dict[str, int] = {}
+    lookups: list[np.ndarray | None] = []
+    for trace in live:
+        if len(trace.device_pool):
+            lookups.append(
+                np.asarray(
+                    [pool.setdefault(d, len(pool)) for d in trace.device_pool],
+                    dtype=np.int64,
+                )
+            )
+        else:
+            lookups.append(None)
+    device_pool = tuple(pool)
+
+    primary = [getattr(t, primary_name) for t in live]
+    secondary = [getattr(t, secondary_name) for t in live]
+    lengths = [len(t) for t in live]
+    heads = [0] * len(live)
+
+    while True:
+        active = [j for j in range(len(live)) if heads[j] < lengths[j]]
+        if not active:
+            return
+        tails = {j: min(heads[j] + block_rows, lengths[j]) for j in active}
+        # Rows are complete once their key can no longer be undercut by
+        # unread data: the bound is the smallest last-buffered key among
+        # sources that still have rows beyond their window.  Rows *equal*
+        # to the bound are safe only from sources at or before the lowest
+        # such source (``j_bound``): a stable sort over the concatenation
+        # orders equal keys by source, and sources after ``j_bound`` may
+        # still have more bound-valued rows unread.
+        bound = None
+        j_bound = None
+        for j in active:
+            if tails[j] < lengths[j]:
+                key = (primary[j][tails[j] - 1], secondary[j][tails[j] - 1])
+                if bound is None or key < bound:
+                    bound = key
+                    j_bound = j
+        pieces: list[tuple[int, int, int]] = []
+        for j in active:
+            lo, hi = heads[j], tails[j]
+            if bound is None:
+                cut = hi
+            else:
+                bound_primary, bound_secondary = bound
+                window_primary = primary[j][lo:hi]
+                left = lo + int(
+                    np.searchsorted(window_primary, bound_primary, side="left")
+                )
+                right = lo + int(
+                    np.searchsorted(window_primary, bound_primary, side="right")
+                )
+                cut = left + int(
+                    np.searchsorted(
+                        secondary[j][left:right],
+                        bound_secondary,
+                        side="right" if j <= j_bound else "left",
+                    )
+                )
+            if cut > lo:
+                pieces.append((j, lo, cut))
+                heads[j] = cut
+        # Progress guarantee: the bound source's window ends exactly at
+        # the bound key, so at least its window always drains in full.
+        columns = {
+            name: np.concatenate(
+                [getattr(live[j], name)[lo:hi] for j, lo, hi in pieces]
+            )
+            for name, _ in COLUMNS
+            if name != "device_code"
+        }
+        columns["device_code"] = np.concatenate(
+            [
+                lookups[j][live[j].device_code[lo:hi]]
+                if lookups[j] is not None
+                else live[j].device_code[lo:hi]
+                for j, lo, hi in pieces
+            ]
+        )
+        # Pieces are gathered in source order, so the stable lexsort
+        # resolves equal keys exactly like sorting the concatenation.
+        emit_order = np.lexsort(
+            (columns[secondary_name], columns[primary_name])
+        )
+        yield ColumnarTrace._from_columns(
+            {name: column[emit_order] for name, column in columns.items()},
+            device_pool=device_pool,
+        )
+
+
 def as_columnar(records) -> ColumnarTrace:
     """Coerce a record iterable (or pass through a trace) to columnar form."""
     if isinstance(records, ColumnarTrace):

@@ -1,0 +1,100 @@
+"""Memory-mapped loading of uncompressed ``.npz`` archives.
+
+``np.load(path, mmap_mode="r")`` silently ignores ``mmap_mode`` for
+``.npz`` files: the archive is a zip container, and NumPy only maps bare
+``.npy`` files.  For *uncompressed* archives (``np.savez``) that is a pure
+waste — every stored member is a verbatim ``.npy`` byte range inside the
+file, so it can be mapped directly at its offset.
+
+:func:`load_npz` does exactly that: it walks the zip directory, and for
+every member that is stored (not deflated), one-dimensional-or-more,
+non-empty and C-ordered it returns a read-only ``np.memmap`` positioned
+at the member's data offset; anything else (compressed members, 0-d
+scalars like ``schema_version``, empty arrays, strings) falls back to a
+regular :func:`np.load` read of just that member.  Callers therefore get
+zero-copy access where it is safe and ordinary arrays everywhere else,
+from one call.
+
+Any structural problem — not a zip, truncated member, malformed ``.npy``
+header — surfaces as :class:`ValueError` (or propagates ``OSError``), so
+existing "corrupt cache ⇒ regenerate" paths keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+#: Fields of the zip local file header needed to find member data:
+#: signature (4s), then 22 bytes we skip, then file-name and extra-field
+#: lengths.  The data starts right after the variable-length tail.
+_LOCAL_HEADER_SIZE = 30
+_LOCAL_HEADER_SIGNATURE = b"PK\x03\x04"
+
+
+def _member_data_offset(fh, info: zipfile.ZipInfo) -> int:
+    """Absolute file offset of a stored member's first data byte."""
+    fh.seek(info.header_offset)
+    header = fh.read(_LOCAL_HEADER_SIZE)
+    if (
+        len(header) != _LOCAL_HEADER_SIZE
+        or header[:4] != _LOCAL_HEADER_SIGNATURE
+    ):
+        raise ValueError(f"bad zip local header for member {info.filename!r}")
+    name_len, extra_len = struct.unpack("<HH", header[26:30])
+    return info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+
+
+def _mmap_member(path: Path, fh, info: zipfile.ZipInfo) -> np.ndarray | None:
+    """Map one stored ``.npy`` member read-only; ``None`` if not mappable."""
+    data_start = _member_data_offset(fh, info)
+    fh.seek(data_start)
+    version = np.lib.format.read_magic(fh)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+    else:
+        return None
+    if fortran or dtype.hasobject or len(shape) == 0 or 0 in shape:
+        # 0-d scalars and empty arrays cannot be mapped; object arrays
+        # must never be (np.load below rejects them via allow_pickle).
+        return None
+    return np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=fh.tell())
+
+
+def load_npz(path: str | Path, *, mmap: bool = True) -> dict[str, np.ndarray]:
+    """Load an ``.npz`` archive, memory-mapping members where possible.
+
+    Returns a plain ``{member name: array}`` dict.  With ``mmap=False``
+    every member is an ordinary in-memory array (equivalent to copying
+    out of ``np.load``); with ``mmap=True`` uncompressed numeric members
+    come back as read-only ``np.memmap`` views into ``path``.
+
+    Raises :class:`ValueError` for anything that is not a well-formed
+    archive of ``.npy`` members.
+    """
+    path = Path(path)
+    out: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive:
+            infos = archive.infolist()
+            if mmap:
+                with open(path, "rb") as fh:
+                    for info in infos:
+                        if info.compress_type != zipfile.ZIP_STORED:
+                            continue
+                        name = info.filename.removesuffix(".npy")
+                        array = _mmap_member(path, fh, info)
+                        if array is not None:
+                            out[name] = array
+            with np.load(path, allow_pickle=False) as data:
+                for member in data.files:
+                    if member not in out:
+                        out[member] = data[member]
+    except zipfile.BadZipFile as exc:
+        raise ValueError(f"not a valid npz archive {path}: {exc}") from None
+    return out

@@ -1,0 +1,210 @@
+"""Memory-mappable columnar shard parts (the zero-copy worker hand-off).
+
+A *columnar part* is a directory holding one raw ``.npy`` file per
+:data:`~repro.logs.columnar.COLUMNS` entry plus a ``meta.json`` with the
+schema version, the row count and the device pool.  Unlike an ``.npz``
+archive — whose members sit inside a zip container that
+``np.load(mmap_mode=...)`` silently refuses to map — every column here is
+a plain ``.npy`` file, so the parent process opens a worker-written part
+with ``np.load(..., mmap_mode="r")`` and touches only the pages an
+analysis actually reads.  Nothing is pickled across the process boundary:
+the worker hands back a *path*.
+
+:class:`ColumnarPartWriter` is an **append** writer: the worker streams
+one :class:`~repro.logs.columnar.ColumnarTrace` batch at a time (e.g. a
+few thousand users' rows) and the writer extends each column file in
+place, so worker peak RSS is bounded by the batch size, never the shard
+size.  The trick is a fixed-width ``.npy`` header (the format reserves
+padding for exactly this) rewritten with the final row count on
+:meth:`~ColumnarPartWriter.close` — until then the shape on disk says 0
+rows, which doubles as a torn-write marker.
+
+``meta.json`` is written only by a successful :meth:`close`, so a crashed
+or interrupted worker leaves a part that :func:`read_columnar_part`
+rejects with :class:`ValueError` instead of serving truncated data.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import IO
+
+import numpy as np
+
+from .columnar import COLUMNS, SCHEMA_VERSION, ColumnarTrace
+
+#: File name of the part manifest inside a part directory.
+PART_META = "meta.json"
+
+#: Total on-disk size of the fixed .npy header we write: magic + version
+#: (8 bytes), header length (2 bytes), and a padded header dict.  128
+#: bytes fits every COLUMNS dtype with room to spare and keeps the array
+#: data 64-byte aligned, which ``np.memmap`` likes.
+_NPY_HEADER_TOTAL = 128
+_NPY_MAGIC = b"\x93NUMPY\x01\x00"
+
+
+def _npy_header(dtype: np.dtype, n_rows: int) -> bytes:
+    """The fixed-width version-1.0 ``.npy`` header for a 1-D array."""
+    descr = np.lib.format.dtype_to_descr(dtype)
+    body = "{'descr': %r, 'fortran_order': False, 'shape': (%d,), }" % (
+        descr,
+        n_rows,
+    )
+    room = _NPY_HEADER_TOTAL - len(_NPY_MAGIC) - 2
+    if len(body) + 1 > room:  # pragma: no cover - COLUMNS dtypes all fit
+        raise ValueError(f"npy header does not fit {_NPY_HEADER_TOTAL} bytes")
+    padded = body + " " * (room - len(body) - 1) + "\n"
+    return _NPY_MAGIC + struct.pack("<H", room) + padded.encode("latin1")
+
+
+class ColumnarPartWriter:
+    """Stream a columnar trace to a part directory, one batch at a time.
+
+    Batches may carry different device pools (each worker batch builds its
+    own); the writer merges them into one part-wide pool exactly like
+    :meth:`ColumnarTrace.concatenate` — first-appearance order, codes
+    remapped on the way to disk.
+
+    Usable as a context manager; on a clean exit the part is finalized
+    (headers rewritten, ``meta.json`` written), on an exception the column
+    files are closed but no manifest is written, leaving the part
+    detectably incomplete.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._dtypes: dict[str, np.dtype] = {
+            name: np.dtype(dtype) for name, dtype in COLUMNS
+        }
+        self._files: dict[str, IO[bytes]] = {}
+        for name, _ in COLUMNS:
+            fh = open(self.directory / f"{name}.npy", "wb")
+            fh.write(_npy_header(self._dtypes[name], 0))
+            self._files[name] = fh
+        self._pool: dict[str, int] = {}
+        self._n_rows = 0
+        self._finalized = False
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def append(self, batch: ColumnarTrace) -> None:
+        """Append one trace batch (rows in the order given)."""
+        if self._finalized:
+            raise ValueError("part writer already closed")
+        if not len(batch):
+            return
+        for name, _ in COLUMNS:
+            column = getattr(batch, name)
+            if name == "device_code" and len(batch.device_pool):
+                lookup = np.asarray(
+                    [
+                        self._pool.setdefault(d, len(self._pool))
+                        for d in batch.device_pool
+                    ],
+                    dtype=np.int64,
+                )
+                column = lookup[column]
+            data = np.ascontiguousarray(column, dtype=self._dtypes[name])
+            self._files[name].write(data.tobytes())
+        self._n_rows += len(batch)
+
+    def close(self) -> None:
+        """Finalize the part: rewrite headers, write the manifest."""
+        if self._finalized:
+            return
+        for name, fh in self._files.items():
+            fh.flush()
+            fh.seek(0)
+            fh.write(_npy_header(self._dtypes[name], self._n_rows))
+            fh.close()
+        manifest = {
+            "schema_version": SCHEMA_VERSION,
+            "n_records": self._n_rows,
+            "device_pool": list(self._pool),
+        }
+        (self.directory / PART_META).write_text(json.dumps(manifest))
+        self._finalized = True
+
+    def abort(self) -> None:
+        """Close file handles without writing a manifest (part invalid)."""
+        if self._finalized:
+            return
+        for fh in self._files.values():
+            fh.close()
+
+    def __enter__(self) -> "ColumnarPartWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+def write_columnar_part(trace: ColumnarTrace, directory: str | Path) -> None:
+    """Write a whole trace as one part (convenience over the writer)."""
+    with ColumnarPartWriter(directory) as writer:
+        writer.append(trace)
+
+
+def read_columnar_part(
+    directory: str | Path, *, mmap: bool = True
+) -> ColumnarTrace:
+    """Open a part directory as a :class:`ColumnarTrace`.
+
+    With ``mmap=True`` (the default) every column is a read-only
+    ``np.memmap`` — opening a 100M-row part costs pages, not copies, and
+    the returned trace behaves like any other (slicing a memmap reads
+    only the touched pages).
+
+    Raises
+    ------
+    ValueError
+        On a missing/corrupt manifest, schema-version mismatch, or any
+        column file that is missing, truncated, or of the wrong
+        dtype/length — an incomplete worker write never parses as data.
+    """
+    directory = Path(directory)
+    meta_path = directory / PART_META
+    try:
+        manifest = json.loads(meta_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable columnar part {directory}: {exc}") from None
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"columnar part schema version mismatch: part={version}, "
+            f"library={SCHEMA_VERSION}"
+        )
+    n_rows = manifest.get("n_records")
+    pool = manifest.get("device_pool")
+    if not isinstance(n_rows, int) or n_rows < 0 or not isinstance(pool, list):
+        raise ValueError(f"malformed columnar part manifest {meta_path}")
+    columns: dict[str, np.ndarray] = {}
+    for name, dtype in COLUMNS:
+        path = directory / f"{name}.npy"
+        try:
+            array = np.load(
+                path, mmap_mode="r" if mmap else None, allow_pickle=False
+            )
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"corrupt part column {path}: {exc}") from None
+        if (
+            array.ndim != 1
+            or array.dtype != np.dtype(dtype)
+            or len(array) != n_rows
+        ):
+            raise ValueError(
+                f"part column {path} does not match manifest: "
+                f"dtype={array.dtype}, shape={array.shape}, expected "
+                f"{n_rows} rows of {dtype}"
+            )
+        columns[name] = array
+    return ColumnarTrace._from_columns(columns, device_pool=tuple(pool))

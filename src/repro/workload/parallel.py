@@ -42,8 +42,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
 
-from ..logs.columnar import ColumnarTrace
-from ..logs.io import open_reader, write_jsonl, write_tsv
+from ..logs.columnar import (
+    DEFAULT_MERGE_BLOCK_ROWS,
+    ColumnarTrace,
+    merge_columnar_sorted,
+)
+from ..logs.io import open_reader, read_columnar, write_jsonl, write_tsv
+from ..logs.parts import ColumnarPartWriter, read_columnar_part
 from ..logs.schema import LogRecord
 from .config import WorkloadConfig
 from .generator import GeneratorOptions, TraceGenerator
@@ -51,6 +56,10 @@ from .population import UserSpec, build_population
 
 #: Part files are named ``part-0042.tsv`` etc. inside the part directory.
 PART_STEM = "part"
+
+#: Records a columnar-part worker buffers before appending them to the
+#: part files.  Bounds worker RSS at O(batch), independent of shard size.
+DEFAULT_PART_BATCH_RECORDS = 65_536
 
 
 # ----------------------------------------------------------------------
@@ -118,6 +127,9 @@ class ShardTask:
     #: rebuild the (deterministic) population and partition it itself —
     #: same output, one redundant population build per worker.
     users: tuple[UserSpec, ...] | None = None
+    #: Record batch size for the columnar-part worker (ignored by the
+    #: TSV/JSONL and in-memory workers).
+    batch_records: int = DEFAULT_PART_BATCH_RECORDS
 
 
 @dataclass(frozen=True)
@@ -134,6 +146,20 @@ class ShardPart:
         if self.path is None:
             return iter(self.records)
         return open_reader(self.path)
+
+    def columnar(self) -> ColumnarTrace:
+        """Load this part as a :class:`ColumnarTrace` (bulk parse).
+
+        The record iterator above re-parses the part file into one
+        :class:`LogRecord` object per line; this path goes through the
+        chunked columnar readers in :mod:`repro.logs.io` instead — no
+        per-record objects, an order of magnitude faster on large parts.
+        Prefer it (or :func:`generate_columnar_sharded`, which skips text
+        entirely) for anything beyond record-at-a-time debugging.
+        """
+        if self.path is None:
+            return ColumnarTrace.from_records(self.records)
+        return read_columnar(self.path)
 
 
 def generate_shard(task: ShardTask) -> ShardPart:
@@ -318,6 +344,13 @@ def generate_trace_parallel(
     each user time-sorted, so sorting the merged stream by ``(user_id,
     timestamp)`` reconstructs it; the sort is stable and a user's
     within-timestamp ties keep their emission order).
+
+    .. deprecated:: use only where :class:`LogRecord` objects are the
+       point (record-path equivalence tests, small debugging runs).  The
+       per-record materialization caps this path far below paper scale;
+       :func:`generate_columnar_parallel` returns the same trace as
+       arrays, and :func:`generate_columnar_sharded` streams it through
+       memory-mapped parts without materializing anything.
     """
     sharded = generate_sharded(
         n_mobile_users,
@@ -382,6 +415,12 @@ def generate_columnar_parallel(
     ``generate_trace(...)`` record for record (and field for field: arrays
     round-trip through pickle at full float precision).  The parent never
     materializes a single :class:`LogRecord`.
+
+    Note that worker results still cross the process boundary as pickled
+    arrays and the parent holds — then lexsorts — the whole trace, so
+    peak RSS is O(records).  :func:`generate_columnar_sharded` produces
+    the identical stream through memory-mapped part files in
+    O(block × shards) memory; prefer it beyond a few million records.
     """
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -413,6 +452,167 @@ def generate_columnar_parallel(
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             parts = list(pool.map(_generate_shard_columnar, tasks))
     return ColumnarTrace.concatenate(parts).sorted_by_user_time()
+
+
+@dataclass(frozen=True)
+class ColumnarShardPart:
+    """One shard written as a memory-mappable columnar part directory."""
+
+    shard_index: int
+    path: str
+    n_records: int
+    n_users: int
+
+    def open(self, *, mmap: bool = True) -> ColumnarTrace:
+        """Open the part (memory-mapped by default — zero copy)."""
+        return read_columnar_part(self.path, mmap=mmap)
+
+
+def _generate_shard_part(task: ShardTask) -> ColumnarShardPart:
+    """Worker: stream one shard straight to a columnar part directory.
+
+    Users are generated in ascending ``user_id`` order (each user's
+    records already time-sorted), so the part is ``(user_id, timestamp)``-
+    sorted on disk without any shard-wide sort or materialization: at
+    most ``task.batch_records`` records exist at a time, whatever the
+    shard size.  Only the part *path* crosses back to the parent.
+    """
+    if task.path is None:
+        raise ValueError("columnar part generation needs a part path")
+    generator = TraceGenerator(
+        task.n_mobile_users,
+        n_pc_only_users=task.n_pc_only_users,
+        config=task.config,
+        options=task.options,
+        seed=task.seed,
+        population=list(task.users) if task.users is not None else None,
+    )
+    users = (
+        list(task.users)
+        if task.users is not None
+        else partition_users(generator.population, task.n_shards)[task.shard_index]
+    )
+    # The population is built in ascending user_id order already; sorting
+    # makes the part's sort invariant locally evident (and is a no-op).
+    users.sort(key=lambda user: user.user_id)
+    batch_records = max(1, task.batch_records)
+    with ColumnarPartWriter(task.path) as writer:
+        buffer: list[LogRecord] = []
+        for user in users:
+            buffer.extend(generator.generate_user(user))
+            if len(buffer) >= batch_records:
+                writer.append(ColumnarTrace.from_records(buffer))
+                buffer.clear()
+        if buffer:
+            writer.append(ColumnarTrace.from_records(buffer))
+        n_records = writer.n_rows
+    return ColumnarShardPart(
+        shard_index=task.shard_index,
+        path=task.path,
+        n_records=n_records,
+        n_users=len(users),
+    )
+
+
+@dataclass(frozen=True)
+class ColumnarShardedTrace:
+    """A trace generated as on-disk columnar shard parts.
+
+    Nothing is resident: each part is a directory of raw ``.npy`` column
+    files that :meth:`merged_blocks` memory-maps and k-way merges into
+    bounded-size blocks in global ``(user_id, timestamp)`` order — the
+    stream the folds in :mod:`repro.core.streaming` consume.
+    """
+
+    parts: tuple[ColumnarShardPart, ...]
+
+    @property
+    def n_records(self) -> int:
+        return sum(part.n_records for part in self.parts)
+
+    @property
+    def paths(self) -> list[str]:
+        return [part.path for part in self.parts]
+
+    def open_parts(self, *, mmap: bool = True) -> list[ColumnarTrace]:
+        return [part.open(mmap=mmap) for part in self.parts]
+
+    def merged_blocks(
+        self,
+        *,
+        block_rows: int = DEFAULT_MERGE_BLOCK_ROWS,
+        mmap: bool = True,
+    ) -> Iterator[ColumnarTrace]:
+        """Stream the global ``(user_id, timestamp)`` order in blocks.
+
+        Concatenating the blocks reproduces
+        ``generate_columnar_parallel(...)`` byte for byte, but peak RSS
+        is O(``block_rows`` × shards): sources are memory-mapped and the
+        merge buffers one window per shard.
+        """
+        return merge_columnar_sorted(
+            self.open_parts(mmap=mmap),
+            block_rows=block_rows,
+            order="user_time",
+        )
+
+
+def generate_columnar_sharded(
+    n_mobile_users: int,
+    *,
+    n_pc_only_users: int = 0,
+    config: WorkloadConfig | None = None,
+    options: GeneratorOptions | None = None,
+    seed: int = 0,
+    n_shards: int = 4,
+    n_workers: int | None = None,
+    part_dir: str | Path,
+    batch_records: int = DEFAULT_PART_BATCH_RECORDS,
+) -> ColumnarShardedTrace:
+    """Generate a trace as memory-mappable columnar shard parts.
+
+    The paper-scale entry point: workers stream their shards to
+    ``part_dir/part-NNNN.cols/`` directories (worker RSS bounded by
+    ``batch_records``) and hand back paths; the parent pickles no arrays
+    and holds no records.  Follow with
+    :meth:`ColumnarShardedTrace.merged_blocks` to analyze the global
+    stream in bounded memory.  The determinism contract of this module
+    applies unchanged: the merged stream is identical for every shard
+    and worker count.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_workers = _resolve_workers(n_shards, n_workers)
+    part_dir = Path(part_dir)
+    part_dir.mkdir(parents=True, exist_ok=True)
+    population = build_population(
+        n_mobile_users,
+        n_pc_only_users=n_pc_only_users,
+        config=config or WorkloadConfig(),
+        seed=seed,
+    )
+    shards = partition_users(population, n_shards)
+    tasks = [
+        ShardTask(
+            shard_index=index,
+            n_shards=n_shards,
+            n_mobile_users=n_mobile_users,
+            n_pc_only_users=n_pc_only_users,
+            config=config,
+            options=options,
+            seed=seed,
+            path=str(part_dir / f"{PART_STEM}-{index:04d}.cols"),
+            users=tuple(shards[index]),
+            batch_records=batch_records,
+        )
+        for index in range(n_shards)
+    ]
+    if n_workers == 1:
+        parts = [_generate_shard_part(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            parts = list(pool.map(_generate_shard_part, tasks))
+    return ColumnarShardedTrace(parts=tuple(parts))
 
 
 def generate_trace_to_file(

@@ -1,0 +1,22 @@
+"""Positive fixture: a shard-part writer worker that is not fork-safe.
+
+The streaming pipeline's approved shape is a module-level worker taking
+its task (seed included) as an argument; this one closes over parent RNG
+state, so every pool worker replays the same stream into its part.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def generate_parts(seed, part_dirs):
+    rng = np.random.default_rng(seed)
+
+    def write_part(directory):
+        # Pickled with the closure: each worker process clones the parent
+        # generator and all parts draw identical records.
+        return directory, rng.integers(0, 1 << 30)
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(write_part, part_dirs))

@@ -135,3 +135,36 @@ def test_replay_rejects_bad_arguments(capsys):
     assert main(["replay", "--rate", "-1"]) == 2
     assert main(["replay", "--slo", "p42=1"]) == 2
     capsys.readouterr()
+
+
+def test_paper_scale_streaming_pipeline(capsys):
+    assert main(["paper-scale", "--users", "300", "--pc-users", "60",
+                 "--shards", "3", "--seed", "5", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "analysis digest: " in out
+    assert "check: streaming == in-memory engine" in out
+    digest_a = [l for l in out.splitlines() if "analysis digest" in l]
+
+    assert main(["paper-scale", "--users", "300", "--pc-users", "60",
+                 "--shards", "3", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    digest_b = [l for l in out.splitlines() if "analysis digest" in l]
+    assert digest_a == digest_b, "paper-scale digest not reproducible"
+
+
+def test_paper_scale_json_output(capsys):
+    import json as json_module
+
+    assert main(["paper-scale", "--users", "200", "--pc-users", "40",
+                 "--shards", "2", "--json", "--check"]) == 0
+    summary = json_module.loads(capsys.readouterr().out)
+    assert summary["users"] == 240
+    assert summary["records"] > 0
+    assert len(summary["digest"]) == 32
+    assert summary["sessions"] > 0
+
+
+def test_paper_scale_rejects_bad_arguments(capsys):
+    assert main(["paper-scale", "--users", "0"]) == 2
+    assert main(["paper-scale", "--users", "10", "--block-rows", "0"]) == 2
+    capsys.readouterr()

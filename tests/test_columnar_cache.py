@@ -1,5 +1,8 @@
 """Tests for the on-disk prepared-trace cache (`experiments.common`)."""
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -8,6 +11,7 @@ from repro.experiments.common import PreparedTrace, prepared_trace
 from repro.logs.columnar import SCHEMA_VERSION
 
 SCALE = dict(n_users=120, n_pc_users=20, seed=9)
+REPO_ROOT = str(Path(__file__).resolve().parent.parent)
 
 
 @pytest.fixture(autouse=True)
@@ -117,4 +121,84 @@ def test_mobile_records_precomputed():
     assert trace.mobile_records is trace.mobile_records
     assert trace.mobile_records == tuple(
         r for r in trace.records if r.is_mobile
+    )
+
+
+def test_cache_file_is_uncompressed_and_memory_mappable(tmp_path):
+    """The cache is written with stored (not deflated) members so warm
+    loads can map the columns in place; `load_npz` must actually map
+    them."""
+    from repro.logs.npz import load_npz
+
+    prepared_trace(**SCALE, cache_dir=tmp_path)
+    [cache_file] = tmp_path.iterdir()
+    data = load_npz(cache_file, mmap=True)
+    for name in ("timestamp", "user_id", "volume", "prepared_mobile_session"):
+        assert isinstance(data[name], np.memmap), name
+        assert not data[name].flags.writeable, name
+    with np.load(cache_file, allow_pickle=False) as reference:
+        for name in reference.files:
+            assert np.array_equal(
+                np.asarray(data[name]), reference[name]
+            ), name
+
+
+def _rss_probe(setup: str, script: str, tmp_path) -> float:
+    """Run ``script`` in a subprocess after ``setup`` (imports, etc.);
+    return the anonymous-RSS growth in MB across ``script`` alone."""
+    import subprocess
+    import sys
+
+    out = tmp_path / "rss.txt"
+    code = (
+        "import os\n"
+        "def anon_mb():\n"
+        "    with open('/proc/self/status') as fh:\n"
+        "        for line in fh:\n"
+        "            if line.startswith('RssAnon:'):\n"
+        "                return int(line.split()[1]) / 1024\n"
+        "    return 0.0\n"
+        + setup + "\n"
+        "before = anon_mb()\n" + script + "\n"
+        "after = anon_mb()\n"
+        f"open({str(out)!r}, 'w').write(str(after - before))\n"
+    )
+    subprocess.run(
+        [sys.executable, "-c", code],
+        check=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=REPO_ROOT,
+    )
+    return float(out.read_text())
+
+
+def test_warm_mmap_load_bounds_rss(tmp_path):
+    """Cold/warm memory contract of the loader the warm path uses: a
+    memory-mapped `load_npz` of a large stored NPZ allocates almost no
+    anonymous pages, while a full read materializes the whole file."""
+    if not os.path.exists("/proc/self/status"):  # pragma: no cover
+        pytest.skip("anonymous-RSS probe needs /proc")
+    big = tmp_path / "big.npz"
+    payload_mb = 64
+    np.savez(
+        big, data=np.zeros(payload_mb * 1024 * 1024 // 8, dtype=np.float64)
+    )
+
+    warm = _rss_probe(
+        "from repro.logs.npz import load_npz",
+        f"data = load_npz({str(big)!r}, mmap=True)\n"
+        "assert data['data'].shape[0] > 0\n",
+        tmp_path,
+    )
+    cold = _rss_probe(
+        "import numpy as np",
+        f"with np.load({str(big)!r}, allow_pickle=False) as data:\n"
+        "    arr = np.array(data['data'])\n"
+        "assert arr.shape[0] > 0\n",
+        tmp_path,
+    )
+    assert cold >= payload_mb * 0.9, f"control read materialized only {cold} MB"
+    assert warm <= payload_mb * 0.25, (
+        f"mmap load allocated {warm} MB anonymous RSS for a "
+        f"{payload_mb} MB stored member"
     )

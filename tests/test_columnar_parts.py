@@ -1,0 +1,272 @@
+"""Tests for memory-mappable columnar parts and the mmap NPZ loader.
+
+Covers the zero-copy worker hand-off surface: the append-then-finalize
+part writer (`repro.logs.parts`), the torn-write/corruption rejection
+paths of `read_columnar_part`, and the zip-offset NPZ loader
+(`repro.logs.npz.load_npz`) that memory-maps stored members where
+`np.load(mmap_mode=...)` silently refuses to.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.sessions import sessionize_columnar
+from repro.core.usage import profile_users_columnar
+from repro.logs.columnar import COLUMNS, ColumnarTrace
+from repro.logs.npz import load_npz
+from repro.logs.parts import (
+    PART_META,
+    ColumnarPartWriter,
+    read_columnar_part,
+    write_columnar_part,
+)
+from repro.workload.generator import GeneratorOptions, generate_trace
+
+OPTIONS = GeneratorOptions(max_chunks_per_file=3)
+
+
+def small_trace(n_users=12, n_pc=3, seed=7):
+    return ColumnarTrace.from_records(
+        generate_trace(n_users, n_pc_only_users=n_pc, options=OPTIONS, seed=seed)
+    )
+
+
+def assert_traces_equal(a: ColumnarTrace, b: ColumnarTrace) -> None:
+    """Byte-level equality: every column and the device pool."""
+    assert len(a) == len(b)
+    assert a.device_pool == b.device_pool
+    for name, dtype in COLUMNS:
+        left = np.asarray(getattr(a, name))
+        right = np.asarray(getattr(b, name))
+        assert left.dtype == np.dtype(dtype)
+        assert right.dtype == np.dtype(dtype)
+        assert np.array_equal(left, right), f"column {name} differs"
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+
+def test_part_roundtrip(tmp_path):
+    trace = small_trace()
+    write_columnar_part(trace, tmp_path / "p")
+    back = read_columnar_part(tmp_path / "p")
+    assert_traces_equal(back, trace)
+
+
+def test_part_roundtrip_without_mmap(tmp_path):
+    trace = small_trace()
+    write_columnar_part(trace, tmp_path / "p")
+    back = read_columnar_part(tmp_path / "p", mmap=False)
+    assert_traces_equal(back, trace)
+    assert not isinstance(back.timestamp, np.memmap)
+
+
+def test_empty_part_roundtrip(tmp_path):
+    write_columnar_part(ColumnarTrace.empty(), tmp_path / "p")
+    back = read_columnar_part(tmp_path / "p")
+    assert len(back) == 0
+    assert back.device_pool == ()
+
+
+def test_multi_append_matches_concatenate(tmp_path):
+    """Batches with different device pools merge exactly like concatenate."""
+    batches = [small_trace(seed=s, n_users=6, n_pc=2) for s in (1, 2, 3)]
+    # The batches genuinely have distinct pools (fresh device ids per seed).
+    assert len({b.device_pool for b in batches}) == len(batches)
+    with ColumnarPartWriter(tmp_path / "p") as writer:
+        for batch in batches:
+            writer.append(batch)
+        writer.append(ColumnarTrace.empty())  # no-op, not an error
+    assert writer.n_rows == sum(len(b) for b in batches)
+    back = read_columnar_part(tmp_path / "p")
+    assert_traces_equal(back, ColumnarTrace.concatenate(batches))
+
+
+def test_append_after_close_rejected(tmp_path):
+    writer = ColumnarPartWriter(tmp_path / "p")
+    writer.close()
+    with pytest.raises(ValueError, match="closed"):
+        writer.append(small_trace(n_users=2, n_pc=0))
+
+
+# ----------------------------------------------------------------------
+# Memory-mapped parts flow through the analyses
+# ----------------------------------------------------------------------
+
+
+def test_mmap_part_is_readonly_memmap(tmp_path):
+    trace = small_trace()
+    write_columnar_part(trace, tmp_path / "p")
+    back = read_columnar_part(tmp_path / "p", mmap=True)
+    for name, _ in COLUMNS:
+        column = getattr(back, name)
+        assert isinstance(column, np.memmap), name
+        assert not column.flags.writeable, name
+        with pytest.raises((ValueError, RuntimeError)):
+            column[:1] = column[:1]
+
+
+def test_mmap_part_supports_analyses(tmp_path):
+    """Read-only memmap columns must survive every downstream consumer."""
+    trace = small_trace().sorted_by_user_time()
+    write_columnar_part(trace, tmp_path / "p")
+    back = read_columnar_part(tmp_path / "p")
+
+    mobile = back.select(back.mobile_mask)
+    reference = trace.select(trace.mobile_mask)
+    got = sessionize_columnar(mobile)
+    want = sessionize_columnar(reference)
+    for field in (
+        "user_id", "start", "end", "first_op", "last_op",
+        "n_store_ops", "n_retrieve_ops", "store_volume", "retrieve_volume",
+    ):
+        assert np.array_equal(getattr(got, field), getattr(want, field)), field
+    assert profile_users_columnar(back) == profile_users_columnar(trace)
+    assert_traces_equal(
+        ColumnarTrace.concatenate([back, back]),
+        ColumnarTrace.concatenate([trace, trace]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Corruption and torn writes
+# ----------------------------------------------------------------------
+
+
+def test_missing_manifest_rejected(tmp_path):
+    write_columnar_part(small_trace(), tmp_path / "p")
+    (tmp_path / "p" / PART_META).unlink()
+    with pytest.raises(ValueError, match="unreadable"):
+        read_columnar_part(tmp_path / "p")
+
+
+def test_garbage_manifest_rejected(tmp_path):
+    write_columnar_part(small_trace(), tmp_path / "p")
+    (tmp_path / "p" / PART_META).write_text("{not json")
+    with pytest.raises(ValueError, match="unreadable"):
+        read_columnar_part(tmp_path / "p")
+
+
+def test_schema_version_mismatch_rejected(tmp_path):
+    write_columnar_part(small_trace(), tmp_path / "p")
+    meta = json.loads((tmp_path / "p" / PART_META).read_text())
+    meta["schema_version"] = meta["schema_version"] + 1
+    (tmp_path / "p" / PART_META).write_text(json.dumps(meta))
+    with pytest.raises(ValueError, match="schema version"):
+        read_columnar_part(tmp_path / "p")
+
+
+def test_malformed_manifest_fields_rejected(tmp_path):
+    write_columnar_part(small_trace(), tmp_path / "p")
+    meta = json.loads((tmp_path / "p" / PART_META).read_text())
+    meta["n_records"] = "many"
+    (tmp_path / "p" / PART_META).write_text(json.dumps(meta))
+    with pytest.raises(ValueError, match="malformed"):
+        read_columnar_part(tmp_path / "p")
+
+
+def test_missing_column_rejected(tmp_path):
+    write_columnar_part(small_trace(), tmp_path / "p")
+    (tmp_path / "p" / "volume.npy").unlink()
+    with pytest.raises(ValueError, match="volume"):
+        read_columnar_part(tmp_path / "p")
+
+
+def test_truncated_column_rejected(tmp_path):
+    write_columnar_part(small_trace(), tmp_path / "p")
+    path = tmp_path / "p" / "timestamp.npy"
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 16])
+    with pytest.raises(ValueError, match="timestamp"):
+        read_columnar_part(tmp_path / "p")
+
+
+def test_row_count_mismatch_rejected(tmp_path):
+    """A manifest claiming more rows than the columns hold never parses."""
+    write_columnar_part(small_trace(), tmp_path / "p")
+    meta = json.loads((tmp_path / "p" / PART_META).read_text())
+    meta["n_records"] += 1
+    (tmp_path / "p" / PART_META).write_text(json.dumps(meta))
+    with pytest.raises(ValueError, match="does not match"):
+        read_columnar_part(tmp_path / "p")
+
+
+def test_aborted_writer_leaves_invalid_part(tmp_path):
+    """An exception mid-write must not produce a readable part."""
+    trace = small_trace()
+    with pytest.raises(RuntimeError, match="mid-write"):
+        with ColumnarPartWriter(tmp_path / "p") as writer:
+            writer.append(trace)
+            raise RuntimeError("simulated crash mid-write")
+    assert not (tmp_path / "p" / PART_META).exists()
+    with pytest.raises(ValueError):
+        read_columnar_part(tmp_path / "p")
+
+
+# ----------------------------------------------------------------------
+# load_npz — the zip-offset mmap loader
+# ----------------------------------------------------------------------
+
+
+def _payload():
+    return {
+        "a": np.arange(10, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 7),
+        "flag": np.array([True, False, True]),
+        "scalar": np.int64(5),
+    }
+
+
+def test_load_npz_matches_np_load(tmp_path):
+    path = tmp_path / "x.npz"
+    np.savez(path, **_payload())
+    ours = load_npz(path)
+    theirs = np.load(path, allow_pickle=False)
+    assert set(ours) == set(theirs.files)
+    for name in theirs.files:
+        assert np.array_equal(np.asarray(ours[name]), theirs[name]), name
+        assert np.asarray(ours[name]).dtype == theirs[name].dtype
+
+
+def test_load_npz_uncompressed_members_are_memmapped(tmp_path):
+    path = tmp_path / "x.npz"
+    np.savez(path, **_payload())
+    data = load_npz(path, mmap=True)
+    assert isinstance(data["a"], np.memmap)
+    assert isinstance(data["b"], np.memmap)
+    assert not data["a"].flags.writeable
+
+
+def test_load_npz_mmap_false_reads_plain_arrays(tmp_path):
+    path = tmp_path / "x.npz"
+    np.savez(path, **_payload())
+    data = load_npz(path, mmap=False)
+    for name in ("a", "b", "flag"):
+        assert not isinstance(data[name], np.memmap), name
+
+
+def test_load_npz_compressed_falls_back(tmp_path):
+    """Deflated members cannot be mapped; they still load correctly."""
+    path = tmp_path / "x.npz"
+    np.savez_compressed(path, **_payload())
+    data = load_npz(path, mmap=True)
+    theirs = np.load(path, allow_pickle=False)
+    for name in theirs.files:
+        assert not isinstance(data[name], np.memmap), name
+        assert np.array_equal(np.asarray(data[name]), theirs[name]), name
+
+
+def test_load_npz_rejects_corrupt_file(tmp_path):
+    path = tmp_path / "x.npz"
+    path.write_bytes(b"this is not a zip archive at all")
+    with pytest.raises(ValueError):
+        load_npz(path)
+
+
+def test_load_npz_missing_file(tmp_path):
+    with pytest.raises(OSError):
+        load_npz(tmp_path / "absent.npz")

@@ -218,6 +218,36 @@ def test_f1_exempts_walked_tests_dirs_but_not_explicit_files(tmp_path):
     assert rule_ids(lint_paths([victim])) == {"F1"}
 
 
+# ----------------------------------------------------------------------
+# The streaming-pipeline worker entry points
+# ----------------------------------------------------------------------
+
+#: Every module the paper-scale streaming pipeline ships workers or
+#: worker-consumed code in.  New entry points land here so the fork-safety
+#: (M1) and seed-provenance (D2) gates keep covering them explicitly even
+#: if the whole-tree sweep is ever baselined.
+STREAMING_MODULES = [
+    SHIPPED / "workload" / "parallel.py",
+    SHIPPED / "logs" / "parts.py",
+    SHIPPED / "logs" / "npz.py",
+    SHIPPED / "logs" / "columnar.py",
+    SHIPPED / "core" / "streaming.py",
+]
+
+
+def test_streaming_worker_entry_points_stay_fork_safe():
+    """`_generate_shard_part` and friends: module-level workers, seeds as
+    task fields — no closure state, no non-seed RNG construction."""
+    findings = lint_paths(STREAMING_MODULES, rule_ids={"M1", "D2"})
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_streaming_worker_anti_pattern_fires():
+    """The fixture mirroring a closure-captured part writer must fire."""
+    findings = lint_paths([DATA / "m1_streaming_pos.py"])
+    assert rule_ids(findings) == {"M1"}, [f.render() for f in findings]
+
+
 def test_unknown_rule_id_rejected():
     with pytest.raises(ValueError, match="unknown rule"):
         lint_paths([DATA / "f1_neg.py"], rule_ids={"F1", "ZZ9"})

@@ -16,6 +16,7 @@ INFRASTRUCTURE_BENCHMARKS = {
     "bench_fault_overhead.py",
     "bench_columnar_analysis.py",
     "bench_replay_openloop.py",
+    "bench_paper_scale.py",
 }
 
 
