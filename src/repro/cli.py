@@ -500,7 +500,13 @@ def _cmd_paper_scale(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .devtools.engine import lint_command
 
-    return lint_command(args.paths, json_out=args.json, baseline=args.baseline)
+    return lint_command(
+        args.paths,
+        json_out=args.json,
+        baseline=args.baseline,
+        rules=args.rules,
+        cache_file=None if args.no_cache else args.cache_file,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -680,6 +686,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit machine-readable findings")
     lint.add_argument("--baseline", metavar="FILE",
                       help="JSON findings file whose entries are ignored")
+    lint.add_argument("--rules", metavar="IDS",
+                      help="comma-separated rule subset to run (e.g. D2,M1)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the incremental summary cache")
+    lint.add_argument("--cache-file", metavar="FILE",
+                      default=".reprolint_cache.json",
+                      help="summary cache location "
+                           "(default: .reprolint_cache.json)")
     lint.set_defaults(func=_cmd_lint)
 
     return parser

@@ -20,15 +20,27 @@ Public API
     :func:`load_builtin_rules`).
 """
 
+from .cache import SummaryCache
+from .callgraph import Project
 from .engine import lint_command, lint_paths, load_baseline, render_json
 from .findings import Finding, Severity
-from .registry import RULES, Rule, file_rule, load_builtin_rules, project_rule
+from .registry import (
+    RULES,
+    RULESET_VERSION,
+    Rule,
+    file_rule,
+    load_builtin_rules,
+    project_rule,
+)
 
 __all__ = [
     "Finding",
+    "Project",
     "RULES",
+    "RULESET_VERSION",
     "Rule",
     "Severity",
+    "SummaryCache",
     "file_rule",
     "lint_command",
     "lint_paths",

@@ -24,8 +24,22 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="emit machine-readable findings")
     parser.add_argument("--baseline", metavar="FILE",
                         help="JSON findings file whose entries are ignored")
+    parser.add_argument("--rules", metavar="IDS",
+                        help="comma-separated rule subset (e.g. D2,M1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental summary cache")
+    parser.add_argument("--cache-file", metavar="FILE",
+                        default=".reprolint_cache.json",
+                        help="summary cache location "
+                             "(default: .reprolint_cache.json)")
     args = parser.parse_args(argv)
-    return lint_command(args.paths, json_out=args.json, baseline=args.baseline)
+    return lint_command(
+        args.paths,
+        json_out=args.json,
+        baseline=args.baseline,
+        rules=args.rules,
+        cache_file=None if args.no_cache else args.cache_file,
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,143 @@
+"""Incremental summary cache for reprolint.
+
+Whole-repo lint (``src tests benchmarks``) re-reads a few hundred files;
+almost none change between runs.  The cache stores, per file, the
+blake2b digest of its bytes, the per-file findings already computed and
+the facts dict the project rules consume — so a warm run re-analyzes
+*only* edited files and still runs every cross-module rule over the full
+facts set.
+
+Invalidation is structural, never time-based:
+
+* a **content edit** changes the digest → that file misses;
+* a **rule-set change** (``registry.RULESET_VERSION``,
+  ``summaries.FACTS_VERSION``, the set of registered rule ids, or this
+  module's :data:`CACHE_FORMAT`) changes the fingerprint → the whole
+  cache is discarded;
+* an entry recorded under a *smaller* file-rule selection than the
+  current run (``repro lint --rules D3`` then a full run) misses, while
+  the reverse direction hits and filters.
+
+Writes are atomic (tmp file + ``os.replace``), and a corrupt or
+foreign-format cache file is silently treated as empty — the cache can
+never make a lint run wrong, only slower or faster.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+#: Bump when the entry layout below changes shape.
+CACHE_FORMAT = 1
+
+#: Default cache location, relative to the invocation CWD.
+DEFAULT_CACHE_FILE = ".reprolint_cache.json"
+
+
+def ruleset_fingerprint() -> str:
+    """Digest of everything that determines per-file analysis output."""
+    from . import registry, summaries
+
+    payload = {
+        "cache_format": CACHE_FORMAT,
+        "ruleset_version": registry.RULESET_VERSION,
+        "facts_version": summaries.FACTS_VERSION,
+        "rules": sorted(registry.load_builtin_rules()),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def file_digest(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+class SummaryCache:
+    """Content-addressed per-file findings + facts store."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        self._fingerprint: str | None = None
+        self.hits = 0
+        self.misses = 0
+
+    def open(self, fingerprint: str) -> None:
+        """Load the cache file, discarding it on any fingerprint mismatch."""
+        self._fingerprint = fingerprint
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("cache_format") != CACHE_FORMAT:
+            return
+        if data.get("fingerprint") != fingerprint:
+            return
+        entries = data.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(
+        self,
+        real_path: str,
+        digest: str,
+        explicit: bool,
+        display: str,
+        file_rule_ids: list[str],
+    ) -> dict | None:
+        """Return the stored entry when it matches this run, else ``None``.
+
+        ``explicit`` and ``display`` are part of the identity because
+        walked-directory rule exemptions (F1) and finding paths depend on
+        how the file was named, not just on its content.
+        """
+        entry = self._entries.get(real_path)
+        if (
+            entry is not None
+            and entry.get("digest") == digest
+            and entry.get("explicit") == explicit
+            and entry.get("display") == display
+            and set(file_rule_ids) <= set(entry.get("rules", []))
+        ):
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        real_path: str,
+        digest: str,
+        explicit: bool,
+        display: str,
+        file_rule_ids: list[str],
+        findings: list,
+        facts: dict | None,
+    ) -> None:
+        self._entries[real_path] = {
+            "digest": digest,
+            "explicit": explicit,
+            "display": display,
+            "rules": sorted(file_rule_ids),
+            "findings": [f.to_dict() for f in findings],
+            "facts": facts,
+        }
+
+    def save(self) -> None:
+        """Atomically persist the cache (tmp file + ``os.replace``)."""
+        payload = {
+            "cache_format": CACHE_FORMAT,
+            "fingerprint": self._fingerprint,
+            "files": self._entries,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self.path)

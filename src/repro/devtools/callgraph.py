@@ -1,0 +1,239 @@
+"""The cross-module layer: linking per-file facts into a project graph.
+
+A :class:`Project` indexes the facts dicts produced by
+:func:`repro.devtools.summaries.extract_facts` for every file in one lint
+invocation and answers the questions the project-scope rules ask:
+
+* **reference resolution** — a call descriptor (bare name, dotted path,
+  ``self.method`` / instance method) resolved to a concrete
+  ``(facts, qualname)`` function summary, walking the caller's lexical
+  scope chain, its import aliases and the module graph;
+* **returns-seedish** — a fixpoint over the call graph marking every
+  function whose return value carries seed provenance, directly or via a
+  chain of calls (rule D2 accepts ``default_rng(helper(...))`` when
+  ``helper`` — possibly in another module — returns a SeedSequence-derived
+  value);
+* **RNG closure witnesses** — a fixpoint marking every function that
+  closes over parent RNG state directly *or transitively calls one that
+  does*, with the call chain recorded so rule M1 can explain a depth-N
+  violation (``worker -> mid -> draw``);
+* **caller indexing** — all resolved call sites of a function, so rule D2
+  can chase a non-seedish RNG argument back through parameters to the
+  call site that actually supplies the value.
+
+Everything here operates on plain JSON facts (never ASTs), so a
+cache-warm run links and lints without re-parsing a single file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: A function key: ``(display_path, qualname)`` — unique per invocation.
+FuncKey = tuple[str, str]
+
+
+class Project:
+    """All per-file facts of one lint invocation, linked."""
+
+    def __init__(self, facts_list: list[dict]):
+        self.files: list[dict] = list(facts_list)
+        self.by_path: dict[str, dict] = {f["path"]: f for f in self.files}
+        self.by_module: dict[str, list[dict]] = {}
+        for facts in self.files:
+            self.by_module.setdefault(facts["module"], []).append(facts)
+        self._callers: dict[FuncKey, list[tuple[dict, str, dict]]] | None = None
+        self._returns_seedish: dict[FuncKey, bool] | None = None
+        self._rng_witness: dict[FuncKey, tuple[list[str], list[str]]] | None = None
+
+    # -- iteration -------------------------------------------------------
+
+    def functions(self):
+        """Yield ``(facts, qualname, summary)`` for every known function."""
+        for facts in self.files:
+            for qualname, summary in facts["functions"].items():
+                yield facts, qualname, summary
+
+    def summary(self, key: FuncKey) -> dict | None:
+        facts = self.by_path.get(key[0])
+        if facts is None:
+            return None
+        return facts["functions"].get(key[1])
+
+    # -- reference resolution --------------------------------------------
+
+    def _module_facts(self, module: str, near: dict | None) -> list[dict]:
+        """Facts for ``module``, preferring the caller's own directory.
+
+        Fixture trees and the real source may both define a module of the
+        same bare name; same-directory candidates win so a project lint
+        never cross-links unrelated trees.
+        """
+        candidates = self.by_module.get(module, [])
+        if near is not None and len(candidates) > 1:
+            same_dir = [f for f in candidates if f["dir"] == near["dir"]]
+            if same_dir:
+                return same_dir
+        return candidates
+
+    def _lookup_dotted(self, dotted: str, near: dict | None) -> FuncKey | None:
+        """Resolve ``pkg.mod.func`` / ``pkg.mod.Cls.method`` to a key."""
+        parts = dotted.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:i])
+            rest = ".".join(parts[i:])
+            for facts in self._module_facts(module, near):
+                if rest in facts["functions"]:
+                    return facts["path"], rest
+        return None
+
+    def resolve_ref(
+        self, caller: dict, caller_qual: str, ref: dict | None
+    ) -> FuncKey | None:
+        """Resolve a call descriptor from ``caller_qual`` in ``caller``."""
+        if ref is None:
+            return None
+        if ref["kind"] == "method":
+            cls = ref["cls"]
+            attr = ref["attr"]
+            if "." not in cls:
+                if cls in caller["classes"]:
+                    qual = f"{cls}.{attr}"
+                    if qual in caller["functions"]:
+                        return caller["path"], qual
+                    return None
+                cls = caller["imports"].get(cls, cls)
+            if "." in cls:
+                return self._lookup_dotted(f"{cls}.{attr}", caller)
+            return None
+        dotted = ref["dotted"]
+        if "." not in dotted:
+            # Bare name: innermost enclosing scope outwards, then imports.
+            prefix = caller_qual.split(".") if caller_qual != "<module>" else []
+            for i in range(len(prefix), -1, -1):
+                qual = ".".join([*prefix[:i], dotted])
+                if qual in caller["functions"]:
+                    return caller["path"], qual
+            target = caller["imports"].get(dotted)
+            if target is not None and target != dotted:
+                return self.resolve_ref(
+                    caller, caller_qual, {"kind": "dotted", "dotted": target}
+                )
+            return None
+        return self._lookup_dotted(dotted, caller)
+
+    # -- caller index ----------------------------------------------------
+
+    def callers(self, key: FuncKey) -> list[tuple[dict, str, dict]]:
+        """All resolved call sites of ``key``: ``(facts, qualname, call)``."""
+        if self._callers is None:
+            self._callers = {}
+            for facts, qualname, summary in self.functions():
+                for call in summary["calls"]:
+                    resolved = self.resolve_ref(facts, qualname, call["ref"])
+                    if resolved is not None:
+                        self._callers.setdefault(resolved, []).append(
+                            (facts, qualname, call)
+                        )
+        return self._callers.get(key, [])
+
+    # -- returns-seedish fixpoint ----------------------------------------
+
+    def returns_seedish(self, key: FuncKey) -> bool:
+        """Whether ``key``'s return value carries seed provenance."""
+        if self._returns_seedish is None:
+            state: dict[FuncKey, bool] = {}
+            for facts, qualname, summary in self.functions():
+                state[(facts["path"], qualname)] = summary["returns_seedish_local"]
+            changed = True
+            while changed:
+                changed = False
+                for facts, qualname, summary in self.functions():
+                    k = (facts["path"], qualname)
+                    if state[k]:
+                        continue
+                    for ref in summary["return_calls"]:
+                        resolved = self.resolve_ref(facts, qualname, ref)
+                        if resolved is not None and state.get(resolved):
+                            state[k] = True
+                            changed = True
+                            break
+            self._returns_seedish = state
+        return bool(self._returns_seedish.get(key))
+
+    def call_provides_seed(self, facts: dict, qualname: str, refs: list[dict]) -> bool:
+        """Whether any call inside an argument resolves to a seed source."""
+        for ref in refs:
+            resolved = self.resolve_ref(facts, qualname, ref)
+            if resolved is not None and self.returns_seedish(resolved):
+                return True
+        return False
+
+    # -- RNG-closure witness fixpoint ------------------------------------
+
+    def rng_witness(self, key: FuncKey) -> tuple[list[str], list[str]] | None:
+        """``(chain, captured)`` if ``key`` (transitively) closes over RNG.
+
+        ``chain`` is empty for a direct capture; for a transitive one it
+        names the callees from ``key`` down to the capturing function
+        (``["mid", "draw"]``).  ``captured`` are the RNG names captured at
+        the end of the chain.  ``None`` when the function is fork-safe.
+        """
+        if self._rng_witness is None:
+            state: dict[FuncKey, tuple[list[str], list[str]]] = {}
+            for facts, qualname, summary in self.functions():
+                if summary["captured_rng"]:
+                    state[(facts["path"], qualname)] = ([], summary["captured_rng"])
+            changed = True
+            while changed:
+                changed = False
+                for facts, qualname, summary in self.functions():
+                    k = (facts["path"], qualname)
+                    if k in state:
+                        continue
+                    for call in summary["calls"]:
+                        resolved = self.resolve_ref(facts, qualname, call["ref"])
+                        if resolved is None or resolved == k:
+                            continue
+                        hit = state.get(resolved)
+                        if hit is not None:
+                            chain, captured = hit
+                            callee = resolved[1].rsplit(".", 1)[-1]
+                            state[k] = ([callee, *chain], captured)
+                            changed = True
+                            break
+            self._rng_witness = state
+        return self._rng_witness.get(key)
+
+    # -- suppression lookup ----------------------------------------------
+
+    def is_suppressed(self, path: str, rule_id: str, line: int) -> bool:
+        facts = self.by_path.get(path)
+        if facts is None:
+            return False
+        rules = facts["suppress"].get(str(line))
+        return bool(rules) and ("all" in rules or rule_id in rules)
+
+    # -- grouping helpers for schema rules -------------------------------
+
+    def by_directory(self) -> dict[str, list[dict]]:
+        groups: dict[str, list[dict]] = {}
+        for facts in self.files:
+            groups.setdefault(facts["dir"], []).append(facts)
+        return groups
+
+    def facts_in_dir_or_parent(self, facts: dict, predicate) -> dict | None:
+        """First facts (sorted by path) matching ``predicate`` in the same
+        directory as ``facts``, else in its parent directory."""
+        for directory in (facts["dir"], str(Path(facts["dir"]).parent)):
+            hits = sorted(
+                (
+                    f
+                    for f in self.files
+                    if f["dir"] == directory and predicate(f)
+                ),
+                key=lambda f: f["path"],
+            )
+            if hits:
+                return hits[0]
+        return None

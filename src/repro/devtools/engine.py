@@ -7,13 +7,26 @@ Usage (programmatic)::
 
 Usage (CLI)::
 
-    repro lint src/repro              # human output, exit 1 on findings
+    repro lint src tests benchmarks   # human output, exit 1 on findings
     repro lint src/repro --json       # machine-readable, same exit code
+    repro lint --rules D2,M1 src      # restrict to a rule subset
+    repro lint src --no-cache         # ignore .reprolint_cache.json
     repro lint src --baseline known.json   # ignore previously blessed findings
 
 Exit codes: 0 clean, 1 findings, 2 usage error (missing path, unreadable
-baseline).  Unparseable Python is not a crash but a finding (rule ``E0``)
-— a file that cannot be parsed cannot be certified deterministic either.
+baseline, unknown rule id).  Unparseable Python is not a crash but a
+finding (rule ``E0``) — a file that cannot be parsed cannot be certified
+deterministic either.
+
+Analysis is two-phase.  Phase 1 visits each file once: run the selected
+*file* rules and extract the facts summary
+(:mod:`repro.devtools.summaries`); both are cached per content digest
+(:mod:`repro.devtools.cache`), so a warm run re-analyzes only edited
+files.  Phase 2 links every file's facts into a
+:class:`~repro.devtools.callgraph.Project` and runs the *project* rules
+(cross-module seed provenance, transitive fork safety, schema
+consistency) over the linked graph — always at full strength, cached or
+not.
 """
 
 from __future__ import annotations
@@ -23,28 +36,37 @@ import sys
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
+from .cache import DEFAULT_CACHE_FILE, SummaryCache, file_digest, ruleset_fingerprint
+from .callgraph import Project
 from .findings import Finding, Severity, sort_findings
-from .registry import RULES, load_builtin_rules
+from .registry import RULES, Rule, load_builtin_rules
 from .source import SourceFile
+from .summaries import extract_facts
 
 #: Output schema version of ``--json`` / baseline files.
 JSON_VERSION = 1
 
-#: Directory names never descended into by the walker.
-_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".ruff_cache"}
+#: Directory names never descended into by the walker.  ``data`` keeps
+#: fixture trees (tests/data/lint deliberately violates every rule) out
+#: of whole-repo sweeps; fixtures are linted explicitly by the suite.
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".ruff_cache", "data"}
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[tuple[Path, str, bool]]:
     """Yield ``(path, display_path, explicit)`` for every ``.py`` target.
 
     Explicitly named files are yielded as-is (even without a ``.py``
-    suffix); directories are walked recursively in sorted order.
+    suffix); directories are walked recursively in sorted order.  Each
+    distinct file is yielded once even when targets overlap (``repro
+    lint src src/repro``) or reach it through a symlinked directory —
+    the first mention wins.
 
     Raises
     ------
     FileNotFoundError
         If a named path does not exist.
     """
+    seen: set[Path] = set()
     for raw in paths:
         root = Path(raw)
         if root.is_dir():
@@ -52,8 +74,16 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[tuple[Path, str, 
                 relative = path.relative_to(root)
                 if any(part in _SKIP_DIR_NAMES for part in relative.parts):
                     continue
+                resolved = path.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
                 yield path, str(Path(raw) / relative), False
         elif root.exists():
+            resolved = root.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
             yield root, str(raw), True
         else:
             raise FileNotFoundError(f"no such file or directory: {raw}")
@@ -66,79 +96,130 @@ def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
     return {Finding.from_dict(entry).baseline_key for entry in entries}
 
 
+def _analyze_file(
+    path: Path,
+    display: str,
+    explicit: bool,
+    text: str,
+    file_rules: list[Rule],
+) -> tuple[list[Finding], dict | None]:
+    """Phase 1 for one file: file-rule findings plus the facts summary."""
+    try:
+        src = SourceFile.from_source(
+            text, path, display_path=display, explicit=explicit
+        )
+    except SyntaxError as exc:
+        finding = Finding(
+            rule="E0",
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            severity=Severity.ERROR,
+            message=f"cannot parse: {exc.msg}",
+        )
+        return [finding], None
+
+    findings: list[Finding] = []
+    for rule in file_rules:
+        if not rule.applies_to(src):
+            continue
+        for line, col, message in rule.check(src):
+            if not src.is_suppressed(rule.rule_id, line):
+                findings.append(
+                    Finding(
+                        rule=rule.rule_id,
+                        path=src.display_path,
+                        line=line,
+                        col=col,
+                        severity=rule.severity,
+                        message=message,
+                    )
+                )
+    return findings, extract_facts(src)
+
+
 def lint_paths(
     paths: Iterable[str | Path],
     *,
     baseline: set[tuple[str, str, str]] | None = None,
     rule_ids: Iterable[str] | None = None,
+    cache: SummaryCache | None = None,
 ) -> list[Finding]:
     """Lint ``paths`` and return the surviving findings, sorted for display.
 
     ``baseline`` entries (see :func:`load_baseline`) and inline
     ``# reprolint: disable=...`` comments are filtered out.  ``rule_ids``
-    restricts the run to a subset of rules.
+    restricts the run to a subset of rules.  ``cache`` enables the
+    incremental per-file summary cache (opened against the current
+    rule-set fingerprint, saved on completion).
     """
     load_builtin_rules()
+    if rule_ids is not None:
+        unknown = set(rule_ids) - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
     selected = {
         rid: rule
         for rid, rule in RULES.items()
         if rule_ids is None or rid in set(rule_ids)
     }
-    if rule_ids is not None:
-        unknown = set(rule_ids) - set(RULES)
-        if unknown:
-            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    file_rules = [r for r in selected.values() if r.scope == "file"]
+    project_rules = [r for r in selected.values() if r.scope == "project"]
+    file_rule_ids = sorted(r.rule_id for r in file_rules)
+
+    if cache is not None:
+        cache.open(ruleset_fingerprint())
 
     findings: list[Finding] = []
-    sources: list[SourceFile] = []
+    facts_list: list[dict] = []
     for path, display, explicit in iter_python_files(paths):
-        try:
-            sources.append(
-                SourceFile.load(path, display_path=display, explicit=explicit)
-            )
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    rule="E0",
-                    path=display,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    severity=Severity.ERROR,
-                    message=f"cannot parse: {exc.msg}",
-                )
-            )
-
-    for rule in selected.values():
-        if rule.scope == "file":
-            for src in sources:
-                if not rule.applies_to(src):
-                    continue
-                for line, col, message in rule.check(src):
-                    if not src.is_suppressed(rule.rule_id, line):
-                        findings.append(
-                            Finding(
-                                rule=rule.rule_id,
-                                path=src.display_path,
-                                line=line,
-                                col=col,
-                                severity=rule.severity,
-                                message=message,
-                            )
-                        )
+        data = path.read_bytes()
+        digest = file_digest(data)
+        real = str(path.resolve())
+        entry = (
+            cache.lookup(real, digest, explicit, display, file_rule_ids)
+            if cache is not None
+            else None
+        )
+        if entry is not None:
+            file_findings = [
+                Finding.from_dict(d)
+                for d in entry["findings"]
+                if d["rule"] == "E0" or d["rule"] in selected
+            ]
+            facts = entry["facts"]
         else:
-            for src, line, col, message in rule.check(sources):
-                if not src.is_suppressed(rule.rule_id, line):
-                    findings.append(
-                        Finding(
-                            rule=rule.rule_id,
-                            path=src.display_path,
-                            line=line,
-                            col=col,
-                            severity=rule.severity,
-                            message=message,
-                        )
-                    )
+            file_findings, facts = _analyze_file(
+                path, display, explicit, data.decode("utf-8"), file_rules
+            )
+            if cache is not None:
+                cache.store(
+                    real, digest, explicit, display,
+                    file_rule_ids, file_findings, facts,
+                )
+        findings.extend(file_findings)
+        if facts is not None:
+            facts_list.append(facts)
 
+    if project_rules and facts_list:
+        project = Project(facts_list)
+        for rule in project_rules:
+            for fpath, line, col, message in rule.check(project):
+                if project.is_suppressed(fpath, rule.rule_id, line):
+                    continue
+                findings.append(
+                    Finding(
+                        rule=rule.rule_id,
+                        path=fpath,
+                        line=line,
+                        col=col,
+                        severity=rule.severity,
+                        message=message,
+                    )
+                )
+
+    if cache is not None:
+        cache.save()
     if baseline:
         findings = [f for f in findings if f.baseline_key not in baseline]
     return sort_findings(findings)
@@ -169,9 +250,17 @@ def lint_command(
     *,
     json_out: bool = False,
     baseline: str | None = None,
+    rules: Iterable[str] | str | None = None,
+    cache_file: str | None = DEFAULT_CACHE_FILE,
     out: IO[str] | None = None,
 ) -> int:
-    """Back end of ``repro lint``; returns the process exit code."""
+    """Back end of ``repro lint``; returns the process exit code.
+
+    ``rules`` may be an iterable of rule ids or a comma-separated string
+    (the CLI form); an unknown id is a usage error (exit 2), matching the
+    missing-path and unreadable-baseline behaviour.  ``cache_file=None``
+    disables the summary cache.
+    """
     out = out if out is not None else sys.stdout
     baseline_keys: set[tuple[str, str, str]] | None = None
     if baseline is not None:
@@ -180,12 +269,24 @@ def lint_command(
         except (OSError, ValueError, KeyError) as exc:
             print(f"cannot read baseline {baseline}: {exc}", file=sys.stderr)
             return 2
+    rule_ids: set[str] | None = None
+    if rules is not None:
+        tokens = rules.split(",") if isinstance(rules, str) else rules
+        rule_ids = {token.strip() for token in tokens if token.strip()}
+        if not rule_ids:
+            rule_ids = None
+    cache = SummaryCache(cache_file) if cache_file else None
     try:
-        findings = lint_paths(paths, baseline=baseline_keys)
+        findings = lint_paths(
+            paths, baseline=baseline_keys, rule_ids=rule_ids, cache=cache
+        )
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    n_rules = len(load_builtin_rules())
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    n_rules = len(rule_ids) if rule_ids is not None else len(load_builtin_rules())
     if json_out:
         print(render_json(findings), file=out)
     else:

@@ -4,9 +4,13 @@ A rule is a plain function registered under a stable id:
 
 * **file rules** run once per :class:`~repro.devtools.source.SourceFile`
   and yield ``(line, col, message)`` tuples;
-* **project rules** run once per lint invocation over *all* scanned files
-  and yield ``(source, line, col, message)`` tuples — this is how
-  cross-file invariants (rule S1) are expressed.
+* **project rules** run once per lint invocation over the linked
+  :class:`~repro.devtools.callgraph.Project` (the per-file facts of every
+  scanned file plus the call graph) and yield ``(path, line, col,
+  message)`` tuples — this is how cross-file invariants (S1/S2) and the
+  interprocedural rules (D2 seed provenance, M1 fork safety) are
+  expressed.  Project rules never see ASTs, so they run at full strength
+  from cached summaries.
 
 The engine wraps the tuples into :class:`~repro.devtools.findings.Finding`
 records, applies inline suppressions and baselines, and sorts the output.
@@ -31,10 +35,14 @@ from typing import Callable, Iterable, Iterator
 from .findings import Severity
 from .source import SourceFile
 
+#: Bumped whenever rule semantics change in a way that alters findings;
+#: part of the summary-cache fingerprint, so stale caches self-invalidate.
+RULESET_VERSION = 2
+
 #: ``(line, col, message)`` — a file rule's raw diagnostic.
 FileDiag = tuple[int, int, str]
-#: ``(source, line, col, message)`` — a project rule's raw diagnostic.
-ProjectDiag = tuple[SourceFile, int, int, str]
+#: ``(path, line, col, message)`` — a project rule's raw diagnostic.
+ProjectDiag = tuple[str, int, int, str]
 
 
 @dataclass(frozen=True)
@@ -97,9 +105,14 @@ def project_rule(
     title: str,
     severity: Severity = Severity.ERROR,
 ) -> Callable:
-    """Register a whole-project rule (``check(sources) -> Iterator[ProjectDiag]``)."""
+    """Register a whole-project rule (``check(project) -> Iterator[ProjectDiag]``).
 
-    def decorator(check: Callable[[list[SourceFile]], Iterator[ProjectDiag]]):
+    ``project`` is a :class:`repro.devtools.callgraph.Project`; the yielded
+    path must be a ``facts["path"]`` display path so suppressions and
+    baselines match.
+    """
+
+    def decorator(check: Callable[..., Iterator[ProjectDiag]]):
         _register(
             Rule(
                 rule_id=rule_id,
@@ -119,6 +132,8 @@ def load_builtin_rules() -> dict[str, Rule]:
     from . import rules_concurrency  # noqa: F401  (registration side effect)
     from . import rules_determinism  # noqa: F401
     from . import rules_floats  # noqa: F401
+    from . import rules_hygiene  # noqa: F401
+    from . import rules_ordering  # noqa: F401
     from . import rules_schema  # noqa: F401
 
     return RULES

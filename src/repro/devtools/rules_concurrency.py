@@ -11,154 +11,68 @@ The supported pattern is the one ``repro.workload.parallel`` uses: spawn
 per-task ``SeedSequence`` children in the parent and pass them (or plain
 seed integers) as *arguments* to a module-level worker function.
 
-Detection is scoped per enclosing function (or the module body): names
-bound to ``ProcessPoolExecutor(...)`` / ``...Pool(...)`` are pool handles;
-names assigned from ``default_rng(...)`` / ``SeedSequence(...)`` /
-``.spawn(...)`` are RNG state; submitting a lambda or a *locally defined*
-function whose free variables include RNG state is a finding.
+Since v2 the check is *transitive* over the call graph: a submitted
+worker that itself captures no RNG state but calls — at any depth, across
+modules — a function that closes over a ``Generator`` is flagged, with
+the offending call chain named in the message.  Detection of pools, RNG
+bindings and submissions happens per file during summary extraction
+(:mod:`repro.devtools.summaries`); this module only links and judges.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator
-
-from .registry import file_rule
-from .source import SourceFile
-
-#: Pool method names whose first positional argument is the callable.
-_SUBMIT_METHODS = {
-    "submit", "map", "starmap", "imap", "imap_unordered", "apply", "apply_async",
-}
+from .callgraph import Project
+from .registry import project_rule
 
 
-def _is_pool_constructor(call: ast.Call) -> bool:
-    func = call.func
-    name = func.attr if isinstance(func, ast.Attribute) else (
-        func.id if isinstance(func, ast.Name) else ""
-    )
-    return name.endswith("ProcessPoolExecutor") or name == "Pool"
-
-
-def _is_rng_constructor(call: ast.Call) -> bool:
-    func = call.func
-    name = func.attr if isinstance(func, ast.Attribute) else (
-        func.id if isinstance(func, ast.Name) else ""
-    )
-    return name in ("default_rng", "SeedSequence", "spawn")
-
-
-def _bound_names(func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> set[str]:
-    """Names bound inside ``func`` (parameters + assignment targets + defs)."""
-    args = func.args
-    bound = {
-        a.arg
-        for a in [
-            *args.posonlyargs, *args.args, *args.kwonlyargs,
-            *([args.vararg] if args.vararg else []),
-            *([args.kwarg] if args.kwarg else []),
-        ]
-    }
-    body = func.body if isinstance(func.body, list) else [func.body]
-    for stmt in body:
-        for node in ast.walk(stmt):
-            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
-                bound.add(node.id)
-            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                bound.add(node.name)
-    return bound
-
-
-def _free_loads(func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> set[str]:
-    """Names read inside ``func`` that are not bound within it."""
-    bound = _bound_names(func)
-    body = func.body if isinstance(func.body, list) else [func.body]
-    loads: set[str] = set()
-    for stmt in body:
-        for node in ast.walk(stmt):
-            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
-                if node.id not in bound:
-                    loads.add(node.id)
-    return loads
-
-
-def _scope_bodies(tree: ast.Module) -> Iterator[list[ast.stmt]]:
-    """The module body and every function body, each once."""
-    yield tree.body
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield node.body
-
-
-def _analyze_scope(body: list[ast.stmt]) -> Iterator[tuple[int, int, str]]:
-    pools: set[str] = set()
-    rng_names: set[str] = set()
-    local_defs: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
-    submissions: list[tuple[ast.Call, ast.expr]] = []
-
-    for stmt in body:
-        for node in ast.walk(stmt):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                local_defs[node.name] = node
-            elif isinstance(node, ast.withitem):
-                if (
-                    isinstance(node.context_expr, ast.Call)
-                    and _is_pool_constructor(node.context_expr)
-                    and isinstance(node.optional_vars, ast.Name)
-                ):
-                    pools.add(node.optional_vars.id)
-            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
-                for target in node.targets:
-                    if not isinstance(target, ast.Name):
-                        continue
-                    if _is_pool_constructor(node.value):
-                        pools.add(target.id)
-                    elif _is_rng_constructor(node.value):
-                        rng_names.add(target.id)
-            elif isinstance(node, ast.Call):
-                func = node.func
-                if (
-                    isinstance(func, ast.Attribute)
-                    and func.attr in _SUBMIT_METHODS
-                    and isinstance(func.value, ast.Name)
-                    and node.args
-                ):
-                    submissions.append((node, node.args[0]))
-
-    for call, work in submissions:
-        pool_name = call.func.value.id  # type: ignore[union-attr]
-        if pool_name not in pools:
-            continue
-        if isinstance(work, ast.Lambda):
-            captured = sorted(_free_loads(work) & rng_names)
-            if captured:
-                yield (
-                    work.lineno,
-                    work.col_offset,
-                    "lambda submitted to process pool closes over RNG state "
-                    f"({', '.join(captured)}); pass seeds as arguments to a "
-                    "module-level worker",
-                )
-        elif isinstance(work, ast.Name) and work.id in local_defs:
-            captured = sorted(_free_loads(local_defs[work.id]) & rng_names)
-            if captured:
-                yield (
-                    call.lineno,
-                    call.col_offset,
-                    f"locally defined worker {work.id!r} submitted to process "
-                    f"pool closes over RNG state ({', '.join(captured)}); "
-                    "pass SeedSequence children as arguments instead",
-                )
-
-
-@file_rule(
+@project_rule(
     "M1",
     title="process-pool workers must not close over RNG state",
 )
-def check_fork_safety(src: SourceFile):
-    seen: set[tuple[int, int, str]] = set()
-    for body in _scope_bodies(src.tree):
-        for diag in _analyze_scope(body):
-            if diag not in seen:
-                seen.add(diag)
+def check_fork_safety(project: Project):
+    emitted: set[tuple] = set()
+    for facts, qualname, summary in project.functions():
+        for sub in summary["submissions"]:
+            if sub["kind"] == "lambda":
+                if not sub["captured"]:
+                    continue
+                diag = (
+                    facts["path"],
+                    sub["line"],
+                    sub["col"],
+                    "lambda submitted to process pool closes over RNG state "
+                    f"({', '.join(sub['captured'])}); pass seeds as arguments "
+                    "to a module-level worker",
+                )
+            else:
+                resolved = project.resolve_ref(facts, qualname, sub["ref"])
+                if resolved is None:
+                    continue
+                witness = project.rng_witness(resolved)
+                if witness is None:
+                    continue
+                chain, captured = witness
+                name = sub["name"]
+                if not chain:
+                    diag = (
+                        facts["path"],
+                        sub["line"],
+                        sub["col"],
+                        f"worker {name!r} submitted to process pool closes "
+                        f"over RNG state ({', '.join(captured)}); pass "
+                        "SeedSequence children as arguments instead",
+                    )
+                else:
+                    route = " -> ".join([resolved[1].rsplit(".", 1)[-1], *chain])
+                    diag = (
+                        facts["path"],
+                        sub["line"],
+                        sub["col"],
+                        f"worker {name!r} submitted to process pool "
+                        f"transitively closes over RNG state "
+                        f"({', '.join(captured)}) via {route}; pass "
+                        "SeedSequence children as arguments instead",
+                    )
+            if diag not in emitted:
+                emitted.add(diag)
                 yield diag

@@ -8,15 +8,21 @@ three ways that contract has historically been broken — reading ambient
 entropy (clocks, the global RNG), constructing RNGs from expressions with
 no seed provenance, and deriving persisted values from ``hash()`` (which
 is salted per process by ``PYTHONHASHSEED``).
+
+D2 is a *project* rule since v2: a ``default_rng(...)`` argument with no
+local provenance is traced through the call graph before it is flagged —
+a helper in another module that returns a SeedSequence-derived value
+certifies the sink, and a parameter that flows into an RNG is chased
+back to the call sites that actually supply it.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 
 from .astutil import dotted_name, import_aliases, is_name_call
-from .registry import file_rule
+from .callgraph import FuncKey, Project
+from .registry import file_rule, project_rule
 from .source import SourceFile
 
 # ----------------------------------------------------------------------
@@ -41,6 +47,18 @@ _BANNED_REFS = {
     "os.getrandom": "OS entropy",
     "uuid.uuid1": "host/time-derived id",
     "uuid.uuid4": "OS entropy",
+}
+
+#: Monotonic clock reads, legitimate for *measuring* code: allowed in
+#: files walked under a ``benchmarks/`` directory (explicitly named
+#: files are still checked, mirroring the F1 tests/ exemption).  Wall
+#: clocks and entropy sources stay banned even there — a benchmark that
+#: stamps its output with ``time.time()`` breaks artifact comparison.
+_BENCH_CLOCKS = {
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
 }
 
 #: Module prefixes whose *any* use is banned: the stdlib ``random`` module
@@ -71,6 +89,7 @@ _NUMPY_GLOBAL_RNG = {
 )
 def check_nondeterministic_sources(src: SourceFile):
     aliases = import_aliases(src.tree)
+    bench_walked = not src.explicit and src.in_directory("benchmarks")
     seen: set[tuple[int, int]] = set()
 
     def report(node: ast.AST, message: str):
@@ -91,6 +110,14 @@ def check_nondeterministic_sources(src: SourceFile):
                 )
             continue
         if isinstance(node, ast.Attribute):
+            # Only chains rooted in an actual import binding count: a local
+            # variable that happens to be named ``random`` is not the
+            # stdlib module (``random.means`` on a fit result, say).
+            root_node: ast.expr = node
+            while isinstance(root_node, ast.Attribute):
+                root_node = root_node.value
+            if not (isinstance(root_node, ast.Name) and root_node.id in aliases):
+                continue
             dotted = dotted_name(node, aliases)
         elif isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Store):
             dotted = aliases.get(node.id)
@@ -99,6 +126,8 @@ def check_nondeterministic_sources(src: SourceFile):
         if dotted is None:
             continue
         if dotted in _BANNED_REFS:
+            if bench_walked and dotted in _BENCH_CLOCKS:
+                continue
             yield from report(
                 node,
                 f"use of {dotted} ({_BANNED_REFS[dotted]}); derive values "
@@ -129,120 +158,106 @@ def check_nondeterministic_sources(src: SourceFile):
 
 
 # ----------------------------------------------------------------------
-# D2 — RNG seed flow
+# D2 — RNG seed flow (interprocedural)
 # ----------------------------------------------------------------------
 
-#: Identifiers with seed provenance by naming convention.  ``seq`` covers
-#: the SeedSequence spawning idiom (``crash_seqs[i]``, ``metadata_seq``).
-_SEEDISH_NAME = re.compile(r"(seed|seq|entropy)", re.IGNORECASE)
+
+def _binding_for(param: str, summary: dict, call: dict) -> dict | None:
+    """The argument info bound to ``param`` at one call site, if passed."""
+    params = summary["params"]
+    if param in params:
+        index = params.index(param)
+        if index < len(call["args"]):
+            return call["args"][index]
+    return call["kwargs"].get(param)
 
 
-def _constant_expr(node: ast.expr) -> bool:
-    """Whether an expression is built entirely from literals.
+def _check_param_flow(
+    project: Project,
+    key: FuncKey,
+    params: list[str],
+    seen: frozenset[FuncKey],
+):
+    """Chase RNG-feeding parameters of ``key`` back to their call sites.
 
-    A fully-literal seed (``default_rng(42)``, ``default_rng(0x5EED + 1)``)
-    is reproducible by construction and therefore acceptable.
+    Yields ``(path, line, col, message)`` for every call site that supplies
+    a value with no seed provenance; yields nothing when every caller is
+    certified.  A binding that is itself built from the *caller's*
+    parameters recurses one level up (bounded by ``seen``), so a seed
+    threaded through several plumbing layers is still traced to its origin.
     """
-    if isinstance(node, ast.Constant):
-        return True
-    if isinstance(node, ast.BinOp):
-        return _constant_expr(node.left) and _constant_expr(node.right)
-    if isinstance(node, ast.UnaryOp):
-        return _constant_expr(node.operand)
-    if isinstance(node, (ast.List, ast.Tuple)):
-        return all(_constant_expr(elt) for elt in node.elts)
-    return False
+    summary = project.summary(key)
+    callee = key[1]
+    for facts, qualname, call in project.callers(key):
+        caller_key = (facts["path"], qualname)
+        for param in params:
+            info = _binding_for(param, summary, call)
+            if info is None:
+                # Not passed: fine when the default carries provenance;
+                # *args forwarding and friends stay un-flagged (the
+                # forwarding site will be checked in its own right).
+                continue
+            if info["ok"]:
+                continue
+            if project.call_provides_seed(facts, qualname, info["calls"]):
+                continue
+            if (
+                info["params"]
+                and caller_key not in seen
+                and project.callers(caller_key)
+            ):
+                yield from _check_param_flow(
+                    project, caller_key, info["params"], seen | {caller_key}
+                )
+                continue
+            yield (
+                facts["path"],
+                call["line"],
+                call["col"],
+                f"argument {info['repr']!r} flows into default_rng() via "
+                f"parameter {param!r} of {callee}() and has no visible seed "
+                "provenance; pass a SeedSequence, a seed parameter, or a "
+                "spawned child",
+            )
 
 
-def _provenance(node: ast.expr, env: set[str]) -> bool:
-    """Whether an expression *contains* a term with seed provenance.
-
-    Literals contribute nothing here (``n * 3`` must not pass just because
-    of the ``3``); provenance comes from names/attributes/subscripts
-    matching the seed naming convention or assigned from a seedish value,
-    ``SeedSequence(...)`` construction, ``.spawn(...)`` children, and
-    calls to seed-deriving helpers (``client_seed(...)``).
-    """
-    if isinstance(node, ast.Name):
-        return node.id in env or bool(_SEEDISH_NAME.search(node.id))
-    if isinstance(node, ast.Attribute):
-        return bool(_SEEDISH_NAME.search(node.attr)) or _provenance(node.value, env)
-    if isinstance(node, ast.Subscript):
-        return _provenance(node.value, env)
-    if isinstance(node, ast.Call):
-        func = node.func
-        if isinstance(func, ast.Attribute):
-            if func.attr in ("SeedSequence", "spawn"):
-                return True
-            if _SEEDISH_NAME.search(func.attr):
-                return True
-        elif isinstance(func, ast.Name):
-            if func.id == "SeedSequence" or _SEEDISH_NAME.search(func.id):
-                return True
-        # int(seed), operator.xor(seed, k), ...: provenance flows through
-        # arguments of otherwise-neutral calls.
-        return any(_provenance(arg, env) for arg in node.args)
-    if isinstance(node, ast.BinOp):
-        return _provenance(node.left, env) or _provenance(node.right, env)
-    if isinstance(node, (ast.List, ast.Tuple)):
-        return any(_provenance(elt, env) for elt in node.elts)
-    if isinstance(node, ast.UnaryOp):
-        return _provenance(node.operand, env)
-    if isinstance(node, ast.IfExp):
-        return _seedish(node.body, env) and _seedish(node.orelse, env)
-    return False
-
-
-def _seedish(node: ast.expr, env: set[str]) -> bool:
-    """Acceptable ``default_rng`` argument: fully literal, or seed-traced."""
-    return _constant_expr(node) or _provenance(node, env)
-
-
-def _collect_seedish_env(tree: ast.Module) -> set[str]:
-    """Names bound (anywhere in the file) to a seedish value.
-
-    Two sweeps propagate one level of chaining (``a = SeedSequence(...);
-    b = a``); deeper chains are rare enough to rename instead.
-    """
-    env: set[str] = set()
-    for _ in range(2):
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Assign) and _provenance(node.value, env):
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        env.add(target.id)
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                if isinstance(node.target, ast.Name) and _provenance(node.value, env):
-                    env.add(node.target.id)
-            elif isinstance(node, ast.For):
-                if isinstance(node.target, ast.Name) and _provenance(node.iter, env):
-                    env.add(node.target.id)
-            elif isinstance(node, ast.comprehension):
-                if isinstance(node.target, ast.Name) and _provenance(node.iter, env):
-                    env.add(node.target.id)
-    return env
-
-
-@file_rule(
+@project_rule(
     "D2",
     title="default_rng argument must trace to a seed",
 )
-def check_rng_seed_flow(src: SourceFile):
-    aliases = import_aliases(src.tree)
-    env = _collect_seedish_env(src.tree)
-    for call in (n for n in ast.walk(src.tree) if isinstance(n, ast.Call)):
-        dotted = dotted_name(call.func, aliases)
-        if not dotted or not dotted.endswith("default_rng") or not call.args:
-            continue
-        arg = call.args[0]
-        if not _seedish(arg, env):
-            yield (
-                call.lineno,
-                call.col_offset,
+def check_rng_seed_flow(project: Project):
+    emitted: set[tuple] = set()
+    for facts, qualname, summary in project.functions():
+        key = (facts["path"], qualname)
+        for sink in summary["sinks"]:
+            if sink["ok"]:
+                continue
+            # Cross-module provenance: a call inside the argument whose
+            # resolved target returns a SeedSequence-derived value.
+            if project.call_provides_seed(facts, qualname, sink["calls"]):
+                continue
+            params = [p for p in sink["params"] if p in summary["params"]
+                      or p in summary["kwonly"]]
+            if params and project.callers(key):
+                diags = list(
+                    _check_param_flow(project, key, params, frozenset({key}))
+                )
+                for diag in diags:
+                    if diag not in emitted:
+                        emitted.add(diag)
+                        yield diag
+                continue
+            diag = (
+                facts["path"],
+                sink["line"],
+                sink["col"],
                 "default_rng() argument "
-                f"{ast.unparse(arg)!r} has no visible seed provenance; "
+                f"{sink['repr']!r} has no visible seed provenance; "
                 "pass a SeedSequence, a seed parameter, or a spawned child",
             )
+            if diag not in emitted:
+                emitted.add(diag)
+                yield diag
 
 
 # ----------------------------------------------------------------------

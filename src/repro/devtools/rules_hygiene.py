@@ -1,0 +1,57 @@
+"""Rule W1 — no mutable default arguments.
+
+A ``def f(acc=[])`` default is evaluated once at definition time and
+shared across every call — state leaks between invocations, and in this
+repository's replay harness that means a second replay can observe the
+first one's leftovers, breaking run-to-run equivalence even with perfect
+seeding.  The fix is the stdlib idiom: default to ``None`` and construct
+inside the body (or use ``dataclasses.field(default_factory=...)``,
+which this rule deliberately does not flag).
+
+Severity is *warning* like F1: the default may happen never to be
+mutated today, but the risk is structural.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Severity
+from .registry import file_rule
+from .source import SourceFile
+
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+
+_MUTABLE_BUILTINS = {"list", "dict", "set", "bytearray"}
+
+
+def _mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_BUILTINS
+    )
+
+
+@file_rule(
+    "W1",
+    title="no mutable default arguments",
+    severity=Severity.WARNING,
+)
+def check_mutable_defaults(src: SourceFile):
+    for node in ast.walk(src.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is not None and _mutable_default(default):
+                yield (
+                    default.lineno,
+                    default.col_offset,
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the body",
+                )

@@ -1,0 +1,197 @@
+"""Rule D4 — unordered ``set`` iteration feeding digests, logs or TSV.
+
+``set`` (and ``frozenset``) iteration order depends on insertion history
+*and* on ``PYTHONHASHSEED`` for str/bytes elements — two runs of the same
+program can walk the same set in different orders.  That is harmless for
+membership tests and aggregations (``sum``, ``len``, ``any``), but the
+moment set iteration feeds an *order-sensitive* consumer — a blake2b
+digest, a ``.write()``/``writerow()`` output stream, a printed report —
+the artifact stops being a pure function of the seed.  This repository's
+digests are its determinism proof, so that bug class gets its own rule.
+
+Flagged shapes (``S`` is a set literal, ``set()``/``frozenset()`` call, a
+set comprehension, a name bound to one, or a union/intersection of sets):
+
+* ``for x in S:`` whose body writes (``.write``/``.writelines``/
+  ``.writerow``/``.writerows``), prints, or updates a hashlib digest;
+* ``sep.join(S)`` and ``sep.join(f(x) for x in S)``;
+* passing ``S`` (or a comprehension over ``S``) directly to ``print``, a
+  write method, or a digest ``.update``.
+
+``sorted(S)`` neutralizes structurally: it returns a list, so the
+expression is no longer set-typed.  A name assigned both a set and a
+non-set value anywhere in the file is treated as unknown (never flagged)
+— the whole-file binding environment is deliberately conservative.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import dotted_name, import_aliases
+from .registry import file_rule
+from .source import SourceFile
+
+#: Methods whose call on a set-typed receiver returns another set.
+_SET_RETURNING_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+}
+
+#: Binary operators closed over sets.
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Write-like method names: file/TSV/CSV emission.
+_WRITE_METHODS = {"write", "writelines", "writerow", "writerows"}
+
+#: hashlib constructors whose results are digest objects.
+_DIGEST_CONSTRUCTORS = {
+    "blake2b", "blake2s", "md5", "sha1", "sha224", "sha256", "sha384",
+    "sha512", "sha3_256", "sha3_512", "shake_128", "shake_256", "new",
+}
+
+
+def _call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _collect_env(tree: ast.Module, aliases: dict[str, str]):
+    """Whole-file binding environment: set-typed and digest-typed names.
+
+    Names with conflicting bindings (set in one branch, list in another)
+    are dropped from the set environment — unknown beats a false alarm.
+    """
+    set_names: set[str] = set()
+    other_names: set[str] = set()
+    digest_names: set[str] = set()
+
+    def is_digest_call(value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        dotted = dotted_name(value.func, aliases) or ""
+        return (
+            dotted.rsplit(".", 1)[-1] in _DIGEST_CONSTRUCTORS
+            and ("hashlib" in dotted or dotted in _DIGEST_CONSTRUCTORS)
+        )
+
+    for _ in range(2):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if not targets:
+                continue
+            if _set_expr(node.value, set_names):
+                set_names.update(targets)
+            elif is_digest_call(node.value):
+                digest_names.update(targets)
+            else:
+                other_names.update(targets)
+    return set_names - other_names, digest_names
+
+
+def _set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Whether an expression is statically set-typed."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if isinstance(node.func, ast.Name) and name in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and name in _SET_RETURNING_METHODS
+        ):
+            return _set_expr(node.func.value, set_names)
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _set_expr(node.left, set_names) or _set_expr(node.right, set_names)
+    return False
+
+
+def _comp_over_set(node: ast.expr, set_names: set[str]) -> bool:
+    """A comprehension/generator whose outer iterable is a set."""
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return _set_expr(node.generators[0].iter, set_names)
+    return False
+
+
+def _is_output_call(call: ast.Call, digest_names: set[str]) -> str | None:
+    """Classify a call as an order-sensitive consumer, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "print":
+        return "printed output"
+    if isinstance(func, ast.Attribute):
+        if func.attr in _WRITE_METHODS:
+            return "written output"
+        if (
+            func.attr == "update"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in digest_names
+        ):
+            return "a digest"
+    return None
+
+
+@file_rule(
+    "D4",
+    title="no unordered set iteration into digests or output",
+)
+def check_set_iteration_order(src: SourceFile):
+    aliases = import_aliases(src.tree)
+    set_names, digest_names = _collect_env(src.tree, aliases)
+
+    for node in ast.walk(src.tree):
+        # for x in S: ... <write/print/digest.update> ...
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _set_expr(
+            node.iter, set_names
+        ):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    consumer = _is_output_call(sub, digest_names)
+                    if consumer is not None:
+                        yield (
+                            node.iter.lineno,
+                            node.iter.col_offset,
+                            "iteration over an unordered set feeds "
+                            f"{consumer}; iterate over sorted(...) instead "
+                            "(set order varies with PYTHONHASHSEED)",
+                        )
+                        break
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        # sep.join(S) / sep.join(f(x) for x in S)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            arg = node.args[0]
+            if _set_expr(arg, set_names) or _comp_over_set(arg, set_names):
+                yield (
+                    arg.lineno,
+                    arg.col_offset,
+                    "join over an unordered set feeds order-sensitive "
+                    "output; join over sorted(...) instead (set order "
+                    "varies with PYTHONHASHSEED)",
+                )
+            continue
+        # print(S) / out.write(...S...) / digest.update(S)
+        consumer = _is_output_call(node, digest_names)
+        if consumer is None:
+            continue
+        for arg in node.args:
+            if _set_expr(arg, set_names) or _comp_over_set(arg, set_names):
+                yield (
+                    arg.lineno,
+                    arg.col_offset,
+                    f"unordered set passed to {consumer}; wrap it in "
+                    "sorted(...) (set order varies with PYTHONHASHSEED)",
+                )

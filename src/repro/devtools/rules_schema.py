@@ -1,7 +1,6 @@
-"""Rule S1 — cross-file schema drift.
+"""Rules S1/S2 — cross-file schema drift.
 
-The Table 1 record layout is declared three times, deliberately close to
-the code that uses it:
+**S1** ties the Table 1 record layout's three declarations together:
 
 * ``logs/schema.py`` — the :class:`LogRecord` dataclass field order (the
   in-memory truth);
@@ -12,84 +11,32 @@ the code that uses it:
 Runtime guards (the NPZ ``SCHEMA_VERSION`` check) catch *stale artifacts*;
 this rule catches the *source drifting* — a column added to one
 declaration and not the others, or a silent reorder that would shear every
-existing trace.  The three literals are compared straight from the ASTs,
-so the check needs no imports and works on mutated fixture copies.
+existing trace.  The layouts are compared straight from the per-file
+facts (extracted from the ASTs, no imports), so the check works on
+mutated fixture copies.  Files that declare none of the three markers are
+ignored; candidates are grouped by directory so fixture trios under
+``tests/data/lint`` are checked against each other, never against
+``src/repro/logs``.
 
-Files that declare none of the three markers are ignored; candidates are
-grouped by directory so fixture trios under ``tests/data/lint`` are
-checked against each other, never against ``src/repro/logs``.
+**S2** does the same for the telemetry/fault-ledger pair: every counter
+:meth:`~repro.service.telemetry.TelemetryCollector.reconcile` reads off a
+``FaultStats``-annotated parameter must be a real ``FaultStats`` member;
+every metadata-tier counter ``FaultStats`` grows (``shard_*``,
+``replica_*``, ``stale_*``, ``*_reads``) must appear in
+``DEFAULT_METADATA_AVAILABILITY`` so snapshots carry it; and every
+``meta["..."]`` key the telemetry module reads must exist in that default
+shape.  A counter added to the ledger but absent from the snapshot schema
+— the drift the TELEMETRY_SCHEMA_VERSION v2 migration nearly shipped —
+fails at review time, exactly like S1's TSV reorder.
 """
 
 from __future__ import annotations
 
-import ast
+import re
 from typing import Iterator
 
+from .callgraph import Project
 from .registry import project_rule
-from .source import SourceFile
-
-#: Columnar layout name -> schema field it encodes.
-_COLUMN_ALIASES = {"device_code": "device_id"}
-
-
-def _tuple_of_strings(node: ast.expr) -> list[str] | None:
-    if not isinstance(node, (ast.Tuple, ast.List)):
-        return None
-    out = []
-    for elt in node.elts:
-        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
-            return None
-        out.append(elt.value)
-    return out
-
-
-def _assigned_literal(tree: ast.Module, name: str) -> ast.expr | None:
-    for node in tree.body:
-        if isinstance(node, ast.Assign):
-            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
-            if name in targets:
-                return node.value
-        elif isinstance(node, ast.AnnAssign):
-            if isinstance(node.target, ast.Name) and node.target.id == name:
-                return node.value
-    return None
-
-
-def _schema_fields(tree: ast.Module) -> tuple[list[str], int] | None:
-    """LogRecord dataclass field names in declaration order (+ class line)."""
-    for node in tree.body:
-        if isinstance(node, ast.ClassDef) and node.name == "LogRecord":
-            fields = [
-                stmt.target.id
-                for stmt in node.body
-                if isinstance(stmt, ast.AnnAssign)
-                and isinstance(stmt.target, ast.Name)
-            ]
-            return fields, node.lineno
-    return None
-
-
-def _tsv_columns(tree: ast.Module) -> tuple[list[str], int] | None:
-    value = _assigned_literal(tree, "TSV_COLUMNS")
-    if value is None:
-        return None
-    names = _tuple_of_strings(value)
-    return (names, value.lineno) if names is not None else None
-
-
-def _columnar_columns(tree: ast.Module) -> tuple[list[str], int] | None:
-    value = _assigned_literal(tree, "COLUMNS")
-    if value is None or not isinstance(value, (ast.Tuple, ast.List)):
-        return None
-    names = []
-    for elt in value.elts:
-        if not isinstance(elt, (ast.Tuple, ast.List)) or not elt.elts:
-            return None
-        first = elt.elts[0]
-        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
-            return None
-        names.append(_COLUMN_ALIASES.get(first.value, first.value))
-    return names, value.lineno
 
 
 def _mismatch(label: str, ref_label: str, got: list[str], want: list[str]) -> str:
@@ -121,21 +68,15 @@ def _mismatch(label: str, ref_label: str, got: list[str], want: list[str]) -> st
     "S1",
     title="Table 1 layout declared identically in schema/io/columnar",
 )
-def check_schema_drift(sources: list[SourceFile]) -> Iterator:
-    by_dir: dict = {}
-    for src in sources:
-        entry = by_dir.setdefault(src.path.parent, {})
-        schema = _schema_fields(src.tree)
-        if schema is not None:
-            entry["schema"] = (src, *schema)
-        tsv = _tsv_columns(src.tree)
-        if tsv is not None:
-            entry["tsv"] = (src, *tsv)
-        columnar = _columnar_columns(src.tree)
-        if columnar is not None:
-            entry["columnar"] = (src, *columnar)
-
-    for entry in by_dir.values():
+def check_schema_drift(project: Project) -> Iterator:
+    for group in project.by_directory().values():
+        entry: dict[str, tuple[dict, list[str], int]] = {}
+        for facts in group:
+            layouts = facts["s1"]
+            if not layouts:
+                continue
+            for key, (names, lineno) in layouts.items():
+                entry[key] = (facts, names, lineno)
         if len(entry) < 2:
             continue
         # The dataclass is the reference when present, else the TSV layout.
@@ -146,10 +87,89 @@ def check_schema_drift(sources: list[SourceFile]) -> Iterator:
             "columnar": "columnar COLUMNS layout",
             "schema": "LogRecord fields",
         }
-        for key, (src, got, lineno) in entry.items():
+        for key, (facts, got, lineno) in entry.items():
             if key == ref_key:
                 continue
             if got != want:
-                yield src, lineno, 0, _mismatch(
+                yield facts["path"], lineno, 0, _mismatch(
                     labels[key], labels[ref_key], got, want
+                )
+
+
+# ----------------------------------------------------------------------
+# S2 — telemetry snapshot <-> FaultStats consistency
+# ----------------------------------------------------------------------
+
+#: FaultStats fields that belong to the metadata tier and therefore must
+#: be surfaced in the snapshot's metadata availability section.  Chosen
+#: to match ``shard_rejections``/``replica_reads``/``stale_reads_avoided``/
+#: ``failover_reads`` while leaving the front-end umbrellas
+#: (``failovers``, ``metadata_rejections``) to the counters section.
+_METADATA_COUNTER = re.compile(r"^(shard_|replica_|stale_)|_reads$")
+
+
+@project_rule(
+    "S2",
+    title="telemetry snapshot, FaultStats and reconcile() stay consistent",
+)
+def check_telemetry_schema(project: Project) -> Iterator:
+    for facts in project.files:
+        meta = facts["s2_meta"]
+        stats_reads = facts["s2_stats_reads"]
+        if meta is None and not stats_reads:
+            continue
+        ledger_facts = (
+            facts
+            if facts["s2_faultstats"] is not None
+            else project.facts_in_dir_or_parent(
+                facts, lambda f: f["s2_faultstats"] is not None
+            )
+        )
+        ledger = ledger_facts["s2_faultstats"] if ledger_facts else None
+
+        if ledger is not None:
+            # Every ``stats.x`` read must name a real FaultStats member.
+            members = set(ledger["members"])
+            for attr, line, col in stats_reads:
+                if attr not in members:
+                    yield (
+                        facts["path"],
+                        line,
+                        col,
+                        f"{attr!r} is read from a FaultStats parameter but "
+                        "FaultStats declares no such field or property; the "
+                        "fault ledger and the telemetry reconciliation must "
+                        "change together",
+                    )
+
+        if meta is None:
+            continue
+        keys = set(meta["keys"])
+        if ledger is not None:
+            # Every metadata-tier counter must surface in the snapshot's
+            # metadata availability section.
+            for name in ledger["fields"]:
+                if _METADATA_COUNTER.search(name) and name not in keys:
+                    yield (
+                        facts["path"],
+                        meta["lineno"],
+                        0,
+                        f"FaultStats counter {name!r} looks metadata-tier "
+                        "(shard_*/replica_*/stale_*/*_reads) but is missing "
+                        "from DEFAULT_METADATA_AVAILABILITY; the snapshot "
+                        "metadata section, FaultStats and reconcile() must "
+                        "change together (and TELEMETRY_SCHEMA_VERSION must "
+                        "be bumped)",
+                    )
+        # Every ``meta["..."]`` read must exist in the default shape.
+        for key, line, col in facts["s2_meta_reads"]:
+            if key not in keys:
+                yield (
+                    facts["path"],
+                    line,
+                    col,
+                    f"metadata key {key!r} is read from the snapshot "
+                    "metadata section but missing from "
+                    "DEFAULT_METADATA_AVAILABILITY; add it to the default "
+                    "shape (and bump TELEMETRY_SCHEMA_VERSION)",
                 )

@@ -13,7 +13,16 @@ Append a comment to the offending line::
     seed = hash(key)                   # reprolint: disable=all
 
 The suppression applies to findings reported *on that physical line*.
-``all`` mutes every rule for the line.
+``all`` mutes every rule for the line.  For a statement spanning several
+physical lines, a suppression on *any* of its lines covers the whole
+span — so the comment can sit next to the offending argument::
+
+    rng = np.random.default_rng(
+        opaque_value,  # reprolint: disable=D2
+    )
+
+(Only simple statements expand this way; a comment floating inside an
+``if``/``for`` block never silences the whole block.)
 """
 
 from __future__ import annotations
@@ -40,6 +49,49 @@ def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
     return out
 
 
+#: Compound statements are excluded from span expansion: a comment on a
+#: blank line inside an ``if`` body must not silence the whole block.
+_COMPOUND_STMTS = (
+    ast.If, ast.For, ast.AsyncFor, ast.While, ast.With, ast.AsyncWith,
+    ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Match,
+)
+
+
+def expand_suppressions(
+    tree: ast.Module, suppressions: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Widen each suppression to the innermost simple statement's span.
+
+    A ``# reprolint: disable=...`` comment anywhere inside a multi-line
+    simple statement (a call spanning several lines, a long assignment)
+    applies to every line of that statement, so findings anchored at the
+    statement's first line are covered by a comment on a continuation
+    line.  Single-line statements are unaffected.
+    """
+    if not suppressions:
+        return suppressions
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or isinstance(node, _COMPOUND_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is not None and end > node.lineno:
+            spans.append((node.lineno, end))
+    if not spans:
+        return suppressions
+    out = dict(suppressions)
+    for line, rules in suppressions.items():
+        best: tuple[int, int] | None = None
+        for start, end in spans:
+            if start <= line <= end:
+                if best is None or (end - start) < (best[1] - best[0]):
+                    best = (start, end)
+        if best is not None:
+            for covered in range(best[0], best[1] + 1):
+                out[covered] = out.get(covered, frozenset()) | rules
+    return out
+
+
 @dataclass(frozen=True)
 class SourceFile:
     """One parsed Python file, ready for rules to inspect."""
@@ -60,13 +112,21 @@ class SourceFile:
              explicit: bool = True) -> "SourceFile":
         """Read and parse ``path`` (raises ``SyntaxError`` on bad source)."""
         text = path.read_text(encoding="utf-8")
+        return cls.from_source(
+            text, path, display_path=display_path, explicit=explicit
+        )
+
+    @classmethod
+    def from_source(cls, text: str, path: Path, *, display_path: str | None = None,
+                    explicit: bool = True) -> "SourceFile":
+        """Parse already-read source (raises ``SyntaxError`` on bad input)."""
         tree = ast.parse(text, filename=str(path))
         return cls(
             path=path,
             display_path=display_path if display_path is not None else str(path),
             text=text,
             tree=tree,
-            suppressions=parse_suppressions(text),
+            suppressions=expand_suppressions(tree, parse_suppressions(text)),
             explicit=explicit,
         )
 

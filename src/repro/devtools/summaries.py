@@ -1,0 +1,735 @@
+"""Per-file analysis summaries ("facts") for the whole-program linter.
+
+reprolint v2 splits analysis into two phases.  Phase 1 visits each file
+once and distils it into a JSON-serializable **facts** dict: the module
+name, its import aliases, one summary per function (parameters, seed
+provenance of ``default_rng`` sink arguments, captured RNG state, the
+calls it makes with per-argument provenance info), process-pool
+submissions, and the schema layouts rules S1/S2 compare.  Phase 2
+(:mod:`repro.devtools.callgraph`) links the facts of every scanned file
+into a project graph and runs the cross-module rules over it.
+
+Because facts are plain JSON they round-trip through the incremental
+cache (:mod:`repro.devtools.cache`): a warm run never re-parses an
+unchanged file, yet project rules still see the whole program.
+
+The seed-provenance helpers here (:func:`seedish_expr` and friends) are
+the v1 per-file heuristics verbatim — a name/attribute/subscript
+matching the seed naming convention, a ``SeedSequence``/``.spawn``
+construction, or a fully literal expression.  The interprocedural layer
+builds on top of them rather than replacing them, so every v1 verdict
+is preserved and the call graph only ever *adds* provenance.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from .astutil import dotted_name, import_aliases
+from .source import SourceFile
+
+#: Version of the facts schema; part of the cache fingerprint, so any
+#: change here invalidates previously cached summaries wholesale.
+FACTS_VERSION = 1
+
+# ----------------------------------------------------------------------
+# Seed provenance (v1 heuristics, shared by D2 and the summaries)
+# ----------------------------------------------------------------------
+
+#: Identifiers with seed provenance by naming convention.  ``seq`` covers
+#: the SeedSequence spawning idiom (``crash_seqs[i]``, ``metadata_seq``).
+SEEDISH_NAME = re.compile(r"(seed|seq|entropy)", re.IGNORECASE)
+
+
+def constant_expr(node: ast.expr) -> bool:
+    """Whether an expression is built entirely from literals.
+
+    A fully-literal seed (``default_rng(42)``, ``default_rng(0x5EED + 1)``)
+    is reproducible by construction and therefore acceptable.
+    """
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.BinOp):
+        return constant_expr(node.left) and constant_expr(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return constant_expr(node.operand)
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return all(constant_expr(elt) for elt in node.elts)
+    return False
+
+
+def provenance(node: ast.expr, env: set[str]) -> bool:
+    """Whether an expression *contains* a term with seed provenance.
+
+    Literals contribute nothing here (``n * 3`` must not pass just because
+    of the ``3``); provenance comes from names/attributes/subscripts
+    matching the seed naming convention or assigned from a seedish value,
+    ``SeedSequence(...)`` construction, ``.spawn(...)`` children, and
+    calls to seed-deriving helpers (``client_seed(...)``).
+    """
+    if isinstance(node, ast.Name):
+        return node.id in env or bool(SEEDISH_NAME.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(SEEDISH_NAME.search(node.attr)) or provenance(node.value, env)
+    if isinstance(node, ast.Subscript):
+        return provenance(node.value, env)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in ("SeedSequence", "spawn"):
+                return True
+            if SEEDISH_NAME.search(func.attr):
+                return True
+        elif isinstance(func, ast.Name):
+            if func.id == "SeedSequence" or SEEDISH_NAME.search(func.id):
+                return True
+        # int(seed), operator.xor(seed, k), ...: provenance flows through
+        # arguments of otherwise-neutral calls.
+        return any(provenance(arg, env) for arg in node.args)
+    if isinstance(node, ast.BinOp):
+        return provenance(node.left, env) or provenance(node.right, env)
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return any(provenance(elt, env) for elt in node.elts)
+    if isinstance(node, ast.UnaryOp):
+        return provenance(node.operand, env)
+    if isinstance(node, ast.IfExp):
+        return seedish_expr(node.body, env) and seedish_expr(node.orelse, env)
+    return False
+
+
+def seedish_expr(node: ast.expr, env: set[str]) -> bool:
+    """Acceptable ``default_rng`` argument: fully literal, or seed-traced."""
+    return constant_expr(node) or provenance(node, env)
+
+
+def collect_seedish_env(tree: ast.Module) -> set[str]:
+    """Names bound (anywhere in the file) to a seedish value.
+
+    Two sweeps propagate one level of chaining (``a = SeedSequence(...);
+    b = a``); deeper chains are rare enough to rename instead.
+    """
+    env: set[str] = set()
+    for _ in range(2):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and provenance(node.value, env):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        env.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name) and provenance(node.value, env):
+                    env.add(node.target.id)
+            elif isinstance(node, ast.For):
+                if isinstance(node.target, ast.Name) and provenance(node.iter, env):
+                    env.add(node.target.id)
+            elif isinstance(node, ast.comprehension):
+                if isinstance(node.target, ast.Name) and provenance(node.iter, env):
+                    env.add(node.target.id)
+    return env
+
+
+# ----------------------------------------------------------------------
+# Pool / RNG constructors (shared by M1 and the summaries)
+# ----------------------------------------------------------------------
+
+#: Pool method names whose first positional argument is the callable.
+SUBMIT_METHODS = {
+    "submit", "map", "starmap", "imap", "imap_unordered", "apply", "apply_async",
+}
+
+
+def is_pool_constructor(call: ast.Call) -> bool:
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return name.endswith("ProcessPoolExecutor") or name == "Pool"
+
+
+def is_rng_constructor(call: ast.Call) -> bool:
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return name in ("default_rng", "SeedSequence", "spawn")
+
+
+def bound_names(func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> set[str]:
+    """Names bound inside ``func`` (parameters + assignment targets + defs)."""
+    args = func.args
+    bound = {
+        a.arg
+        for a in [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+    }
+    body = func.body if isinstance(func.body, list) else [func.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                bound.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+    return bound
+
+
+def free_loads(func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> set[str]:
+    """Names read inside ``func`` that are not bound within it."""
+    bound = bound_names(func)
+    body = func.body if isinstance(func.body, list) else [func.body]
+    loads: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id not in bound:
+                    loads.add(node.id)
+    return loads
+
+
+# ----------------------------------------------------------------------
+# Module naming and import resolution
+# ----------------------------------------------------------------------
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from the package layout on disk.
+
+    Walks up while ``__init__.py`` marks the parent as a package, so
+    ``src/repro/service/telemetry.py`` maps to ``repro.service.telemetry``
+    regardless of the lint invocation's CWD.  A loose file in a
+    non-package directory (the fixture layout) maps to its bare stem.
+    """
+    path = Path(path).resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def relative_aliases(tree: ast.Module, module: str) -> dict[str, str]:
+    """Resolve ``from .x import y`` bindings against the module's package.
+
+    :func:`repro.devtools.astutil.import_aliases` deliberately skips
+    relative imports (they never alias the stdlib); the call graph needs
+    them, and the module name derived from the path gives the anchor.
+    """
+    parts = module.split(".")
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom) or not node.level:
+            continue
+        if node.level > len(parts):
+            continue
+        base = parts[: len(parts) - node.level]
+        if node.module:
+            base = base + node.module.split(".")
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            target = ".".join(base + [alias.name]) if base else alias.name
+            out[alias.asname or alias.name] = target
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scope-limited traversal
+# ----------------------------------------------------------------------
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _iter_scope_nodes(body: list[ast.stmt]):
+    """Yield ``(tag, node, cls_name)`` for one scope's own nodes.
+
+    Walks the statements without descending into nested function/lambda
+    scopes (those get their own summaries).  Class bodies are transparent
+    for plain statements but their methods are yielded as ``("func",
+    node, cls_name)`` so they pick up a ``Cls.method`` qualname.
+    """
+    stack: list[tuple[ast.AST, str | None]] = [(s, None) for s in reversed(body)]
+    while stack:
+        node, cls = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield "func", node, cls
+            continue
+        if isinstance(node, ast.Lambda):
+            yield "lambda", node, cls
+            continue
+        if isinstance(node, ast.ClassDef):
+            for sub in reversed(node.body):
+                stack.append((sub, node.name))
+            continue
+        yield "node", node, cls
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, cls))
+
+
+def _function_params(node: ast.FunctionDef | ast.AsyncFunctionDef):
+    args = node.args
+    positional = [a.arg for a in (*args.posonlyargs, *args.args)]
+    kwonly = [a.arg for a in args.kwonlyargs]
+    return positional, kwonly
+
+
+def _call_ref(
+    func: ast.expr,
+    aliases: dict[str, str],
+    self_cls: str | None,
+    instances: dict[str, str],
+) -> dict | None:
+    """Describe what a call's ``func`` refers to, for later resolution.
+
+    Returns ``{"kind": "dotted", "dotted": ...}`` for plain/attribute
+    calls (bare names are resolved through the caller's scope chain at
+    link time) or ``{"kind": "method", "cls": ..., "attr": ...}`` for
+    ``self.m()`` and method calls on locally constructed instances of
+    repo classes.  ``None`` for anything unresolvable (subscript roots,
+    chained calls).
+    """
+    if isinstance(func, ast.Name):
+        return {"kind": "dotted", "dotted": aliases.get(func.id, func.id)}
+    if isinstance(func, ast.Attribute):
+        parts: list[str] = []
+        node: ast.expr = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        root = node.id
+        if root == "self" and self_cls is not None and len(parts) == 1:
+            return {"kind": "method", "cls": self_cls, "attr": parts[0]}
+        if root in instances and len(parts) == 1:
+            return {"kind": "method", "cls": instances[root], "attr": parts[0]}
+        base = aliases.get(root, root)
+        return {"kind": "dotted", "dotted": ".".join([base, *parts])}
+    return None
+
+
+def _instance_class(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Dotted class name when ``call`` looks like a class construction."""
+    dotted = dotted_name(call.func, aliases)
+    if dotted is None:
+        return None
+    last = dotted.rsplit(".", 1)[-1]
+    if last[:1].isupper():
+        return dotted
+    return None
+
+
+def _expr_names(node: ast.expr) -> set[str]:
+    return {
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+def _expr_call_refs(
+    node: ast.expr,
+    aliases: dict[str, str],
+    self_cls: str | None,
+    instances: dict[str, str],
+) -> list[dict]:
+    refs = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            ref = _call_ref(sub.func, aliases, self_cls, instances)
+            if ref is not None:
+                refs.append(ref)
+    return refs
+
+
+def _arg_info(
+    node: ast.expr,
+    env: set[str],
+    params: set[str],
+    aliases: dict[str, str],
+    self_cls: str | None,
+    instances: dict[str, str],
+) -> dict:
+    """Provenance summary of one expression used as a call argument."""
+    return {
+        "repr": ast.unparse(node),
+        "ok": seedish_expr(node, env),
+        "params": sorted(params & _expr_names(node)),
+        "calls": _expr_call_refs(node, aliases, self_cls, instances),
+    }
+
+
+# ----------------------------------------------------------------------
+# S1 / S2 layout extraction
+# ----------------------------------------------------------------------
+
+#: Columnar layout name -> schema field it encodes.
+COLUMN_ALIASES = {"device_code": "device_id"}
+
+
+def _tuple_of_strings(node: ast.expr) -> list[str] | None:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        out.append(elt.value)
+    return out
+
+
+def _assigned_literal(tree: ast.Module, name: str) -> ast.expr | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets:
+                return node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return node.value
+    return None
+
+
+def _s1_layouts(tree: ast.Module) -> dict | None:
+    """The Table 1 layout declarations a file carries, if any."""
+    out: dict = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "LogRecord":
+            fields = [
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ]
+            out["schema"] = [fields, node.lineno]
+    value = _assigned_literal(tree, "TSV_COLUMNS")
+    if value is not None:
+        names = _tuple_of_strings(value)
+        if names is not None:
+            out["tsv"] = [names, value.lineno]
+    value = _assigned_literal(tree, "COLUMNS")
+    if value is not None and isinstance(value, (ast.Tuple, ast.List)):
+        names = []
+        for elt in value.elts:
+            if not isinstance(elt, (ast.Tuple, ast.List)) or not elt.elts:
+                names = None
+                break
+            first = elt.elts[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                names = None
+                break
+            names.append(COLUMN_ALIASES.get(first.value, first.value))
+        if names is not None:
+            out["columnar"] = [names, value.lineno]
+    return out or None
+
+
+def _s2_faultstats(tree: ast.Module) -> dict | None:
+    """FaultStats field/member inventory, when the file declares it."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "FaultStats":
+            fields = []
+            field_linenos = {}
+            members = set()
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append(stmt.target.id)
+                    field_linenos[stmt.target.id] = stmt.lineno
+                    members.add(stmt.target.id)
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    members.add(stmt.name)
+            return {
+                "fields": fields,
+                "members": sorted(members),
+                "lineno": node.lineno,
+                "field_linenos": field_linenos,
+            }
+    return None
+
+
+def _s2_meta_defaults(tree: ast.Module) -> dict | None:
+    value = _assigned_literal(tree, "DEFAULT_METADATA_AVAILABILITY")
+    if not isinstance(value, ast.Dict):
+        return None
+    keys = []
+    for key in value.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.append(key.value)
+    return {"keys": keys, "lineno": value.lineno}
+
+
+def _s2_meta_reads(tree: ast.Module) -> list[list]:
+    """``meta["key"]`` subscript reads (files with the defaults dict only)."""
+    reads = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "meta"
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            reads.append([node.slice.value, node.lineno, node.col_offset])
+    return reads
+
+
+def _annotation_is_faultstats(node: ast.expr | None) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "FaultStats"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "FaultStats"
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1] == "FaultStats"
+    return False
+
+
+def _s2_stats_reads(tree: ast.Module) -> list[list]:
+    """Attribute reads on parameters annotated ``FaultStats``."""
+    reads = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stat_params = {
+            a.arg
+            for a in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs)
+            if _annotation_is_faultstats(a.annotation)
+        }
+        if not stat_params:
+            continue
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.ctx, ast.Load)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id in stat_params
+            ):
+                reads.append([sub.attr, sub.lineno, sub.col_offset])
+    return reads
+
+
+# ----------------------------------------------------------------------
+# The extractor
+# ----------------------------------------------------------------------
+
+
+def extract_facts(src: SourceFile) -> dict:
+    """Distil one parsed file into the JSON facts dict described above."""
+    tree = src.tree
+    path = Path(src.path)
+    module = module_name_for(path)
+    aliases = import_aliases(tree)
+    aliases.update(relative_aliases(tree, module))
+    env = collect_seedish_env(tree)
+
+    functions: dict[str, dict] = {}
+    classes: dict[str, int] = {
+        node.name: node.lineno
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+    def scan_scope(
+        body: list[ast.stmt],
+        qualname: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef | None,
+        self_cls: str | None,
+        visible_rng: frozenset[str],
+        visible_pools: frozenset[str],
+        visible_instances: dict[str, str],
+    ) -> None:
+        positional: list[str] = []
+        kwonly: list[str] = []
+        seedish_defaults: dict[str, bool] = {}
+        if node is not None:
+            positional, kwonly = _function_params(node)
+            defaults = node.args.defaults
+            for name, default in zip(positional[len(positional) - len(defaults):],
+                                     defaults):
+                seedish_defaults[name] = seedish_expr(default, env)
+            for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+                if default is not None:
+                    seedish_defaults[arg.arg] = seedish_expr(default, env)
+        params = set(positional) | set(kwonly)
+
+        # Pass 1 — local bindings: RNG state, pool handles, constructed
+        # instances, nested function definitions.
+        local_rng: set[str] = set()
+        local_pools: set[str] = set()
+        instances: dict[str, str] = dict(visible_instances)
+        nested: list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]] = []
+        for tag, sub, cls in _iter_scope_nodes(body):
+            if tag == "func":
+                nested.append((sub, cls))
+                continue
+            if tag != "node":
+                continue
+            if isinstance(sub, ast.withitem):
+                if (
+                    isinstance(sub.context_expr, ast.Call)
+                    and is_pool_constructor(sub.context_expr)
+                    and isinstance(sub.optional_vars, ast.Name)
+                ):
+                    local_pools.add(sub.optional_vars.id)
+            elif isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
+                for target in sub.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if is_pool_constructor(sub.value):
+                        local_pools.add(target.id)
+                    elif is_rng_constructor(sub.value):
+                        local_rng.add(target.id)
+                    else:
+                        cls_name = _instance_class(sub.value, aliases)
+                        if cls_name is not None:
+                            instances[target.id] = cls_name
+
+        rng_here = visible_rng | local_rng
+        pools_here = visible_pools | local_pools
+
+        # Pass 2 — sinks, calls, returns, submissions.
+        sinks: list[dict] = []
+        calls: list[dict] = []
+        submissions: list[dict] = []
+        returns_seedish_local = False
+        return_calls: list[dict] = []
+        for tag, sub, cls in _iter_scope_nodes(body):
+            if tag == "func":
+                continue
+            if tag == "lambda":
+                continue
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                if seedish_expr(sub.value, env):
+                    returns_seedish_local = True
+                return_calls.extend(
+                    _expr_call_refs(sub.value, aliases, self_cls, instances)
+                )
+            if not isinstance(sub, ast.Call):
+                continue
+            dotted = dotted_name(sub.func, aliases)
+            if dotted and dotted.endswith("default_rng") and sub.args:
+                arg = sub.args[0]
+                sinks.append(
+                    {
+                        "line": sub.lineno,
+                        "col": sub.col_offset,
+                        **_arg_info(arg, env, params, aliases, self_cls, instances),
+                    }
+                )
+            ref = _call_ref(sub.func, aliases, self_cls, instances)
+            if ref is not None:
+                calls.append(
+                    {
+                        "ref": ref,
+                        "line": sub.lineno,
+                        "col": sub.col_offset,
+                        "args": [
+                            _arg_info(a, env, params, aliases, self_cls, instances)
+                            if not isinstance(a, ast.Starred)
+                            else None
+                            for a in sub.args
+                        ],
+                        "kwargs": {
+                            kw.arg: _arg_info(
+                                kw.value, env, params, aliases, self_cls, instances
+                            )
+                            for kw in sub.keywords
+                            if kw.arg is not None
+                        },
+                    }
+                )
+            func = sub.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in SUBMIT_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in pools_here
+                and sub.args
+            ):
+                work = sub.args[0]
+                if isinstance(work, ast.Lambda):
+                    captured = sorted(free_loads(work) & rng_here)
+                    submissions.append(
+                        {
+                            "kind": "lambda",
+                            "line": work.lineno,
+                            "col": work.col_offset,
+                            "captured": captured,
+                        }
+                    )
+                elif isinstance(work, (ast.Name, ast.Attribute)):
+                    work_ref = _call_ref(work, aliases, self_cls, instances)
+                    if work_ref is not None:
+                        submissions.append(
+                            {
+                                "kind": "ref",
+                                "line": sub.lineno,
+                                "col": sub.col_offset,
+                                "name": ast.unparse(work),
+                                "ref": work_ref,
+                            }
+                        )
+
+        captured_rng: list[str] = []
+        if node is not None:
+            captured_rng = sorted(free_loads(node) & visible_rng)
+
+        functions[qualname] = {
+            "lineno": node.lineno if node is not None else 0,
+            "params": positional,
+            "kwonly": kwonly,
+            "seedish_defaults": seedish_defaults,
+            "returns_seedish_local": returns_seedish_local,
+            "return_calls": return_calls,
+            "captured_rng": captured_rng,
+            "sinks": sinks,
+            "calls": calls,
+            "submissions": submissions,
+        }
+
+        for sub_node, cls in nested:
+            prefix = "" if qualname == "<module>" else qualname + "."
+            if cls is not None:
+                child_qual = f"{prefix}{cls}.{sub_node.name}"
+                child_cls = cls
+            else:
+                child_qual = f"{prefix}{sub_node.name}"
+                child_cls = self_cls
+            scan_scope(
+                sub_node.body,
+                child_qual,
+                sub_node,
+                child_cls,
+                rng_here,
+                pools_here,
+                instances,
+            )
+
+    scan_scope(tree.body, "<module>", None, None, frozenset(), frozenset(), {})
+
+    return {
+        "version": FACTS_VERSION,
+        "path": src.display_path,
+        "real_path": str(path.resolve()),
+        "dir": str(path.resolve().parent),
+        "module": module,
+        "explicit": src.explicit,
+        "imports": aliases,
+        "classes": classes,
+        "functions": functions,
+        "s1": _s1_layouts(tree),
+        "s2_faultstats": _s2_faultstats(tree),
+        "s2_meta": _s2_meta_defaults(tree),
+        "s2_meta_reads": _s2_meta_reads(tree) if _s2_meta_defaults(tree) else [],
+        "s2_stats_reads": _s2_stats_reads(tree),
+        "suppress": {
+            str(line): sorted(rules) for line, rules in src.suppressions.items()
+        },
+    }

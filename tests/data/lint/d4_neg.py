@@ -1,0 +1,18 @@
+"""Negative fixture for D4: every order-sensitive consumer sees
+sorted(...) output, and order-insensitive set uses stay untouched."""
+
+import hashlib
+
+
+def digest_users(users):
+    active = {u.name for u in users if u.active}
+    h = hashlib.blake2b(digest_size=16)
+    for name in sorted(active):
+        h.update(name.encode())
+    return h.hexdigest()
+
+
+def dump_zones(out, zones, dead):
+    live = set(zones) - set(dead)
+    out.write(",".join(sorted(live)))
+    return len(live), sum(1 for z in live if z), ("us-east" in live)

@@ -1,0 +1,18 @@
+"""Positive fixture for D4: unordered set iteration feeding a digest,
+a join, and a TSV write."""
+
+import hashlib
+
+
+def digest_users(users):
+    active = {u.name for u in users if u.active}
+    h = hashlib.blake2b(digest_size=16)
+    for name in active:
+        h.update(name.encode())
+    return h.hexdigest()
+
+
+def dump_zones(out, zones, dead):
+    live = set(zones) - set(dead)
+    out.write(",".join(live))
+    out.writerow({z.upper() for z in zones})

@@ -1,0 +1,26 @@
+"""Negative fixture: the same call chain, but every RNG is constructed
+inside the callee from an argument-passed seed — fork-safe."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def draw(seed, x):
+    rng = np.random.default_rng(seed)
+    return rng.normal() + x
+
+
+def mid(seed, x):
+    return draw(seed, x) * 2.0
+
+
+def worker(task):
+    seed, x = task
+    return mid(seed, x) + 1.0
+
+
+def simulate(seed_seq, values):
+    tasks = [(child, x) for child, x in zip(seed_seq.spawn(len(values)), values)]
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, tasks))

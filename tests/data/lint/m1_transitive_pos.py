@@ -1,0 +1,27 @@
+"""Positive fixture: transitive fork-safety violation at depth 2.
+
+``worker`` itself captures nothing — but it calls ``mid``, which calls
+``draw``, which closes over the parent's ``rng``.  v1's per-file closure
+check cannot see this; the v2 call graph flags the submission with the
+``worker -> mid -> draw`` chain.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def simulate(seed, values):
+    rng = np.random.default_rng(seed)
+
+    def draw(x):
+        return rng.normal() + x
+
+    def mid(x):
+        return draw(x) * 2.0
+
+    def worker(x):
+        return mid(x) + 1.0
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, values))

@@ -1,0 +1,16 @@
+"""Mini fault ledger for the S2 negative pair — consistent with
+``snapshot_view.py``: every metadata-tier counter is surfaced there."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultStats:
+    shed_requests: int = 0
+    shard_rejections: int = 0
+    replica_reads: int = 0
+    failovers: int = 0
+
+    @property
+    def total_rejections(self) -> int:
+        return self.shed_requests + self.shard_rejections

@@ -1,0 +1,23 @@
+"""Mini telemetry module for the S2 negative pair — every ``stats.x``
+read names a real FaultStats member, every metadata-tier counter appears
+in DEFAULT_METADATA_AVAILABILITY, and every ``meta[...]`` read exists."""
+
+from fault_ledger import FaultStats
+
+DEFAULT_METADATA_AVAILABILITY = {
+    "shards": 4,
+    "replicas": 3,
+    "shard_rejections": 0,
+    "replica_reads": 0,
+}
+
+
+def reconcile(stats: FaultStats, meta=None):
+    meta = dict(DEFAULT_METADATA_AVAILABILITY) if meta is None else dict(meta)
+    meta["shard_rejections"] = meta["shard_rejections"] + stats.shard_rejections
+    meta["replica_reads"] = meta["replica_reads"] + stats.replica_reads
+    return meta
+
+
+def headline(stats: FaultStats) -> int:
+    return stats.total_rejections + stats.failovers

@@ -1,0 +1,22 @@
+"""Mini telemetry module for the S2 positive pair.
+
+Two drifts against ``stats_ledger.py``: ``stats.shard_rejection`` (typo —
+no such FaultStats member) and the ledger's ``stale_writes_refused``
+counter missing from DEFAULT_METADATA_AVAILABILITY.
+"""
+
+from stats_ledger import FaultStats
+
+DEFAULT_METADATA_AVAILABILITY = {
+    "shards": 4,
+    "replicas": 3,
+    "shard_rejections": 0,
+    "replica_reads": 0,
+}
+
+
+def reconcile(stats: FaultStats, meta=None):
+    meta = dict(DEFAULT_METADATA_AVAILABILITY) if meta is None else dict(meta)
+    meta["shard_rejections"] = meta["shard_rejections"] + stats.shard_rejection
+    meta["replica_reads"] = meta["replica_reads"] + stats.replica_reads
+    return meta

@@ -1,0 +1,19 @@
+"""Mini fault ledger for the S2 positive pair.
+
+``stale_writes_refused`` is a metadata-tier counter (``stale_*``) that the
+snapshot module next door never added to DEFAULT_METADATA_AVAILABILITY.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultStats:
+    shed_requests: int = 0
+    shard_rejections: int = 0
+    replica_reads: int = 0
+    stale_writes_refused: int = 0
+
+    @property
+    def total_rejections(self) -> int:
+        return self.shed_requests + self.shard_rejections

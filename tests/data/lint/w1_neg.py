@@ -1,0 +1,19 @@
+"""Negative fixture for W1: the safe spellings of default arguments."""
+
+from dataclasses import dataclass, field
+
+
+def append_event(event, log=None):
+    log = [] if log is None else log
+    log.append(event)
+    return log
+
+
+def merge_tags(base, extra=(), label=""):
+    return {**base, **dict(extra), "label": label}
+
+
+@dataclass
+class Batch:
+    items: list = field(default_factory=list)
+    limit: int = 16

@@ -1,0 +1,14 @@
+"""Positive fixture for W1: mutable default arguments."""
+
+
+def append_event(event, log=[]):
+    log.append(event)
+    return log
+
+
+def merge_tags(base, extra={}, seen=set()):
+    seen.update(extra)
+    return {**base, **extra}
+
+
+collect = lambda item, acc=[]: acc + [item]  # noqa: E731

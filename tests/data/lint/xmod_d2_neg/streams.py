@@ -1,0 +1,10 @@
+"""Module A of the cross-module provenance pair: the seed factory.
+
+Nothing here names a ``default_rng`` sink; it derives per-worker
+SeedSequence children from the run's root entropy.
+"""
+
+
+def stream_for(root, index):
+    children = root.spawn(index + 1)
+    return children[index]

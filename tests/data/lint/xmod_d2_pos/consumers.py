@@ -1,0 +1,11 @@
+"""Module B of the cross-module negative pair: the helper resolves, but
+its return value has no seed provenance, so the sink is still flagged —
+resolution must not launder arbitrary cross-module values into seeds."""
+
+import numpy as np
+
+from offsets import offset_for
+
+
+def build_generators(count):
+    return [np.random.default_rng(offset_for(i)) for i in range(count)]

@@ -1,0 +1,6 @@
+"""Module A of the cross-module *negative* provenance pair: the helper
+returns plain arithmetic — no seed anywhere in its dataflow."""
+
+
+def offset_for(index):
+    return index * 1000 + 7

@@ -1,0 +1,149 @@
+"""Tests for the reprolint incremental summary cache.
+
+The acceptance-critical property: a warm run re-analyzes *only* edited
+files (proven through the cache's hit/miss counters) while still running
+every project rule over the full facts set — cached findings are
+byte-identical to a cold run.  Invalidation is structural: content
+digests per file, a rule-set fingerprint for the whole cache, and a
+per-entry rule-subset check for ``--rules`` runs.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.devtools import SummaryCache, lint_paths
+from repro.devtools import registry
+from repro.devtools.cache import CACHE_FORMAT, ruleset_fingerprint
+
+DATA = Path(__file__).resolve().parent / "data" / "lint"
+
+#: A small tree with one D2 positive (a *project*-scope finding, so warm
+#: runs must reproduce it from cached facts alone) and two clean files.
+TREE_FILES = ("d2_pos.py", "d4_neg.py", "w1_neg.py")
+
+
+def make_tree(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    for name in TREE_FILES:
+        shutil.copy(DATA / name, tree / name)
+    return tree
+
+
+def test_cold_run_misses_warm_run_hits(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+
+    cold_cache = SummaryCache(cache_file)
+    cold = lint_paths([tree], cache=cold_cache)
+    assert (cold_cache.misses, cold_cache.hits) == (len(TREE_FILES), 0)
+    assert {f.rule for f in cold} == {"D2"}
+
+    warm_cache = SummaryCache(cache_file)
+    warm = lint_paths([tree], cache=warm_cache)
+    assert (warm_cache.misses, warm_cache.hits) == (0, len(TREE_FILES))
+    # Project-scope findings are recomputed from cached facts and match
+    # the cold run exactly.
+    assert warm == cold
+
+
+def test_edit_invalidates_only_the_edited_file(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    lint_paths([tree], cache=SummaryCache(cache_file))
+
+    victim = tree / "w1_neg.py"
+    victim.write_text(victim.read_text() + "\nEXTRA = 1\n")
+
+    warm_cache = SummaryCache(cache_file)
+    lint_paths([tree], cache=warm_cache)
+    assert warm_cache.misses == 1
+    assert warm_cache.hits == len(TREE_FILES) - 1
+
+
+def test_ruleset_version_bump_discards_cache(tmp_path, monkeypatch):
+    tree = make_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    lint_paths([tree], cache=SummaryCache(cache_file))
+    before = ruleset_fingerprint()
+
+    monkeypatch.setattr(registry, "RULESET_VERSION", registry.RULESET_VERSION + 1)
+    assert ruleset_fingerprint() != before
+
+    warm_cache = SummaryCache(cache_file)
+    lint_paths([tree], cache=warm_cache)
+    assert (warm_cache.misses, warm_cache.hits) == (len(TREE_FILES), 0)
+
+
+def test_corrupt_cache_file_is_treated_as_empty(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{definitely not json")
+
+    cache = SummaryCache(cache_file)
+    cold = lint_paths([tree], cache=cache)
+    assert cache.misses == len(TREE_FILES)
+
+    # The run repaired the file: the next one is fully warm.
+    warm_cache = SummaryCache(cache_file)
+    assert lint_paths([tree], cache=warm_cache) == cold
+    assert warm_cache.hits == len(TREE_FILES)
+
+
+def test_foreign_format_cache_is_discarded(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text(
+        json.dumps({"cache_format": CACHE_FORMAT + 1, "files": {"x": {}}})
+    )
+    cache = SummaryCache(cache_file)
+    lint_paths([tree], cache=cache)
+    assert cache.misses == len(TREE_FILES)
+
+
+def test_rule_subset_entries_do_not_satisfy_full_runs(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+
+    # Entries recorded under --rules D1 only ran the D1 file rule...
+    lint_paths([tree], rule_ids={"D1"}, cache=SummaryCache(cache_file))
+
+    # ...so a full run cannot reuse them.
+    full_cache = SummaryCache(cache_file)
+    lint_paths([tree], cache=full_cache)
+    assert (full_cache.misses, full_cache.hits) == (len(TREE_FILES), 0)
+
+    # The reverse direction is safe: full entries satisfy a subset run,
+    # and the findings are filtered down to the selection.
+    subset_cache = SummaryCache(cache_file)
+    findings = lint_paths([tree], rule_ids={"D1"}, cache=subset_cache)
+    assert (subset_cache.misses, subset_cache.hits) == (0, len(TREE_FILES))
+    assert findings == []
+
+
+def test_cached_syntax_error_still_reported(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "broken.py").write_text("def oops(:\n")
+    cache_file = tmp_path / "cache.json"
+
+    cold = lint_paths([tree], cache=SummaryCache(cache_file))
+    warm_cache = SummaryCache(cache_file)
+    warm = lint_paths([tree], cache=warm_cache)
+    assert warm_cache.hits == 1
+    assert warm == cold
+    assert {f.rule for f in warm} == {"E0"}
+
+
+def test_cache_write_is_atomic_and_valid_json(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    lint_paths([tree], cache=SummaryCache(cache_file))
+
+    payload = json.loads(cache_file.read_text())
+    assert payload["cache_format"] == CACHE_FORMAT
+    assert payload["fingerprint"] == ruleset_fingerprint()
+    assert len(payload["files"]) == len(TREE_FILES)
+    # No stray .tmp file left behind by the atomic rename.
+    assert not list(tmp_path.glob("*.tmp"))

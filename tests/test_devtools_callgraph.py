@@ -1,0 +1,221 @@
+"""Unit tests for the cross-module linking layer (``devtools.callgraph``)
+and the per-file summary extraction it consumes.
+
+These pin the machinery the project-scope rules are built on: module
+naming, call-reference resolution through imports / lexical scopes /
+instance methods, the returns-seedish fixpoint, the caller index, and
+the transitive RNG-closure witness with its explanatory chain.
+"""
+
+from pathlib import Path
+
+from repro.devtools import lint_paths
+from repro.devtools.callgraph import Project
+from repro.devtools.source import SourceFile
+from repro.devtools.summaries import extract_facts, module_name_for
+
+DATA = Path(__file__).resolve().parent / "data" / "lint"
+
+
+def facts_for(path: Path, text: str | None = None) -> dict:
+    if text is not None:
+        path.write_text(text)
+    return extract_facts(SourceFile.load(path, explicit=False))
+
+
+def project_from(*paths: Path) -> Project:
+    return Project([facts_for(p) for p in paths])
+
+
+# ----------------------------------------------------------------------
+# Module naming
+# ----------------------------------------------------------------------
+
+
+def test_module_name_walks_up_through_packages(tmp_path):
+    pkg = tmp_path / "pkg"
+    sub = pkg / "sub"
+    sub.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (sub / "__init__.py").write_text("")
+    mod = sub / "mod.py"
+    mod.write_text("")
+
+    assert module_name_for(mod) == "pkg.sub.mod"
+    assert module_name_for(sub / "__init__.py") == "pkg.sub"
+
+
+def test_module_name_for_loose_file_is_its_stem(tmp_path):
+    loose = tmp_path / "loose.py"
+    loose.write_text("")
+    assert module_name_for(loose) == "loose"
+
+
+# ----------------------------------------------------------------------
+# Reference resolution
+# ----------------------------------------------------------------------
+
+HELPERS_SRC = """\
+def make():
+    return 1
+
+
+class Tool:
+    def run(self):
+        return self.prep()
+
+    def prep(self):
+        return 0
+"""
+
+MAIN_SRC = """\
+import helpers
+from helpers import make
+
+
+def outer():
+    def inner():
+        return 0
+
+    return inner() + make() + helpers.make()
+
+
+def user():
+    tool = Tool()
+    return tool.run()
+
+
+from helpers import Tool  # noqa: E402  (import position is irrelevant here)
+"""
+
+
+def test_resolve_ref_all_forms(tmp_path):
+    helpers = tmp_path / "helpers.py"
+    main = tmp_path / "main.py"
+    helpers.write_text(HELPERS_SRC)
+    main.write_text(MAIN_SRC)
+    project = project_from(helpers, main)
+    hf = project.by_path[str(helpers)]
+    mf = project.by_path[str(main)]
+
+    def resolve(facts, qual, ref):
+        return project.resolve_ref(facts, qual, ref)
+
+    # Bare name through a from-import.
+    assert resolve(mf, "outer", {"kind": "dotted", "dotted": "make"}) == (
+        str(helpers), "make",
+    )
+    # Dotted module attribute.
+    assert resolve(mf, "outer", {"kind": "dotted", "dotted": "helpers.make"}) == (
+        str(helpers), "make",
+    )
+    # Bare name through the lexical scope chain (innermost first).
+    assert resolve(mf, "outer", {"kind": "dotted", "dotted": "inner"}) == (
+        str(main), "outer.inner",
+    )
+    # Method on an imported, locally constructed class.
+    assert resolve(mf, "user", {"kind": "method", "cls": "Tool", "attr": "run"}) == (
+        str(helpers), "Tool.run",
+    )
+    # self-call within the defining class.
+    assert resolve(hf, "Tool.run", {"kind": "method", "cls": "Tool", "attr": "prep"}) == (
+        str(helpers), "Tool.prep",
+    )
+    # Unresolvable names resolve to None, never to a wrong target.
+    assert resolve(mf, "outer", {"kind": "dotted", "dotted": "nowhere"}) is None
+    assert resolve(mf, "outer", None) is None
+
+
+def test_caller_index_finds_cross_module_call_sites(tmp_path):
+    helpers = tmp_path / "helpers.py"
+    main = tmp_path / "main.py"
+    helpers.write_text(HELPERS_SRC)
+    main.write_text(MAIN_SRC)
+    project = project_from(helpers, main)
+
+    callers = project.callers((str(helpers), "make"))
+    # ``make`` is called twice from ``outer`` (bare and dotted form).
+    assert [(f["path"], qual) for f, qual, _ in callers] == [
+        (str(main), "outer"), (str(main), "outer"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Returns-seedish fixpoint
+# ----------------------------------------------------------------------
+
+
+def test_returns_seedish_chains_across_modules(tmp_path):
+    a = tmp_path / "seedsrc.py"
+    a.write_text(
+        "def leaf(root, index):\n"
+        "    children = root.spawn(index + 1)\n"
+        "    return children[index]\n"
+    )
+    b = tmp_path / "relay.py"
+    b.write_text(
+        "from seedsrc import leaf\n"
+        "\n"
+        "def via(root, i):\n"
+        "    return leaf(root, i)\n"
+        "\n"
+        "def opaque(i):\n"
+        "    return i * 3\n"
+    )
+    project = project_from(a, b)
+    assert project.returns_seedish((str(a), "leaf"))
+    # One hop across the module boundary.
+    assert project.returns_seedish((str(b), "via"))
+    assert not project.returns_seedish((str(b), "opaque"))
+
+
+def test_d2_flags_bad_caller_at_call_site_via_parameter(tmp_path):
+    """The caller-chasing direction: a factory whose parameter feeds
+    default_rng() is judged at each call site, not at the definition."""
+    (tmp_path / "factory.py").write_text(
+        "import numpy as np\n"
+        "\n"
+        "def make_rng(base, offset):\n"
+        "    return np.random.default_rng(base + offset)\n"
+    )
+    (tmp_path / "callers.py").write_text(
+        "from factory import make_rng\n"
+        "\n"
+        "def build_bad(n):\n"
+        "    return [make_rng(i, 3) for i in range(n)]\n"
+        "\n"
+        "def build_good(seed_seq, n):\n"
+        "    kids = seed_seq.spawn(n)\n"
+        "    return [make_rng(kids[i], 3) for i in range(n)]\n"
+    )
+    findings = lint_paths([tmp_path])
+    assert {f.rule for f in findings} == {"D2"}
+    (finding,) = findings
+    assert finding.path.endswith("callers.py")
+    assert "via parameter 'base' of make_rng()" in finding.message
+
+
+# ----------------------------------------------------------------------
+# RNG-closure witness
+# ----------------------------------------------------------------------
+
+
+def test_rng_witness_reports_transitive_chain():
+    project = project_from(DATA / "m1_transitive_pos.py")
+    path = str(DATA / "m1_transitive_pos.py")
+
+    direct = project.rng_witness((path, "simulate.draw"))
+    assert direct == ([], ["rng"])
+
+    transitive = project.rng_witness((path, "simulate.worker"))
+    assert transitive == (["mid", "draw"], ["rng"])
+
+    # ``simulate`` constructs the rng locally — it does not capture it.
+    assert project.rng_witness((path, "simulate")) is None
+
+
+def test_rng_witness_clean_for_argument_passing_workers():
+    project = project_from(DATA / "m1_transitive_neg.py")
+    path = str(DATA / "m1_transitive_neg.py")
+    for qual in ("draw", "mid", "worker"):
+        assert project.rng_witness((path, qual)) is None

@@ -26,11 +26,28 @@ POSITIVE = [
     ("d1_pos.py", "D1"),
     ("d2_pos.py", "D2"),
     ("d3_pos.py", "D3"),
+    ("d4_pos.py", "D4"),
     ("f1_pos.py", "F1"),
     ("m1_pos.py", "M1"),
+    ("m1_transitive_pos.py", "M1"),
     ("s1_pos", "S1"),
+    ("s2_pos", "S2"),
+    ("w1_pos.py", "W1"),
+    ("xmod_d2_pos", "D2"),
 ]
-NEGATIVE = ["d1_neg.py", "d2_neg.py", "d3_neg.py", "f1_neg.py", "m1_neg.py", "s1_neg"]
+NEGATIVE = [
+    "d1_neg.py",
+    "d2_neg.py",
+    "d3_neg.py",
+    "d4_neg.py",
+    "f1_neg.py",
+    "m1_neg.py",
+    "m1_transitive_neg.py",
+    "s1_neg",
+    "s2_neg",
+    "w1_neg.py",
+    "xmod_d2_neg",
+]
 
 
 def rule_ids(findings):
@@ -42,11 +59,19 @@ def rule_ids(findings):
 # ----------------------------------------------------------------------
 
 
-def test_all_six_rules_registered():
+def test_all_nine_rules_registered():
     registry = load_builtin_rules()
-    assert set(registry) >= {"D1", "D2", "D3", "S1", "M1", "F1"}
+    assert set(registry) >= {
+        "D1", "D2", "D3", "D4", "S1", "S2", "M1", "F1", "W1",
+    }
     assert registry["S1"].scope == "project"
+    # D2 and M1 graduated from file scope to project scope in v2.
+    assert registry["D2"].scope == "project"
+    assert registry["M1"].scope == "project"
+    assert registry["S2"].scope == "project"
+    assert registry["D4"].scope == "file"
     assert registry["F1"].severity is Severity.WARNING
+    assert registry["W1"].severity is Severity.WARNING
 
 
 # ----------------------------------------------------------------------
@@ -80,12 +105,63 @@ def test_shipped_tree_is_clean():
 
 
 # ----------------------------------------------------------------------
+# Cross-module provenance and transitive fork safety (the v2 tentpole)
+# ----------------------------------------------------------------------
+
+
+def test_d2_cross_module_provenance():
+    # Linted together, the call graph proves the helper in streams.py
+    # returns a SeedSequence child: the consumer's sink is clean.
+    assert lint_paths([DATA / "xmod_d2_neg"]) == []
+    # The v1 per-file view cannot prove that: the same consumer linted
+    # alone (helper module out of scope) is conservatively flagged.
+    findings = lint_paths([DATA / "xmod_d2_neg" / "consumers.py"])
+    assert rule_ids(findings) == {"D2"}
+    assert "stream_for" in findings[0].message
+    # Resolution must not launder arbitrary values: a helper that
+    # resolves fine but has no seed in its dataflow stays flagged.
+    assert rule_ids(lint_paths([DATA / "xmod_d2_pos"])) == {"D2"}
+
+
+def test_m1_transitive_chain_reported():
+    (finding,) = lint_paths([DATA / "m1_transitive_pos.py"])
+    assert finding.rule == "M1"
+    assert "transitively closes over RNG state" in finding.message
+    # The rule names the route from the submitted worker to the capture.
+    assert "worker -> mid -> draw" in finding.message
+
+
+# ----------------------------------------------------------------------
 # Suppressions, baselines, JSON round trip
 # ----------------------------------------------------------------------
 
 
 def test_inline_suppressions_mute_findings():
     assert lint_paths([DATA / "suppressed.py"]) == []
+
+
+def test_suppression_covers_multiline_statement(tmp_path):
+    victim = tmp_path / "multiline.py"
+    victim.write_text(
+        "import time\n"
+        "NOW = time.time(\n"
+        ")  # reprolint: disable=D1\n"
+    )
+    # The comment sits on the statement's last line; the finding is
+    # reported at the first.  The whole span is covered.
+    assert lint_paths([victim]) == []
+
+
+def test_suppression_on_compound_header_does_not_cover_body(tmp_path):
+    victim = tmp_path / "block.py"
+    victim.write_text(
+        "import time\n"
+        "if True:  # reprolint: disable=D1\n"
+        "    NOW = time.time()\n"
+    )
+    # Widening stops at simple statements: a disable comment on an
+    # ``if`` header must not silence the whole block.
+    assert rule_ids(lint_paths([victim])) == {"D1"}
 
 
 def test_suppression_is_rule_specific(tmp_path):
@@ -109,6 +185,26 @@ def test_baseline_filters_known_findings(tmp_path):
     # A fresh violation still gates even with the baseline loaded.
     assert main(["lint", str(DATA / "d3_pos.py"),
                  "--baseline", str(baseline)]) == 1
+
+
+def test_baseline_with_unknown_rule_ids_tolerated(tmp_path):
+    target = DATA / "f1_pos.py"
+    entries = [f.to_dict() for f in lint_paths([target])]
+    # A baseline may carry entries for rules that no longer exist (the
+    # rule was retired, or the file came from a newer reprolint).
+    entries.append(
+        {
+            "rule": "Z9",
+            "path": "gone.py",
+            "line": 1,
+            "col": 0,
+            "severity": "error",
+            "message": "finding from a retired rule",
+        }
+    )
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(entries))
+    assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
 
 
 def test_unreadable_baseline_is_usage_error(tmp_path, capsys):
@@ -148,6 +244,22 @@ def test_cli_reports_rule_ids_on_positives(capsys):
 def test_cli_missing_path_is_usage_error(tmp_path, capsys):
     assert main(["lint", str(tmp_path / "nope.py")]) == 2
     assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_unknown_rule_id_is_usage_error(capsys):
+    assert main(["lint", str(DATA / "f1_neg.py"), "--rules", "D1,ZZ9",
+                 "--no-cache"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_rule_count_reflects_selection(capsys):
+    target = str(DATA / "f1_neg.py")
+    assert main(["lint", target, "--rules", "D1,M1", "--no-cache"]) == 0
+    assert "clean (2 rule(s))" in capsys.readouterr().out
+    # Without a selection the full registry count is reported.
+    assert main(["lint", target, "--no-cache"]) == 0
+    n_rules = len(load_builtin_rules())
+    assert f"clean ({n_rules} rule(s))" in capsys.readouterr().out
 
 
 def test_unparseable_file_is_e0_finding(tmp_path):
@@ -202,8 +314,64 @@ def test_s1_fails_when_columnar_drops_a_column(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# S2 against the real telemetry/faults pair
+# ----------------------------------------------------------------------
+
+
+def _copy_telemetry_pair(tmp_path):
+    shutil.copy(SHIPPED / "faults.py", tmp_path / "faults.py")
+    shutil.copy(SHIPPED / "service" / "telemetry.py", tmp_path / "telemetry.py")
+
+
+def test_s2_clean_on_faithful_telemetry_pair(tmp_path):
+    _copy_telemetry_pair(tmp_path)
+    assert lint_paths([tmp_path]) == []
+
+
+def test_s2_fails_when_ledger_grows_unmapped_counter(tmp_path):
+    """A metadata-tier counter added to FaultStats but not to the
+    snapshot's DEFAULT_METADATA_AVAILABILITY shape must fail review."""
+    _copy_telemetry_pair(tmp_path)
+    faults_path = tmp_path / "faults.py"
+    text = faults_path.read_text()
+    anchor = "    failover_reads: int = 0\n"
+    assert text.count(anchor) == 1, "FaultStats layout changed; update test"
+    faults_path.write_text(
+        text.replace(anchor, anchor + "    stale_writes_refused: int = 0\n")
+    )
+
+    findings = lint_paths([tmp_path])
+    assert rule_ids(findings) == {"S2"}
+    (finding,) = findings
+    assert finding.path.endswith("telemetry.py")
+    assert "stale_writes_refused" in finding.message
+    assert "DEFAULT_METADATA_AVAILABILITY" in finding.message
+
+
+# ----------------------------------------------------------------------
 # Traversal semantics
 # ----------------------------------------------------------------------
+
+
+def test_explicit_non_py_target_is_linted(tmp_path):
+    script = tmp_path / "runme"  # no .py suffix
+    script.write_text("import time\nNOW = time.time()\n")
+    assert rule_ids(lint_paths([script])) == {"D1"}
+
+
+def test_overlapping_and_symlinked_targets_dedupe(tmp_path):
+    real = tmp_path / "real"
+    real.mkdir()
+    victim = real / "victim.py"
+    victim.write_text("import time\nNOW = time.time()\n")
+    link = tmp_path / "link"
+    link.symlink_to(real, target_is_directory=True)
+
+    # The same file reached four ways (directly, via its directory, via a
+    # symlinked directory, and via the parent) yields exactly one finding.
+    findings = lint_paths([real, link, victim, tmp_path])
+    assert len(findings) == 1
+    assert findings[0].rule == "D1"
 
 
 def test_f1_exempts_walked_tests_dirs_but_not_explicit_files(tmp_path):
@@ -256,3 +424,10 @@ def test_unknown_rule_id_rejected():
 def test_rule_subset_selection():
     findings = lint_paths([DATA / "d1_pos.py"], rule_ids={"D3"})
     assert findings == []
+
+
+def test_whole_repo_is_clean():
+    """The acceptance gate: src, tests and benchmarks all pass with the
+    full v2 rule set (fixture trees under data/ are skipped by design)."""
+    findings = lint_paths([SHIPPED, REPO / "tests", REPO / "benchmarks"])
+    assert findings == [], [f.render() for f in findings]
