@@ -1,0 +1,7 @@
+"""Benchmark R6 — fault-aware autoscaling in the chaos-coupled live loop."""
+
+from repro.experiments import r6_autoscaler
+
+
+def test_r6_autoscaler(experiment):
+    experiment(r6_autoscaler)

@@ -18,6 +18,10 @@ Subcommands
     Open-loop traffic replay: fire a synthetic trace at the cluster on a
     speed-multiplied or rate-targeted schedule and print the latency/
     shed-rate telemetry dashboard (see ``docs/TELEMETRY.md``).
+``autoscale``
+    Chaos-coupled autoscaling loop: drive a fleet controller window by
+    window against the live service under a chosen fault regime and
+    print the fleet trajectory, SLO tally and a determinism digest.
 ``lint``
     Run reprolint, the determinism/schema static-analysis pass, over the
     given paths (see ``docs/STATIC_ANALYSIS.md``).
@@ -409,6 +413,83 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_autoscale(args: argparse.Namespace) -> int:
+    """Run the chaos-coupled autoscaling loop once and print the outcome.
+
+    Prints one line per window plus a final ``autoscale digest:`` line so
+    CI can assert two invocations are byte-identical (autoscaler-smoke
+    job).  ``--json PATH`` additionally writes the fleet-trajectory JSON
+    artifact.
+    """
+    from pathlib import Path
+
+    from .experiments.r6_autoscaler import (
+        FRONTEND_CAPACITY,
+        MEAN_SIZE,
+        PEAK_OPS,
+        R6_POLICY,
+        R6_RETRY_POLICY,
+        SLO_SHED,
+        WINDOW_SECONDS,
+        build_faults,
+    )
+    from .service.autoscaler import (
+        diurnal_autoscale_workload,
+        run_autoscaled_service,
+    )
+
+    if args.windows < 1:
+        print(f"--windows must be >= 1, got {args.windows}", file=sys.stderr)
+        return 2
+    workload = diurnal_autoscale_workload(
+        args.windows,
+        window_seconds=WINDOW_SECONDS,
+        peak_ops=PEAK_OPS,
+        mean_size=MEAN_SIZE,
+        seed=args.seed,
+    )
+    run = run_autoscaled_service(
+        workload,
+        R6_POLICY,
+        strategy=args.strategy,
+        faults=build_faults(args.regime, workload.horizon),
+        fault_seed=args.fault_seed,
+        frontend_capacity=FRONTEND_CAPACITY,
+        retry_policy=R6_RETRY_POLICY,
+        slo_shed=SLO_SHED,
+    )
+    print(
+        f"autoscale: strategy={run.strategy} regime={args.regime} "
+        f"windows={workload.n_windows} fault-seed={args.fault_seed}"
+    )
+    for w in run.windows:
+        flags = "".join(
+            flag for flag, on in (
+                ("V", w.violation), ("U", w.underprovisioned)
+            ) if on
+        )
+        print(
+            f"  w{w.window:03d} fleet={w.fleet:3d} offered={w.offered:3d} "
+            f"shed={w.shed_rate:6.1%} down={w.down_fraction:6.1%} "
+            f"{flags}"
+        )
+    print(
+        f"  server-hours={run.server_hours} "
+        f"violations={run.violation_windows}/{workload.n_windows} "
+        f"underprovisioned={run.underprovisioned_windows} "
+        f"aborted={run.aborted} reconciled={run.reconciled}"
+    )
+    if args.json:
+        Path(args.json).write_text(run.trajectory_json(), encoding="utf-8")
+        print(f"  trajectory written to {args.json}")
+    print(f"autoscale digest: {run.log_digest}")
+    if not run.reconciled:
+        print("FAIL: telemetry did not reconcile with FaultStats",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_paper_scale(args: argparse.Namespace) -> int:
     """Streaming columnar pipeline: generate → merge → analyze, bounded RAM.
 
@@ -675,6 +756,29 @@ def build_parser() -> argparse.ArgumentParser:
     paper.add_argument("--json", action="store_true",
                        help="emit the summary as JSON")
     paper.set_defaults(func=_cmd_paper_scale)
+
+    auto = sub.add_parser(
+        "autoscale",
+        help="chaos-coupled autoscaling loop (R6 configuration)",
+    )
+    auto.add_argument("--strategy",
+                      choices=("static", "reactive", "fault-aware",
+                               "predictive", "oracle"),
+                      default="fault-aware",
+                      help="fleet controller to drive the loop with")
+    auto.add_argument("--regime",
+                      choices=("fault-free", "independent", "correlated"),
+                      default="correlated",
+                      help="fault regime to deploy under the fleet")
+    auto.add_argument("--windows", type=int, default=48,
+                      help="number of windows to simulate")
+    auto.add_argument("--seed", type=int, default=0,
+                      help="workload seed")
+    auto.add_argument("--fault-seed", type=int, default=3,
+                      help="fault-plan master seed")
+    auto.add_argument("--json", metavar="FILE", default=None,
+                      help="also write the fleet-trajectory JSON artifact")
+    auto.set_defaults(func=_cmd_autoscale)
 
     lint = sub.add_parser(
         "lint",

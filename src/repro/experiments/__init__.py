@@ -36,6 +36,7 @@ from . import (
     r3_correlated_failures,
     r4_open_loop,
     r5_partial_unavailability,
+    r6_autoscaler,
     recovery,
     s1_session_classes,
     table3_user_types,
@@ -76,6 +77,7 @@ ALL_EXPERIMENTS = (
     r3_correlated_failures,
     r4_open_loop,
     r5_partial_unavailability,
+    r6_autoscaler,
 )
 
 

@@ -312,6 +312,23 @@ class FaultStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def copy(self) -> "FaultStats":
+        """An independent snapshot of the current counters."""
+        return FaultStats(**self.as_dict())
+
+    def delta(self, since: "FaultStats") -> "FaultStats":
+        """Counters accrued since the ``since`` snapshot.
+
+        The autoscaling loop shares one plan (one ledger) across many
+        windows; each window's books are ``plan.stats.delta(snapshot)``
+        against a :meth:`copy` taken at the window boundary, and those
+        deltas reconcile exactly against that window's telemetry.
+        """
+        return FaultStats(**{
+            f.name: getattr(self, f.name) - getattr(since, f.name)
+            for f in fields(self)
+        })
+
     def as_dict(self) -> dict[str, float]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
@@ -630,6 +647,36 @@ class FaultPlan:
             else:
                 merged.append(window)
         return tuple(merged)
+
+    def down_fraction(
+        self, start: float, end: float, *, n_frontends: int | None = None
+    ) -> float:
+        """Time-averaged fraction of the fleet inside crash windows.
+
+        Pure window arithmetic over :meth:`effective_crash_windows`
+        (residual and zone-level downtime merged) for the first
+        ``n_frontends`` servers — the *active* fleet, when an autoscaler
+        runs a prefix of the plan's capacity — over ``[start, end)``.
+        This is the concurrent-down pressure signal the fault-aware
+        controller compensates for; 0.12 means 12% of fleet-seconds in
+        the interval were spent down.
+        """
+        if end <= start:
+            raise ValueError("need end > start")
+        n = self.n_frontends if n_frontends is None else n_frontends
+        if not 1 <= n <= self.n_frontends:
+            raise ValueError(
+                f"n_frontends must be in [1, {self.n_frontends}], got {n}"
+            )
+        down_seconds = 0.0
+        for fid in range(n):
+            for window in self.effective_crash_windows(fid):
+                if window.start >= end:
+                    break
+                down_seconds += max(
+                    0.0, min(window.end, end) - max(window.start, start)
+                )
+        return down_seconds / (n * (end - start))
 
     # -- metadata-outage overload coupling ------------------------------
 

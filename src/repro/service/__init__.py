@@ -18,11 +18,25 @@ from ..faults import (
 )
 
 from .autoscaler import (
+    AutoscaleOp,
+    AutoscaleRun,
+    AutoscaleWorkload,
     AutoscalerPolicy,
+    FaultAwareController,
+    FleetController,
+    OracleController,
+    PredictiveController,
     ProvisioningOutcome,
+    StaticController,
+    WindowOutcome,
+    WindowSignals,
     compare_strategies,
+    diurnal_autoscale_workload,
+    make_controller,
     oracle_provisioning,
+    predictive_provisioning,
     reactive_provisioning,
+    run_autoscaled_service,
     static_provisioning,
 )
 from .cache import CacheStats, LfuCache, LruCache
@@ -44,6 +58,7 @@ from .replay import (
     synthetic_replay_trace,
 )
 from .telemetry import (
+    FaultPressure,
     LatencySeries,
     P2Quantile,
     SloPolicy,
@@ -53,21 +68,29 @@ from .telemetry import (
 )
 
 __all__ = [
+    "AutoscaleOp",
+    "AutoscaleRun",
+    "AutoscaleWorkload",
     "AutoscalerPolicy",
     "CacheStats",
     "ClientNetwork",
     "DedupDecision",
+    "FaultAwareController",
     "FaultConfig",
     "FaultPlan",
+    "FaultPressure",
     "FaultStats",
     "FileManifest",
+    "FleetController",
     "FrontendServer",
     "LatencySeries",
     "LfuCache",
     "LruCache",
     "MetadataServer",
     "MetadataUnavailableError",
+    "OracleController",
     "P2Quantile",
+    "PredictiveController",
     "ProvisioningOutcome",
     "READ_POLICIES",
     "ReplayOp",
@@ -79,6 +102,7 @@ __all__ = [
     "ShardedMetadataTier",
     "SloPolicy",
     "SloThreshold",
+    "StaticController",
     "StorageClient",
     "Strategy",
     "StoredFile",
@@ -87,17 +111,23 @@ __all__ = [
     "TransferModel",
     "TransferReport",
     "UploadAccounting",
+    "WindowOutcome",
+    "WindowSignals",
     "ZoneConfig",
     "build_manifest",
     "chunk_sizes",
     "compare_strategies",
     "content_md5",
+    "diurnal_autoscale_workload",
     "frontend_for",
+    "make_controller",
     "natural_rate",
     "oracle_provisioning",
+    "predictive_provisioning",
     "reactive_provisioning",
     "replay_trace",
     "resolve_speedup",
+    "run_autoscaled_service",
     "schedule_arrivals",
     "shard_for",
     "stable_placement",

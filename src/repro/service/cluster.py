@@ -56,6 +56,14 @@ class ServiceCluster:
         Degraded-mode knob: per-front-end in-flight request limit before
         load shedding kicks in (``None`` disables shedding).  Only active
         when a fault plan is deployed.
+    shared_fault_plan:
+        A prebuilt :class:`~repro.faults.FaultPlan` to deploy instead of
+        building one from ``faults``.  The autoscaling loop uses this to
+        share one plan — schedules, pressure state and the stats ledger —
+        across a sequence of differently-sized clusters: the plan must
+        cover at least ``n_frontends`` servers, and a cluster deployed
+        this way uses the plan's schedules for its first ``n_frontends``
+        front-ends.  Mutually exclusive with ``faults``.
     metadata_shards, metadata_replicas, read_policy:
         Sharded metadata tier shape and read semantics (see
         :mod:`repro.service.metatier`).  At the default ``(1, 0)`` the
@@ -74,6 +82,7 @@ class ServiceCluster:
     metadata_shards: int = 1
     metadata_replicas: int = 0
     read_policy: str = "primary-only"
+    shared_fault_plan: FaultPlan | None = None
     metadata: MetadataServer | ShardedMetadataTier = field(init=False)
     frontends: list[FrontendServer] = field(init=False)
     fault_plan: FaultPlan | None = field(init=False, default=None)
@@ -85,7 +94,27 @@ class ServiceCluster:
                 f"got {self.read_policy!r}"
             )
         sharded = (self.metadata_shards, self.metadata_replicas) != (1, 0)
-        if self.faults is not None:
+        if self.shared_fault_plan is not None:
+            if self.faults is not None:
+                raise ValueError(
+                    "pass either faults or shared_fault_plan, not both"
+                )
+            if self.shared_fault_plan.n_frontends < self.n_frontends:
+                raise ValueError(
+                    "shared_fault_plan covers "
+                    f"{self.shared_fault_plan.n_frontends} front-ends, "
+                    f"cluster needs {self.n_frontends}"
+                )
+            if (
+                self.shared_fault_plan.n_metadata_shards,
+                self.shared_fault_plan.n_metadata_replicas,
+            ) != (self.metadata_shards, self.metadata_replicas):
+                raise ValueError(
+                    "shared_fault_plan metadata-tier shape does not "
+                    "match the cluster's"
+                )
+            self.fault_plan = self.shared_fault_plan
+        elif self.faults is not None:
             self.fault_plan = FaultPlan(
                 self.faults,
                 n_frontends=self.n_frontends,
@@ -191,6 +220,19 @@ class ServiceCluster:
         return sum(
             plan.frontend_down(fid, t) for fid in range(self.n_frontends)
         )
+
+    def down_fraction(self, start: float, end: float) -> float:
+        """Time-averaged fraction of *this* fleet down over ``[start, end)``.
+
+        Delegates to :meth:`~repro.faults.FaultPlan.down_fraction` for
+        the cluster's active front-ends; 0.0 for a fault-free cluster.
+        The autoscaling loop reads this per window as the concurrent-down
+        pressure signal.
+        """
+        plan = self.fault_plan
+        if plan is None or not plan.enabled:
+            return 0.0
+        return plan.down_fraction(start, end, n_frontends=self.n_frontends)
 
     @property
     def requests_ok(self) -> int:

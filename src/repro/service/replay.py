@@ -188,7 +188,12 @@ def resolve_speedup(
         raise ValueError("rate must be positive")
     base = natural_rate(trace)
     if base <= 0:
-        raise ValueError("rate targeting needs a trace spanning > 0 seconds")
+        # Single-op and zero-span traces make natural_rate() 0.0; dividing
+        # through would be a ZeroDivisionError with no hint at the cause.
+        raise ValueError(
+            "trace has no measurable rate (it needs >= 2 operations "
+            "spanning > 0 seconds); pass speedup instead of rate"
+        )
     return rate / base
 
 

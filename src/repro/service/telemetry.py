@@ -406,6 +406,27 @@ class _WindowCounters:
         self.bytes = 0
 
 
+@dataclass(frozen=True)
+class FaultPressure:
+    """The request-level pressure signals a fault-aware consumer reads.
+
+    A compact, frozen view of one collector's tallies — what the
+    autoscaler's fault-aware controller consumes per window (alongside
+    the fault ledger's ``pressure_sheds`` delta and the plan's
+    concurrent-down fraction).  Not part of the snapshot schema.
+    """
+
+    requests: int
+    sheds: int
+    failed: int
+    shed_rate: float
+    failure_rate: float
+
+    def shedding(self, shed_alert: float) -> bool:
+        """Whether the shed-rate breached the given alert threshold."""
+        return self.shed_rate > shed_alert
+
+
 class TelemetryCollector:
     """Accumulates operation latencies and per-record request counters.
 
@@ -505,6 +526,19 @@ class TelemetryCollector:
     def failure_rate(self) -> float:
         failed = self.total_requests - self._result_counts[ResultCode.OK]
         return _rate(failed, self.total_requests)
+
+    def fault_pressure(self) -> FaultPressure:
+        """Freeze the current request tallies into a :class:`FaultPressure`."""
+        total = self.total_requests
+        sheds = self._result_counts[ResultCode.SHED]
+        failed = total - self._result_counts[ResultCode.OK]
+        return FaultPressure(
+            requests=total,
+            sheds=sheds,
+            failed=failed,
+            shed_rate=_rate(sheds, total),
+            failure_rate=_rate(failed, total),
+        )
 
     def reconcile(self, stats: FaultStats) -> dict:
         """Cross-check record tallies against the fault plan's ledger.

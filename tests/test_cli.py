@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -168,3 +170,31 @@ def test_paper_scale_rejects_bad_arguments(capsys):
     assert main(["paper-scale", "--users", "0"]) == 2
     assert main(["paper-scale", "--users", "10", "--block-rows", "0"]) == 2
     capsys.readouterr()
+
+
+def test_autoscale_trajectory_and_determinism(tmp_path, capsys):
+    traj = tmp_path / "trajectory.json"
+    args = ["autoscale", "--windows", "6", "--strategy", "fault-aware",
+            "--json", str(traj)]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "autoscale digest:" in first
+    assert "server-hours=" in first
+    assert traj.exists()
+    doc = json.loads(traj.read_text())
+    assert doc["strategy"] == "fault-aware"
+    assert len(doc["windows"]) == 6
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert first == second  # byte-identical double run
+
+
+def test_autoscale_fault_free_regime(capsys):
+    assert main(["autoscale", "--windows", "4", "--strategy", "reactive",
+                 "--regime", "fault-free"]) == 0
+    out = capsys.readouterr().out
+    assert "violations=0/4" in out
+
+
+def test_autoscale_rejects_bad_arguments(capsys):
+    assert main(["autoscale", "--windows", "0"]) == 2

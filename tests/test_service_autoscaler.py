@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.service.autoscaler import (
     AutoscalerPolicy,
@@ -115,3 +117,167 @@ class TestReactiveBootstrap:
         outcome = reactive_provisioning(np.full(5, 1000.0), policy)
         # Steady state is 13 servers/hour; hour 0 must agree exactly.
         assert outcome.server_hours == 13 * 5
+
+
+class TestEpsilonCeiling:
+    """Satellite regression: float division landing a hair above an
+    integer must not buy a phantom server (math.ceil(2.1/0.7) == 4)."""
+
+    def test_raw_float_ceiling_is_the_trap(self):
+        import math
+        # The bug being guarded against: 2.1/0.7 = 3.0000000000000004.
+        assert math.ceil(2.1 / 0.7) == 4
+
+    def test_int_ceil_absorbs_the_representation_error(self):
+        from repro.service.autoscaler import _int_ceil
+        assert _int_ceil(2.1 / 0.7) == 3
+        assert _int_ceil(3.0) == 3
+        assert _int_ceil(3.2) == 4
+        assert _int_ceil(0.0) == 0
+
+    @pytest.mark.parametrize("provision", [
+        static_provisioning, reactive_provisioning, oracle_provisioning,
+    ])
+    def test_2_1_over_0_7_across_all_three_strategies(self, provision):
+        policy = AutoscalerPolicy(capacity_per_server=0.7, headroom=1.0,
+                                  scale_down_cooldown=0)
+        outcome = provision(np.full(4, 2.1), policy)
+        # Exactly 3 servers per hour, never the off-by-one 4.
+        assert outcome.server_hours == 3 * 4
+        assert outcome.underprovisioned_hours == 0
+        assert set(outcome.trajectory) == {3}
+
+
+class TestCooldownPlateauSemantics:
+    """Satellite regression: plateau hours (target == fleet) count toward
+    the scale-down streak but never themselves shrink the fleet."""
+
+    def test_plateau_counts_toward_the_streak(self):
+        # Decline to a plateau at the current fleet, then strictly below.
+        # cooldown=2: the two plateau hours must satisfy the streak, so
+        # the first strictly-below hour fires the scale-down.
+        policy = AutoscalerPolicy(capacity_per_server=100.0, headroom=1.0,
+                                  scale_down_cooldown=2)
+        profile = np.array([300.0, 300.0, 300.0, 100.0, 100.0])
+        outcome = reactive_provisioning(profile, policy)
+        # Hours 1-2 target 3 == fleet (streak 1, 2), hour 3 target 3
+        # (follows load[2]=300; streak 3), hour 4 target 1 < fleet with
+        # streak > cooldown -> scale down fires at hour 4.
+        assert outcome.trajectory == (3, 3, 3, 3, 1)
+
+    def test_plateau_reset_would_postpone_scale_down(self):
+        # The old buggy semantics (reset on plateau) would keep the fleet
+        # at 3 forever on this profile; the fixed streak fires exactly
+        # one cooldown after the decline becomes visible.
+        policy = AutoscalerPolicy(capacity_per_server=100.0, headroom=1.0,
+                                  scale_down_cooldown=1)
+        profile = np.array([300.0, 250.0, 280.0, 250.0, 280.0, 100.0, 100.0])
+        outcome = reactive_provisioning(profile, policy)
+        # Targets from hour 1: 3, 3, 3, 3, 3, 1 -- all plateaus until the
+        # last; streak grows through the plateaus, so the strictly-below
+        # hour 6 scales down immediately.
+        assert outcome.trajectory[-1] == 1
+
+    def test_plateau_never_shrinks_the_fleet(self):
+        policy = AutoscalerPolicy(capacity_per_server=100.0, headroom=1.0,
+                                  scale_down_cooldown=0)
+        outcome = reactive_provisioning(np.full(6, 300.0), policy)
+        assert set(outcome.trajectory) == {3}
+
+
+class TestPredictiveClosedForm:
+    def test_degenerates_to_reactive_before_one_cycle(self):
+        from repro.service.autoscaler import predictive_provisioning
+        policy = AutoscalerPolicy(capacity_per_server=100.0, headroom=1.0,
+                                  scale_down_cooldown=0, period=24)
+        profile = np.array([100.0, 400.0, 200.0])
+        predictive = predictive_provisioning(profile, policy)
+        reactive = reactive_provisioning(profile, policy)
+        # With < one period of history the forecast is the last
+        # observation -- identical to the reactive follower (and no
+        # cooldown on either side here).
+        assert predictive.trajectory == reactive.trajectory
+
+    def test_anticipates_the_second_day_ramp(self):
+        from repro.service.autoscaler import predictive_provisioning
+        policy = AutoscalerPolicy(capacity_per_server=100.0, headroom=1.0,
+                                  scale_down_cooldown=0, period=4)
+        day = [100.0, 800.0, 800.0, 100.0]
+        profile = np.array(day * 3)
+        predictive = predictive_provisioning(profile, policy)
+        reactive = reactive_provisioning(profile, policy)
+        # Reactive under-provisions every ramp hour; predictive only the
+        # first day's (after that the seasonal forecast sees it coming).
+        assert predictive.underprovisioned_hours < reactive.underprovisioned_hours
+
+    def test_guardrail_falls_back_on_noisy_history(self):
+        from repro.service.autoscaler import predictive_provisioning
+        policy = AutoscalerPolicy(capacity_per_server=100.0, headroom=1.0,
+                                  scale_down_cooldown=0, period=2,
+                                  forecast_guardrail=0.05)
+        # Anti-periodic profile: the period-2 forecast is maximally wrong,
+        # so the guardrail must clamp the basis to >= last observation.
+        profile = np.array([100.0, 900.0] * 4)
+        outcome = predictive_provisioning(profile, policy)
+        reactive = reactive_provisioning(profile, policy)
+        assert outcome.server_hours >= reactive.server_hours
+
+    def test_compare_strategies_has_all_four(self):
+        outcomes = compare_strategies(DIURNAL, POLICY)
+        assert set(outcomes) == {"static", "reactive", "predictive", "oracle"}
+        assert outcomes["predictive"].strategy == "predictive"
+
+
+class TestProvisioningProperties:
+    """Hypothesis invariants over arbitrary profiles and policies."""
+
+    profiles = st.lists(
+        st.floats(0.0, 10_000.0, allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=48,
+    )
+    policies = st.builds(
+        AutoscalerPolicy,
+        capacity_per_server=st.floats(0.5, 500.0),
+        headroom=st.floats(1.0, 3.0),
+        scale_down_cooldown=st.integers(0, 4),
+        min_servers=st.integers(1, 4),
+    )
+
+    @given(profile=profiles, policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_static_never_underprovisions(self, profile, policy):
+        outcome = static_provisioning(np.array(profile), policy)
+        assert outcome.underprovisioned_hours == 0
+
+    @given(profile=profiles, policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_oracle_bounds_any_violation_free_reactive(self, profile, policy):
+        reactive = reactive_provisioning(np.array(profile), policy)
+        assume(reactive.underprovisioned_hours == 0)
+        oracle = oracle_provisioning(np.array(profile), policy)
+        assert oracle.server_hours <= reactive.server_hours
+
+    @given(profile=profiles, policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_trajectory_respects_floor_and_cooldown(self, profile, policy):
+        outcome = reactive_provisioning(np.array(profile), policy)
+        trajectory = outcome.trajectory
+        assert len(trajectory) == len(profile)
+        assert all(fleet >= policy.min_servers for fleet in trajectory)
+        # Scale-downs can fire at most once per cooldown+1 hours: the
+        # below-streak resets on every fire (and on every scale-up).
+        decreases = [
+            i for i in range(1, len(trajectory))
+            if trajectory[i] < trajectory[i - 1]
+        ]
+        for first, second in zip(decreases, decreases[1:]):
+            assert second - first > policy.scale_down_cooldown
+
+    @given(profile=profiles, policy=policies)
+    @settings(max_examples=30, deadline=None)
+    def test_closed_form_strategies_are_pure(self, profile, policy):
+        once = compare_strategies(np.array(profile), policy)
+        again = compare_strategies(np.array(profile), policy)
+        for name in once:
+            assert once[name].trajectory == again[name].trajectory
+            assert once[name].server_hours == again[name].server_hours
